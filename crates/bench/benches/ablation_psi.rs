@@ -1,0 +1,70 @@
+//! Ablation — the dynamic-rate range `ψ ~ U[a,b]` and the shared clipping
+//! bound `A` trade attack speed against stealth (§IV-D).
+//!
+//! Wider/lower ψ ranges slow convergence toward X; tighter clipping bounds
+//! shrink malicious magnitudes into the benign band (lower 3σ flag rate) at
+//! the cost of pull strength per round.
+
+use collapois_bench::{pct, Scale, Table};
+use collapois_core::analysis::split_updates;
+use collapois_core::collapois::CollaPoisConfig;
+use collapois_core::scenario::{AttackKind, Scenario, ScenarioConfig};
+use collapois_core::stealth::stealth_battery;
+
+fn run(collapois: CollaPoisConfig) -> (f64, f64, f64) {
+    let scale = Scale::from_env();
+    let mut cfg = scale.apply(ScenarioConfig::quick_image(0.1, 0.05));
+    cfg.attack = AttackKind::CollaPois;
+    cfg.collapois = collapois;
+    cfg.collect_updates = true;
+    cfg.seed = 4242;
+    let report = Scenario::new(cfg).run();
+    let last = report.final_round();
+
+    let mut background = Vec::new();
+    let mut benign = Vec::new();
+    let mut malicious = Vec::new();
+    for r in &report.records {
+        let Some(updates) = &r.updates else { continue };
+        let (b, m) = split_updates(updates, &report.compromised);
+        if r.round % 2 == 0 {
+            background.extend(b);
+        } else {
+            benign.extend(b);
+            malicious.extend(m);
+        }
+    }
+    let flag_rate = stealth_battery(&benign, &malicious, &background)
+        .map(|rep| rep.three_sigma_rate)
+        .unwrap_or(f64::NAN);
+    (last.benign_accuracy, last.attack_success_rate, flag_rate)
+}
+
+fn main() {
+    let mut table =
+        Table::new(&["psi range", "clip bound", "benign ac", "attack sr", "3-sigma flag rate"]);
+    let cases = [
+        (0.5, 0.6, None),
+        (0.9, 1.0, None),
+        (0.95, 0.99, None),
+        (0.9, 1.0, Some(1.0)),
+        (0.9, 1.0, Some(0.5)),
+        (0.95, 0.99, Some(0.8)),
+    ];
+    for (a, b, clip) in cases {
+        let cfg = CollaPoisConfig { psi_low: a, psi_high: b, clip_bound: clip, min_norm: None };
+        let (ac, sr, flag) = run(cfg);
+        table.row(&[
+            format!("U[{a}, {b}]"),
+            clip.map(|c| format!("{c}")).unwrap_or_else(|| "-".into()),
+            pct(ac),
+            pct(sr),
+            if flag.is_nan() { "-".into() } else { pct(flag) },
+        ]);
+    }
+    table.print("Ablation: psi range and clipping bound vs effectiveness and stealth (FEMNIST-sim)");
+    println!(
+        "\nReading: the paper's U[0.9,1] keeps the pull strong; narrowing psi and adding\n\
+         the clip bound suppresses the 3-sigma flag rate while preserving Attack SR."
+    );
+}

@@ -1,0 +1,42 @@
+//! Fig. 1 (and the §III motivation) — existing attacks barely improve when
+//! the compromised fraction grows from 0.1 % to 1 % across non-IID levels.
+//!
+//! DPois and MRepl on the Sentiment-sim dataset under FedAvg: the paper's
+//! point is the *flatness* — Attack SR changes only modestly with both the
+//! compromised fraction and the Dirichlet α, because scattered malicious
+//! gradients dilute regardless.
+
+use collapois_bench::{pct, Scale, Table};
+use collapois_core::scenario::{AttackKind, Scenario, ScenarioConfig};
+
+fn main() {
+    let scale = Scale::from_env();
+    let alphas = [0.01, 1.0, 100.0];
+    let fracs = [0.001, 0.01];
+    let mut table = Table::new(&["attack", "compromised", "alpha", "benign ac", "attack sr"]);
+    for attack in [AttackKind::DPois, AttackKind::MRepl] {
+        for &frac in &fracs {
+            for &alpha in &alphas {
+                let mut cfg = scale.apply(ScenarioConfig::quick_text(alpha, frac));
+                cfg.attack = attack;
+                cfg.seed = 1001;
+                let report = Scenario::new(cfg).run();
+                let last = report.final_round();
+                table.row(&[
+                    attack.name().into(),
+                    format!("{:.1}% ({})", 100.0 * frac, report.compromised.len()),
+                    format!("{alpha}"),
+                    pct(last.benign_accuracy),
+                    pct(last.attack_success_rate),
+                ]);
+            }
+        }
+    }
+    table.print(
+        "Fig. 1: DPois and MRepl show modest changes with 0.1% vs 1% compromised (Sentiment-sim, FedAvg)",
+    );
+    println!(
+        "\nPaper shape: Attack SR stays low and nearly flat across alpha and across the\n\
+         0.1% -> 1% compromised range for both existing attacks."
+    );
+}

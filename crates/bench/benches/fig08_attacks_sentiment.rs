@@ -1,0 +1,10 @@
+//! Fig. 8 — FedAvg, FedDC and MetaFed under all four attacks with 1 %
+//! compromised clients on the Sentiment-sim dataset. See
+//! `collapois_bench::figures::run_attacks_figure` for the shared driver.
+
+use collapois_bench::figures::run_attacks_figure;
+use collapois_core::scenario::DatasetKind;
+
+fn main() {
+    run_attacks_figure(DatasetKind::Text, "Fig. 8: attacks on Sentiment-sim", 808);
+}

@@ -1,0 +1,10 @@
+//! Fig. 9 — CollaPois (1 % compromised) under the DP, NormBound, Krum and
+//! RLR defenses on the Sentiment-sim dataset (Krum and RLR are not
+//! applicable to MetaFed, matching the paper).
+
+use collapois_bench::figures::run_defenses_figure;
+use collapois_core::scenario::DatasetKind;
+
+fn main() {
+    run_defenses_figure(DatasetKind::Text, "Fig. 9: CollaPois under defenses, Sentiment-sim", 909);
+}

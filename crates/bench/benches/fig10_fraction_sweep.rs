@@ -1,0 +1,20 @@
+//! Figs. 10 and 17–25 — CollaPois with very small compromised fractions
+//! (0.1 % / 0.5 %) under defenses, reporting population Attack SR alongside
+//! the top-1 %, top-25 % and top-50 % infected clients (Eq. 8 ranking) on
+//! both datasets.
+
+use collapois_bench::figures::run_fraction_sweep;
+use collapois_core::scenario::DatasetKind;
+
+fn main() {
+    run_fraction_sweep(
+        DatasetKind::Text,
+        "Fig. 10 / Figs. 17,19,21,23: fraction sweep, Sentiment-sim (top-k% infected clients)",
+        1010,
+    );
+    run_fraction_sweep(
+        DatasetKind::Image,
+        "Figs. 18,20,22,24,25: fraction sweep, FEMNIST-sim (top-k% infected clients)",
+        1018,
+    );
+}

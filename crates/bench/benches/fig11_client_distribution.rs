@@ -1,0 +1,49 @@
+//! Fig. 11 — the per-client distribution of Benign AC and Attack SR under
+//! FedAvg with the DP defense on FEMNIST-sim.
+//!
+//! Paper shape: a wide spread — some benign clients are nearly fully
+//! backdoored while others are barely affected, which is why population
+//! averages hide the risk.
+
+use collapois_bench::{pct, Scale, Table};
+use collapois_core::scenario::{AttackKind, DefenseKind, Scenario, ScenarioConfig};
+use collapois_stats::descriptive::histogram;
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut cfg = scale.apply(ScenarioConfig::quick_image(0.1, 0.01));
+    cfg.attack = AttackKind::CollaPois;
+    cfg.defense = DefenseKind::Dp;
+    cfg.seed = 1111;
+    let report = Scenario::new(cfg).run();
+
+    let srs: Vec<f64> = report.clients.iter().map(|c| c.attack_sr).collect();
+    let acs: Vec<f64> = report.clients.iter().map(|c| c.benign_ac).collect();
+    let bins = 5;
+    let sr_hist = histogram(&srs, 0.0, 1.0 + 1e-9, bins);
+    let ac_hist = histogram(&acs, 0.0, 1.0 + 1e-9, bins);
+
+    let mut table = Table::new(&["range", "clients by attack sr", "clients by benign ac"]);
+    for i in 0..bins {
+        let lo = i as f64 / bins as f64;
+        let hi = (i + 1) as f64 / bins as f64;
+        table.row(&[
+            format!("[{:.0}%, {:.0}%)", 100.0 * lo, 100.0 * hi),
+            format!("{}", sr_hist[i]),
+            format!("{}", ac_hist[i]),
+        ]);
+    }
+    table.print("Fig. 11: per-client Benign AC / Attack SR distribution (FEMNIST-sim, FedAvg + DP)");
+
+    let pop = report.population();
+    let max_sr = srs.iter().cloned().fold(0.0, f64::max);
+    let min_sr = srs.iter().cloned().fold(1.0, f64::min);
+    println!(
+        "\nPopulation: AC={} SR={}; per-client SR ranges from {} to {} — the paper's\n\
+         point: averages mask a heavily-backdoored subpopulation.",
+        pct(pop.benign_ac),
+        pct(pop.attack_sr),
+        pct(min_sr),
+        pct(max_sr)
+    );
+}

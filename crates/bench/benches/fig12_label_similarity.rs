@@ -1,0 +1,44 @@
+//! Fig. 12 — label-distribution proximity to the attacker's auxiliary data
+//! explains which clients are most at risk.
+//!
+//! Clients are split into the paper's exclusive 1 %-, 25 %-, 50 %- and
+//! bottom-50 %-clusters by their Eq. 8 score; each cluster's mean Eq. 9
+//! cumulative-label cosine (CS_k) to the auxiliary data is reported next to
+//! its Attack SR. Paper shape: CS and SR decrease together down the
+//! clusters (FEMNIST: CS 0.95→0.85 as SR 98%→32%).
+
+use collapois_bench::{num, pct, Scale, Table};
+use collapois_core::scenario::{AttackKind, DatasetKind, Scenario, ScenarioConfig};
+
+fn main() {
+    let scale = Scale::from_env();
+    for (dataset, label, seed) in [
+        (DatasetKind::Image, "FEMNIST-sim", 1212u64),
+        (DatasetKind::Text, "Sentiment-sim", 1213u64),
+    ] {
+        let base = match dataset {
+            DatasetKind::Image => ScenarioConfig::quick_image(0.1, 0.05),
+            DatasetKind::Text => ScenarioConfig::quick_text(0.1, 0.05),
+        };
+        let mut cfg = scale.apply(base);
+        cfg.attack = AttackKind::CollaPois;
+        cfg.seed = seed;
+        let report = Scenario::new(cfg).run();
+
+        let mut table = Table::new(&["cluster", "clients", "CS_k (Eq. 9)", "attack sr", "benign ac"]);
+        for c in &report.clusters {
+            table.row(&[
+                c.label.clone(),
+                format!("{}", c.clients.len()),
+                num(c.label_cosine, 4),
+                pct(c.attack_sr),
+                pct(c.benign_ac),
+            ]);
+        }
+        table.print(&format!("Fig. 12: label-distribution proximity vs Attack SR ({label})"));
+    }
+    println!(
+        "\nPaper shape: clusters closer to the auxiliary data (higher CS_k) suffer\n\
+         higher Attack SR; the bottom-50% cluster has both the lowest CS and SR."
+    );
+}

@@ -1,0 +1,10 @@
+//! Fig. 15 — FedAvg, FedDC and MetaFed under all four attacks with 1 %
+//! compromised clients on the FEMNIST-sim dataset (the image counterpart of
+//! Fig. 8).
+
+use collapois_bench::figures::run_attacks_figure;
+use collapois_core::scenario::DatasetKind;
+
+fn main() {
+    run_attacks_figure(DatasetKind::Image, "Fig. 15: attacks on FEMNIST-sim", 1515);
+}

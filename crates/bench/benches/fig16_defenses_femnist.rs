@@ -1,0 +1,10 @@
+//! Fig. 16 — CollaPois (1 % compromised) under the DP, NormBound, Krum and
+//! RLR defenses on the FEMNIST-sim dataset (the image counterpart of
+//! Fig. 9).
+
+use collapois_bench::figures::run_defenses_figure;
+use collapois_core::scenario::DatasetKind;
+
+fn main() {
+    run_defenses_figure(DatasetKind::Image, "Fig. 16: CollaPois under defenses, FEMNIST-sim", 1616);
+}

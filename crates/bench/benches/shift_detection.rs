@@ -1,0 +1,61 @@
+//! §II-B — MRepl's abrupt performance shifts are detectable by
+//! round-to-round monitoring; CollaPois' gradual pull is not.
+//!
+//! Each attack runs under FedAvg with per-round evaluation; the
+//! [`ShiftDetector`] watches the population Benign-AC series (the paper's
+//! observable: "Benign AC raises from 39.21 % to 74.11 % in one round" under
+//! MRepl) with a robust median/MAD baseline. The clean run calibrates the
+//! false-positive reference.
+
+use collapois_bench::{pct, Scale, Table};
+use collapois_core::scenario::{AttackKind, Scenario, ScenarioConfig};
+use collapois_fl::monitor::ShiftDetector;
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut table = Table::new(&[
+        "attack",
+        "rounds flagged",
+        "max robust z",
+        "max one-round ac jump",
+        "final attack sr",
+    ]);
+    for attack in
+        [AttackKind::None, AttackKind::CollaPois, AttackKind::DPois, AttackKind::MRepl]
+    {
+        let mut cfg = scale.apply(ScenarioConfig::quick_image(0.1, 0.05));
+        cfg.attack = attack;
+        cfg.eval_every = 1; // per-round utility series
+        cfg.rounds = cfg.rounds.min(40);
+        cfg.seed = 5151;
+        let report = Scenario::new(cfg).run();
+
+        let mut detector = ShiftDetector::default_paper();
+        for r in &report.rounds {
+            detector.observe(None, Some(r.benign_accuracy));
+        }
+        let max_z = detector
+            .alerts()
+            .iter()
+            .map(|a| a.z_score)
+            .fold(0.0f64, f64::max);
+        let max_jump = report
+            .rounds
+            .windows(2)
+            .map(|w| (w[1].benign_accuracy - w[0].benign_accuracy).abs())
+            .fold(0.0f64, f64::max);
+        table.row(&[
+            attack.name().into(),
+            format!("{}", detector.alerts().len()),
+            if detector.alerts().is_empty() { "-".into() } else { format!("{max_z:.1}") },
+            pct(max_jump),
+            pct(report.final_round().attack_success_rate),
+        ]);
+    }
+    table.print("Shift detection (SS II-B): rounds flagged by the Benign-AC monitor per attack");
+    println!(
+        "\nPaper shape: MRepl produces the largest one-round utility jumps (and the\n\
+         most monitor alerts); CollaPois' utility curve stays as smooth as clean\n\
+         training while its Attack SR is the highest."
+    );
+}

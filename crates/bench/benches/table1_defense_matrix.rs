@@ -1,0 +1,62 @@
+//! Table I — the full robust-federated-training battery against CollaPois.
+//!
+//! Every aggregation rule of the paper's Table I (plus the personalization-
+//! based Ditto) runs once against CollaPois with 1 % compromised clients on
+//! FEMNIST-sim at a fixed non-IID level.
+
+use collapois_bench::{pct, Scale, Table};
+use collapois_core::scenario::{AttackKind, DefenseKind, FlAlgo, Scenario, ScenarioConfig};
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut table = Table::new(&["defense", "benign ac", "attack sr", "verdict"]);
+    // Clean reference (no attack, no defense).
+    let mut clean = scale.apply(ScenarioConfig::quick_image(0.1, 0.0));
+    clean.attack = AttackKind::None;
+    clean.seed = 2100;
+    let clean_ac = Scenario::new(clean).run().final_round().benign_accuracy;
+
+    for &defense in DefenseKind::all() {
+        let mut cfg = scale.apply(ScenarioConfig::quick_image(0.1, 0.01));
+        cfg.attack = AttackKind::CollaPois;
+        cfg.defense = defense;
+        cfg.seed = 2101;
+        let report = Scenario::new(cfg).run();
+        let last = report.final_round();
+        let verdict = if last.attack_success_rate > 0.5 {
+            "bypassed"
+        } else if last.benign_accuracy < clean_ac - 0.15 {
+            "utility lost"
+        } else {
+            "holds"
+        };
+        table.row(&[
+            defense.name().into(),
+            pct(last.benign_accuracy),
+            pct(last.attack_success_rate),
+            verdict.into(),
+        ]);
+    }
+    // Ditto (personalization-based row of Table I).
+    let mut cfg = scale.apply(ScenarioConfig::quick_image(0.1, 0.01));
+    cfg.attack = AttackKind::CollaPois;
+    cfg.algo = FlAlgo::Ditto;
+    cfg.seed = 2102;
+    let report = Scenario::new(cfg).run();
+    let last = report.final_round();
+    table.row(&[
+        "ditto".into(),
+        pct(last.benign_accuracy),
+        pct(last.attack_success_rate),
+        if last.attack_success_rate > 0.5 { "bypassed".into() } else { "holds".to_string() },
+    ]);
+
+    table.print(&format!(
+        "Table I: robust federated training vs CollaPois (1% compromised, FEMNIST-sim; clean-run AC = {})",
+        pct(clean_ac)
+    ));
+    println!(
+        "\nPaper shape: DP/NormBound-style defenses leave Attack SR high; selection/\n\
+         flipping defenses (Krum, RLR) pay a large Benign AC cost under non-IID data."
+    );
+}

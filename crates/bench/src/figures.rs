@@ -1,0 +1,133 @@
+//! Shared drivers for figure pairs that differ only by dataset
+//! (Fig. 8 / Fig. 15 and Fig. 9 / Fig. 16, plus the fraction sweeps of
+//! Figs. 10 and 17–25).
+
+use crate::{pct, Scale, Table};
+use collapois_core::scenario::{
+    AttackKind, DatasetKind, DefenseKind, FlAlgo, Scenario, ScenarioConfig,
+};
+
+/// Base configuration for a dataset at the current scale.
+pub fn base_config(dataset: DatasetKind, alpha: f64, frac: f64, scale: Scale) -> ScenarioConfig {
+    let base = match dataset {
+        DatasetKind::Image => ScenarioConfig::quick_image(alpha, frac),
+        DatasetKind::Text => ScenarioConfig::quick_text(alpha, frac),
+    };
+    scale.apply(base)
+}
+
+/// Figs. 8 / 15: all four attacks × {FedAvg, FedDC, MetaFed} × α sweep.
+pub fn run_attacks_figure(dataset: DatasetKind, title: &str, seed: u64) {
+    let scale = Scale::from_env();
+    let alphas = [0.01, 1.0, 100.0];
+    let attacks =
+        [AttackKind::CollaPois, AttackKind::DPois, AttackKind::MRepl, AttackKind::Dba];
+    for algo in [FlAlgo::FedAvg, FlAlgo::FedDc, FlAlgo::MetaFed] {
+        let mut table = Table::new(&["attack", "alpha", "benign ac", "attack sr"]);
+        for attack in attacks {
+            for &alpha in &alphas {
+                let mut cfg = base_config(dataset, alpha, 0.01, scale);
+                cfg.attack = attack;
+                cfg.algo = algo;
+                cfg.seed = seed;
+                let report = Scenario::new(cfg).run();
+                let last = report.final_round();
+                table.row(&[
+                    attack.name().into(),
+                    format!("{alpha}"),
+                    pct(last.benign_accuracy),
+                    pct(last.attack_success_rate),
+                ]);
+            }
+        }
+        table.print(&format!("{title} — {} (1% compromised)", algo.name()));
+    }
+    println!(
+        "\nPaper shape: CollaPois' Attack SR exceeds every baseline across algorithms\n\
+         and alphas, rising as alpha shrinks, with Benign AC comparable to the clean run."
+    );
+}
+
+/// Figs. 9 / 16: CollaPois under the four headline defenses × FL algorithms
+/// × α sweep (Krum and RLR are not applicable to MetaFed, as in the paper).
+pub fn run_defenses_figure(dataset: DatasetKind, title: &str, seed: u64) {
+    let scale = Scale::from_env();
+    let alphas = [0.01, 1.0, 100.0];
+    let defenses =
+        [DefenseKind::Dp, DefenseKind::NormBound, DefenseKind::Krum, DefenseKind::Rlr];
+    for algo in [FlAlgo::FedAvg, FlAlgo::FedDc, FlAlgo::MetaFed] {
+        let mut table = Table::new(&["defense", "alpha", "benign ac", "attack sr"]);
+        for defense in defenses {
+            let not_applicable = algo == FlAlgo::MetaFed
+                && matches!(defense, DefenseKind::Krum | DefenseKind::Rlr);
+            if not_applicable {
+                continue;
+            }
+            for &alpha in &alphas {
+                let mut cfg = base_config(dataset, alpha, 0.01, scale);
+                cfg.attack = AttackKind::CollaPois;
+                cfg.defense = defense;
+                cfg.algo = algo;
+                cfg.seed = seed;
+                let report = Scenario::new(cfg).run();
+                let last = report.final_round();
+                table.row(&[
+                    defense.name().into(),
+                    format!("{alpha}"),
+                    pct(last.benign_accuracy),
+                    pct(last.attack_success_rate),
+                ]);
+            }
+        }
+        table.print(&format!("{title} — {} (CollaPois, 1% compromised)", algo.name()));
+    }
+    println!(
+        "\nPaper shape: DP and NormBound leave Attack SR high; Krum and RLR suppress it\n\
+         only at a substantial Benign AC cost — no defense wins on both axes."
+    );
+}
+
+/// Figs. 10, 17–25: 0.1 % / 0.5 % compromised fractions under defenses,
+/// reporting the top-k% infected clients for k ∈ {1, 25, 50}.
+pub fn run_fraction_sweep(dataset: DatasetKind, title: &str, seed: u64) {
+    let scale = Scale::from_env();
+    let fracs = [0.001, 0.005];
+    let defenses = [DefenseKind::None, DefenseKind::Dp, DefenseKind::NormBound];
+    let mut table = Table::new(&[
+        "frac",
+        "defense",
+        "alpha",
+        "pop sr",
+        "top-1% sr",
+        "top-25% sr",
+        "top-50% sr",
+        "benign ac",
+    ]);
+    for &frac in &fracs {
+        for defense in defenses {
+            for alpha in [0.01, 1.0] {
+                let mut cfg = base_config(dataset, alpha, frac, scale);
+                cfg.attack = AttackKind::CollaPois;
+                cfg.defense = defense;
+                cfg.seed = seed;
+                let report = Scenario::new(cfg).run();
+                let pop = report.population();
+                table.row(&[
+                    format!("{:.1}% ({})", 100.0 * frac, report.compromised.len()),
+                    defense.name().into(),
+                    format!("{alpha}"),
+                    pct(pop.attack_sr),
+                    pct(report.top_k(1.0).attack_sr),
+                    pct(report.top_k(25.0).attack_sr),
+                    pct(report.top_k(50.0).attack_sr),
+                    pct(pop.benign_ac),
+                ]);
+            }
+        }
+    }
+    table.print(title);
+    println!(
+        "\nPaper shape: even at 0.1-0.5% compromised, the top-25% infected clients show\n\
+         high Attack SR (paper: 86% average at 0.5%) while population averages look mild."
+    );
+}

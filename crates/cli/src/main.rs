@@ -1,0 +1,313 @@
+//! `collapois` — command-line experiment runner for the CollaPois
+//! reproduction.
+//!
+//! ```text
+//! collapois run   [--dataset image|text] [--alpha A] [--frac F]
+//!                 [--attack collapois|dpois|mrepl|dba|none]
+//!                 [--defense none|dp|norm-bound|krum|rlr|median|trimmed-mean|
+//!                            signsgd|flare|crfl|stat-filter|user-dp]
+//!                 [--algo fedavg|feddc|metafed|ditto|clustered]
+//!                 [--rounds T] [--clients N] [--seed S] [--topk K]
+//! collapois sweep [--attack ...] [--defense ...] [--algo ...] — alpha sweep
+//! collapois bound [--a 0.9] [--b 1.0] [--clients N] — Theorem 1 table
+//! collapois help
+//! ```
+
+mod args;
+
+use args::{ArgError, Args};
+use collapois_core::scenario::{
+    AttackKind, DatasetKind, DefenseKind, FlAlgo, Scenario, ScenarioConfig, ScenarioModel,
+};
+use collapois_core::theory::theorem1_bound;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => {}
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("try: collapois help");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv.iter().map(String::as_str)).map_err(|e| e.to_string())?;
+    match args.command.as_deref() {
+        Some("run") => cmd_run(&args),
+        Some("sweep") => cmd_sweep(&args),
+        Some("bound") => cmd_bound(&args),
+        Some("help") | None => {
+            print_help();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}'")),
+    }
+}
+
+fn print_help() {
+    println!(
+        "collapois — CollaPois reproduction experiment runner\n\n\
+         commands:\n\
+         \u{20}  run    run one scenario (attack x defense x FL algorithm)\n\
+         \u{20}  sweep  sweep the Dirichlet alpha for a fixed configuration\n\
+         \u{20}  bound  print Theorem 1's |C| lower-bound table\n\
+         \u{20}  help   this message\n\n\
+         common options:\n\
+         \u{20}  --dataset image|text   --alpha A      --frac F       --seed S\n\
+         \u{20}  --attack collapois|dpois|mrepl|dba|none\n\
+         \u{20}  --defense none|dp|norm-bound|krum|rlr|median|trimmed-mean|signsgd|\n\
+         \u{20}            flare|crfl|stat-filter|user-dp\n\
+         \u{20}  --algo fedavg|feddc|metafed|ditto|clustered\n\
+         \u{20}  --model mlp|cnn   --repeats R\n\
+         \u{20}  --rounds T   --clients N   --topk K"
+    );
+}
+
+const RUN_KEYS: &[&str] = &[
+    "dataset", "alpha", "frac", "attack", "defense", "algo", "rounds", "clients", "seed",
+    "topk", "model", "repeats",
+];
+
+fn parse_attack(s: &str) -> Result<AttackKind, String> {
+    Ok(match s {
+        "collapois" => AttackKind::CollaPois,
+        "dpois" => AttackKind::DPois,
+        "mrepl" => AttackKind::MRepl,
+        "dba" => AttackKind::Dba,
+        "none" | "clean" => AttackKind::None,
+        other => return Err(format!("unknown attack '{other}'")),
+    })
+}
+
+fn parse_defense(s: &str) -> Result<DefenseKind, String> {
+    DefenseKind::all()
+        .iter()
+        .copied()
+        .find(|d| d.name() == s)
+        .ok_or_else(|| format!("unknown defense '{s}'"))
+}
+
+fn parse_algo(s: &str) -> Result<FlAlgo, String> {
+    Ok(match s {
+        "fedavg" => FlAlgo::FedAvg,
+        "feddc" => FlAlgo::FedDc,
+        "metafed" => FlAlgo::MetaFed,
+        "ditto" => FlAlgo::Ditto,
+        "clustered" => FlAlgo::Clustered,
+        other => return Err(format!("unknown algorithm '{other}'")),
+    })
+}
+
+fn build_config(args: &Args) -> Result<ScenarioConfig, String> {
+    if let Some(k) = args.unknown_key(RUN_KEYS) {
+        return Err(format!("unknown option --{k}"));
+    }
+    let err = |e: ArgError| e.to_string();
+    let alpha: f64 = args.get_or("alpha", 0.1).map_err(err)?;
+    let frac: f64 = args.get_or("frac", 0.01).map_err(err)?;
+    let dataset = match args.get("dataset").unwrap_or("image") {
+        "image" => DatasetKind::Image,
+        "text" => DatasetKind::Text,
+        other => return Err(format!("unknown dataset '{other}'")),
+    };
+    let mut cfg = match dataset {
+        DatasetKind::Image => ScenarioConfig::quick_image(alpha, frac),
+        DatasetKind::Text => ScenarioConfig::quick_text(alpha, frac),
+    };
+    cfg.attack = parse_attack(args.get("attack").unwrap_or("collapois"))?;
+    cfg.defense = parse_defense(args.get("defense").unwrap_or("none"))?;
+    cfg.algo = parse_algo(args.get("algo").unwrap_or("fedavg"))?;
+    cfg.rounds = args.get_or("rounds", cfg.rounds).map_err(err)?;
+    cfg.eval_every = (cfg.rounds / 4).max(1);
+    cfg.num_clients = args.get_or("clients", cfg.num_clients).map_err(err)?;
+    cfg.seed = args.get_or("seed", cfg.seed).map_err(err)?;
+    cfg.model_kind = match args.get("model").unwrap_or("mlp") {
+        "mlp" => ScenarioModel::Mlp,
+        "cnn" | "lenet" => ScenarioModel::Cnn,
+        other => return Err(format!("unknown model '{other}'")),
+    };
+    Ok(cfg)
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let cfg = build_config(args)?;
+    let topk: f64 = args.get_or("topk", 25.0).map_err(|e| e.to_string())?;
+    let repeats: usize = args.get_or("repeats", 1).map_err(|e| e.to_string())?;
+    if repeats > 1 {
+        let rep = Scenario::new(cfg).run_repeated(repeats);
+        println!(
+            "{repeats} runs: benign AC {:.2}% +/- {:.2}, attack SR {:.2}% +/- {:.2}",
+            100.0 * rep.benign_ac_mean,
+            100.0 * rep.benign_ac_std,
+            100.0 * rep.attack_sr_mean,
+            100.0 * rep.attack_sr_std
+        );
+        return Ok(());
+    }
+    println!(
+        "scenario: {} | attack={} defense={} algo={} alpha={} |C|={} of {} | {} rounds",
+        match cfg.dataset {
+            DatasetKind::Image => "FEMNIST-sim",
+            DatasetKind::Text => "Sentiment-sim",
+        },
+        cfg.attack.name(),
+        cfg.defense.name(),
+        cfg.algo.name(),
+        cfg.alpha,
+        cfg.num_compromised(),
+        cfg.num_clients,
+        cfg.rounds
+    );
+    let report = Scenario::new(cfg).run();
+    if let Some(x) = &report.trojan {
+        println!(
+            "trojaned model X: clean acc {:.1}%, trigger success {:.1}%",
+            100.0 * x.clean_accuracy,
+            100.0 * x.trigger_success
+        );
+    }
+    println!("\nround  benign AC  attack SR");
+    for r in &report.rounds {
+        println!(
+            "{:>5}  {:>8.2}%  {:>8.2}%",
+            r.round,
+            100.0 * r.benign_accuracy,
+            100.0 * r.attack_success_rate
+        );
+    }
+    let pop = report.population();
+    let top = report.top_k(topk);
+    println!(
+        "\npopulation: AC {:.2}%, SR {:.2}%   top-{topk:.0}%: AC {:.2}%, SR {:.2}%",
+        100.0 * pop.benign_ac,
+        100.0 * pop.attack_sr,
+        100.0 * top.benign_ac,
+        100.0 * top.attack_sr
+    );
+    if !report.clusters.is_empty() {
+        println!("\ncluster      clients  CS_k    attack SR");
+        for c in &report.clusters {
+            println!(
+                "{:<12} {:>7}  {:.4}  {:>8.2}%",
+                c.label,
+                c.clients.len(),
+                c.label_cosine,
+                100.0 * c.attack_sr
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_sweep(args: &Args) -> Result<(), String> {
+    let base = build_config(args)?;
+    println!(
+        "alpha sweep: attack={} defense={} algo={}",
+        base.attack.name(),
+        base.defense.name(),
+        base.algo.name()
+    );
+    println!("{:<8} {:>10} {:>10}", "alpha", "benign AC", "attack SR");
+    for alpha in [0.01, 0.1, 1.0, 10.0, 100.0] {
+        let mut cfg = base.clone();
+        cfg.alpha = alpha;
+        let report = Scenario::new(cfg).run();
+        let last = report.final_round();
+        println!(
+            "{:<8} {:>9.2}% {:>9.2}%",
+            alpha,
+            100.0 * last.benign_accuracy,
+            100.0 * last.attack_success_rate
+        );
+    }
+    Ok(())
+}
+
+fn cmd_bound(args: &Args) -> Result<(), String> {
+    let err = |e: ArgError| e.to_string();
+    let a: f64 = args.get_or("a", 0.9).map_err(err)?;
+    let b: f64 = args.get_or("b", 1.0).map_err(err)?;
+    let n: usize = args.get_or("clients", 1000).map_err(err)?;
+    if !(0.0 < a && a < b && b <= 1.0) {
+        return Err("psi range must satisfy 0 < a < b <= 1".into());
+    }
+    println!("Theorem 1 lower bound |C| for N = {n}, psi ~ U[{a}, {b}]");
+    println!("{:<8} 0.0      0.25     0.5      0.75     1.0", "mu\\sigma");
+    for mu_step in 0..=6 {
+        let mu = mu_step as f64 * 0.2;
+        let mut row = format!("{mu:<8.1}");
+        for sig_step in 0..=4 {
+            let sigma = sig_step as f64 * 0.25;
+            row.push_str(&format!(" {:<8.1}", theorem1_bound(mu, sigma, a, b, n)));
+        }
+        println!("{row}");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn help_and_unknown_command() {
+        assert!(run(&["help".to_string()]).is_ok());
+        assert!(run(&[]).is_ok());
+        let e = run(&["frobnicate".to_string()]).unwrap_err();
+        assert!(e.contains("unknown command"));
+    }
+
+    #[test]
+    fn config_builder_applies_options() {
+        let args = Args::parse([
+            "run", "--dataset", "text", "--alpha", "0.5", "--frac", "0.05", "--attack",
+            "dpois", "--defense", "krum", "--algo", "feddc", "--rounds", "7", "--clients",
+            "30", "--seed", "9",
+        ])
+        .unwrap();
+        let cfg = build_config(&args).unwrap();
+        assert_eq!(cfg.dataset, DatasetKind::Text);
+        assert_eq!(cfg.alpha, 0.5);
+        assert_eq!(cfg.attack, AttackKind::DPois);
+        assert_eq!(cfg.defense, DefenseKind::Krum);
+        assert_eq!(cfg.algo, FlAlgo::FedDc);
+        assert_eq!(cfg.rounds, 7);
+        assert_eq!(cfg.num_clients, 30);
+        assert_eq!(cfg.seed, 9);
+    }
+
+    #[test]
+    fn config_builder_rejects_bad_input() {
+        let args = Args::parse(["run", "--attack", "zeus"]).unwrap();
+        assert!(build_config(&args).is_err());
+        let args = Args::parse(["run", "--dataset", "audio"]).unwrap();
+        assert!(build_config(&args).is_err());
+        let args = Args::parse(["run", "--alfa", "1"]).unwrap();
+        assert!(build_config(&args).unwrap_err().contains("--alfa"));
+    }
+
+    #[test]
+    fn bound_command_validates_psi() {
+        let args = vec!["bound".to_string(), "--a".into(), "1.0".into(), "--b".into(), "0.5".into()];
+        assert!(run(&args).is_err());
+    }
+
+    #[test]
+    fn parse_helpers_cover_all_names() {
+        for d in DefenseKind::all() {
+            assert_eq!(parse_defense(d.name()).unwrap(), *d);
+        }
+        for (s, a) in [
+            ("collapois", AttackKind::CollaPois),
+            ("none", AttackKind::None),
+        ] {
+            assert_eq!(parse_attack(s).unwrap(), a);
+        }
+        for s in ["fedavg", "feddc", "metafed", "ditto", "clustered"] {
+            assert!(parse_algo(s).is_ok());
+        }
+    }
+}

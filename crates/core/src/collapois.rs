@@ -1,0 +1,241 @@
+//! The CollaPois attack (Algorithm 1).
+//!
+//! Every compromised client sampled in round `t` submits the malicious delta
+//!
+//! `Δθ_c^t = ψ_c^t · (X − θ^t)`,  `ψ_c^t ~ U[a, b]`  (Eq. 4)
+//!
+//! pulling the global model toward the shared Trojaned model X. Because the
+//! malicious deltas are perfectly aligned with each other while benign
+//! deltas scatter under non-IID data (Fig. 3), a handful of compromised
+//! clients dominates aggregation (Theorem 1) and the global model converges
+//! into a low-loss region around X (Theorem 2).
+//!
+//! Two stealth controls from §IV-D:
+//! * a shared l2 **clipping bound `A`** keeps malicious magnitudes inside the
+//!   benign range;
+//! * a **minimum-norm τ upscale** keeps the server's X-estimation error
+//!   bounded away from zero (Theorem 3 discussion, Fig. 7).
+
+use collapois_fl::server::Adversary;
+use collapois_stats::geometry::{clip_to_norm, l2_norm, rescale_to_norm};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// CollaPois hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CollaPoisConfig {
+    /// Lower end `a` of the dynamic-rate range (0 < a).
+    pub psi_low: f64,
+    /// Upper end `b` of the dynamic-rate range (a < b ≤ 1).
+    pub psi_high: f64,
+    /// Shared l2 clipping bound `A` for malicious deltas (None = no clip).
+    pub clip_bound: Option<f64>,
+    /// Minimum l2 norm τ: deltas below it are upscaled (None = no upscale).
+    pub min_norm: Option<f64>,
+}
+
+impl CollaPoisConfig {
+    /// The paper's configuration: `ψ ~ U[0.9, 1]`, no clipping, no upscale.
+    pub fn paper() -> Self {
+        Self { psi_low: 0.9, psi_high: 1.0, clip_bound: None, min_norm: None }
+    }
+
+    /// Validates the ψ range and bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.psi_low.is_finite() && self.psi_low > 0.0) {
+            return Err("psi_low must satisfy 0 < a".into());
+        }
+        if !(self.psi_low < self.psi_high && self.psi_high <= 1.0) {
+            return Err("psi range must satisfy a < b <= 1".into());
+        }
+        if let Some(a) = self.clip_bound {
+            if !(a.is_finite() && a > 0.0) {
+                return Err("clip bound must be positive".into());
+            }
+        }
+        if let Some(t) = self.min_norm {
+            if !(t.is_finite() && t > 0.0) {
+                return Err("min norm must be positive".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for CollaPoisConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// The CollaPois adversary: a coordinated set of compromised clients sharing
+/// one Trojaned model X.
+#[derive(Debug, Clone)]
+pub struct CollaPois {
+    compromised: Vec<usize>,
+    trojan: Vec<f32>,
+    cfg: CollaPoisConfig,
+    /// ψ values actually drawn, kept for stealth analysis.
+    psi_history: Vec<f64>,
+}
+
+impl CollaPois {
+    /// Creates the adversary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or `compromised` is empty.
+    pub fn new(compromised: Vec<usize>, trojan: Vec<f32>, cfg: CollaPoisConfig) -> Self {
+        cfg.validate().unwrap_or_else(|e| panic!("invalid CollaPoisConfig: {e}"));
+        assert!(!compromised.is_empty(), "need at least one compromised client");
+        Self { compromised, trojan, cfg, psi_history: Vec::new() }
+    }
+
+    /// The Trojaned model X.
+    pub fn trojan(&self) -> &[f32] {
+        &self.trojan
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CollaPoisConfig {
+        &self.cfg
+    }
+
+    /// ψ values drawn so far (for the stealth analysis of Fig. 6).
+    pub fn psi_history(&self) -> &[f64] {
+        &self.psi_history
+    }
+
+    /// Crafts the malicious delta for the current global model — exposed so
+    /// the theory/stealth analyses can generate updates without a server.
+    pub fn craft(&mut self, global: &[f32], rng: &mut StdRng) -> Vec<f32> {
+        assert_eq!(global.len(), self.trojan.len(), "global/trojan dimension mismatch");
+        let psi = rng.gen_range(self.cfg.psi_low..self.cfg.psi_high) as f32;
+        self.psi_history.push(psi as f64);
+        let mut delta: Vec<f32> =
+            self.trojan.iter().zip(global).map(|(x, g)| psi * (x - g)).collect();
+        if let Some(bound) = self.cfg.clip_bound {
+            clip_to_norm(&mut delta, bound);
+        }
+        if let Some(tau) = self.cfg.min_norm {
+            if l2_norm(&delta) < tau {
+                rescale_to_norm(&mut delta, tau);
+            }
+        }
+        delta
+    }
+}
+
+impl Adversary for CollaPois {
+    fn compromised(&self) -> &[usize] {
+        &self.compromised
+    }
+
+    fn craft_update(
+        &mut self,
+        _client_id: usize,
+        global: &[f32],
+        _round: usize,
+        rng: &mut StdRng,
+    ) -> Vec<f32> {
+        self.craft(global, rng)
+    }
+
+    fn name(&self) -> &'static str {
+        "collapois"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use collapois_stats::geometry::cosine_similarity;
+    use rand::SeedableRng;
+
+    fn adversary() -> CollaPois {
+        CollaPois::new(vec![0, 1], vec![1.0; 8], CollaPoisConfig::paper())
+    }
+
+    #[test]
+    fn delta_points_toward_trojan() {
+        let mut adv = adversary();
+        let mut rng = StdRng::seed_from_u64(0);
+        let global = vec![0.0f32; 8];
+        let delta = adv.craft(&global, &mut rng);
+        let toward: Vec<f32> = vec![1.0; 8];
+        let cs = cosine_similarity(&delta, &toward).unwrap();
+        assert!((cs - 1.0).abs() < 1e-6, "delta must align with X − θ");
+        // ψ ∈ [0.9, 1): per-coordinate value in [0.9, 1).
+        assert!(delta.iter().all(|&d| (0.9..1.0).contains(&d)));
+    }
+
+    #[test]
+    fn psi_is_recorded_and_within_range() {
+        let mut adv = adversary();
+        let mut rng = StdRng::seed_from_u64(1);
+        let global = vec![0.0f32; 8];
+        for _ in 0..50 {
+            let _ = adv.craft(&global, &mut rng);
+        }
+        assert_eq!(adv.psi_history().len(), 50);
+        assert!(adv.psi_history().iter().all(|&p| (0.9..1.0).contains(&p)));
+    }
+
+    #[test]
+    fn clipping_bounds_the_norm() {
+        let cfg = CollaPoisConfig { clip_bound: Some(0.5), ..CollaPoisConfig::paper() };
+        let mut adv = CollaPois::new(vec![0], vec![10.0; 16], cfg);
+        let mut rng = StdRng::seed_from_u64(2);
+        let delta = adv.craft(&[0.0; 16], &mut rng);
+        assert!(l2_norm(&delta) <= 0.5 + 1e-6);
+    }
+
+    #[test]
+    fn tau_upscales_tiny_deltas() {
+        let cfg = CollaPoisConfig { min_norm: Some(2.0), ..CollaPoisConfig::paper() };
+        let mut adv = CollaPois::new(vec![0], vec![1e-4; 16], cfg);
+        let mut rng = StdRng::seed_from_u64(3);
+        let delta = adv.craft(&[0.0; 16], &mut rng);
+        assert!((l2_norm(&delta) - 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn converges_to_trojan_under_repeated_application() {
+        // θ ← θ + mean(ψ(X−θ)) with only malicious clients: geometric decay
+        // toward X (the mechanism behind Theorem 2).
+        let mut adv = adversary();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut theta = vec![0.0f32; 8];
+        for _ in 0..50 {
+            let delta = adv.craft(&theta, &mut rng);
+            for (t, d) in theta.iter_mut().zip(&delta) {
+                *t += d;
+            }
+        }
+        let dist = collapois_stats::geometry::l2_distance(&theta, adv.trojan());
+        assert!(dist < 1e-3, "theta must converge to X: dist={dist}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid CollaPoisConfig")]
+    fn rejects_bad_psi_range() {
+        let cfg = CollaPoisConfig { psi_low: 0.9, psi_high: 0.8, ..CollaPoisConfig::paper() };
+        let _ = CollaPois::new(vec![0], vec![0.0; 4], cfg);
+    }
+
+    #[test]
+    fn validate_catches_all_constraints() {
+        assert!(CollaPoisConfig::paper().validate().is_ok());
+        let bad_clip =
+            CollaPoisConfig { clip_bound: Some(0.0), ..CollaPoisConfig::paper() };
+        assert!(bad_clip.validate().is_err());
+        let bad_tau = CollaPoisConfig { min_norm: Some(-1.0), ..CollaPoisConfig::paper() };
+        assert!(bad_tau.validate().is_err());
+        let bad_low = CollaPoisConfig { psi_low: 0.0, ..CollaPoisConfig::paper() };
+        assert!(bad_low.validate().is_err());
+    }
+}

@@ -1,0 +1,163 @@
+//! Targeted CollaPois — the paper's Discussion-section escalation (§VI,
+//! "Attack Perspective").
+//!
+//! Instead of poisoning continuously, the attacker designates *high-value*
+//! clients (in practice: those whose data the auxiliary set approximates
+//! best, since Fig. 12 shows they are the most susceptible) and keeps the
+//! Trojaned model "semi-ready": compromised clients behave benignly until
+//! the attacker believes a high-value client is participating, and only then
+//! send the `ψ(X − θ)` pull. This trades attack speed for an even smaller
+//! detection surface.
+//!
+//! The server does not reveal the sampled cohort, so the attacker uses the
+//! black-box signal available to its own clients: rounds are attacked with a
+//! configured duty cycle, modelling the paper's "activates after updates
+//! from these clients" trigger with the information actually available.
+
+use crate::collapois::{CollaPois, CollaPoisConfig};
+use collapois_fl::server::Adversary;
+use rand::rngs::StdRng;
+
+/// When the targeted variant sends malicious updates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActivationPolicy {
+    /// Attack every `period`-th round (duty-cycled poisoning).
+    EveryNth {
+        /// Attack period in rounds (1 = plain CollaPois).
+        period: usize,
+    },
+    /// Stay dormant until `start`, then attack every round ("semi-ready"
+    /// model released at a chosen moment).
+    After {
+        /// First attacking round.
+        start: usize,
+    },
+}
+
+/// CollaPois with an activation policy; benign-looking updates (zero delta —
+/// i.e. "no change requested") are sent in dormant rounds.
+#[derive(Debug, Clone)]
+pub struct TargetedCollaPois {
+    inner: CollaPois,
+    policy: ActivationPolicy,
+    attacked_rounds: Vec<usize>,
+}
+
+impl TargetedCollaPois {
+    /// Creates the targeted variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid CollaPois configuration, empty compromised set,
+    /// or `EveryNth { period: 0 }`.
+    pub fn new(
+        compromised: Vec<usize>,
+        trojan: Vec<f32>,
+        cfg: CollaPoisConfig,
+        policy: ActivationPolicy,
+    ) -> Self {
+        if let ActivationPolicy::EveryNth { period } = policy {
+            assert!(period > 0, "period must be positive");
+        }
+        Self { inner: CollaPois::new(compromised, trojan, cfg), policy, attacked_rounds: Vec::new() }
+    }
+
+    /// Whether the policy activates in `round`.
+    pub fn is_active(&self, round: usize) -> bool {
+        match self.policy {
+            ActivationPolicy::EveryNth { period } => round.is_multiple_of(period),
+            ActivationPolicy::After { start } => round >= start,
+        }
+    }
+
+    /// Rounds in which malicious updates were actually sent.
+    pub fn attacked_rounds(&self) -> &[usize] {
+        &self.attacked_rounds
+    }
+
+    /// The underlying CollaPois adversary.
+    pub fn inner(&self) -> &CollaPois {
+        &self.inner
+    }
+}
+
+impl Adversary for TargetedCollaPois {
+    fn compromised(&self) -> &[usize] {
+        self.inner.compromised()
+    }
+
+    fn craft_update(
+        &mut self,
+        client_id: usize,
+        global: &[f32],
+        round: usize,
+        rng: &mut StdRng,
+    ) -> Vec<f32> {
+        if self.is_active(round) {
+            if self.attacked_rounds.last() != Some(&round) {
+                self.attacked_rounds.push(round);
+            }
+            self.inner.craft_update(client_id, global, round, rng)
+        } else {
+            // Dormant: indistinguishable from a client whose local training
+            // converged (zero update).
+            vec![0.0; global.len()]
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "collapois-targeted"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn adv(policy: ActivationPolicy) -> TargetedCollaPois {
+        TargetedCollaPois::new(vec![0], vec![1.0; 8], CollaPoisConfig::paper(), policy)
+    }
+
+    #[test]
+    fn every_nth_duty_cycle() {
+        let mut a = adv(ActivationPolicy::EveryNth { period: 3 });
+        let mut rng = StdRng::seed_from_u64(0);
+        let global = vec![0.0f32; 8];
+        for round in 0..9 {
+            let d = a.craft_update(0, &global, round, &mut rng);
+            let active = d.iter().any(|&v| v != 0.0);
+            assert_eq!(active, round % 3 == 0, "round {round}");
+        }
+        assert_eq!(a.attacked_rounds(), &[0, 3, 6]);
+    }
+
+    #[test]
+    fn after_policy_stays_dormant_then_fires() {
+        let mut a = adv(ActivationPolicy::After { start: 5 });
+        let mut rng = StdRng::seed_from_u64(1);
+        let global = vec![0.0f32; 8];
+        assert!(a.craft_update(0, &global, 4, &mut rng).iter().all(|&v| v == 0.0));
+        assert!(a.craft_update(0, &global, 5, &mut rng).iter().any(|&v| v != 0.0));
+        assert!(!a.is_active(0));
+        assert!(a.is_active(99));
+    }
+
+    #[test]
+    fn period_one_equals_plain_collapois() {
+        let mut targeted = adv(ActivationPolicy::EveryNth { period: 1 });
+        let mut plain = CollaPois::new(vec![0], vec![1.0; 8], CollaPoisConfig::paper());
+        let global = vec![0.0f32; 8];
+        let mut r1 = StdRng::seed_from_u64(7);
+        let mut r2 = StdRng::seed_from_u64(7);
+        let d1 = targeted.craft_update(0, &global, 2, &mut r1);
+        let d2 = plain.craft_update(0, &global, 2, &mut r2);
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn rejects_zero_period() {
+        let _ = adv(ActivationPolicy::EveryNth { period: 0 });
+    }
+}

@@ -1,0 +1,19 @@
+//! The paper's theoretical results.
+//!
+//! * [`theorem1`] — lower bound on the number of compromised clients `|C|`
+//!   as a function of the benign-angle statistics `(μ_α, σ)` and the ψ range
+//!   `[a, b]` (Eq. 5), plus the attacker-side estimation procedure and its
+//!   Hoeffding-bounded approximation error (Fig. 4).
+//! * [`theorem2`] — the convergence bound `‖θ^t − X‖₂ ≤ (1/a − 1)·‖Δθ_c^{t'}‖₂ + ‖ζ‖₂`
+//!   (Eq. 6) and a checker that validates it against measured trajectories.
+//! * [`theorem3`] — the server's X-estimation error bounds (Eq. 7): the
+//!   closed-form lower bound and a sampled estimate of the subset-max upper
+//!   bound.
+
+pub mod theorem1;
+pub mod theorem2;
+pub mod theorem3;
+
+pub use theorem1::{estimate_angle_stats, theorem1_bound, AngleStats};
+pub use theorem2::theorem2_bound;
+pub use theorem3::{estimation_error, lower_bound as theorem3_lower_bound, upper_bound_sampled};

@@ -1,0 +1,103 @@
+//! Theorem 2: the global model converges into a bounded region around X.
+//!
+//! For a compromised client `c` participating at round `t'` with delta
+//! `Δθ_c^{t'} = ψ_c^{t'}(X − θ^{t'})`:
+//!
+//! `‖θ^t − X‖₂ ≤ (1/a − 1)·‖Δθ_c^{t'}‖₂ + ‖ζ‖₂`   (Eq. 6)
+//!
+//! As training converges, `‖Δθ_c^{t'}‖₂` shrinks and the global model is
+//! pinned inside a small low-loss region around the Trojaned model — the
+//! longevity property of Fig. 13.
+
+use collapois_stats::geometry::{l2_distance, l2_norm};
+
+/// Eq. 6's right-hand side: the bound on `‖θ^t − X‖₂`.
+///
+/// # Panics
+///
+/// Panics unless `0 < a ≤ 1` and `zeta_norm ≥ 0`.
+pub fn theorem2_bound(malicious_delta_norm: f64, a: f64, zeta_norm: f64) -> f64 {
+    assert!(0.0 < a && a <= 1.0, "a must be in (0, 1]");
+    assert!(zeta_norm >= 0.0, "zeta norm must be non-negative");
+    (1.0 / a - 1.0) * malicious_delta_norm + zeta_norm
+}
+
+/// One point of a measured trajectory check: the actual distance, the bound
+/// and whether the bound holds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundCheck {
+    /// Measured `‖θ^t − X‖₂`.
+    pub distance: f64,
+    /// Theorem 2 bound computed from the last malicious delta.
+    pub bound: f64,
+    /// Whether `distance ≤ bound` (within a numerical slack).
+    pub holds: bool,
+}
+
+/// Checks Theorem 2 against a measured state: `theta` (current global), `x`
+/// (Trojaned model), the most recent malicious delta from a compromised
+/// client, the rate floor `a`, and the residual `zeta` (the benign drift
+/// accumulated since that client last participated).
+///
+/// # Panics
+///
+/// Panics on dimension mismatch or invalid `a`.
+pub fn check_bound(
+    theta: &[f32],
+    x: &[f32],
+    last_malicious_delta: &[f32],
+    a: f64,
+    zeta: &[f32],
+) -> BoundCheck {
+    let distance = l2_distance(theta, x);
+    let bound = theorem2_bound(l2_norm(last_malicious_delta), a, l2_norm(zeta));
+    BoundCheck { distance, bound, holds: distance <= bound * (1.0 + 1e-9) + 1e-9 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_shrinks_with_larger_a() {
+        let b_small_a = theorem2_bound(1.0, 0.5, 0.0);
+        let b_large_a = theorem2_bound(1.0, 0.9, 0.0);
+        assert!(b_large_a < b_small_a);
+        // a = 1 (ψ deterministic 1): distance bounded purely by ζ.
+        assert_eq!(theorem2_bound(5.0, 1.0, 0.25), 0.25);
+    }
+
+    #[test]
+    fn bound_holds_for_exact_dynamics() {
+        // One-shot dynamics: θ^{t} = θ^{t'} + Δ, Δ = ψ(X − θ^{t'}), ζ = 0.
+        // Then ‖θ − X‖ = (1 − ψ)‖X − θ^{t'}‖ = (1/ψ − 1)‖Δ‖ ≤ (1/a − 1)‖Δ‖.
+        let theta_prev = vec![0.0f32; 4];
+        let x = vec![1.0f32; 4];
+        let psi = 0.93f32;
+        let a = 0.9;
+        let delta: Vec<f32> = x.iter().zip(&theta_prev).map(|(xv, tv)| psi * (xv - tv)).collect();
+        let theta: Vec<f32> = theta_prev.iter().zip(&delta).map(|(t, d)| t + d).collect();
+        let check = check_bound(&theta, &x, &delta, a, &[0.0; 4]);
+        assert!(check.holds, "distance {} bound {}", check.distance, check.bound);
+        // The bound is tight when ψ = a.
+        let delta_a: Vec<f32> =
+            x.iter().zip(&theta_prev).map(|(xv, tv)| (a as f32) * (xv - tv)).collect();
+        let theta_a: Vec<f32> = theta_prev.iter().zip(&delta_a).map(|(t, d)| t + d).collect();
+        let check = check_bound(&theta_a, &x, &delta_a, a, &[0.0; 4]);
+        assert!((check.distance - check.bound).abs() < 1e-6);
+    }
+
+    #[test]
+    fn violated_bound_is_reported() {
+        let theta = vec![10.0f32; 4];
+        let x = vec![0.0f32; 4];
+        let check = check_bound(&theta, &x, &[0.01; 4], 0.9, &[0.0; 4]);
+        assert!(!check.holds);
+    }
+
+    #[test]
+    #[should_panic(expected = "a must be in")]
+    fn rejects_bad_a() {
+        let _ = theorem2_bound(1.0, 0.0, 0.0);
+    }
+}

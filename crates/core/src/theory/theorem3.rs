@@ -1,0 +1,153 @@
+//! Theorem 3: the server cannot accurately estimate the Trojaned model X.
+//!
+//! If the server flags compromised clients with precision `p` and averages
+//! the flagged clients' models into an estimate `X'`, the l2 estimation
+//! error `‖X' − X‖₂` is bounded by (Eq. 7):
+//!
+//! `‖Σ_{c∈Ĉ} Δθ_c / (p·|C|·b)‖₂  ≤  Error  ≤  max_{L⊆N, |L|=|C|} ‖Σ_{i∈L} θ_i/|L| − X‖₂`
+//!
+//! The exact upper bound is a combinatorial max; [`upper_bound_sampled`]
+//! estimates it by random-subset sampling (documented substitution,
+//! DESIGN.md §1). Fig. 7 plots the measured error with `p = 1` stabilizing
+//! at the τ-controlled lower bound.
+
+use collapois_stats::geometry::{l2_distance, l2_norm};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// The server's measured estimation error: `‖mean(flagged models) − X‖₂`.
+///
+/// # Panics
+///
+/// Panics if `flagged_models` is empty or dimensions mismatch.
+pub fn estimation_error(flagged_models: &[&[f32]], x: &[f32]) -> f64 {
+    assert!(!flagged_models.is_empty(), "need at least one flagged model");
+    let dim = x.len();
+    let mut mean = vec![0.0f64; dim];
+    for m in flagged_models {
+        assert_eq!(m.len(), dim, "model dimension mismatch");
+        for (acc, &v) in mean.iter_mut().zip(m.iter()) {
+            *acc += v as f64;
+        }
+    }
+    let n = flagged_models.len() as f64;
+    let mean_f32: Vec<f32> = mean.into_iter().map(|v| (v / n) as f32).collect();
+    l2_distance(&mean_f32, x)
+}
+
+/// Eq. 7's closed-form lower bound: `‖Σ_{c∈Ĉ} Δθ_c‖₂ / (p·|C|·b)`.
+///
+/// # Panics
+///
+/// Panics unless `0 < p ≤ 1`, `0 < b ≤ 1`, `c_total > 0`, and the deltas are
+/// non-empty with equal dimensions.
+pub fn lower_bound(malicious_deltas: &[&[f32]], p: f64, c_total: usize, b: f64) -> f64 {
+    assert!(0.0 < p && p <= 1.0, "precision must be in (0, 1]");
+    assert!(0.0 < b && b <= 1.0, "psi upper bound must be in (0, 1]");
+    assert!(c_total > 0, "need at least one compromised client");
+    assert!(!malicious_deltas.is_empty(), "need at least one malicious delta");
+    let dim = malicious_deltas[0].len();
+    let mut sum = vec![0.0f64; dim];
+    for d in malicious_deltas {
+        assert_eq!(d.len(), dim, "delta dimension mismatch");
+        for (acc, &v) in sum.iter_mut().zip(d.iter()) {
+            *acc += v as f64;
+        }
+    }
+    let sum_f32: Vec<f32> = sum.into_iter().map(|v| v as f32).collect();
+    l2_norm(&sum_f32) / (p * c_total as f64 * b)
+}
+
+/// Sampled estimate of Eq. 7's upper bound: the max over `trials` random
+/// subsets `L ⊆ N` with `|L| = c_total` of `‖mean_{i∈L} θ_i − X‖₂`.
+///
+/// # Panics
+///
+/// Panics if `client_models` has fewer than `c_total` entries or
+/// `c_total == 0`.
+pub fn upper_bound_sampled<R: Rng + ?Sized>(
+    rng: &mut R,
+    client_models: &[&[f32]],
+    x: &[f32],
+    c_total: usize,
+    trials: usize,
+) -> f64 {
+    assert!(c_total > 0, "subset size must be positive");
+    assert!(
+        client_models.len() >= c_total,
+        "need at least {c_total} client models, got {}",
+        client_models.len()
+    );
+    let mut indices: Vec<usize> = (0..client_models.len()).collect();
+    let mut best: f64 = 0.0;
+    for _ in 0..trials.max(1) {
+        indices.shuffle(rng);
+        let subset: Vec<&[f32]> = indices[..c_total].iter().map(|&i| client_models[i]).collect();
+        best = best.max(estimation_error(&subset, x));
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn perfect_flagging_of_identical_models_measures_distance() {
+        let x = vec![1.0f32, 1.0];
+        let model = vec![0.0f32, 0.0];
+        let err = estimation_error(&[&model, &model], &x);
+        assert!((err - 2.0f64.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lower_bound_scales_with_parameters() {
+        let d1 = vec![1.0f32, 0.0];
+        let d2 = vec![1.0f32, 0.0];
+        let deltas: Vec<&[f32]> = vec![&d1, &d2];
+        // ‖Σ‖ = 2; p=1, |C|=2, b=1 → 1.0
+        let lb = lower_bound(&deltas, 1.0, 2, 1.0);
+        assert!((lb - 1.0).abs() < 1e-9);
+        // Lower precision p increases the bound.
+        assert!(lower_bound(&deltas, 0.5, 2, 1.0) > lb);
+        // Smaller b increases the bound (paper observation 2).
+        assert!(lower_bound(&deltas, 1.0, 2, 0.9) > lb);
+    }
+
+    #[test]
+    fn sandwich_holds_in_a_synthetic_setting() {
+        // Models scattered around X; flagged set = the two closest.
+        let x = vec![0.0f32; 4];
+        let m1 = vec![0.1f32; 4];
+        let m2 = vec![-0.1f32; 4];
+        let m3 = vec![5.0f32; 4];
+        let m4 = vec![-5.0f32; 4];
+        let all: Vec<&[f32]> = vec![&m1, &m2, &m3, &m4];
+        let err = estimation_error(&[&m1, &m2], &x);
+        let mut rng = StdRng::seed_from_u64(0);
+        let ub = upper_bound_sampled(&mut rng, &all, &x, 2, 200);
+        assert!(err <= ub + 1e-9, "err={err} ub={ub}");
+    }
+
+    #[test]
+    fn upper_bound_grows_with_trials() {
+        let x = vec![0.0f32; 2];
+        let models: Vec<Vec<f32>> =
+            (0..10).map(|i| vec![i as f32, -(i as f32)]).collect();
+        let refs: Vec<&[f32]> = models.iter().map(|m| m.as_slice()).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let few = upper_bound_sampled(&mut rng, &refs, &x, 3, 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let many = upper_bound_sampled(&mut rng, &refs, &x, 3, 500);
+        assert!(many >= few);
+    }
+
+    #[test]
+    #[should_panic(expected = "precision must be")]
+    fn rejects_bad_precision() {
+        let d = vec![1.0f32];
+        let _ = lower_bound(&[&d], 0.0, 1, 1.0);
+    }
+}

@@ -1,0 +1,206 @@
+//! Federated dataset: per-client train/test/validation splits.
+//!
+//! The paper divides each client's samples into 70 % training, 15 % testing
+//! and 15 % validation; the combined validation sets of the compromised
+//! clients form the attacker's auxiliary data `D_a` used to train the
+//! Trojaned model X.
+
+use crate::partition::dirichlet_partition;
+use crate::sample::Dataset;
+use rand::Rng;
+
+/// One client's local data splits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientData {
+    /// Local training split (70 %).
+    pub train: Dataset,
+    /// Local testing split (15 %) — Benign AC / Attack SR are measured here.
+    pub test: Dataset,
+    /// Local validation split (15 %) — pooled into `D_a` on compromised
+    /// clients.
+    pub val: Dataset,
+}
+
+impl ClientData {
+    /// Total number of local samples across all splits.
+    pub fn len(&self) -> usize {
+        self.train.len() + self.test.len() + self.val.len()
+    }
+
+    /// Whether the client holds no data.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All local samples re-combined (used for label-distribution metrics).
+    pub fn all(&self) -> Dataset {
+        let mut out = self.train.clone();
+        out.extend_from(&self.test);
+        out.extend_from(&self.val);
+        out
+    }
+}
+
+/// A dataset partitioned across clients with per-client splits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FederatedDataset {
+    clients: Vec<ClientData>,
+    sample_shape: Vec<usize>,
+    num_classes: usize,
+    alpha: f64,
+}
+
+impl FederatedDataset {
+    /// Partitions `dataset` across `n_clients` with Dirichlet(α) label skew
+    /// and splits each client 70/15/15.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the panics of [`dirichlet_partition`].
+    pub fn build<R: Rng + ?Sized>(
+        rng: &mut R,
+        dataset: &Dataset,
+        n_clients: usize,
+        alpha: f64,
+    ) -> Self {
+        Self::build_with_split(rng, dataset, n_clients, alpha, 0.7, 0.15)
+    }
+
+    /// Same as [`FederatedDataset::build`] with custom train/test fractions
+    /// (validation receives the remainder).
+    ///
+    /// # Panics
+    ///
+    /// Propagates the panics of [`dirichlet_partition`] and
+    /// [`Dataset::split`].
+    pub fn build_with_split<R: Rng + ?Sized>(
+        rng: &mut R,
+        dataset: &Dataset,
+        n_clients: usize,
+        alpha: f64,
+        train_frac: f64,
+        test_frac: f64,
+    ) -> Self {
+        let parts = dirichlet_partition(rng, dataset, n_clients, alpha);
+        let clients = parts
+            .iter()
+            .map(|indices| {
+                let local = dataset.subset(indices);
+                let (train, test, val) = local.split(rng, train_frac, test_frac);
+                ClientData { train, test, val }
+            })
+            .collect();
+        Self {
+            clients,
+            sample_shape: dataset.sample_shape().to_vec(),
+            num_classes: dataset.num_classes(),
+            alpha,
+        }
+    }
+
+    /// Number of clients.
+    pub fn num_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// The Dirichlet concentration this dataset was partitioned with.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Shape of one sample.
+    pub fn sample_shape(&self) -> &[usize] {
+        &self.sample_shape
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Data of client `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    pub fn client(&self, id: usize) -> &ClientData {
+        &self.clients[id]
+    }
+
+    /// Iterator over all clients' data.
+    pub fn clients(&self) -> impl Iterator<Item = &ClientData> {
+        self.clients.iter()
+    }
+
+    /// The attacker's auxiliary dataset `D_a = ∪_{c∈C} val_c` — the pooled
+    /// validation splits of the given (compromised) client ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is out of bounds.
+    pub fn auxiliary(&self, compromised: &[usize]) -> Dataset {
+        let mut out = Dataset::empty(&self.sample_shape, self.num_classes);
+        for &c in compromised {
+            out.extend_from(&self.clients[c].val);
+            // Compromised clients contribute everything they hold; the paper
+            // pools their validation sets for X but the attacker also trains
+            // DPois on their full local data. We keep D_a = validation only,
+            // matching the paper's configuration.
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{SyntheticImage, SyntheticImageConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fed(alpha: f64, clients: usize) -> FederatedDataset {
+        let cfg = SyntheticImageConfig { samples: 600, side: 8, classes: 5, ..Default::default() };
+        let ds = SyntheticImage::new(cfg).generate();
+        let mut rng = StdRng::seed_from_u64(9);
+        FederatedDataset::build(&mut rng, &ds, clients, alpha)
+    }
+
+    #[test]
+    fn splits_cover_all_samples() {
+        let f = fed(1.0, 10);
+        let total: usize = (0..10).map(|i| f.client(i).len()).sum();
+        assert_eq!(total, 600);
+        assert_eq!(f.num_clients(), 10);
+        assert_eq!(f.num_classes(), 5);
+    }
+
+    #[test]
+    fn split_ratios_roughly_hold() {
+        let f = fed(10.0, 5);
+        for i in 0..5 {
+            let c = f.client(i);
+            let n = c.len() as f64;
+            assert!(
+                (c.train.len() as f64 / n - 0.7).abs() < 0.1,
+                "client {i}: train frac {}",
+                c.train.len() as f64 / n
+            );
+        }
+    }
+
+    #[test]
+    fn auxiliary_pools_validation_sets() {
+        let f = fed(1.0, 10);
+        let aux = f.auxiliary(&[0, 3]);
+        assert_eq!(aux.len(), f.client(0).val.len() + f.client(3).val.len());
+        let empty = f.auxiliary(&[]);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn all_recombines_splits() {
+        let f = fed(1.0, 4);
+        let c = f.client(2);
+        assert_eq!(c.all().len(), c.len());
+    }
+}

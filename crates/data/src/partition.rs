@@ -1,0 +1,164 @@
+//! Symmetric-Dirichlet label-skew partitioning (§II-A of the paper).
+//!
+//! Each client draws a label mix `p_i ~ Dir(α)`; every sample of class `j`
+//! is then assigned to a client with probability proportional to the
+//! clients' weights for class `j`. Small `α` concentrates each client on a
+//! few labels (highly non-IID); large `α` approaches a uniform IID split.
+
+use crate::sample::Dataset;
+use collapois_stats::distribution::Dirichlet;
+use rand::Rng;
+
+/// Partitions `dataset` across `n_clients` by Dirichlet(α) label skew.
+/// Returns one index list per client; every sample index appears exactly
+/// once. Clients left empty by the draw are topped up with one sample stolen
+/// from the largest client so that every client can participate.
+///
+/// # Panics
+///
+/// Panics if `n_clients == 0`, `alpha <= 0`, or the dataset has fewer
+/// samples than clients.
+pub fn dirichlet_partition<R: Rng + ?Sized>(
+    rng: &mut R,
+    dataset: &Dataset,
+    n_clients: usize,
+    alpha: f64,
+) -> Vec<Vec<usize>> {
+    assert!(n_clients > 0, "need at least one client");
+    assert!(alpha > 0.0, "alpha must be positive");
+    assert!(
+        dataset.len() >= n_clients,
+        "cannot partition {} samples across {} clients",
+        dataset.len(),
+        n_clients
+    );
+    let classes = dataset.num_classes();
+    let dir = Dirichlet::symmetric(alpha, classes.max(2)).expect("validated parameters");
+    // Each client's label mix; for the degenerate 1-class case use uniform.
+    let mixes: Vec<Vec<f64>> = (0..n_clients)
+        .map(|_| {
+            let mut m = dir.sample(rng);
+            m.truncate(classes);
+            m
+        })
+        .collect();
+
+    // Group sample indices by class.
+    let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); classes];
+    for i in 0..dataset.len() {
+        by_class[dataset.label_of(i)].push(i);
+    }
+
+    let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); n_clients];
+    for (class, indices) in by_class.into_iter().enumerate() {
+        if indices.is_empty() {
+            continue;
+        }
+        // Client weights for this class, normalized into a CDF.
+        let weights: Vec<f64> = mixes.iter().map(|m| m[class].max(1e-12)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut cdf = Vec::with_capacity(n_clients);
+        let mut acc = 0.0;
+        for w in &weights {
+            acc += w / total;
+            cdf.push(acc);
+        }
+        for idx in indices {
+            let u: f64 = rng.gen_range(0.0..1.0);
+            let client = cdf.partition_point(|&c| c < u).min(n_clients - 1);
+            assignment[client].push(idx);
+        }
+    }
+
+    // Ensure no client is left empty (steal from the largest).
+    while let Some(empty) = assignment.iter().position(Vec::is_empty) {
+        let largest = assignment
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, v)| v.len())
+            .map(|(i, _)| i)
+            .expect("non-empty assignment list");
+        let moved = assignment[largest].pop().expect("largest client must be non-empty");
+        assignment[empty].push(moved);
+    }
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{SyntheticText, SyntheticTextConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy(classes: usize, n: usize) -> Dataset {
+        let mut ds = Dataset::empty(&[1], classes);
+        for i in 0..n {
+            ds.push(&[i as f32], i % classes);
+        }
+        ds
+    }
+
+    #[test]
+    fn partition_is_exact_cover() {
+        let ds = toy(10, 500);
+        let mut rng = StdRng::seed_from_u64(0);
+        let parts = dirichlet_partition(&mut rng, &ds, 20, 0.5);
+        assert_eq!(parts.len(), 20);
+        let mut all: Vec<usize> = parts.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..500).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn no_client_is_empty() {
+        let ds = toy(10, 100);
+        let mut rng = StdRng::seed_from_u64(1);
+        for alpha in [0.01, 1.0, 100.0] {
+            let parts = dirichlet_partition(&mut rng, &ds, 50, alpha);
+            assert!(parts.iter().all(|p| !p.is_empty()), "alpha={alpha}");
+        }
+    }
+
+    #[test]
+    fn small_alpha_concentrates_labels() {
+        let ds = toy(10, 5000);
+        let mut rng = StdRng::seed_from_u64(2);
+        let skew = |alpha: f64, rng: &mut StdRng| {
+            let parts = dirichlet_partition(rng, &ds, 20, alpha);
+            // Mean fraction of a client's samples in its dominant class.
+            let mut acc = 0.0;
+            for p in &parts {
+                let mut counts = [0usize; 10];
+                for &i in p {
+                    counts[ds.label_of(i)] += 1;
+                }
+                acc += *counts.iter().max().unwrap() as f64 / p.len() as f64;
+            }
+            acc / 20.0
+        };
+        let sparse = skew(0.05, &mut rng);
+        let dense = skew(100.0, &mut rng);
+        assert!(
+            sparse > 0.5 && dense < 0.25,
+            "sparse={sparse:.3} dense={dense:.3}"
+        );
+    }
+
+    #[test]
+    fn works_on_binary_text_dataset() {
+        let ds = SyntheticText::new(SyntheticTextConfig { samples: 300, ..Default::default() })
+            .generate();
+        let mut rng = StdRng::seed_from_u64(3);
+        let parts = dirichlet_partition(&mut rng, &ds, 30, 0.1);
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), 300);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot partition")]
+    fn rejects_more_clients_than_samples() {
+        let ds = toy(2, 5);
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = dirichlet_partition(&mut rng, &ds, 10, 1.0);
+    }
+}

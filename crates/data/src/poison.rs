@@ -1,0 +1,132 @@
+//! Dataset poisoning: trigger stamping plus target-class relabelling.
+//!
+//! Algorithm 1 line 3: the attacker embeds the Trojan into samples of the
+//! auxiliary data and flips their labels to the target class, producing
+//! `D_a^Troj`; the Trojaned model X is then trained on `D_a ∪ D_a^Troj`
+//! (Eq. 1). The paper designates class 0 as the target.
+
+use crate::sample::Dataset;
+use crate::trigger::Trigger;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// The target class the paper uses (`y^Troj = 0`).
+pub const DEFAULT_TARGET_CLASS: usize = 0;
+
+/// Returns a poisoned copy of every sample: trigger stamped, label set to
+/// `target_class`.
+///
+/// # Panics
+///
+/// Panics if `target_class` is out of range for the dataset.
+pub fn poison_all(ds: &Dataset, trigger: &dyn Trigger, target_class: usize) -> Dataset {
+    assert!(target_class < ds.num_classes(), "target class out of range");
+    let mut out = ds.clone();
+    for i in 0..out.len() {
+        trigger.apply(out.features_of_mut(i));
+        out.set_label(i, target_class);
+    }
+    out
+}
+
+/// Returns `(clean ∪ poisoned)` where a random `fraction` of samples are
+/// duplicated in poisoned form — the `D ∪ D^Troj` training set of Eq. 1 and
+/// of the DPois baseline.
+///
+/// # Panics
+///
+/// Panics if `fraction` is outside `[0, 1]` or `target_class` out of range.
+pub fn with_poisoned_fraction<R: Rng + ?Sized>(
+    rng: &mut R,
+    ds: &Dataset,
+    trigger: &dyn Trigger,
+    target_class: usize,
+    fraction: f64,
+) -> Dataset {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+    assert!(target_class < ds.num_classes(), "target class out of range");
+    let mut out = ds.clone();
+    let n_poison = (ds.len() as f64 * fraction).round() as usize;
+    let mut idx: Vec<usize> = (0..ds.len()).collect();
+    idx.shuffle(rng);
+    for &i in idx.iter().take(n_poison) {
+        let mut features = ds.features_of(i).to_vec();
+        trigger.apply(&mut features);
+        out.push(&features, target_class);
+    }
+    out
+}
+
+/// Stamps the trigger onto every sample of a copy of `ds` **without**
+/// relabelling — the inference-time transformation used to measure Attack
+/// SR (`x + T` in the paper's metric), keeping the true labels for
+/// book-keeping.
+pub fn stamp_only(ds: &Dataset, trigger: &dyn Trigger) -> Dataset {
+    let mut out = ds.clone();
+    for i in 0..out.len() {
+        trigger.apply(out.features_of_mut(i));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trigger::PatchTrigger;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy() -> Dataset {
+        let mut ds = Dataset::empty(&[1, 4, 4], 3);
+        for i in 0..12 {
+            ds.push(&[0.5; 16], i % 3);
+        }
+        ds
+    }
+
+    #[test]
+    fn poison_all_relabels_and_stamps() {
+        let ds = toy();
+        let trigger = PatchTrigger::badnets(4);
+        let p = poison_all(&ds, &trigger, 0);
+        assert_eq!(p.len(), ds.len());
+        for i in 0..p.len() {
+            assert_eq!(p.label_of(i), 0);
+            assert!(p.features_of(i).contains(&1.0), "trigger missing");
+        }
+        // Original untouched.
+        assert!(ds.features_of(0).iter().all(|&v| v == 0.5));
+    }
+
+    #[test]
+    fn fraction_appends_poisoned_duplicates() {
+        let ds = toy();
+        let trigger = PatchTrigger::badnets(4);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mixed = with_poisoned_fraction(&mut rng, &ds, &trigger, 0, 0.5);
+        assert_eq!(mixed.len(), 18); // 12 clean + 6 poisoned
+        let poisoned = (0..mixed.len())
+            .filter(|&i| mixed.features_of(i).contains(&1.0))
+            .count();
+        assert_eq!(poisoned, 6);
+    }
+
+    #[test]
+    fn stamp_only_keeps_labels() {
+        let ds = toy();
+        let trigger = PatchTrigger::badnets(4);
+        let stamped = stamp_only(&ds, &trigger);
+        for i in 0..ds.len() {
+            assert_eq!(stamped.label_of(i), ds.label_of(i));
+            assert!(stamped.features_of(i).contains(&1.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_target() {
+        let ds = toy();
+        let trigger = PatchTrigger::badnets(4);
+        let _ = poison_all(&ds, &trigger, 5);
+    }
+}

@@ -1,0 +1,13 @@
+//! Synthetic dataset generators standing in for the paper's corpora.
+//!
+//! See `DESIGN.md` §1 for the substitution rationale: the mechanisms the
+//! paper studies (non-IID gradient scatter, trigger learnability,
+//! label-mix/auxiliary-data proximity) depend only on having a learnable
+//! class structure, which both generators provide deterministically from a
+//! seed.
+
+mod image;
+mod text;
+
+pub use image::{SyntheticImage, SyntheticImageConfig};
+pub use text::{SyntheticText, SyntheticTextConfig};

@@ -1,0 +1,112 @@
+//! BadNets-style pixel-patch trigger [Gu et al. 2017].
+
+use super::Trigger;
+
+/// Corner of the image where a patch is stamped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Corner {
+    /// Top-left corner.
+    TopLeft,
+    /// Top-right corner.
+    TopRight,
+    /// Bottom-left corner.
+    BottomLeft,
+    /// Bottom-right corner.
+    BottomRight,
+}
+
+/// A solid square patch stamped into one corner of a single-channel image.
+#[derive(Debug, Clone)]
+pub struct PatchTrigger {
+    side: usize,
+    patch: usize,
+    value: f32,
+    corner: Corner,
+}
+
+impl PatchTrigger {
+    /// Creates a patch trigger.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patch == 0` or `patch > side`.
+    pub fn new(side: usize, patch: usize, value: f32, corner: Corner) -> Self {
+        assert!(patch > 0 && patch <= side, "patch must fit in the image");
+        Self { side, patch, value, corner }
+    }
+
+    /// The classic 3×3 white square in the bottom-right corner.
+    pub fn badnets(side: usize) -> Self {
+        Self::new(side, 3.min(side), 1.0, Corner::BottomRight)
+    }
+
+    fn origin(&self) -> (usize, usize) {
+        let s = self.side;
+        let p = self.patch;
+        match self.corner {
+            Corner::TopLeft => (0, 0),
+            Corner::TopRight => (0, s - p),
+            Corner::BottomLeft => (s - p, 0),
+            Corner::BottomRight => (s - p, s - p),
+        }
+    }
+}
+
+impl Trigger for PatchTrigger {
+    fn apply(&self, features: &mut [f32]) {
+        let s = self.side;
+        assert_eq!(features.len(), s * s, "patch expects a {s}x{s} single-channel image");
+        let (oy, ox) = self.origin();
+        for y in oy..oy + self.patch {
+            for x in ox..ox + self.patch {
+                features[y * s + x] = self.value;
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "patch"
+    }
+
+    fn clone_box(&self) -> Box<dyn Trigger> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamps_bottom_right() {
+        let t = PatchTrigger::badnets(8);
+        let mut img = vec![0.0f32; 64];
+        t.apply(&mut img);
+        assert_eq!(img[63], 1.0); // bottom-right pixel
+        assert_eq!(img[0], 0.0); // top-left untouched
+        assert_eq!(img.iter().filter(|&&v| v == 1.0).count(), 9);
+    }
+
+    #[test]
+    fn corners_do_not_overlap_for_small_patches() {
+        let mut imgs: Vec<Vec<f32>> = Vec::new();
+        for corner in [Corner::TopLeft, Corner::TopRight, Corner::BottomLeft, Corner::BottomRight]
+        {
+            let t = PatchTrigger::new(10, 2, 1.0, corner);
+            let mut img = vec![0.0f32; 100];
+            t.apply(&mut img);
+            imgs.push(img);
+        }
+        // No pixel is set by two different corner patches.
+        for i in 0..100 {
+            let set = imgs.iter().filter(|img| img[i] == 1.0).count();
+            assert!(set <= 1, "pixel {i} set by {set} corners");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must fit")]
+    fn rejects_oversized_patch() {
+        let _ = PatchTrigger::new(4, 5, 1.0, Corner::TopLeft);
+    }
+}

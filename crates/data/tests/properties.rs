@@ -1,0 +1,132 @@
+//! Property-based tests for the data substrate.
+
+use collapois_data::federated::FederatedDataset;
+use collapois_data::labels::{cumulative_label_distribution, label_histogram};
+use collapois_data::poison::{poison_all, stamp_only, with_poisoned_fraction};
+use collapois_data::sample::Dataset;
+use collapois_data::synthetic::{SyntheticImage, SyntheticImageConfig};
+use collapois_data::trigger::{DbaTrigger, PatchTrigger, Trigger, WaNetTrigger};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn labelled(labels: &[usize], classes: usize) -> Dataset {
+    let mut ds = Dataset::empty(&[1], classes);
+    for &y in labels {
+        ds.push(&[y as f32], y);
+    }
+    ds
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Train/test/val splits partition the dataset for arbitrary fractions.
+    #[test]
+    fn split_partitions(
+        seed in 0u64..1000,
+        n in 3usize..60,
+        train in 0.1f64..0.8,
+        test in 0.05f64..0.2,
+    ) {
+        let labels: Vec<usize> = (0..n).map(|i| i % 3).collect();
+        let ds = labelled(&labels, 3);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (tr, te, va) = ds.split(&mut rng, train, test);
+        prop_assert_eq!(tr.len() + te.len() + va.len(), n);
+    }
+
+    /// Poisoning a fraction appends exactly round(n·f) samples, all
+    /// relabelled to the target class.
+    #[test]
+    fn poison_fraction_counts(
+        seed in 0u64..1000,
+        n in 4usize..40,
+        frac in 0.0f64..1.0,
+    ) {
+        let labels: Vec<usize> = (0..n).map(|i| i % 4).collect();
+        let mut ds = Dataset::empty(&[1, 4, 4], 4);
+        for &y in &labels {
+            ds.push(&[0.2; 16], y);
+        }
+        let trigger = PatchTrigger::badnets(4);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mixed = with_poisoned_fraction(&mut rng, &ds, &trigger, 0, frac);
+        let expected = n + (n as f64 * frac).round() as usize;
+        prop_assert_eq!(mixed.len(), expected);
+        for i in n..mixed.len() {
+            prop_assert_eq!(mixed.label_of(i), 0);
+        }
+    }
+
+    /// stamp_only preserves labels; poison_all rewrites them all.
+    #[test]
+    fn stamping_label_contracts(seed in 0u64..1000, n in 2usize..20) {
+        let labels: Vec<usize> = (0..n).map(|i| (i * 7 + seed as usize) % 5).collect();
+        let mut ds = Dataset::empty(&[1, 6, 6], 5);
+        for &y in &labels {
+            ds.push(&[0.5; 36], y);
+        }
+        let trigger = PatchTrigger::badnets(6);
+        let stamped = stamp_only(&ds, &trigger);
+        prop_assert_eq!(stamped.labels(), ds.labels());
+        let poisoned = poison_all(&ds, &trigger, 2);
+        prop_assert!(poisoned.labels().iter().all(|&y| y == 2));
+    }
+
+    /// WaNet keeps in-range pixels in range and DBA's composed pattern has
+    /// exactly 4·patch² saturated pixels on a black image.
+    #[test]
+    fn trigger_pixel_contracts(
+        seed in 0u64..1000,
+        side in 8usize..24,
+        strength in 0.5f64..4.0,
+    ) {
+        let wanet = WaNetTrigger::new(side, 4, strength, seed);
+        let mut img: Vec<f32> =
+            (0..side * side).map(|i| ((i * 13) % 97) as f32 / 96.0).collect();
+        wanet.apply(&mut img);
+        prop_assert!(img.iter().all(|&v| (-1e-4..=1.0001).contains(&v)));
+
+        let patch = 2;
+        if 2 * patch <= side {
+            let dba = DbaTrigger::new(side, patch, 1.0);
+            let mut black = vec![0.0f32; side * side];
+            dba.apply(&mut black);
+            let lit = black.iter().filter(|&&v| v == 1.0).count();
+            prop_assert_eq!(lit, 4 * patch * patch);
+        }
+    }
+
+    /// Cumulative label distributions are monotone and end at the sample
+    /// count.
+    #[test]
+    fn cumulative_distribution_contract(labels in prop::collection::vec(0usize..6, 1..50)) {
+        let ds = labelled(&labels, 6);
+        let cl = cumulative_label_distribution(&ds);
+        prop_assert_eq!(cl.len(), 6);
+        for w in cl.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-12);
+        }
+        prop_assert!((cl[5] - labels.len() as f64).abs() < 1e-9);
+        let hist = label_histogram(&ds);
+        prop_assert_eq!(hist.iter().sum::<usize>(), labels.len());
+    }
+
+    /// Federated splits cover the source dataset for arbitrary alpha.
+    #[test]
+    fn federated_build_covers(seed in 0u64..200, alpha in 0.01f64..100.0) {
+        let ds = SyntheticImage::new(SyntheticImageConfig {
+            side: 8,
+            classes: 4,
+            samples: 120,
+            ..Default::default()
+        })
+        .generate();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let fed = FederatedDataset::build(&mut rng, &ds, 6, alpha);
+        let total: usize = (0..6).map(|i| fed.client(i).len()).sum();
+        prop_assert_eq!(total, 120);
+        prop_assert!((fed.alpha() - alpha).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,57 @@
+//! FedAvg: plain uniform averaging (Eq. 2 of the paper).
+
+use super::Aggregator;
+use crate::update::{mean_delta, ClientUpdate};
+use rand::rngs::StdRng;
+
+/// Uniform mean of the round's deltas — the paper's Eq. 2 baseline
+/// aggregation, vulnerable by construction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FedAvg;
+
+impl FedAvg {
+    /// Creates the aggregator.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Aggregator for FedAvg {
+    fn name(&self) -> &'static str {
+        "fedavg"
+    }
+
+    fn aggregate(&mut self, updates: &[ClientUpdate], dim: usize, _rng: &mut StdRng) -> Vec<f32> {
+        mean_delta(updates, dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::testutil::updates;
+    use rand::SeedableRng;
+
+    #[test]
+    fn averages_uniformly() {
+        let mut agg = FedAvg::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let us = updates(&[&[2.0, 0.0], &[0.0, 2.0]]);
+        assert_eq!(agg.aggregate(&us, 2, &mut rng), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn empty_round_is_zero() {
+        let mut agg = FedAvg::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(agg.aggregate(&[], 3, &mut rng), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn identity_on_single_update() {
+        let mut agg = FedAvg::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let us = updates(&[&[1.0, -2.0, 3.0]]);
+        assert_eq!(agg.aggregate(&us, 3, &mut rng), vec![1.0, -2.0, 3.0]);
+    }
+}

@@ -1,0 +1,149 @@
+//! Krum and Multi-Krum [Blanchard et al., NeurIPS 2017].
+//!
+//! Krum scores each update by the sum of squared distances to its
+//! `n − f − 2` nearest neighbours and selects the lowest-scoring update;
+//! Multi-Krum averages the `m` best. Under highly non-IID data the selected
+//! update is unrepresentative of most clients, which is exactly the
+//! Benign-AC collapse the paper reports (§V, "Standard defenses … lead to
+//! substantial drops in Benign AC").
+
+use super::Aggregator;
+use crate::update::{mean_delta, ClientUpdate};
+use collapois_stats::geometry::l2_distance;
+use rand::rngs::StdRng;
+
+/// Krum / Multi-Krum aggregation.
+#[derive(Debug, Clone, Copy)]
+pub struct Krum {
+    /// Assumed number of malicious clients `f`.
+    assumed_malicious: usize,
+    /// Number of selected updates `m` (1 = classic Krum).
+    select: usize,
+}
+
+impl Krum {
+    /// Classic Krum (selects a single update).
+    pub fn new(assumed_malicious: usize) -> Self {
+        Self { assumed_malicious, select: 1 }
+    }
+
+    /// Multi-Krum selecting (and averaging) the best `select` updates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `select == 0`.
+    pub fn multi(assumed_malicious: usize, select: usize) -> Self {
+        assert!(select > 0, "must select at least one update");
+        Self { assumed_malicious, select }
+    }
+
+    /// Krum scores for each update (lower = more central).
+    pub fn scores(&self, updates: &[ClientUpdate]) -> Vec<f64> {
+        let n = updates.len();
+        // Number of neighbours: n − f − 2, at least 1.
+        let k = n.saturating_sub(self.assumed_malicious + 2).max(1).min(n.saturating_sub(1));
+        let mut scores = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut dists: Vec<f64> = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| {
+                    let d = l2_distance(&updates[i].delta, &updates[j].delta);
+                    d * d
+                })
+                .collect();
+            dists.sort_by(|a, b| a.partial_cmp(b).expect("distances are finite"));
+            scores.push(dists.iter().take(k).sum());
+        }
+        scores
+    }
+}
+
+impl Aggregator for Krum {
+    fn name(&self) -> &'static str {
+        if self.select == 1 {
+            "krum"
+        } else {
+            "multi-krum"
+        }
+    }
+
+    fn aggregate(&mut self, updates: &[ClientUpdate], dim: usize, _rng: &mut StdRng) -> Vec<f32> {
+        if updates.is_empty() {
+            return vec![0.0; dim];
+        }
+        if updates.len() == 1 {
+            return updates[0].delta.clone();
+        }
+        let scores = self.scores(updates);
+        let mut order: Vec<usize> = (0..updates.len()).collect();
+        order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("finite scores"));
+        let chosen: Vec<ClientUpdate> = order
+            .into_iter()
+            .take(self.select.min(updates.len()))
+            .map(|i| updates[i].clone())
+            .collect();
+        mean_delta(&chosen, dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::testutil::updates;
+    use rand::SeedableRng;
+
+    #[test]
+    fn output_is_one_of_the_inputs() {
+        let mut agg = Krum::new(1);
+        let mut rng = StdRng::seed_from_u64(0);
+        let us = updates(&[&[0.0, 0.0], &[0.1, 0.1], &[0.05, 0.0], &[9.0, 9.0]]);
+        let out = agg.aggregate(&us, 2, &mut rng);
+        assert!(us.iter().any(|u| u.delta == out), "krum must select an input");
+    }
+
+    #[test]
+    fn rejects_obvious_outlier() {
+        let mut agg = Krum::new(1);
+        let mut rng = StdRng::seed_from_u64(0);
+        // Three clustered benign updates, one far-away malicious one.
+        let us = updates(&[&[0.0, 0.0], &[0.1, 0.1], &[0.05, 0.0], &[9.0, 9.0]]);
+        let out = agg.aggregate(&us, 2, &mut rng);
+        assert!(out[0] < 1.0, "outlier must not be selected: {out:?}");
+    }
+
+    #[test]
+    fn selects_coordinated_cluster_when_it_is_tightest() {
+        // CollaPois' key property: perfectly aligned malicious updates form
+        // the tightest cluster, so Krum selects them under non-IID scatter.
+        let mut agg = Krum::new(1);
+        let mut rng = StdRng::seed_from_u64(0);
+        let us = updates(&[
+            &[5.0, 5.0],
+            &[5.0, 5.0],
+            &[5.0, 5.0], // coordinated attackers
+            &[0.0, 4.0],
+            &[-4.0, 1.0],
+            &[3.0, -3.0], // scattered benign
+        ]);
+        let out = agg.aggregate(&us, 2, &mut rng);
+        assert_eq!(out, vec![5.0, 5.0]);
+    }
+
+    #[test]
+    fn multi_krum_averages_selection() {
+        let mut agg = Krum::multi(0, 2);
+        let mut rng = StdRng::seed_from_u64(0);
+        let us = updates(&[&[0.0, 0.0], &[1.0, 1.0], &[100.0, 100.0]]);
+        let out = agg.aggregate(&us, 2, &mut rng);
+        assert_eq!(out, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let mut agg = Krum::new(1);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(agg.aggregate(&[], 2, &mut rng), vec![0.0, 0.0]);
+        let single = updates(&[&[2.0, 3.0]]);
+        assert_eq!(agg.aggregate(&single, 2, &mut rng), vec![2.0, 3.0]);
+    }
+}

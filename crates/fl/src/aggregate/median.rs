@@ -1,0 +1,68 @@
+//! Coordinate-wise median [Yin et al., ICML 2018].
+
+use super::{coordinate_values, Aggregator};
+use crate::update::ClientUpdate;
+use collapois_stats::descriptive::median;
+use rand::rngs::StdRng;
+
+/// Element-wise median of the round's deltas.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CoordinateMedian;
+
+impl CoordinateMedian {
+    /// Creates the aggregator.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Aggregator for CoordinateMedian {
+    fn name(&self) -> &'static str {
+        "median"
+    }
+
+    fn aggregate(&mut self, updates: &[ClientUpdate], dim: usize, _rng: &mut StdRng) -> Vec<f32> {
+        if updates.is_empty() {
+            return vec![0.0; dim];
+        }
+        (0..dim)
+            .map(|c| {
+                let vals: Vec<f64> =
+                    coordinate_values(updates, c).into_iter().map(f64::from).collect();
+                median(&vals) as f32
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::testutil::updates;
+    use rand::SeedableRng;
+
+    #[test]
+    fn median_resists_single_outlier() {
+        let mut agg = CoordinateMedian::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let us = updates(&[&[1.0], &[2.0], &[1000.0]]);
+        assert_eq!(agg.aggregate(&us, 1, &mut rng), vec![2.0]);
+    }
+
+    #[test]
+    fn bounded_by_min_max_per_coordinate() {
+        let mut agg = CoordinateMedian::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let us = updates(&[&[1.0, -4.0], &[3.0, 0.0], &[2.0, -2.0], &[5.0, 1.0]]);
+        let out = agg.aggregate(&us, 2, &mut rng);
+        assert!(out[0] >= 1.0 && out[0] <= 5.0);
+        assert!(out[1] >= -4.0 && out[1] <= 1.0);
+    }
+
+    #[test]
+    fn empty_round_is_zero() {
+        let mut agg = CoordinateMedian::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(agg.aggregate(&[], 2, &mut rng), vec![0.0; 2]);
+    }
+}

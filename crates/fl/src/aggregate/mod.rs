@@ -1,0 +1,67 @@
+//! Robust aggregation rules (Table I of the paper).
+//!
+//! Every rule consumes the round's client updates (flat deltas) and produces
+//! the aggregated delta the server applies as `θ ← θ + λ·Δ`. Rules that also
+//! modify the resulting global model (CRFL's parameter clipping/noising)
+//! implement [`Aggregator::post_process`].
+
+mod crfl;
+mod dp;
+mod fedavg;
+mod flare;
+mod krum;
+mod median;
+mod norm_bound;
+mod rlr;
+mod sign_sgd;
+mod stat_filter;
+mod trimmed_mean;
+mod user_dp;
+
+pub use crfl::Crfl;
+pub use dp::DpAggregator;
+pub use fedavg::FedAvg;
+pub use flare::Flare;
+pub use krum::Krum;
+pub use median::CoordinateMedian;
+pub use norm_bound::NormBound;
+pub use rlr::RobustLearningRate;
+pub use sign_sgd::SignSgd;
+pub use stat_filter::StatFilter;
+pub use trimmed_mean::TrimmedMean;
+pub use user_dp::UserLevelDp;
+
+use crate::update::ClientUpdate;
+use rand::rngs::StdRng;
+
+/// A server-side aggregation rule.
+pub trait Aggregator: std::fmt::Debug + Send {
+    /// Short name for report tables.
+    fn name(&self) -> &'static str;
+
+    /// Aggregates the round's updates into one delta of length `dim`.
+    /// Must return a zero vector when `updates` is empty.
+    fn aggregate(&mut self, updates: &[ClientUpdate], dim: usize, rng: &mut StdRng) -> Vec<f32>;
+
+    /// Optional transformation of the global model after the delta has been
+    /// applied (e.g. CRFL's parameter clipping + noising).
+    fn post_process(&mut self, _global: &mut [f32], _rng: &mut StdRng) {}
+}
+
+/// Collects per-coordinate values across updates (helper for median/trim).
+pub(crate) fn coordinate_values(updates: &[ClientUpdate], coord: usize) -> Vec<f32> {
+    updates.iter().map(|u| u.delta[coord]).collect()
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::ClientUpdate;
+
+    /// Builds updates from plain vectors.
+    pub fn updates(vs: &[&[f32]]) -> Vec<ClientUpdate> {
+        vs.iter()
+            .enumerate()
+            .map(|(i, v)| ClientUpdate::new(i, v.to_vec(), 10))
+            .collect()
+    }
+}

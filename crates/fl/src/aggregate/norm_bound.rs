@@ -1,0 +1,112 @@
+//! Norm bounding [Sun et al., 2019]: clip each update's l2 norm, average,
+//! optionally add Gaussian noise.
+
+use super::Aggregator;
+use crate::update::{mean_delta, ClientUpdate};
+use collapois_stats::distribution::standard_normal;
+use collapois_stats::geometry::clip_to_norm;
+use rand::rngs::StdRng;
+
+/// NormBound defense: per-update l2 clipping plus optional noise.
+#[derive(Debug, Clone, Copy)]
+pub struct NormBound {
+    bound: f64,
+    noise_std: f64,
+}
+
+impl NormBound {
+    /// Creates the defense with the given clipping bound (no noise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound <= 0`.
+    pub fn new(bound: f64) -> Self {
+        assert!(bound > 0.0, "bound must be positive");
+        Self { bound, noise_std: 0.0 }
+    }
+
+    /// Adds Gaussian noise of the given std-dev to the aggregated delta.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `noise_std < 0`.
+    pub fn with_noise(mut self, noise_std: f64) -> Self {
+        assert!(noise_std >= 0.0, "noise std must be non-negative");
+        self.noise_std = noise_std;
+        self
+    }
+
+    /// The clipping bound.
+    pub fn bound(&self) -> f64 {
+        self.bound
+    }
+}
+
+impl Aggregator for NormBound {
+    fn name(&self) -> &'static str {
+        "norm-bound"
+    }
+
+    fn aggregate(&mut self, updates: &[ClientUpdate], dim: usize, rng: &mut StdRng) -> Vec<f32> {
+        let clipped: Vec<ClientUpdate> = updates
+            .iter()
+            .map(|u| {
+                let mut delta = u.delta.clone();
+                clip_to_norm(&mut delta, self.bound);
+                ClientUpdate::new(u.client_id, delta, u.num_samples)
+            })
+            .collect();
+        let mut agg = mean_delta(&clipped, dim);
+        if self.noise_std > 0.0 {
+            for v in &mut agg {
+                *v += (self.noise_std * standard_normal(rng)) as f32;
+            }
+        }
+        agg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::testutil::updates;
+    use collapois_stats::geometry::l2_norm;
+    use rand::SeedableRng;
+
+    #[test]
+    fn clips_each_update() {
+        let mut agg = NormBound::new(1.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let us = updates(&[&[30.0, 40.0]]); // norm 50 -> clipped to 1
+        let out = agg.aggregate(&us, 2, &mut rng);
+        assert!((l2_norm(&out) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn output_norm_at_most_bound() {
+        let mut agg = NormBound::new(2.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let us = updates(&[&[10.0, 0.0], &[0.0, 10.0], &[-10.0, 0.0]]);
+        let out = agg.aggregate(&us, 2, &mut rng);
+        assert!(l2_norm(&out) <= 2.0 + 1e-6);
+    }
+
+    #[test]
+    fn small_updates_pass_unchanged() {
+        let mut agg = NormBound::new(100.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let us = updates(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(agg.aggregate(&us, 2, &mut rng), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn noise_perturbs_output() {
+        let mut agg = NormBound::new(1.0).with_noise(0.1);
+        let us = updates(&[&[0.0, 0.0]]);
+        let mut r1 = StdRng::seed_from_u64(1);
+        let mut r2 = StdRng::seed_from_u64(2);
+        let a = agg.aggregate(&us, 2, &mut r1);
+        let b = agg.aggregate(&us, 2, &mut r2);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,93 @@
+//! α-trimmed mean [Yin et al., ICML 2018].
+
+use super::{coordinate_values, Aggregator};
+use crate::update::ClientUpdate;
+use rand::rngs::StdRng;
+
+/// Per-coordinate trimmed mean: drop the top and bottom `beta` fraction of
+/// values, average the rest.
+#[derive(Debug, Clone, Copy)]
+pub struct TrimmedMean {
+    beta: f64,
+}
+
+impl TrimmedMean {
+    /// Creates the aggregator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beta` is outside `[0, 0.5)`.
+    pub fn new(beta: f64) -> Self {
+        assert!((0.0..0.5).contains(&beta), "beta must be in [0, 0.5)");
+        Self { beta }
+    }
+}
+
+impl Aggregator for TrimmedMean {
+    fn name(&self) -> &'static str {
+        "trimmed-mean"
+    }
+
+    fn aggregate(&mut self, updates: &[ClientUpdate], dim: usize, _rng: &mut StdRng) -> Vec<f32> {
+        if updates.is_empty() {
+            return vec![0.0; dim];
+        }
+        let n = updates.len();
+        let trim = ((n as f64) * self.beta).floor() as usize;
+        let keep = n - 2 * trim.min(n / 2);
+        (0..dim)
+            .map(|c| {
+                let mut vals = coordinate_values(updates, c);
+                vals.sort_by(|a, b| a.partial_cmp(b).expect("finite deltas"));
+                let kept = &vals[trim.min(n / 2)..trim.min(n / 2) + keep];
+                (kept.iter().map(|&v| v as f64).sum::<f64>() / kept.len().max(1) as f64) as f32
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::testutil::updates;
+    use rand::SeedableRng;
+
+    #[test]
+    fn trims_extremes() {
+        let mut agg = TrimmedMean::new(0.25);
+        let mut rng = StdRng::seed_from_u64(0);
+        let us = updates(&[&[-1000.0], &[1.0], &[3.0], &[1000.0]]);
+        assert_eq!(agg.aggregate(&us, 1, &mut rng), vec![2.0]);
+    }
+
+    #[test]
+    fn zero_beta_is_plain_mean() {
+        let mut agg = TrimmedMean::new(0.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let us = updates(&[&[1.0], &[2.0], &[3.0]]);
+        assert_eq!(agg.aggregate(&us, 1, &mut rng), vec![2.0]);
+    }
+
+    #[test]
+    fn bounded_per_coordinate() {
+        let mut agg = TrimmedMean::new(0.2);
+        let mut rng = StdRng::seed_from_u64(0);
+        let us = updates(&[&[0.0, 5.0], &[1.0, 6.0], &[2.0, 7.0], &[3.0, 8.0], &[4.0, 9.0]]);
+        let out = agg.aggregate(&us, 2, &mut rng);
+        assert!(out[0] >= 0.0 && out[0] <= 4.0);
+        assert!(out[1] >= 5.0 && out[1] <= 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta must be")]
+    fn rejects_bad_beta() {
+        let _ = TrimmedMean::new(0.5);
+    }
+
+    #[test]
+    fn empty_round_is_zero() {
+        let mut agg = TrimmedMean::new(0.1);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(agg.aggregate(&[], 4, &mut rng), vec![0.0; 4]);
+    }
+}

@@ -1,0 +1,121 @@
+//! Benign client-side local training.
+
+use crate::config::FlConfig;
+use collapois_data::sample::Dataset;
+use collapois_nn::model::Sequential;
+use collapois_nn::optim::Sgd;
+use rand::Rng;
+
+/// Runs `K` local minibatch-SGD steps starting from `global` and returns the
+/// resulting flat delta `θ_local − θ_global`.
+///
+/// `model` is a scratch model of the configured architecture; its parameters
+/// are overwritten.
+///
+/// # Panics
+///
+/// Panics if `data` is empty.
+pub fn local_sgd_delta<R: Rng + ?Sized>(
+    rng: &mut R,
+    model: &mut Sequential,
+    global: &[f32],
+    data: &Dataset,
+    cfg: &FlConfig,
+) -> Vec<f32> {
+    local_sgd_delta_prox(rng, model, global, data, cfg, 0.0)
+}
+
+/// Like [`local_sgd_delta`] but with a proximal term `μ/2·‖θ − θ_global‖²`
+/// added to the local objective (used by FedDC-style drift correction and
+/// Ditto). `prox_mu = 0` recovers plain local SGD.
+///
+/// # Panics
+///
+/// Panics if `data` is empty.
+pub fn local_sgd_delta_prox<R: Rng + ?Sized>(
+    rng: &mut R,
+    model: &mut Sequential,
+    global: &[f32],
+    data: &Dataset,
+    cfg: &FlConfig,
+    prox_mu: f64,
+) -> Vec<f32> {
+    assert!(!data.is_empty(), "client has no training data");
+    model.set_params(global);
+    let mut opt = Sgd::new(cfg.client_lr);
+    for _ in 0..cfg.local_steps {
+        let (x, y) = data.minibatch(rng, cfg.batch_size);
+        model.train_batch(&x, &y, &mut opt);
+        if prox_mu > 0.0 {
+            // Gradient of the proximal term: μ(θ − θ_global), applied as an
+            // extra SGD step. The factor is clamped at 1 so that very large
+            // μ pins the iterate to θ_global instead of diverging.
+            let mut params = model.params();
+            let lr_mu = (cfg.client_lr * prox_mu).min(1.0) as f32;
+            for (p, &g) in params.iter_mut().zip(global) {
+                *p -= lr_mu * (*p - g);
+            }
+            model.set_params(&params);
+        }
+    }
+    let local = model.params();
+    local.iter().zip(global).map(|(l, g)| l - g).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use collapois_nn::zoo::ModelSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy_data() -> Dataset {
+        let mut ds = Dataset::empty(&[2], 2);
+        for i in 0..32 {
+            let c = i % 2;
+            let v = if c == 0 { 0.0 } else { 1.0 };
+            ds.push(&[v, 1.0 - v], c);
+        }
+        ds
+    }
+
+    fn setup() -> (FlConfig, Sequential, Vec<f32>) {
+        let spec = ModelSpec::mlp(2, &[8], 2);
+        let cfg = FlConfig::quick(spec.clone());
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = spec.build(&mut rng);
+        let global = model.params();
+        (cfg, model, global)
+    }
+
+    #[test]
+    fn delta_has_param_dimension_and_moves() {
+        let (cfg, mut model, global) = setup();
+        let mut rng = StdRng::seed_from_u64(1);
+        let delta = local_sgd_delta(&mut rng, &mut model, &global, &toy_data(), &cfg);
+        assert_eq!(delta.len(), global.len());
+        assert!(delta.iter().any(|&d| d != 0.0), "training must move the model");
+    }
+
+    #[test]
+    fn prox_term_shrinks_delta() {
+        let (mut cfg, mut model, global) = setup();
+        cfg.local_steps = 20;
+        let mut rng = StdRng::seed_from_u64(2);
+        let free = local_sgd_delta_prox(&mut rng, &mut model, &global, &toy_data(), &cfg, 0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let prox = local_sgd_delta_prox(&mut rng, &mut model, &global, &toy_data(), &cfg, 50.0);
+        let n_free = collapois_stats::geometry::l2_norm(&free);
+        let n_prox = collapois_stats::geometry::l2_norm(&prox);
+        assert!(n_prox < n_free, "prox={n_prox} free={n_free}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no training data")]
+    fn rejects_empty_dataset() {
+        let (cfg, mut model, global) = setup();
+        let mut rng = StdRng::seed_from_u64(3);
+        let empty = Dataset::empty(&[2], 2);
+        let _ = local_sgd_delta(&mut rng, &mut model, &global, &empty, &cfg);
+    }
+}

@@ -1,0 +1,99 @@
+//! Simulation hyper-parameters.
+
+use collapois_nn::zoo::ModelSpec;
+
+/// Federated-training configuration (paper defaults in §V / Appendix E).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlConfig {
+    /// Model architecture every client instantiates.
+    pub model: ModelSpec,
+    /// Number of federated rounds `T`.
+    pub rounds: usize,
+    /// Local minibatch-SGD steps `K` per selected client.
+    pub local_steps: usize,
+    /// Local minibatch size.
+    pub batch_size: usize,
+    /// Clients' local learning rate `γ` (paper: 0.001 for local models —
+    /// scaled up here because the synthetic tasks are smaller).
+    pub client_lr: f64,
+    /// Server learning rate `λ` (paper: 0.01 for the global model — the
+    /// simulation default of 1.0 corresponds to plain FedAvg averaging).
+    pub server_lr: f64,
+    /// Per-round client sampling probability `q`.
+    pub sample_rate: f64,
+    /// RNG seed for the whole simulation.
+    pub seed: u64,
+    /// Evaluate client metrics every this many rounds (1 = every round).
+    pub eval_every: usize,
+}
+
+impl FlConfig {
+    /// A small, fast configuration for tests and quick experiments.
+    pub fn quick(model: ModelSpec) -> Self {
+        Self {
+            model,
+            rounds: 30,
+            local_steps: 4,
+            batch_size: 16,
+            client_lr: 0.05,
+            server_lr: 1.0,
+            sample_rate: 0.2,
+            seed: 42,
+            eval_every: 10,
+        }
+    }
+
+    /// Validates parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.rounds == 0 {
+            return Err("rounds must be positive".into());
+        }
+        if self.local_steps == 0 {
+            return Err("local_steps must be positive".into());
+        }
+        if self.batch_size == 0 {
+            return Err("batch_size must be positive".into());
+        }
+        if !(self.client_lr.is_finite() && self.client_lr > 0.0) {
+            return Err("client_lr must be positive".into());
+        }
+        if !(self.server_lr.is_finite() && self.server_lr > 0.0) {
+            return Err("server_lr must be positive".into());
+        }
+        if !(0.0 < self.sample_rate && self.sample_rate <= 1.0) {
+            return Err("sample_rate must be in (0, 1]".into());
+        }
+        if self.eval_every == 0 {
+            return Err("eval_every must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_config_is_valid() {
+        let cfg = FlConfig::quick(ModelSpec::mlp(4, &[4], 2));
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        let mut cfg = FlConfig::quick(ModelSpec::mlp(4, &[4], 2));
+        cfg.sample_rate = 0.0;
+        assert!(cfg.validate().is_err());
+        cfg.sample_rate = 0.5;
+        cfg.rounds = 0;
+        assert!(cfg.validate().is_err());
+        cfg.rounds = 1;
+        cfg.client_lr = -1.0;
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -1,0 +1,40 @@
+//! Federated-learning substrate for the CollaPois reproduction.
+//!
+//! Implements the multi-round FL protocol of §II-A, the robust aggregation
+//! battery of Table I, the personalized FL algorithms the paper attacks
+//! (FedDC, MetaFed) and the client-level metrics of §V:
+//!
+//! * [`update`] — client updates as flat delta vectors
+//!   (`Δθ_i = θ_i^t − θ^t`; the server applies `θ ← θ + λ·Aggregate(Δ)`).
+//! * [`config`] — simulation hyper-parameters (`T`, `K`, `q`, `λ`, `γ`...).
+//! * [`client`] — benign local training (K minibatch-SGD steps).
+//! * [`aggregate`] — FedAvg plus the robust rules: Krum/Multi-Krum,
+//!   coordinate-wise median, trimmed mean, NormBound, DP, robust learning
+//!   rate (RLR), SignSGD, FLARE and CRFL.
+//! * [`personalize`] — FedAvg (none), FedDC drift correction, MetaFed
+//!   knowledge distillation, and Ditto personalization.
+//! * [`server`] — the round loop with client sampling probability `q` and an
+//!   [`server::Adversary`] hook through which the attack crates inject
+//!   malicious updates.
+//! * [`metrics`] — Benign AC, Attack SR, the Eq. 8 per-client score, top-k%
+//!   clusters and the Eq. 9 cumulative-label cosine.
+//! * [`monitor`] — the round-to-round shift detector (§II-B: MRepl's abrupt
+//!   performance shifts are detectable; CollaPois avoids them).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod client;
+pub mod config;
+pub mod metrics;
+pub mod monitor;
+pub mod personalize;
+pub mod server;
+pub mod update;
+
+pub use aggregate::Aggregator;
+pub use config::FlConfig;
+pub use personalize::Personalization;
+pub use server::{Adversary, FlServer, RoundRecord};
+pub use update::ClientUpdate;

@@ -1,0 +1,279 @@
+//! Client-level and population-level metrics (§V of the paper).
+//!
+//! * **Benign AC** — accuracy of client `i`'s personalized model on its
+//!   clean test split.
+//! * **Attack SR** — fraction of client `i`'s trigger-stamped test samples
+//!   predicted as the target class `y^Troj`.
+//! * **Eq. 8 score** — `Benign AC + Attack SR`, used to rank the top-k%
+//!   most-affected clients.
+//! * **Clusters** — the paper's 1 %-, 25 %-, 50 %- and bottom-50 %-clusters
+//!   (each excluding the preceding ones) with their Eq. 9 cumulative-label
+//!   cosine to the attacker's auxiliary data.
+
+use collapois_data::federated::FederatedDataset;
+use collapois_data::labels::cumulative_label_cosine;
+use collapois_data::poison::stamp_only;
+use collapois_data::sample::Dataset;
+use collapois_data::trigger::Trigger;
+use collapois_nn::zoo::ModelSpec;
+
+/// Per-client evaluation outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClientMetrics {
+    /// Client id.
+    pub client_id: usize,
+    /// Accuracy on the clean test split.
+    pub benign_ac: f64,
+    /// Backdoor success rate on the trigger-stamped test split.
+    pub attack_sr: f64,
+}
+
+impl ClientMetrics {
+    /// The paper's Eq. 8 infection score.
+    pub fn score(&self) -> f64 {
+        self.benign_ac + self.attack_sr
+    }
+}
+
+/// Population-level averages over a set of clients.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PopulationMetrics {
+    /// Mean Benign AC.
+    pub benign_ac: f64,
+    /// Mean Attack SR.
+    pub attack_sr: f64,
+    /// Number of clients averaged.
+    pub clients: usize,
+}
+
+/// Averages a set of client metrics.
+pub fn population(metrics: &[ClientMetrics]) -> PopulationMetrics {
+    if metrics.is_empty() {
+        return PopulationMetrics::default();
+    }
+    let n = metrics.len() as f64;
+    PopulationMetrics {
+        benign_ac: metrics.iter().map(|m| m.benign_ac).sum::<f64>() / n,
+        attack_sr: metrics.iter().map(|m| m.attack_sr).sum::<f64>() / n,
+        clients: metrics.len(),
+    }
+}
+
+/// Evaluates every benign client: Benign AC on its clean test split and
+/// Attack SR on the trigger-stamped copy, using the parameters produced by
+/// `eval_params(client_id)` (the personalized model). Clients in
+/// `excluded` (the compromised set) are skipped.
+///
+/// Evaluation runs in parallel across clients with crossbeam scoped threads.
+pub fn evaluate_clients<F>(
+    fed: &FederatedDataset,
+    model_spec: &ModelSpec,
+    eval_params: F,
+    trigger: &dyn Trigger,
+    target_class: usize,
+    excluded: &[usize],
+) -> Vec<ClientMetrics>
+where
+    F: Fn(usize) -> Vec<f32> + Sync,
+{
+    let ids: Vec<usize> =
+        (0..fed.num_clients()).filter(|id| !excluded.contains(id)).collect();
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let chunk = ids.len().div_ceil(threads.max(1)).max(1);
+    let mut results: Vec<Vec<ClientMetrics>> = Vec::new();
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = ids
+            .chunks(chunk)
+            .map(|chunk_ids| {
+                let eval_params = &eval_params;
+                s.spawn(move |_| {
+                    // Per-thread scratch model (seed irrelevant: params are
+                    // always overwritten before use).
+                    use rand::SeedableRng;
+                    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+                    let mut model = model_spec.build(&mut rng);
+                    chunk_ids
+                        .iter()
+                        .map(|&id| {
+                            let params = eval_params(id);
+                            model.set_params(&params);
+                            let test = &fed.client(id).test;
+                            let benign_ac = if test.is_empty() {
+                                0.0
+                            } else {
+                                let (x, y) = test.as_batch();
+                                model.evaluate(&x, &y)
+                            };
+                            let attack_sr = if test.is_empty() {
+                                0.0
+                            } else {
+                                let stamped = stamp_only(test, trigger);
+                                let (x, _) = stamped.as_batch();
+                                let preds = model.predict(&x);
+                                preds.iter().filter(|&&p| p == target_class).count() as f64
+                                    / preds.len() as f64
+                            };
+                            ClientMetrics { client_id: id, benign_ac, attack_sr }
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("evaluation thread panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+    let mut flat: Vec<ClientMetrics> = results.into_iter().flatten().collect();
+    flat.sort_by_key(|m| m.client_id);
+    flat
+}
+
+/// The top `k` percent of clients by Eq. 8 score, descending.
+/// `k` in `(0, 100]`; at least one client is returned.
+///
+/// # Panics
+///
+/// Panics if `k` is outside `(0, 100]`.
+pub fn top_k_percent(metrics: &[ClientMetrics], k: f64) -> Vec<ClientMetrics> {
+    assert!(k > 0.0 && k <= 100.0, "k must be in (0, 100]");
+    let mut sorted = metrics.to_vec();
+    sorted.sort_by(|a, b| b.score().partial_cmp(&a.score()).expect("finite scores"));
+    let n = ((metrics.len() as f64) * k / 100.0).round().max(1.0) as usize;
+    sorted.truncate(n.min(sorted.len()));
+    sorted
+}
+
+/// One row of the paper's Fig. 12 cluster analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterReport {
+    /// Cluster label ("1%", "25%", "50%", "bottom-50%").
+    pub label: String,
+    /// Clients in the cluster.
+    pub clients: Vec<usize>,
+    /// Mean Eq. 9 cumulative-label cosine to the auxiliary data.
+    pub label_cosine: f64,
+    /// Mean Attack SR of the cluster.
+    pub attack_sr: f64,
+    /// Mean Benign AC of the cluster.
+    pub benign_ac: f64,
+}
+
+/// Splits clients into the paper's exclusive risk clusters (1 %, 25 %, 50 %,
+/// bottom-50 % — each excludes all preceding clusters) and computes each
+/// cluster's `CS_k` against the auxiliary dataset `aux` (Eq. 9).
+pub fn cluster_analysis(
+    fed: &FederatedDataset,
+    metrics: &[ClientMetrics],
+    aux: &Dataset,
+) -> Vec<ClusterReport> {
+    let mut sorted = metrics.to_vec();
+    sorted.sort_by(|a, b| b.score().partial_cmp(&a.score()).expect("finite scores"));
+    let n = sorted.len();
+    let cut = |p: f64| -> usize { ((n as f64) * p / 100.0).round().max(1.0) as usize };
+    let bounds = [
+        ("1%", 0, cut(1.0)),
+        ("25%", cut(1.0), cut(25.0)),
+        ("50%", cut(25.0), cut(50.0)),
+        ("bottom-50%", cut(50.0), n),
+    ];
+    bounds
+        .iter()
+        .filter(|(_, lo, hi)| hi > lo)
+        .map(|&(label, lo, hi)| {
+            let members = &sorted[lo..hi.min(n)];
+            let clients: Vec<usize> = members.iter().map(|m| m.client_id).collect();
+            let mut cos_sum = 0.0;
+            for m in members {
+                let local = fed.client(m.client_id).all();
+                cos_sum += cumulative_label_cosine(&local, aux);
+            }
+            let len = members.len() as f64;
+            ClusterReport {
+                label: label.to_string(),
+                label_cosine: cos_sum / len,
+                attack_sr: members.iter().map(|m| m.attack_sr).sum::<f64>() / len,
+                benign_ac: members.iter().map(|m| m.benign_ac).sum::<f64>() / len,
+                clients,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use collapois_data::synthetic::{SyntheticImage, SyntheticImageConfig};
+    use collapois_data::trigger::PatchTrigger;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fed() -> FederatedDataset {
+        let cfg = SyntheticImageConfig { samples: 400, side: 8, classes: 4, ..Default::default() };
+        let ds = SyntheticImage::new(cfg).generate();
+        let mut rng = StdRng::seed_from_u64(0);
+        FederatedDataset::build(&mut rng, &ds, 8, 1.0)
+    }
+
+    fn fake_metrics() -> Vec<ClientMetrics> {
+        (0..8)
+            .map(|i| ClientMetrics {
+                client_id: i,
+                benign_ac: 0.5,
+                attack_sr: i as f64 / 10.0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn population_averages() {
+        let p = population(&fake_metrics());
+        assert_eq!(p.clients, 8);
+        assert!((p.benign_ac - 0.5).abs() < 1e-12);
+        assert!((p.attack_sr - 0.35).abs() < 1e-12);
+        assert_eq!(population(&[]).clients, 0);
+    }
+
+    #[test]
+    fn top_k_selects_highest_scores() {
+        let top = top_k_percent(&fake_metrics(), 25.0);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].client_id, 7);
+        assert_eq!(top[1].client_id, 6);
+        // Always at least one client.
+        let one = top_k_percent(&fake_metrics(), 1.0);
+        assert_eq!(one.len(), 1);
+    }
+
+    #[test]
+    fn clusters_are_exclusive_and_cover() {
+        let f = fed();
+        let aux = f.auxiliary(&[0]);
+        let reports = cluster_analysis(&f, &fake_metrics(), &aux);
+        let all: Vec<usize> = reports.iter().flat_map(|r| r.clients.clone()).collect();
+        let mut sorted = all.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), all.len(), "clusters must be disjoint");
+        assert_eq!(all.len(), 8, "clusters must cover all clients");
+        for r in &reports {
+            assert!((0.0..=1.0).contains(&r.label_cosine), "{}: {}", r.label, r.label_cosine);
+        }
+    }
+
+    #[test]
+    fn evaluate_clients_produces_sane_ranges() {
+        let f = fed();
+        let spec = ModelSpec::mlp(64, &[16], 4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let params = spec.build(&mut rng).params();
+        let trigger = PatchTrigger::badnets(8);
+        let ms = evaluate_clients(&f, &spec, |_| params.clone(), &trigger, 0, &[0]);
+        assert_eq!(ms.len(), 7); // client 0 excluded
+        assert!(ms.iter().all(|m| m.client_id != 0));
+        for m in &ms {
+            assert!((0.0..=1.0).contains(&m.benign_ac));
+            assert!((0.0..=1.0).contains(&m.attack_sr));
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Server-side training-dynamics monitor.
+//!
+//! §II-B of the paper: "MRepl often causes noticeable performance shifts,
+//! making detection easier by monitoring abrupt changes across training
+//! rounds", while CollaPois is designed to avoid "shifts or degradation in
+//! the FL model's performance on legitimate data samples". This monitor
+//! implements exactly that check: it tracks the per-round global-model
+//! displacement and/or a utility series, and flags rounds whose
+//! round-to-round change is an anomalous jump against a **robust**
+//! (median/MAD) trailing baseline — robust, because an attacker jolting the
+//! model *every* round would otherwise normalize its own jolts into a
+//! mean/std baseline.
+
+use collapois_stats::descriptive::median;
+use collapois_stats::geometry::l2_distance;
+
+/// A flagged round.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShiftAlert {
+    /// The round index that jumped.
+    pub round: usize,
+    /// Observed value (displacement or |utility delta|).
+    pub observed: f64,
+    /// Trailing-window median the observation was compared against.
+    pub baseline_median: f64,
+    /// Robust z-score: deviations from the median in MAD-σ units.
+    pub z_score: f64,
+}
+
+/// Detects abrupt round-to-round changes in model displacement and utility.
+#[derive(Debug, Clone)]
+pub struct ShiftDetector {
+    window: usize,
+    z_threshold: f64,
+    last_global: Option<Vec<f32>>,
+    displacements: Vec<f64>,
+    utilities: Vec<f64>,
+    alerts: Vec<ShiftAlert>,
+    round: usize,
+}
+
+impl ShiftDetector {
+    /// Creates a detector with a trailing `window` (minimum history before
+    /// alerts fire) and a robust z-score threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window < 3` or `z_threshold <= 0`.
+    pub fn new(window: usize, z_threshold: f64) -> Self {
+        assert!(window >= 3, "window must be at least 3");
+        assert!(z_threshold > 0.0, "z threshold must be positive");
+        Self {
+            window,
+            z_threshold,
+            last_global: None,
+            displacements: Vec::new(),
+            utilities: Vec::new(),
+            alerts: Vec::new(),
+            round: 0,
+        }
+    }
+
+    /// Default configuration: 6-round window, 6σ robust threshold.
+    pub fn default_paper() -> Self {
+        Self::new(6, 6.0)
+    }
+
+    /// Feeds one round's observation: the post-aggregation global model
+    /// (when displacement monitoring is wanted) and/or a utility
+    /// measurement such as validation accuracy. Returns an alert if this
+    /// round jumped on either channel.
+    pub fn observe(&mut self, global: Option<&[f32]>, utility: Option<f64>) -> Option<ShiftAlert> {
+        let mut alert: Option<ShiftAlert> = None;
+        if let Some(global) = global {
+            if let Some(last) = &self.last_global {
+                let disp = l2_distance(last, global);
+                alert = self.check(&self.displacements.clone(), disp);
+                self.displacements.push(disp);
+            }
+            self.last_global = Some(global.to_vec());
+        }
+        if let Some(u) = utility {
+            if self.utilities.last().is_some() {
+                let deltas: Vec<f64> = self
+                    .utilities
+                    .windows(2)
+                    .map(|w| (w[1] - w[0]).abs())
+                    .collect();
+                let delta = (u - *self.utilities.last().expect("non-empty")).abs();
+                if let Some(a) = self.check(&deltas, delta) {
+                    alert = Some(match alert {
+                        Some(prev) if prev.z_score >= a.z_score => prev,
+                        _ => a,
+                    });
+                }
+            }
+            self.utilities.push(u);
+        }
+        if let Some(a) = alert {
+            self.alerts.push(a);
+        }
+        self.round += 1;
+        alert
+    }
+
+    /// Robust outlier check of `observed` against the trailing window of
+    /// `history` (median ± z·1.4826·MAD).
+    fn check(&self, history: &[f64], observed: f64) -> Option<ShiftAlert> {
+        if history.len() < self.window {
+            return None;
+        }
+        let tail = &history[history.len() - self.window..];
+        let med = median(tail);
+        let deviations: Vec<f64> = tail.iter().map(|v| (v - med).abs()).collect();
+        let mad = median(&deviations);
+        let range = tail.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - tail.iter().cloned().fold(f64::INFINITY, f64::min);
+        // Spread floor: a fully converged (near-constant) window must not
+        // make microscopic jitter look like a billion-sigma event. The
+        // 5e-3·(1+|med|) term sets the minimum jump size considered
+        // meaningful at this window's scale.
+        let spread =
+            (1.4826 * mad).max(0.1 * range).max(5e-3 * (1.0 + med.abs()));
+        let z = (observed - med) / spread;
+        if z > self.z_threshold {
+            Some(ShiftAlert { round: self.round, observed, baseline_median: med, z_score: z })
+        } else {
+            None
+        }
+    }
+
+    /// All alerts so far.
+    pub fn alerts(&self) -> &[ShiftAlert] {
+        &self.alerts
+    }
+
+    /// Recorded per-round displacements.
+    pub fn displacements(&self) -> &[f64] {
+        &self.displacements
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed_smooth(det: &mut ShiftDetector, rounds: usize) {
+        for t in 0..rounds {
+            // Slowly converging model with mild wobble.
+            let wobble = 0.004 * ((t % 3) as f32);
+            let v = vec![1.0f32 / (t as f32 + 1.0) + wobble; 4];
+            det.observe(Some(&v), Some(0.5 + 0.01 * t as f64 + 0.002 * (t % 2) as f64));
+        }
+    }
+
+    #[test]
+    fn smooth_training_raises_no_alerts() {
+        let mut det = ShiftDetector::default_paper();
+        feed_smooth(&mut det, 25);
+        assert!(det.alerts().is_empty(), "{:?}", det.alerts());
+    }
+
+    #[test]
+    fn sudden_model_replacement_is_flagged() {
+        let mut det = ShiftDetector::default_paper();
+        feed_smooth(&mut det, 12);
+        let jump = vec![50.0f32; 4];
+        let alert = det.observe(Some(&jump), Some(0.6));
+        assert!(alert.is_some(), "replacement jump must be flagged");
+        assert!(alert.unwrap().z_score > 6.0);
+    }
+
+    #[test]
+    fn utility_jump_is_flagged_without_model_access() {
+        let mut det = ShiftDetector::default_paper();
+        for t in 0..12 {
+            det.observe(None, Some(0.50 + 0.002 * t as f64 + 0.001 * (t % 2) as f64));
+        }
+        // The paper's MRepl signature: Benign AC jumps ~35 points at once.
+        let alert = det.observe(None, Some(0.95));
+        assert!(alert.is_some(), "utility jump must be flagged");
+        assert!(det.displacements().is_empty());
+    }
+
+    #[test]
+    fn needs_history_before_alerting() {
+        let mut det = ShiftDetector::default_paper();
+        for t in 0..4 {
+            assert!(det
+                .observe(Some(&[100.0 * t as f32; 4]), None)
+                .is_none());
+        }
+    }
+
+    #[test]
+    fn constant_jolting_normalizes_into_baseline() {
+        // An attacker jolting every round builds a high-but-stable baseline:
+        // the robust detector does not keep firing forever (only genuinely
+        // anomalous rounds relative to the recent window fire).
+        let mut det = ShiftDetector::default_paper();
+        for t in 0..30 {
+            let v = vec![if t % 2 == 0 { 10.0f32 } else { -10.0 }; 4];
+            det.observe(Some(&v), None);
+        }
+        assert!(det.alerts().len() <= 2, "{:?}", det.alerts());
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be")]
+    fn rejects_tiny_window() {
+        let _ = ShiftDetector::new(2, 4.0);
+    }
+}

@@ -1,0 +1,213 @@
+//! Clustered federated learning [Ghosh et al., NeurIPS 2020] — the paper's
+//! third personalization category (§II-A): assign each client to one of `k`
+//! cluster models and aggregate locally-trained updates within clusters.
+//!
+//! IFCA-style realization on top of the single-global-model protocol: the
+//! strategy keeps `k` cluster models initialized as perturbations of the
+//! global model. A sampled client picks the cluster whose model fits its
+//! local data best (lowest loss), trains that cluster model locally, and
+//! reports the delta **relative to the global model** (so server-side
+//! aggregation and attacks operate unchanged); the trained parameters are
+//! stored back into the cluster. Evaluation uses the client's last-selected
+//! cluster model.
+
+use super::Personalization;
+use crate::config::FlConfig;
+use collapois_data::sample::Dataset;
+use collapois_nn::loss::cross_entropy;
+use collapois_nn::model::Sequential;
+use collapois_nn::optim::Sgd;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// IFCA-style clustered personalization.
+#[derive(Debug, Clone)]
+pub struct Clustered {
+    k: usize,
+    /// Cluster models (lazily initialized from the first-seen global).
+    clusters: Vec<Vec<f32>>,
+    /// Each client's last cluster assignment.
+    assignment: Vec<Option<usize>>,
+    /// Blend weight pulling cluster models toward the fresh global each
+    /// round (keeps clusters anchored to the federation).
+    anchor: f32,
+}
+
+impl Clustered {
+    /// Creates a clustered strategy with `k` clusters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "need at least one cluster");
+        Self { k, clusters: Vec::new(), assignment: Vec::new(), anchor: 0.1 }
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The last cluster `client_id` selected, if any.
+    pub fn assignment_of(&self, client_id: usize) -> Option<usize> {
+        self.assignment.get(client_id).copied().flatten()
+    }
+
+    fn ensure_clusters<R: Rng + ?Sized>(&mut self, global: &[f32], rng: &mut R) {
+        if !self.clusters.is_empty() {
+            return;
+        }
+        self.clusters = (0..self.k)
+            .map(|_| {
+                global
+                    .iter()
+                    .map(|&g| g + rng.gen_range(-0.01f32..0.01))
+                    .collect()
+            })
+            .collect();
+    }
+
+    /// Picks the cluster with the lowest loss on a sample of `data`.
+    fn select_cluster(
+        &self,
+        model: &mut Sequential,
+        data: &Dataset,
+        cfg: &FlConfig,
+        rng: &mut StdRng,
+    ) -> usize {
+        let (x, y) = data.minibatch(rng, cfg.batch_size.max(16));
+        let mut best = 0usize;
+        let mut best_loss = f64::INFINITY;
+        for (c, params) in self.clusters.iter().enumerate() {
+            model.set_params(params);
+            let logits = model.forward(&x, false);
+            let loss = cross_entropy(&logits, &y).loss;
+            if loss < best_loss {
+                best_loss = loss;
+                best = c;
+            }
+        }
+        best
+    }
+}
+
+impl Personalization for Clustered {
+    fn name(&self) -> &'static str {
+        "clustered"
+    }
+
+    fn init(&mut self, num_clients: usize, _dim: usize) {
+        self.assignment = vec![None; num_clients];
+        self.clusters.clear();
+    }
+
+    fn local_train(
+        &mut self,
+        client_id: usize,
+        global: &[f32],
+        data: &Dataset,
+        cfg: &FlConfig,
+        model: &mut Sequential,
+        rng: &mut StdRng,
+    ) -> Vec<f32> {
+        assert!(!data.is_empty(), "client has no training data");
+        self.ensure_clusters(global, rng);
+        // Anchor clusters toward the current federation model.
+        for cluster in &mut self.clusters {
+            for (c, &g) in cluster.iter_mut().zip(global) {
+                *c += self.anchor * (g - *c);
+            }
+        }
+        let cluster = self.select_cluster(model, data, cfg, rng);
+        if client_id < self.assignment.len() {
+            self.assignment[client_id] = Some(cluster);
+        }
+        model.set_params(&self.clusters[cluster]);
+        let mut opt = Sgd::new(cfg.client_lr);
+        for _ in 0..cfg.local_steps {
+            let (x, y) = data.minibatch(rng, cfg.batch_size);
+            model.train_batch(&x, &y, &mut opt);
+        }
+        let trained = model.params();
+        self.clusters[cluster] = trained.clone();
+        trained.iter().zip(global).map(|(t, g)| t - g).collect()
+    }
+
+    fn eval_params(&self, client_id: usize, global: &[f32]) -> Vec<f32> {
+        match self.assignment.get(client_id).copied().flatten() {
+            Some(c) if c < self.clusters.len() => self.clusters[c].clone(),
+            _ => global.to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use collapois_nn::zoo::ModelSpec;
+    use rand::SeedableRng;
+
+    /// Two clearly distinct client populations.
+    fn population_data(flip: bool) -> Dataset {
+        let mut ds = Dataset::empty(&[2], 2);
+        for i in 0..32 {
+            let c = i % 2;
+            let v = if (c == 0) ^ flip { 0.0 } else { 1.0 };
+            ds.push(&[v, 1.0 - v], c);
+        }
+        ds
+    }
+
+    fn setup() -> (FlConfig, Sequential, Vec<f32>) {
+        let spec = ModelSpec::mlp(2, &[8], 2);
+        let mut cfg = FlConfig::quick(spec.clone());
+        cfg.local_steps = 20;
+        cfg.client_lr = 0.3;
+        let mut rng = StdRng::seed_from_u64(0);
+        let model = spec.build(&mut rng);
+        let global = model.params();
+        (cfg, model, global)
+    }
+
+    #[test]
+    fn clients_with_conflicting_data_land_in_different_clusters() {
+        let (cfg, mut model, global) = setup();
+        let mut cl = Clustered::new(2);
+        cl.init(2, global.len());
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = population_data(false);
+        let b = population_data(true);
+        // Several alternating rounds so each specializes a cluster.
+        for _ in 0..6 {
+            let _ = cl.local_train(0, &global, &a, &cfg, &mut model, &mut rng);
+            let _ = cl.local_train(1, &global, &b, &cfg, &mut model, &mut rng);
+        }
+        let c0 = cl.assignment_of(0).unwrap();
+        let c1 = cl.assignment_of(1).unwrap();
+        assert_ne!(c0, c1, "conflicting populations should separate");
+        // Each client's cluster model fits its own data.
+        model.set_params(&cl.eval_params(0, &global));
+        let (xa, ya) = a.as_batch();
+        assert!(model.evaluate(&xa, &ya) > 0.9);
+        model.set_params(&cl.eval_params(1, &global));
+        let (xb, yb) = b.as_batch();
+        assert!(model.evaluate(&xb, &yb) > 0.9);
+    }
+
+    #[test]
+    fn unseen_client_evaluates_on_global() {
+        let (_, _, global) = setup();
+        let mut cl = Clustered::new(3);
+        cl.init(4, global.len());
+        assert_eq!(cl.eval_params(2, &global), global);
+        assert_eq!(cl.assignment_of(2), None);
+        assert_eq!(cl.k(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn rejects_zero_clusters() {
+        let _ = Clustered::new(0);
+    }
+}

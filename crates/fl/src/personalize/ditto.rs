@@ -1,0 +1,143 @@
+//! Ditto [Li et al., ICML 2021] — fair and robust FL through
+//! personalization.
+//!
+//! Ditto sends the standard global-model update to the server but keeps a
+//! personal model trained with a proximal pull toward the (potentially
+//! corrupt) global model; robustness comes from evaluating clients on the
+//! personal models. Listed as a "robust aggregation" row of the paper's
+//! Table I.
+
+use super::{PersonalStore, Personalization};
+use crate::client::local_sgd_delta;
+use crate::config::FlConfig;
+use collapois_data::sample::Dataset;
+use collapois_nn::model::Sequential;
+use rand::rngs::StdRng;
+
+/// Ditto personalization strategy.
+#[derive(Debug, Clone)]
+pub struct Ditto {
+    lambda: f64,
+    personal: PersonalStore,
+}
+
+impl Ditto {
+    /// Creates Ditto with the proximal regularization weight λ (small λ =
+    /// more personalization, large λ = personal model glued to the global).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda < 0`.
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda >= 0.0, "lambda must be non-negative");
+        Self { lambda, personal: PersonalStore::default() }
+    }
+}
+
+impl Personalization for Ditto {
+    fn name(&self) -> &'static str {
+        "ditto"
+    }
+
+    fn init(&mut self, num_clients: usize, _dim: usize) {
+        self.personal.init(num_clients);
+    }
+
+    fn local_train(
+        &mut self,
+        client_id: usize,
+        global: &[f32],
+        data: &Dataset,
+        cfg: &FlConfig,
+        model: &mut Sequential,
+        rng: &mut StdRng,
+    ) -> Vec<f32> {
+        // The update sent to the server: plain local SGD from the global.
+        let delta = local_sgd_delta(rng, model, global, data, cfg);
+        // The personal model: prox-regularized training starting from the
+        // previous personal model (or the global on first participation).
+        let start: Vec<f32> = match self.personal.get(client_id) {
+            Some(p) => p.clone(),
+            None => global.to_vec(),
+        };
+        // local_sgd_delta_prox starts from its `global` argument and pulls
+        // toward it; for Ditto the pull must be toward the *server* model
+        // while starting from the personal model, so run the prox step
+        // manually from `start` with reference `global`.
+        model.set_params(&start);
+        let mut opt = collapois_nn::optim::Sgd::new(cfg.client_lr);
+        for _ in 0..cfg.local_steps {
+            let (x, y) = data.minibatch(rng, cfg.batch_size);
+            model.train_batch(&x, &y, &mut opt);
+            if self.lambda > 0.0 {
+                let mut params = model.params();
+                // Clamped at 1: huge λ pins the personal model to the
+                // global instead of oscillating.
+                let lr_l = (cfg.client_lr * self.lambda).min(1.0) as f32;
+                for (p, &g) in params.iter_mut().zip(global) {
+                    *p -= lr_l * (*p - g);
+                }
+                model.set_params(&params);
+            }
+        }
+        self.personal.set(client_id, model.params());
+        delta
+    }
+
+    fn eval_params(&self, client_id: usize, global: &[f32]) -> Vec<f32> {
+        match self.personal.get(client_id) {
+            Some(p) => p.clone(),
+            None => global.to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use collapois_nn::zoo::ModelSpec;
+    use collapois_stats::geometry::l2_distance;
+    use rand::SeedableRng;
+
+    fn toy_data() -> Dataset {
+        let mut ds = Dataset::empty(&[2], 2);
+        for i in 0..32 {
+            let c = i % 2;
+            let v = if c == 0 { 0.0 } else { 1.0 };
+            ds.push(&[v, 1.0 - v], c);
+        }
+        ds
+    }
+
+    #[test]
+    fn keeps_separate_personal_model() {
+        let spec = ModelSpec::mlp(2, &[4], 2);
+        let cfg = FlConfig::quick(spec.clone());
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = spec.build(&mut rng);
+        let global = model.params();
+        let mut d = Ditto::new(0.1);
+        d.init(1, global.len());
+        let delta = d.local_train(0, &global, &toy_data(), &cfg, &mut model, &mut rng);
+        assert!(delta.iter().any(|&v| v != 0.0));
+        assert_ne!(d.eval_params(0, &global), global);
+    }
+
+    #[test]
+    fn large_lambda_glues_personal_to_global() {
+        let spec = ModelSpec::mlp(2, &[4], 2);
+        let cfg = FlConfig::quick(spec.clone());
+        let data = toy_data();
+        let run = |lambda: f64| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut model = spec.build(&mut rng);
+            let global = model.params();
+            let mut d = Ditto::new(lambda);
+            d.init(1, global.len());
+            let mut rng2 = StdRng::seed_from_u64(2);
+            let _ = d.local_train(0, &global, &data, &cfg, &mut model, &mut rng2);
+            l2_distance(&d.eval_params(0, &global), &global)
+        };
+        assert!(run(100.0) < run(0.0), "large lambda must stay closer to global");
+    }
+}

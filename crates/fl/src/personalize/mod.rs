@@ -1,0 +1,158 @@
+//! Personalized federated-learning strategies.
+//!
+//! The paper evaluates CollaPois against plain FedAvg and two personalized
+//! algorithms — FedDC [Gao et al., CVPR 2022] and MetaFed [Chen et al.,
+//! TNNLS 2023] — plus the personalization-based Ditto defense [Li et al.,
+//! ICML 2021]. A [`Personalization`] strategy controls (a) how a sampled
+//! client trains locally and what update it sends, and (b) which parameters
+//! a client's metrics are evaluated on (`θ_i`, the personalized model).
+
+mod clustered;
+mod ditto;
+mod feddc;
+mod metafed;
+
+pub use clustered::Clustered;
+pub use ditto::Ditto;
+pub use feddc::FedDc;
+pub use metafed::MetaFed;
+
+use crate::client::local_sgd_delta;
+use crate::config::FlConfig;
+use collapois_data::sample::Dataset;
+use collapois_nn::model::Sequential;
+use rand::rngs::StdRng;
+
+/// A client-side training/evaluation strategy.
+pub trait Personalization: std::fmt::Debug + Send + Sync {
+    /// Short name for report tables.
+    fn name(&self) -> &'static str;
+
+    /// Called once before training with the client count and parameter
+    /// dimension (for per-client state allocation).
+    fn init(&mut self, num_clients: usize, dim: usize);
+
+    /// Local training for a sampled benign client: returns the delta sent to
+    /// the server and updates any per-client state.
+    fn local_train(
+        &mut self,
+        client_id: usize,
+        global: &[f32],
+        data: &Dataset,
+        cfg: &FlConfig,
+        model: &mut Sequential,
+        rng: &mut StdRng,
+    ) -> Vec<f32>;
+
+    /// Parameters of the model used to evaluate client `client_id`'s
+    /// metrics (the personalized model `θ_i`; the global model when the
+    /// strategy keeps no per-client state or the client never participated).
+    fn eval_params(&self, client_id: usize, global: &[f32]) -> Vec<f32>;
+}
+
+/// Plain FedAvg: no personalization — clients train from the global model
+/// and are evaluated on it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoPersonalization;
+
+impl NoPersonalization {
+    /// Creates the strategy.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Personalization for NoPersonalization {
+    fn name(&self) -> &'static str {
+        "fedavg"
+    }
+
+    fn init(&mut self, _num_clients: usize, _dim: usize) {}
+
+    fn local_train(
+        &mut self,
+        _client_id: usize,
+        global: &[f32],
+        data: &Dataset,
+        cfg: &FlConfig,
+        model: &mut Sequential,
+        rng: &mut StdRng,
+    ) -> Vec<f32> {
+        local_sgd_delta(rng, model, global, data, cfg)
+    }
+
+    fn eval_params(&self, _client_id: usize, global: &[f32]) -> Vec<f32> {
+        global.to_vec()
+    }
+}
+
+/// Per-client personal-model store shared by the personalized strategies.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PersonalStore {
+    models: Vec<Option<Vec<f32>>>,
+}
+
+impl PersonalStore {
+    pub(crate) fn init(&mut self, num_clients: usize) {
+        self.models = vec![None; num_clients];
+    }
+
+    pub(crate) fn get(&self, id: usize) -> Option<&Vec<f32>> {
+        self.models.get(id).and_then(Option::as_ref)
+    }
+
+    pub(crate) fn set(&mut self, id: usize, params: Vec<f32>) {
+        if id < self.models.len() {
+            self.models[id] = Some(params);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use collapois_nn::zoo::ModelSpec;
+    use rand::SeedableRng;
+
+    pub(crate) fn toy_data() -> Dataset {
+        let mut ds = Dataset::empty(&[2], 2);
+        for i in 0..32 {
+            let c = i % 2;
+            let v = if c == 0 { 0.0 } else { 1.0 };
+            ds.push(&[v, 1.0 - v], c);
+        }
+        ds
+    }
+
+    #[test]
+    fn no_personalization_evaluates_global() {
+        let p = NoPersonalization::new();
+        let global = vec![1.0f32, 2.0];
+        assert_eq!(p.eval_params(0, &global), global);
+    }
+
+    #[test]
+    fn no_personalization_trains_from_global() {
+        let spec = ModelSpec::mlp(2, &[4], 2);
+        let cfg = FlConfig::quick(spec.clone());
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = spec.build(&mut rng);
+        let global = model.params();
+        let mut p = NoPersonalization::new();
+        p.init(1, global.len());
+        let delta = p.local_train(0, &global, &toy_data(), &cfg, &mut model, &mut rng);
+        assert_eq!(delta.len(), global.len());
+        assert!(delta.iter().any(|&d| d != 0.0));
+    }
+
+    #[test]
+    fn personal_store_roundtrip() {
+        let mut s = PersonalStore::default();
+        s.init(3);
+        assert!(s.get(1).is_none());
+        s.set(1, vec![1.0]);
+        assert_eq!(s.get(1), Some(&vec![1.0]));
+        s.set(99, vec![2.0]); // out of range: ignored
+        assert!(s.get(99).is_none());
+    }
+}

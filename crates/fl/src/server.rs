@@ -1,0 +1,357 @@
+//! The federated round loop with the adversary hook.
+//!
+//! Each round (Algorithm 1 lines 4–14): sample clients with probability `q`,
+//! let benign clients compute local updates via the configured
+//! [`Personalization`] strategy, let the [`Adversary`] craft malicious
+//! updates for sampled compromised clients, aggregate with the configured
+//! [`Aggregator`], and apply `θ ← θ + λ·Δ`.
+
+use crate::aggregate::Aggregator;
+use crate::config::FlConfig;
+use crate::personalize::Personalization;
+use crate::update::ClientUpdate;
+use collapois_data::federated::FederatedDataset;
+use collapois_nn::model::Sequential;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An attacker controlling a fixed set of compromised clients.
+///
+/// The server calls [`Adversary::craft_update`] instead of benign local
+/// training whenever a compromised client is sampled, and
+/// [`Adversary::observe_global`] after every aggregation (black-box threat
+/// model: the attacker sees exactly what its compromised clients see).
+pub trait Adversary: std::fmt::Debug {
+    /// Ids of the compromised clients.
+    fn compromised(&self) -> &[usize];
+
+    /// Malicious delta for compromised client `client_id` at `round`, given
+    /// the current global parameters (what the client just received).
+    fn craft_update(
+        &mut self,
+        client_id: usize,
+        global: &[f32],
+        round: usize,
+        rng: &mut StdRng,
+    ) -> Vec<f32>;
+
+    /// Called after each aggregation with the new global parameters.
+    fn observe_global(&mut self, _global: &[f32], _round: usize) {}
+
+    /// Short name for report tables.
+    fn name(&self) -> &'static str;
+}
+
+/// Per-round record for analysis and plotting.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RoundRecord {
+    /// Round index (0-based).
+    pub round: usize,
+    /// Sampled client ids (benign and compromised).
+    pub sampled: Vec<usize>,
+    /// How many of the sampled clients were compromised.
+    pub num_malicious: usize,
+    /// l2 norms of benign updates this round.
+    pub benign_norms: Vec<f64>,
+    /// l2 norms of malicious updates this round.
+    pub malicious_norms: Vec<f64>,
+    /// The raw updates (kept only when update collection is enabled).
+    pub updates: Option<Vec<ClientUpdate>>,
+    /// The global parameters the round started from (kept only when update
+    /// collection is enabled).
+    pub global_before: Option<Vec<f32>>,
+}
+
+/// The federated server simulation.
+#[derive(Debug)]
+pub struct FlServer {
+    cfg: FlConfig,
+    fed: FederatedDataset,
+    aggregator: Box<dyn Aggregator>,
+    personalization: Box<dyn Personalization>,
+    global: Vec<f32>,
+    scratch: Sequential,
+    rng: StdRng,
+    round: usize,
+    collect_updates: bool,
+}
+
+impl FlServer {
+    /// Builds a server over the federated dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`FlConfig::validate`]).
+    pub fn new(
+        cfg: FlConfig,
+        fed: FederatedDataset,
+        aggregator: Box<dyn Aggregator>,
+        mut personalization: Box<dyn Personalization>,
+    ) -> Self {
+        cfg.validate().unwrap_or_else(|e| panic!("invalid FlConfig: {e}"));
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let scratch = cfg.model.build(&mut rng);
+        let global = scratch.params();
+        personalization.init(fed.num_clients(), global.len());
+        Self {
+            cfg,
+            fed,
+            aggregator,
+            personalization,
+            global,
+            scratch,
+            rng,
+            round: 0,
+            collect_updates: false,
+        }
+    }
+
+    /// Enables keeping the raw updates in each [`RoundRecord`] (used by the
+    /// gradient-angle analyses of Figs. 3 and 6).
+    pub fn collect_updates(&mut self, enable: bool) {
+        self.collect_updates = enable;
+    }
+
+    /// Current global parameters.
+    pub fn global(&self) -> &[f32] {
+        self.global
+            .as_slice()
+    }
+
+    /// Overwrites the global parameters (used to warm-start experiments).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn set_global(&mut self, params: &[f32]) {
+        assert_eq!(params.len(), self.global.len(), "global dimension mismatch");
+        self.global.copy_from_slice(params);
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &FlConfig {
+        &self.cfg
+    }
+
+    /// The federated dataset.
+    pub fn dataset(&self) -> &FederatedDataset {
+        &self.fed
+    }
+
+    /// The personalization strategy (for evaluation).
+    pub fn personalization(&self) -> &dyn Personalization {
+        self.personalization.as_ref()
+    }
+
+    /// Completed round count.
+    pub fn rounds_done(&self) -> usize {
+        self.round
+    }
+
+    /// Samples the round's client set: each client independently with
+    /// probability `q`, re-drawn until non-empty.
+    fn sample_clients(&mut self) -> Vec<usize> {
+        let n = self.fed.num_clients();
+        loop {
+            let sampled: Vec<usize> =
+                (0..n).filter(|_| self.rng.gen_bool(self.cfg.sample_rate)).collect();
+            if !sampled.is_empty() {
+                return sampled;
+            }
+        }
+    }
+
+    /// Runs one federated round, optionally under attack.
+    pub fn run_round(
+        &mut self,
+        mut adversary: Option<&mut (dyn Adversary + '_)>,
+    ) -> RoundRecord {
+        let sampled = self.sample_clients();
+        let dim = self.global.len();
+        let global_before =
+            if self.collect_updates { Some(self.global.clone()) } else { None };
+        let mut updates: Vec<ClientUpdate> = Vec::with_capacity(sampled.len());
+        let mut benign_norms = Vec::new();
+        let mut malicious_norms = Vec::new();
+        let mut num_malicious = 0usize;
+
+        for &cid in &sampled {
+            let is_compromised = adversary
+                .as_ref()
+                .map(|a| a.compromised().contains(&cid))
+                .unwrap_or(false);
+            let delta = if is_compromised {
+                num_malicious += 1;
+                let adv = adversary.as_mut().expect("compromised implies adversary");
+                adv.craft_update(cid, &self.global, self.round, &mut self.rng)
+            } else {
+                let data = &self.fed.client(cid).train;
+                if data.is_empty() {
+                    continue;
+                }
+                self.personalization.local_train(
+                    cid,
+                    &self.global,
+                    data,
+                    &self.cfg,
+                    &mut self.scratch,
+                    &mut self.rng,
+                )
+            };
+            assert_eq!(delta.len(), dim, "client {cid} produced a wrong-sized update");
+            let update = ClientUpdate::new(cid, delta, self.fed.client(cid).train.len());
+            if is_compromised {
+                malicious_norms.push(update.norm());
+            } else {
+                benign_norms.push(update.norm());
+            }
+            updates.push(update);
+        }
+
+        let agg = self.aggregator.aggregate(&updates, dim, &mut self.rng);
+        let lr = self.cfg.server_lr as f32;
+        for (g, &d) in self.global.iter_mut().zip(&agg) {
+            *g += lr * d;
+        }
+        self.aggregator.post_process(&mut self.global, &mut self.rng);
+
+        if let Some(adv) = adversary.as_mut() {
+            adv.observe_global(&self.global, self.round);
+        }
+
+        let record = RoundRecord {
+            round: self.round,
+            sampled,
+            num_malicious,
+            benign_norms,
+            malicious_norms,
+            updates: if self.collect_updates { Some(updates) } else { None },
+            global_before,
+        };
+        self.round += 1;
+        record
+    }
+
+    /// Runs `n` rounds, returning each round's record.
+    pub fn run_rounds(
+        &mut self,
+        n: usize,
+        mut adversary: Option<&mut (dyn Adversary + '_)>,
+    ) -> Vec<RoundRecord> {
+        let mut records = Vec::with_capacity(n);
+        for _ in 0..n {
+            let adv = adversary.as_deref_mut();
+            records.push(self.run_round(adv));
+        }
+        records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::FedAvg;
+    use crate::personalize::NoPersonalization;
+    use collapois_data::synthetic::{SyntheticImage, SyntheticImageConfig};
+    use collapois_nn::zoo::ModelSpec;
+
+    fn quick_server() -> FlServer {
+        let cfg_img = SyntheticImageConfig {
+            samples: 400,
+            side: 8,
+            classes: 4,
+            ..Default::default()
+        };
+        let ds = SyntheticImage::new(cfg_img).generate();
+        let mut rng = StdRng::seed_from_u64(3);
+        let fed = FederatedDataset::build(&mut rng, &ds, 10, 1.0);
+        let spec = ModelSpec::mlp(64, &[16], 4);
+        let mut cfg = FlConfig::quick(spec);
+        cfg.sample_rate = 0.5;
+        FlServer::new(cfg, fed, Box::new(FedAvg::new()), Box::new(NoPersonalization::new()))
+    }
+
+    /// A trivial adversary pushing a constant delta.
+    #[derive(Debug)]
+    struct ConstAdversary {
+        ids: Vec<usize>,
+        value: f32,
+    }
+
+    impl Adversary for ConstAdversary {
+        fn compromised(&self) -> &[usize] {
+            &self.ids
+        }
+        fn craft_update(
+            &mut self,
+            _client_id: usize,
+            global: &[f32],
+            _round: usize,
+            _rng: &mut StdRng,
+        ) -> Vec<f32> {
+            vec![self.value; global.len()]
+        }
+        fn name(&self) -> &'static str {
+            "const"
+        }
+    }
+
+    #[test]
+    fn rounds_progress_and_model_moves() {
+        let mut server = quick_server();
+        let g0 = server.global().to_vec();
+        let records = server.run_rounds(3, None);
+        assert_eq!(records.len(), 3);
+        assert_eq!(server.rounds_done(), 3);
+        assert_ne!(server.global(), g0.as_slice());
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.round, i);
+            assert!(!r.sampled.is_empty());
+            assert_eq!(r.num_malicious, 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = quick_server();
+        let mut b = quick_server();
+        a.run_rounds(3, None);
+        b.run_rounds(3, None);
+        assert_eq!(a.global(), b.global());
+    }
+
+    #[test]
+    fn adversary_updates_are_used() {
+        let mut server = quick_server();
+        server.collect_updates(true);
+        let mut adv = ConstAdversary { ids: vec![0, 1, 2, 3, 4], value: 0.5 };
+        // Run rounds until a compromised client is sampled.
+        let mut saw_malicious = false;
+        for _ in 0..20 {
+            let r = server.run_round(Some(&mut adv));
+            if r.num_malicious > 0 {
+                saw_malicious = true;
+                let ups = r.updates.expect("collection enabled");
+                let mal: Vec<_> = ups
+                    .iter()
+                    .filter(|u| adv.ids.contains(&u.client_id))
+                    .collect();
+                assert_eq!(mal.len(), r.num_malicious);
+                assert!(mal.iter().all(|u| u.delta.iter().all(|&d| d == 0.5)));
+                assert_eq!(r.malicious_norms.len(), r.num_malicious);
+                break;
+            }
+        }
+        assert!(saw_malicious, "no compromised client sampled in 20 rounds");
+    }
+
+    #[test]
+    fn update_collection_toggle() {
+        let mut server = quick_server();
+        let r = server.run_round(None);
+        assert!(r.updates.is_none());
+        server.collect_updates(true);
+        let r = server.run_round(None);
+        assert!(r.updates.is_some());
+    }
+}

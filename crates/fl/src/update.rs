@@ -1,0 +1,87 @@
+//! Client model updates.
+//!
+//! Sign convention (see DESIGN.md): a client update is the flat delta
+//! `Δθ_i = θ_i^t − θ^t` — the direction the client wants the global model to
+//! move — and the server applies `θ^{t+1} = θ^t + λ · Aggregate({Δθ_i})`.
+//! CollaPois' malicious delta `ψ(X − θ^t)` therefore pulls the model toward
+//! the Trojaned model X.
+
+use collapois_stats::geometry::l2_norm;
+
+/// One client's contribution to a training round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientUpdate {
+    /// The submitting client's id.
+    pub client_id: usize,
+    /// Flat delta vector `θ_local − θ_global`.
+    pub delta: Vec<f32>,
+    /// Number of local samples (available to weighted aggregation rules;
+    /// the paper's Eq. 2 averages uniformly over `|S_t|`).
+    pub num_samples: usize,
+}
+
+impl ClientUpdate {
+    /// Creates an update.
+    pub fn new(client_id: usize, delta: Vec<f32>, num_samples: usize) -> Self {
+        Self { client_id, delta, num_samples }
+    }
+
+    /// l2 norm of the delta.
+    pub fn norm(&self) -> f64 {
+        l2_norm(&self.delta)
+    }
+
+    /// Parameter dimension.
+    pub fn dim(&self) -> usize {
+        self.delta.len()
+    }
+}
+
+/// Uniform element-wise mean of the deltas (Eq. 2's `Σ Δθ / |S_t|`).
+/// Returns a zero vector of `dim` when `updates` is empty.
+///
+/// # Panics
+///
+/// Panics if any update's dimension differs from `dim`.
+pub fn mean_delta(updates: &[ClientUpdate], dim: usize) -> Vec<f32> {
+    let mut acc = vec![0.0f64; dim];
+    for u in updates {
+        assert_eq!(u.delta.len(), dim, "update dimension mismatch");
+        for (a, &d) in acc.iter_mut().zip(&u.delta) {
+            *a += d as f64;
+        }
+    }
+    let n = updates.len().max(1) as f64;
+    acc.into_iter().map(|a| (a / n) as f32).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_updates() {
+        let u1 = ClientUpdate::new(0, vec![1.0, 2.0], 10);
+        let u2 = ClientUpdate::new(1, vec![3.0, 4.0], 20);
+        assert_eq!(mean_delta(&[u1, u2], 2), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean_delta(&[], 3), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn norm_and_dim() {
+        let u = ClientUpdate::new(0, vec![3.0, 4.0], 1);
+        assert!((u.norm() - 5.0).abs() < 1e-9);
+        assert_eq!(u.dim(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mean_rejects_mismatch() {
+        let u1 = ClientUpdate::new(0, vec![1.0], 1);
+        let _ = mean_delta(&[u1], 2);
+    }
+}

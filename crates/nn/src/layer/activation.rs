@@ -1,0 +1,132 @@
+//! Element-wise activation layers.
+
+use super::Layer;
+use crate::tensor::Tensor;
+
+/// Rectified linear unit: `max(0, x)` element-wise.
+#[derive(Debug, Clone, Default)]
+pub struct ReLU {
+    mask: Option<Vec<bool>>,
+    shape: Vec<usize>,
+}
+
+impl ReLU {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for ReLU {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut out = input.clone();
+        let mut mask = if train { Vec::with_capacity(input.len()) } else { Vec::new() };
+        for v in out.data_mut() {
+            let active = *v > 0.0;
+            if !active {
+                *v = 0.0;
+            }
+            if train {
+                mask.push(active);
+            }
+        }
+        if train {
+            self.mask = Some(mask);
+            self.shape = input.shape().to_vec();
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mask = self.mask.take().expect("relu backward called without a training forward");
+        assert_eq!(grad_out.len(), mask.len(), "relu grad shape mismatch");
+        let mut g = grad_out.clone().reshaped(&self.shape);
+        for (v, &active) in g.data_mut().iter_mut().zip(&mask) {
+            if !active {
+                *v = 0.0;
+            }
+        }
+        g
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(Self::new())
+    }
+}
+
+/// Hyperbolic tangent activation.
+#[derive(Debug, Clone, Default)]
+pub struct Tanh {
+    cached_output: Option<Tensor>,
+}
+
+impl Tanh {
+    /// Creates a Tanh layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Tanh {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut out = input.clone();
+        for v in out.data_mut() {
+            *v = v.tanh();
+        }
+        if train {
+            self.cached_output = Some(out.clone());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let y = self
+            .cached_output
+            .take()
+            .expect("tanh backward called without a training forward");
+        assert_eq!(grad_out.len(), y.len(), "tanh grad shape mismatch");
+        let mut g = grad_out.clone().reshaped(y.shape());
+        for (gv, &yv) in g.data_mut().iter_mut().zip(y.data()) {
+            *gv *= 1.0 - yv * yv;
+        }
+        g
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(Self::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_forward_and_backward() {
+        let mut relu = ReLU::new();
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0, -0.5], &[1, 4]);
+        let out = relu.forward(&x, true);
+        assert_eq!(out.data(), &[0.0, 0.0, 2.0, 0.0]);
+        let g = Tensor::from_vec(vec![1.0, 1.0, 1.0, 1.0], &[1, 4]);
+        let gx = relu.backward(&g);
+        assert_eq!(gx.data(), &[0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn tanh_gradient_matches_derivative() {
+        let mut tanh = Tanh::new();
+        let x = Tensor::from_vec(vec![0.5, -0.3], &[1, 2]);
+        let out = tanh.forward(&x, true);
+        assert!((out.data()[0] - 0.5f32.tanh()).abs() < 1e-6);
+        let g = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]);
+        let gx = tanh.backward(&g);
+        let expect = 1.0 - 0.5f32.tanh().powi(2);
+        assert!((gx.data()[0] - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn relu_has_no_params() {
+        let relu = ReLU::new();
+        assert_eq!(relu.param_count(), 0);
+    }
+}

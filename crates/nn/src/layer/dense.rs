@@ -1,0 +1,266 @@
+//! Fully connected (affine) layer.
+
+use super::Layer;
+use crate::init::Init;
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// Fully connected layer: `y = x Wᵀ + b`, weights stored `[out, in]`
+/// row-major.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    in_dim: usize,
+    out_dim: usize,
+    weight: Vec<f32>, // [out, in]
+    bias: Vec<f32>,   // [out]
+    grad_weight: Vec<f32>,
+    grad_bias: Vec<f32>,
+    cached_input: Option<Tensor>,
+}
+
+impl Dense {
+    /// Creates a dense layer with He-normal weights and zero bias.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, in_dim: usize, out_dim: usize) -> Self {
+        Self::with_init(rng, in_dim, out_dim, Init::HeNormal)
+    }
+
+    /// Creates a dense layer with the given weight initialization.
+    pub fn with_init<R: Rng + ?Sized>(rng: &mut R, in_dim: usize, out_dim: usize, init: Init) -> Self {
+        assert!(in_dim > 0 && out_dim > 0, "dense dims must be positive");
+        let mut weight = vec![0.0; in_dim * out_dim];
+        init.fill(rng, &mut weight, in_dim, out_dim);
+        Self {
+            in_dim,
+            out_dim,
+            weight,
+            bias: vec![0.0; out_dim],
+            grad_weight: vec![0.0; in_dim * out_dim],
+            grad_bias: vec![0.0; out_dim],
+            cached_input: None,
+        }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let n = input.batch();
+        assert_eq!(
+            input.len(),
+            n * self.in_dim,
+            "dense expected [{n}, {}], got shape {:?}",
+            self.in_dim,
+            input.shape()
+        );
+        let x = input.data();
+        let mut out = vec![0.0f32; n * self.out_dim];
+        for i in 0..n {
+            let xi = &x[i * self.in_dim..(i + 1) * self.in_dim];
+            let oi = &mut out[i * self.out_dim..(i + 1) * self.out_dim];
+            for (o, row) in oi.iter_mut().zip(self.weight.chunks_exact(self.in_dim)) {
+                let mut acc = 0.0f32;
+                for (w, xv) in row.iter().zip(xi) {
+                    acc += w * xv;
+                }
+                *o = acc;
+            }
+            for (o, b) in oi.iter_mut().zip(&self.bias) {
+                *o += b;
+            }
+        }
+        if train {
+            self.cached_input = Some(input.clone().reshaped(&[n, self.in_dim]));
+        }
+        Tensor::from_vec(out, &[n, self.out_dim])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .take()
+            .expect("dense backward called without a training forward");
+        let n = input.batch();
+        assert_eq!(grad_out.len(), n * self.out_dim, "dense grad shape mismatch");
+        let x = input.data();
+        let g = grad_out.data();
+        // dW[o, i] += Σ_batch g[o] * x[i] ; db[o] += Σ_batch g[o]
+        for b in 0..n {
+            let xb = &x[b * self.in_dim..(b + 1) * self.in_dim];
+            let gb = &g[b * self.out_dim..(b + 1) * self.out_dim];
+            for (o, &go) in gb.iter().enumerate() {
+                if go == 0.0 {
+                    continue;
+                }
+                let row = &mut self.grad_weight[o * self.in_dim..(o + 1) * self.in_dim];
+                for (gw, &xv) in row.iter_mut().zip(xb) {
+                    *gw += go * xv;
+                }
+                self.grad_bias[o] += go;
+            }
+        }
+        // dX = g W
+        let mut grad_in = vec![0.0f32; n * self.in_dim];
+        for b in 0..n {
+            let gb = &g[b * self.out_dim..(b + 1) * self.out_dim];
+            let gi = &mut grad_in[b * self.in_dim..(b + 1) * self.in_dim];
+            for (o, &go) in gb.iter().enumerate() {
+                if go == 0.0 {
+                    continue;
+                }
+                let row = &self.weight[o * self.in_dim..(o + 1) * self.in_dim];
+                for (giv, &w) in gi.iter_mut().zip(row) {
+                    *giv += go * w;
+                }
+            }
+        }
+        Tensor::from_vec(grad_in, &[n, self.in_dim])
+    }
+
+    fn param_count(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+
+    fn write_params(&self, out: &mut [f32]) {
+        let (w, b) = out.split_at_mut(self.weight.len());
+        w.copy_from_slice(&self.weight);
+        b.copy_from_slice(&self.bias);
+    }
+
+    fn read_params(&mut self, src: &[f32]) {
+        let (w, b) = src.split_at(self.weight.len());
+        self.weight.copy_from_slice(w);
+        self.bias.copy_from_slice(b);
+    }
+
+    fn write_grads(&self, out: &mut [f32]) {
+        let (w, b) = out.split_at_mut(self.grad_weight.len());
+        w.copy_from_slice(&self.grad_weight);
+        b.copy_from_slice(&self.grad_bias);
+    }
+
+    fn zero_grad(&mut self) {
+        self.grad_weight.fill(0.0);
+        self.grad_bias.fill(0.0);
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        let mut c = self.clone();
+        c.cached_input = None;
+        Box::new(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn layer() -> Dense {
+        let mut rng = StdRng::seed_from_u64(0);
+        Dense::new(&mut rng, 3, 2)
+    }
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut l = layer();
+        // Zero the weights, set bias: output must equal the bias per row.
+        l.read_params(&[0.0; 8]);
+        let mut p = vec![0.0; 8];
+        p[6] = 1.5;
+        p[7] = -0.5;
+        l.read_params(&p);
+        let out = l.forward(&Tensor::zeros(&[4, 3]), false);
+        assert_eq!(out.shape(), &[4, 2]);
+        for i in 0..4 {
+            assert_eq!(out.row(i), &[1.5, -0.5]);
+        }
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut l = Dense::new(&mut rng, 4, 3);
+        let x = Tensor::from_vec((0..8).map(|i| 0.1 * i as f32).collect(), &[2, 4]);
+        // Loss = sum(outputs); dL/dout = 1.
+        let out = l.forward(&x, true);
+        let ones = Tensor::from_vec(vec![1.0; out.len()], out.shape());
+        let gx = l.backward(&ones);
+        let mut grads = vec![0.0; l.param_count()];
+        l.write_grads(&mut grads);
+
+        let mut params = vec![0.0; l.param_count()];
+        l.write_params(&mut params);
+        let eps = 1e-3;
+        for idx in [0usize, 5, 11, 12, 14] {
+            let mut p_hi = params.clone();
+            p_hi[idx] += eps;
+            l.read_params(&p_hi);
+            let hi: f32 = l.forward(&x, false).data().iter().sum();
+            let mut p_lo = params.clone();
+            p_lo[idx] -= eps;
+            l.read_params(&p_lo);
+            let lo: f32 = l.forward(&x, false).data().iter().sum();
+            let fd = (hi - lo) / (2.0 * eps);
+            assert!(
+                (fd - grads[idx]).abs() < 1e-2,
+                "param {idx}: fd={fd} analytic={}",
+                grads[idx]
+            );
+        }
+        // Input gradient via finite differences on one coordinate.
+        l.read_params(&params);
+        let mut x_hi = x.clone();
+        x_hi.data_mut()[2] += eps;
+        let hi: f32 = l.forward(&x_hi, false).data().iter().sum();
+        let mut x_lo = x.clone();
+        x_lo.data_mut()[2] -= eps;
+        let lo: f32 = l.forward(&x_lo, false).data().iter().sum();
+        let fd = (hi - lo) / (2.0 * eps);
+        assert!((fd - gx.data()[2]).abs() < 1e-2);
+    }
+
+    #[test]
+    fn param_roundtrip() {
+        let mut l = layer();
+        let mut before = vec![0.0; l.param_count()];
+        l.write_params(&mut before);
+        let incremented: Vec<f32> = before.iter().map(|p| p + 1.0).collect();
+        l.read_params(&incremented);
+        let mut after = vec![0.0; l.param_count()];
+        l.write_params(&mut after);
+        assert_eq!(after, incremented);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut l = layer();
+        let x = Tensor::from_vec(vec![1.0; 3], &[1, 3]);
+        let out = l.forward(&x, true);
+        let g = Tensor::from_vec(vec![1.0; out.len()], out.shape());
+        l.backward(&g);
+        let mut grads = vec![0.0; l.param_count()];
+        l.write_grads(&mut grads);
+        assert!(grads.iter().any(|&g| g != 0.0));
+        l.zero_grad();
+        l.write_grads(&mut grads);
+        assert!(grads.iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "without a training forward")]
+    fn backward_requires_forward() {
+        let mut l = layer();
+        let g = Tensor::zeros(&[1, 2]);
+        let _ = l.backward(&g);
+    }
+}

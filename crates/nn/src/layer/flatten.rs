@@ -1,0 +1,55 @@
+//! Flattening layer: `[N, ...]` → `[N, prod(...)]`.
+
+use super::Layer;
+use crate::tensor::Tensor;
+
+/// Flattens all non-batch dimensions.
+#[derive(Debug, Clone, Default)]
+pub struct Flatten {
+    in_shape: Vec<usize>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let n = input.batch();
+        let rest: usize = input.shape()[1..].iter().product();
+        if train {
+            self.in_shape = input.shape().to_vec();
+        }
+        input.clone().reshaped(&[n, rest])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert!(
+            !self.in_shape.is_empty(),
+            "flatten backward called without a training forward"
+        );
+        grad_out.clone().reshaped(&self.in_shape.clone())
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(Self::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut f = Flatten::new();
+        let x = Tensor::zeros(&[2, 3, 4, 4]);
+        let out = f.forward(&x, true);
+        assert_eq!(out.shape(), &[2, 48]);
+        let back = f.backward(&out);
+        assert_eq!(back.shape(), &[2, 3, 4, 4]);
+    }
+}

@@ -1,0 +1,63 @@
+//! Neural-network layers with explicit forward/backward passes.
+//!
+//! Every layer exposes its parameters and accumulated gradients through the
+//! flat read/write interface used by [`crate::model::Sequential`] — the
+//! representation all federated-learning aggregation in this workspace
+//! operates on.
+
+mod activation;
+mod conv;
+mod dense;
+mod flatten;
+mod pool;
+
+pub use activation::{ReLU, Tanh};
+pub use conv::Conv2d;
+pub use dense::Dense;
+pub use flatten::Flatten;
+pub use pool::MaxPool2d;
+
+use crate::tensor::Tensor;
+
+/// A differentiable layer.
+///
+/// `forward` caches whatever the subsequent `backward` needs; `backward`
+/// consumes the cache, **accumulates** parameter gradients internally, and
+/// returns the gradient with respect to the layer input.
+pub trait Layer: std::fmt::Debug + Send {
+    /// Forward pass. `train` controls caching (inference can skip it).
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+
+    /// Backward pass; returns the gradient w.r.t. the forward input.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if called before a `forward(_, train=true)`.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Number of trainable parameters.
+    fn param_count(&self) -> usize {
+        0
+    }
+
+    /// Copies the parameters into `out` (length must be `param_count()`).
+    fn write_params(&self, _out: &mut [f32]) {}
+
+    /// Loads parameters from `src` (length must be `param_count()`).
+    fn read_params(&mut self, _src: &[f32]) {}
+
+    /// Copies accumulated gradients into `out`.
+    fn write_grads(&self, _out: &mut [f32]) {}
+
+    /// Clears accumulated gradients.
+    fn zero_grad(&mut self) {}
+
+    /// Clones the layer (parameters included, caches excluded).
+    fn clone_box(&self) -> Box<dyn Layer>;
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}

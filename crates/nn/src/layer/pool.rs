@@ -1,0 +1,123 @@
+//! 2-D max pooling.
+
+use super::Layer;
+use crate::tensor::Tensor;
+
+/// Max pooling over `[N, C, H, W]` with a square window and equal stride
+/// (the LeNet-style `2×2 / stride 2`).
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    size: usize,
+    /// Argmax indices (into the input data buffer) cached for backward.
+    cached: Option<(Vec<usize>, Vec<usize>)>, // (input_shape, argmax)
+}
+
+impl MaxPool2d {
+    /// Creates a pooling layer with the given window size (= stride).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "pool size must be positive");
+        Self { size, cached: None }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let shape = input.shape();
+        assert_eq!(shape.len(), 4, "pool expects [N, C, H, W], got {shape:?}");
+        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let s = self.size;
+        assert!(h >= s && w >= s, "pool input {h}x{w} smaller than window {s}");
+        let oh = h / s;
+        let ow = w / s;
+        let x = input.data();
+        let mut out = vec![0.0f32; n * c * oh * ow];
+        let mut argmax = vec![0usize; out.len()];
+        for bc in 0..n * c {
+            let x_plane = &x[bc * h * w..(bc + 1) * h * w];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0usize;
+                    for ky in 0..s {
+                        for kx in 0..s {
+                            let idx = (oy * s + ky) * w + ox * s + kx;
+                            if x_plane[idx] > best {
+                                best = x_plane[idx];
+                                best_idx = bc * h * w + idx;
+                            }
+                        }
+                    }
+                    let o_idx = bc * oh * ow + oy * ow + ox;
+                    out[o_idx] = best;
+                    argmax[o_idx] = best_idx;
+                }
+            }
+        }
+        if train {
+            self.cached = Some((shape.to_vec(), argmax));
+        }
+        Tensor::from_vec(out, &[n, c, oh, ow])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (in_shape, argmax) = self
+            .cached
+            .take()
+            .expect("pool backward called without a training forward");
+        let mut grad_in = vec![0.0f32; in_shape.iter().product()];
+        for (o_idx, &in_idx) in argmax.iter().enumerate() {
+            grad_in[in_idx] += grad_out.data()[o_idx];
+        }
+        Tensor::from_vec(grad_in, &in_shape)
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(Self { size: self.size, cached: None })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_picks_max() {
+        let mut pool = MaxPool2d::new(2);
+        #[rustfmt::skip]
+        let x = Tensor::from_vec(vec![
+            1.0, 2.0, 3.0, 4.0,
+            5.0, 6.0, 7.0, 8.0,
+            9.0, 1.0, 2.0, 3.0,
+            4.0, 5.0, 6.0, 7.0,
+        ], &[1, 1, 4, 4]);
+        let out = pool.forward(&x, false);
+        assert_eq!(out.shape(), &[1, 1, 2, 2]);
+        assert_eq!(out.data(), &[6.0, 8.0, 9.0, 7.0]);
+    }
+
+    #[test]
+    fn backward_routes_to_argmax() {
+        let mut pool = MaxPool2d::new(2);
+        #[rustfmt::skip]
+        let x = Tensor::from_vec(vec![
+            1.0, 2.0,
+            3.0, 0.5,
+        ], &[1, 1, 2, 2]);
+        let _ = pool.forward(&x, true);
+        let g = Tensor::from_vec(vec![10.0], &[1, 1, 1, 1]);
+        let gx = pool.backward(&g);
+        assert_eq!(gx.data(), &[0.0, 0.0, 10.0, 0.0]);
+    }
+
+    #[test]
+    fn truncates_ragged_edges() {
+        let mut pool = MaxPool2d::new(2);
+        let x = Tensor::zeros(&[1, 1, 5, 5]);
+        let out = pool.forward(&x, false);
+        assert_eq!(out.shape(), &[1, 1, 2, 2]);
+    }
+}

@@ -1,0 +1,52 @@
+//! Minimal neural-network substrate for the CollaPois reproduction.
+//!
+//! The Rust ML ecosystem was not available for this reproduction, so this
+//! crate implements exactly what the paper's experiments need, from scratch:
+//!
+//! * [`tensor`] — a dense row-major `f32` tensor with shape tracking.
+//! * [`layer`] — Dense, Conv2d (valid, stride 1), MaxPool2d, ReLU, Tanh and
+//!   Flatten layers, each with forward/backward passes and parameter access.
+//! * [`loss`] — softmax cross-entropy (hard labels) and distillation loss
+//!   (soft targets with temperature, used by MetaFed).
+//! * [`model`] — [`model::Sequential`], whose parameters are exposed as a
+//!   single **flat `Vec<f32>`**. Federated aggregation, Krum distances,
+//!   Theorem 2's ‖θ − X‖₂ and every other vector-level operation in the
+//!   paper act on this flat representation.
+//! * [`optim`] — plain/momentum SGD and a DP-SGD variant (gradient clipping
+//!   plus Gaussian noise).
+//! * [`zoo`] — the paper's model family: a LeNet-style CNN (2 conv + 2 FC)
+//!   and MLP heads (the Sentiment experiments train a small head over frozen
+//!   embeddings).
+//!
+//! # Example
+//!
+//! ```
+//! use collapois_nn::zoo::ModelSpec;
+//! use collapois_nn::optim::Sgd;
+//! use collapois_nn::tensor::Tensor;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut model = ModelSpec::mlp(4, &[8], 3).build(&mut rng);
+//! let x = Tensor::zeros(&[2, 4]);
+//! let labels = [0usize, 2];
+//! let mut opt = Sgd::new(0.1);
+//! let stats = model.train_batch(&x, &labels, &mut opt);
+//! assert!(stats.loss > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod init;
+pub mod layer;
+pub mod loss;
+pub mod model;
+pub mod optim;
+pub mod tensor;
+pub mod zoo;
+
+pub use model::Sequential;
+pub use optim::Sgd;
+pub use tensor::Tensor;
+pub use zoo::ModelSpec;

@@ -1,0 +1,212 @@
+//! Loss functions: softmax cross-entropy (hard labels) and distillation
+//! loss (soft targets), plus the softmax itself.
+
+use crate::tensor::Tensor;
+
+/// Numerically stable softmax over the last dimension of a `[N, K]` tensor.
+pub fn softmax(logits: &Tensor) -> Tensor {
+    let n = logits.batch();
+    let k = logits.len() / n.max(1);
+    let mut out = logits.clone();
+    for i in 0..n {
+        let row = &mut out.data_mut()[i * k..(i + 1) * k];
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+/// Loss value plus the gradient with respect to the logits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LossOutput {
+    /// Mean loss over the batch.
+    pub loss: f64,
+    /// Gradient w.r.t. the logits, already divided by the batch size.
+    pub grad: Tensor,
+    /// Number of correct argmax predictions in the batch.
+    pub correct: usize,
+}
+
+/// Softmax cross-entropy against integer class labels.
+///
+/// # Panics
+///
+/// Panics if `labels.len()` differs from the batch size or any label is out
+/// of range.
+pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> LossOutput {
+    let n = logits.batch();
+    assert_eq!(labels.len(), n, "labels/batch mismatch");
+    let k = logits.len() / n.max(1);
+    let probs = softmax(logits);
+    let mut grad = probs.clone();
+    let mut loss = 0.0f64;
+    let mut correct = 0usize;
+    for (i, &y) in labels.iter().enumerate() {
+        assert!(y < k, "label {y} out of range for {k} classes");
+        let row = probs.row(i);
+        loss += -(row[y].max(1e-12) as f64).ln();
+        let pred = argmax(row);
+        if pred == y {
+            correct += 1;
+        }
+        grad.data_mut()[i * k + y] -= 1.0;
+    }
+    let inv_n = 1.0 / n as f32;
+    for g in grad.data_mut() {
+        *g *= inv_n;
+    }
+    LossOutput { loss: loss / n as f64, grad, correct }
+}
+
+/// Distillation loss: cross-entropy of the student's temperature-softened
+/// softmax against the teacher's soft targets (`[N, K]`, rows on the
+/// simplex). Used by MetaFed's cyclic knowledge distillation.
+///
+/// # Panics
+///
+/// Panics if shapes mismatch or `temperature <= 0`.
+pub fn distillation(logits: &Tensor, soft_targets: &Tensor, temperature: f64) -> LossOutput {
+    assert!(temperature > 0.0, "temperature must be positive");
+    assert_eq!(logits.shape(), soft_targets.shape(), "distillation shape mismatch");
+    let n = logits.batch();
+    let k = logits.len() / n.max(1);
+    let t = temperature as f32;
+    let mut scaled = logits.clone();
+    for v in scaled.data_mut() {
+        *v /= t;
+    }
+    let probs = softmax(&scaled);
+    let mut grad = probs.clone();
+    let mut loss = 0.0f64;
+    let mut correct = 0usize;
+    for i in 0..n {
+        let p = probs.row(i);
+        let q = soft_targets.row(i);
+        for j in 0..k {
+            loss += -(q[j] as f64) * (p[j].max(1e-12) as f64).ln();
+            grad.data_mut()[i * k + j] -= q[j];
+        }
+        if argmax(p) == argmax(q) {
+            correct += 1;
+        }
+    }
+    // dL/dz = (p − q)/T per sample; the standard T² correction multiplies the
+    // loss by T², leaving a net factor of T (then 1/n for the batch mean).
+    let scale = t / n as f32;
+    for g in grad.data_mut() {
+        *g *= scale;
+    }
+    LossOutput { loss: loss / n as f64, grad, correct }
+}
+
+/// Index of the maximum element (first on ties).
+pub fn argmax(xs: &[f32]) -> usize {
+    let mut best = 0usize;
+    let mut best_v = f32::NEG_INFINITY;
+    for (i, &v) in xs.iter().enumerate() {
+        if v > best_v {
+            best_v = v;
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]);
+        let p = softmax(&logits);
+        for i in 0..2 {
+            let s: f32 = p.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+            assert!(p.row(i).iter().all(|&v| v > 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_handles_large_logits() {
+        let logits = Tensor::from_vec(vec![1000.0, 0.0], &[1, 2]);
+        let p = softmax(&logits);
+        assert!((p.data()[0] - 1.0).abs() < 1e-6);
+        assert!(p.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn cross_entropy_perfect_prediction() {
+        let logits = Tensor::from_vec(vec![10.0, -10.0, -10.0], &[1, 3]);
+        let out = cross_entropy(&logits, &[0]);
+        assert!(out.loss < 1e-6);
+        assert_eq!(out.correct, 1);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_log_k() {
+        let logits = Tensor::zeros(&[4, 5]);
+        let out = cross_entropy(&logits, &[0, 1, 2, 3]);
+        assert!((out.loss - (5.0f64).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_grad_matches_finite_difference() {
+        let logits = Tensor::from_vec(vec![0.5, -0.2, 0.1, 0.9, 0.0, -0.4], &[2, 3]);
+        let labels = [2usize, 0];
+        let out = cross_entropy(&logits, &labels);
+        let eps = 1e-3;
+        for idx in 0..6 {
+            let mut hi = logits.clone();
+            hi.data_mut()[idx] += eps;
+            let mut lo = logits.clone();
+            lo.data_mut()[idx] -= eps;
+            let fd = (cross_entropy(&hi, &labels).loss - cross_entropy(&lo, &labels).loss)
+                / (2.0 * eps as f64);
+            assert!(
+                (fd - out.grad.data()[idx] as f64).abs() < 1e-3,
+                "idx {idx}: fd={fd} analytic={}",
+                out.grad.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn distillation_zero_when_matching() {
+        // Teacher equals student softmax ⇒ gradient ≈ 0.
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 0.5], &[1, 3]);
+        let targets = softmax(&logits);
+        let out = distillation(&logits, &targets, 1.0);
+        assert!(out.grad.data().iter().all(|g| g.abs() < 1e-6));
+    }
+
+    #[test]
+    fn distillation_pulls_toward_teacher() {
+        let logits = Tensor::from_vec(vec![0.0, 0.0], &[1, 2]);
+        let targets = Tensor::from_vec(vec![0.9, 0.1], &[1, 2]);
+        let out = distillation(&logits, &targets, 2.0);
+        // Gradient on logit 0 must be negative (increase it).
+        assert!(out.grad.data()[0] < 0.0);
+        assert!(out.grad.data()[1] > 0.0);
+    }
+
+    #[test]
+    fn argmax_first_on_ties() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), 1);
+        assert_eq!(argmax(&[-5.0]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cross_entropy_rejects_bad_label() {
+        let logits = Tensor::zeros(&[1, 3]);
+        let _ = cross_entropy(&logits, &[3]);
+    }
+}

@@ -1,0 +1,368 @@
+//! Sequential model with a flat-parameter view.
+//!
+//! Federated learning in this workspace treats a model as a point
+//! `θ ∈ R^m`: aggregation rules, Krum distances, CollaPois' `ψ(X − θ)`
+//! update, and Theorem 2's `‖θ − X‖₂` all operate on the flat vector
+//! returned by [`Sequential::params`].
+
+use crate::layer::Layer;
+use crate::loss::{argmax, cross_entropy, distillation, softmax, LossOutput};
+use crate::optim::Optimizer;
+use crate::tensor::Tensor;
+
+/// A stack of layers applied in order.
+#[derive(Debug, Clone, Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+/// Per-batch training statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BatchStats {
+    /// Mean loss over the batch.
+    pub loss: f64,
+    /// Fraction of correct predictions in the batch.
+    pub accuracy: f64,
+}
+
+impl Sequential {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a layer (builder style).
+    pub fn push(mut self, layer: Box<dyn Layer>) -> Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Number of layers.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    /// Forward pass through all layers.
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, train);
+        }
+        x
+    }
+
+    /// Backward pass; feeds `grad` (w.r.t. the final output) through the
+    /// layers in reverse, accumulating parameter gradients.
+    pub fn backward(&mut self, grad: &Tensor) {
+        let _ = self.backward_with_input_grad(grad);
+    }
+
+    /// Backward pass that also returns the gradient with respect to the
+    /// network *input* — the quantity trigger-reconstruction defenses like
+    /// Neural Cleanse optimize over.
+    pub fn backward_with_input_grad(&mut self, grad: &Tensor) -> Tensor {
+        let mut g = grad.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    /// Gradient of the cross-entropy loss with respect to the input batch
+    /// (parameter gradients are also accumulated; call
+    /// [`Sequential::zero_grad`] if they matter). Returns `(input_grad,
+    /// stats)`.
+    pub fn input_gradient(&mut self, x: &Tensor, labels: &[usize]) -> (Tensor, BatchStats) {
+        self.zero_grad();
+        let logits = self.forward(x, true);
+        let LossOutput { loss, grad, correct } = cross_entropy(&logits, labels);
+        let gx = self.backward_with_input_grad(&grad);
+        (gx, BatchStats { loss, accuracy: correct as f64 / labels.len().max(1) as f64 })
+    }
+
+    /// Clears accumulated gradients in every layer.
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+
+    /// The model parameters as one flat vector (layer order, weights then
+    /// biases within each layer).
+    pub fn params(&self) -> Vec<f32> {
+        let mut out = vec![0.0; self.param_count()];
+        let mut offset = 0;
+        for layer in &self.layers {
+            let n = layer.param_count();
+            layer.write_params(&mut out[offset..offset + n]);
+            offset += n;
+        }
+        out
+    }
+
+    /// Loads parameters from a flat vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len() != self.param_count()`.
+    pub fn set_params(&mut self, src: &[f32]) {
+        assert_eq!(src.len(), self.param_count(), "set_params length mismatch");
+        let mut offset = 0;
+        for layer in &mut self.layers {
+            let n = layer.param_count();
+            layer.read_params(&src[offset..offset + n]);
+            offset += n;
+        }
+    }
+
+    /// The accumulated gradients as one flat vector.
+    pub fn grads(&self) -> Vec<f32> {
+        let mut out = vec![0.0; self.param_count()];
+        let mut offset = 0;
+        for layer in &self.layers {
+            let n = layer.param_count();
+            layer.write_grads(&mut out[offset..offset + n]);
+            offset += n;
+        }
+        out
+    }
+
+    /// One SGD step on a labelled batch: forward, cross-entropy backward,
+    /// optimizer update. Returns loss/accuracy for the batch.
+    pub fn train_batch(
+        &mut self,
+        x: &Tensor,
+        labels: &[usize],
+        optimizer: &mut dyn Optimizer,
+    ) -> BatchStats {
+        self.zero_grad();
+        let logits = self.forward(x, true);
+        let LossOutput { loss, grad, correct } = cross_entropy(&logits, labels);
+        self.backward(&grad);
+        let mut params = self.params();
+        let grads = self.grads();
+        optimizer.step(&mut params, &grads);
+        self.set_params(&params);
+        BatchStats { loss, accuracy: correct as f64 / labels.len().max(1) as f64 }
+    }
+
+    /// One SGD step distilling toward soft targets (MetaFed's KD step).
+    pub fn distill_batch(
+        &mut self,
+        x: &Tensor,
+        soft_targets: &Tensor,
+        temperature: f64,
+        optimizer: &mut dyn Optimizer,
+    ) -> BatchStats {
+        self.zero_grad();
+        let logits = self.forward(x, true);
+        let LossOutput { loss, grad, correct } = distillation(&logits, soft_targets, temperature);
+        self.backward(&grad);
+        let mut params = self.params();
+        let grads = self.grads();
+        optimizer.step(&mut params, &grads);
+        self.set_params(&params);
+        BatchStats { loss, accuracy: correct as f64 / x.batch().max(1) as f64 }
+    }
+
+    /// Computes per-batch gradients without applying them; the flat gradient
+    /// is left accumulated in the layers (read with [`Sequential::grads`]).
+    pub fn compute_grads(&mut self, x: &Tensor, labels: &[usize]) -> BatchStats {
+        self.zero_grad();
+        let logits = self.forward(x, true);
+        let LossOutput { loss, grad, correct } = cross_entropy(&logits, labels);
+        self.backward(&grad);
+        BatchStats { loss, accuracy: correct as f64 / labels.len().max(1) as f64 }
+    }
+
+    /// Predicted class for every sample in the batch.
+    pub fn predict(&mut self, x: &Tensor) -> Vec<usize> {
+        let logits = self.forward(x, false);
+        let n = logits.batch();
+        (0..n).map(|i| argmax(logits.row(i))).collect()
+    }
+
+    /// Class-probability rows (softmax outputs) for the batch.
+    pub fn predict_proba(&mut self, x: &Tensor) -> Tensor {
+        let logits = self.forward(x, false);
+        softmax(&logits)
+    }
+
+    /// Classification accuracy on a labelled batch.
+    pub fn evaluate(&mut self, x: &Tensor, labels: &[usize]) -> f64 {
+        if labels.is_empty() {
+            return 0.0;
+        }
+        let preds = self.predict(x);
+        let correct = preds.iter().zip(labels).filter(|(p, y)| p == y).count();
+        correct as f64 / labels.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Dense, ReLU};
+    use crate::optim::Sgd;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_model(seed: u64) -> Sequential {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Sequential::new()
+            .push(Box::new(Dense::new(&mut rng, 2, 8)))
+            .push(Box::new(ReLU::new()))
+            .push(Box::new(Dense::new(&mut rng, 8, 2)))
+    }
+
+    /// XOR-ish separable data.
+    fn toy_data() -> (Tensor, Vec<usize>) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..40 {
+            let t = i as f32 / 40.0;
+            // Class 0 near (0,0), class 1 near (1,1).
+            if i % 2 == 0 {
+                xs.extend_from_slice(&[0.1 * t, 0.1 * (1.0 - t)]);
+                ys.push(0);
+            } else {
+                xs.extend_from_slice(&[1.0 - 0.1 * t, 1.0 - 0.1 * (1.0 - t)]);
+                ys.push(1);
+            }
+        }
+        (Tensor::from_vec(xs, &[40, 2]), ys)
+    }
+
+    #[test]
+    fn param_roundtrip_is_identity() {
+        let mut m = tiny_model(0);
+        let p = m.params();
+        assert_eq!(p.len(), m.param_count());
+        m.set_params(&p);
+        assert_eq!(m.params(), p);
+    }
+
+    #[test]
+    fn training_reduces_loss_and_learns() {
+        let mut m = tiny_model(1);
+        let (x, y) = toy_data();
+        let mut opt = Sgd::new(0.5);
+        let first = m.train_batch(&x, &y, &mut opt).loss;
+        let mut last = first;
+        for _ in 0..100 {
+            last = m.train_batch(&x, &y, &mut opt).loss;
+        }
+        assert!(last < first * 0.5, "loss did not decrease: {first} -> {last}");
+        assert!(m.evaluate(&x, &y) > 0.95);
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut m = tiny_model(2);
+        let c = m.clone();
+        let (x, y) = toy_data();
+        let mut opt = Sgd::new(0.5);
+        let before = c.params();
+        m.train_batch(&x, &y, &mut opt);
+        assert_eq!(c.params(), before, "training the original must not affect the clone");
+        assert_ne!(m.params(), before);
+    }
+
+    #[test]
+    fn grads_have_param_length() {
+        let mut m = tiny_model(3);
+        let (x, y) = toy_data();
+        m.compute_grads(&x, &y);
+        assert_eq!(m.grads().len(), m.param_count());
+        m.zero_grad();
+        assert!(m.grads().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn predict_proba_rows_sum_to_one() {
+        let mut m = tiny_model(4);
+        let (x, _) = toy_data();
+        let p = m.predict_proba(&x);
+        for i in 0..x.batch() {
+            let s: f32 = p.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn distillation_moves_student_toward_teacher() {
+        let mut teacher = tiny_model(5);
+        let (x, y) = toy_data();
+        let mut opt = Sgd::new(0.5);
+        for _ in 0..100 {
+            teacher.train_batch(&x, &y, &mut opt);
+        }
+        let targets = teacher.predict_proba(&x);
+        let mut student = tiny_model(6);
+        let mut s_opt = Sgd::new(0.2);
+        let first = student.distill_batch(&x, &targets, 2.0, &mut s_opt).loss;
+        let mut last = first;
+        for _ in 0..100 {
+            last = student.distill_batch(&x, &targets, 2.0, &mut s_opt).loss;
+        }
+        assert!(last < first, "distillation loss did not decrease");
+        assert!(student.evaluate(&x, &y) > 0.9);
+    }
+
+    #[test]
+    fn evaluate_empty_labels_is_zero() {
+        let mut m = tiny_model(7);
+        assert_eq!(m.evaluate(&Tensor::zeros(&[0, 2]), &[]), 0.0);
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let mut m = tiny_model(8);
+        let x = Tensor::from_vec(vec![0.4, -0.2, 0.8, 0.1], &[2, 2]);
+        let labels = [0usize, 1];
+        let (gx, _) = m.input_gradient(&x, &labels);
+        assert_eq!(gx.shape(), x.shape());
+        let eps = 1e-3f32;
+        for idx in 0..4 {
+            let mut hi = x.clone();
+            hi.data_mut()[idx] += eps;
+            let mut lo = x.clone();
+            lo.data_mut()[idx] -= eps;
+            let l_hi = {
+                let logits = m.forward(&hi, false);
+                crate::loss::cross_entropy(&logits, &labels).loss
+            };
+            let l_lo = {
+                let logits = m.forward(&lo, false);
+                crate::loss::cross_entropy(&logits, &labels).loss
+            };
+            let fd = (l_hi - l_lo) / (2.0 * eps as f64);
+            assert!(
+                (fd - gx.data()[idx] as f64).abs() < 1e-3,
+                "idx {idx}: fd={fd} analytic={}",
+                gx.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn input_gradient_descends_loss() {
+        // Moving the input against its gradient must reduce the loss — the
+        // operation Neural Cleanse relies on.
+        let mut m = tiny_model(9);
+        let mut x = Tensor::from_vec(vec![0.5, 0.5], &[1, 2]);
+        let labels = [1usize];
+        let (gx, before) = m.input_gradient(&x, &labels);
+        for (xv, g) in x.data_mut().iter_mut().zip(gx.data()) {
+            *xv -= 0.5 * g;
+        }
+        let logits = m.forward(&x, false);
+        let after = crate::loss::cross_entropy(&logits, &labels).loss;
+        assert!(after < before.loss, "{after} !< {}", before.loss);
+    }
+}

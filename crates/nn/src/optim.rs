@@ -1,0 +1,234 @@
+//! Gradient-descent optimizers over flat parameter vectors.
+
+use collapois_stats::distribution::standard_normal;
+use collapois_stats::geometry::clip_to_norm;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// An optimizer that updates a flat parameter vector in place given a flat
+/// gradient of the same length.
+pub trait Optimizer: std::fmt::Debug + Send {
+    /// Applies one update step. `params` and `grads` must have equal length.
+    fn step(&mut self, params: &mut [f32], grads: &[f32]);
+
+    /// Current base learning rate.
+    fn learning_rate(&self) -> f64;
+
+    /// Sets the base learning rate (e.g. for decay schedules).
+    fn set_learning_rate(&mut self, lr: f64);
+}
+
+/// Stochastic gradient descent with optional momentum and weight decay.
+///
+/// # Example
+///
+/// ```
+/// use collapois_nn::optim::{Optimizer, Sgd};
+/// let mut opt = Sgd::new(0.5);
+/// let mut params = vec![1.0f32];
+/// opt.step(&mut params, &[2.0]);
+/// assert!((params[0] - 0.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f64,
+    momentum: f64,
+    weight_decay: f64,
+    velocity: Vec<f32>,
+}
+
+impl Sgd {
+    /// Plain SGD with the given learning rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`.
+    pub fn new(lr: f64) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Self { lr, momentum: 0.0, weight_decay: 0.0, velocity: Vec::new() }
+    }
+
+    /// Adds classical momentum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `momentum` is outside `[0, 1)`.
+    pub fn with_momentum(mut self, momentum: f64) -> Self {
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0,1)");
+        self.momentum = momentum;
+        self
+    }
+
+    /// Adds l2 weight decay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight_decay < 0`.
+    pub fn with_weight_decay(mut self, weight_decay: f64) -> Self {
+        assert!(weight_decay >= 0.0, "weight decay must be non-negative");
+        self.weight_decay = weight_decay;
+        self
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len(), "params/grads length mismatch");
+        let lr = self.lr as f32;
+        let wd = self.weight_decay as f32;
+        if self.momentum > 0.0 {
+            if self.velocity.len() != params.len() {
+                self.velocity = vec![0.0; params.len()];
+            }
+            let mu = self.momentum as f32;
+            for ((p, &g), v) in params.iter_mut().zip(grads).zip(&mut self.velocity) {
+                let g = g + wd * *p;
+                *v = mu * *v + g;
+                *p -= lr * *v;
+            }
+        } else {
+            for (p, &g) in params.iter_mut().zip(grads) {
+                *p -= lr * (g + wd * *p);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f64) {
+        assert!(lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+}
+
+/// DP-SGD: per-step gradient clipping to an l2 bound followed by Gaussian
+/// noise of scale `noise_multiplier * clip_bound / 1` — the client-side
+/// differentially private optimizer referenced by the paper's DP defense
+/// [Hong et al. 2020].
+#[derive(Debug)]
+pub struct DpSgd {
+    inner: Sgd,
+    clip_bound: f64,
+    noise_multiplier: f64,
+    rng: StdRng,
+    scratch: Vec<f32>,
+}
+
+impl DpSgd {
+    /// Creates a DP-SGD optimizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`, `clip_bound <= 0` or `noise_multiplier < 0`.
+    pub fn new(lr: f64, clip_bound: f64, noise_multiplier: f64, seed: u64) -> Self {
+        assert!(clip_bound > 0.0, "clip bound must be positive");
+        assert!(noise_multiplier >= 0.0, "noise multiplier must be non-negative");
+        Self {
+            inner: Sgd::new(lr),
+            clip_bound,
+            noise_multiplier,
+            rng: StdRng::seed_from_u64(seed),
+            scratch: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for DpSgd {
+    fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        self.scratch.clear();
+        self.scratch.extend_from_slice(grads);
+        clip_to_norm(&mut self.scratch, self.clip_bound);
+        if self.noise_multiplier > 0.0 {
+            let sigma = (self.noise_multiplier * self.clip_bound) as f32;
+            for g in &mut self.scratch {
+                *g += sigma * standard_normal(&mut self.rng) as f32;
+            }
+        }
+        // Split borrow: step on a temporary to avoid aliasing scratch.
+        let scratch = std::mem::take(&mut self.scratch);
+        self.inner.step(params, &scratch);
+        self.scratch = scratch;
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.inner.learning_rate()
+    }
+
+    fn set_learning_rate(&mut self, lr: f64) {
+        self.inner.set_learning_rate(lr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use collapois_stats::geometry::l2_norm;
+
+    #[test]
+    fn sgd_basic_step() {
+        let mut opt = Sgd::new(0.1);
+        let mut p = vec![1.0f32, -1.0];
+        opt.step(&mut p, &[1.0, -1.0]);
+        assert!((p[0] - 0.9).abs() < 1e-6);
+        assert!((p[1] + 0.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sgd_momentum_accumulates() {
+        let mut opt = Sgd::new(0.1).with_momentum(0.9);
+        let mut p = vec![0.0f32];
+        opt.step(&mut p, &[1.0]);
+        let first = p[0];
+        opt.step(&mut p, &[1.0]);
+        let second_delta = p[0] - first;
+        // Second step is larger due to momentum.
+        assert!(second_delta.abs() > first.abs());
+    }
+
+    #[test]
+    fn sgd_weight_decay_shrinks_params() {
+        let mut opt = Sgd::new(0.1).with_weight_decay(0.5);
+        let mut p = vec![1.0f32];
+        opt.step(&mut p, &[0.0]);
+        assert!(p[0] < 1.0);
+    }
+
+    #[test]
+    fn dp_sgd_clips_gradient() {
+        let mut opt = DpSgd::new(1.0, 1.0, 0.0, 0);
+        let mut p = vec![0.0f32, 0.0];
+        opt.step(&mut p, &[30.0, 40.0]); // norm 50, clipped to 1
+        assert!((l2_norm(&p) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn dp_sgd_adds_noise() {
+        let mut a = DpSgd::new(1.0, 1.0, 1.0, 1);
+        let mut b = DpSgd::new(1.0, 1.0, 1.0, 2);
+        let mut pa = vec![0.0f32; 8];
+        let mut pb = vec![0.0f32; 8];
+        let g = vec![0.0f32; 8];
+        a.step(&mut pa, &g);
+        b.step(&mut pb, &g);
+        assert_ne!(pa, pb, "different seeds must produce different noise");
+        assert!(pa.iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn sgd_rejects_length_mismatch() {
+        let mut opt = Sgd::new(0.1);
+        let mut p = vec![0.0f32; 2];
+        opt.step(&mut p, &[1.0]);
+    }
+
+    #[test]
+    fn learning_rate_accessors() {
+        let mut opt = Sgd::new(0.1);
+        assert!((opt.learning_rate() - 0.1).abs() < 1e-12);
+        opt.set_learning_rate(0.01);
+        assert!((opt.learning_rate() - 0.01).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,229 @@
+//! Vector geometry over `f32` slices (the parameter/gradient representation
+//! used by the NN substrate).
+//!
+//! Angles between client gradients are the paper's central observable: Fig. 3
+//! plots average pairwise angles as a function of the Dirichlet α, Theorem 1
+//! models the angle βᵢ between a benign gradient and the aggregated malicious
+//! gradient, and Fig. 6's stealth argument is about matching angle statistics.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch {} vs {}", a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| x as f64 * y as f64).sum()
+}
+
+/// Euclidean (l2) norm.
+pub fn l2_norm(a: &[f32]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// l2 distance between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn l2_distance(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "l2_distance: length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = x as f64 - y as f64;
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Cosine similarity in `[-1, 1]`; `None` if either vector is (numerically)
+/// zero.
+pub fn cosine_similarity(a: &[f32], b: &[f32]) -> Option<f64> {
+    let na = l2_norm(a);
+    let nb = l2_norm(b);
+    if na <= f64::EPSILON || nb <= f64::EPSILON {
+        return None;
+    }
+    Some((dot(a, b) / (na * nb)).clamp(-1.0, 1.0))
+}
+
+/// Angle between two vectors in radians, in `[0, π]`; `None` for zero
+/// vectors.
+///
+/// ```
+/// use collapois_stats::geometry::angle_between;
+/// let a = [1.0_f32, 0.0];
+/// let theta = angle_between(&a, &[1.0, 1.0]).unwrap();
+/// assert!((theta - std::f64::consts::FRAC_PI_4).abs() < 1e-6);
+/// ```
+pub fn angle_between(a: &[f32], b: &[f32]) -> Option<f64> {
+    cosine_similarity(a, b).map(f64::acos)
+}
+
+/// Cosine similarity over `f64` slices (used for label-distribution vectors,
+/// Eq. 9 of the paper); `None` for zero vectors.
+pub fn cosine_similarity_f64(a: &[f64], b: &[f64]) -> Option<f64> {
+    assert_eq!(a.len(), b.len(), "cosine_similarity_f64: length mismatch");
+    let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if na <= f64::EPSILON || nb <= f64::EPSILON {
+        return None;
+    }
+    Some((dot / (na * nb)).clamp(-1.0, 1.0))
+}
+
+/// Mean of all pairwise angles (radians) among a set of vectors.
+/// Pairs where either vector is zero are skipped. Returns `None` if no valid
+/// pair exists.
+pub fn mean_pairwise_angle(vectors: &[&[f32]]) -> Option<f64> {
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for i in 0..vectors.len() {
+        for j in (i + 1)..vectors.len() {
+            if let Some(theta) = angle_between(vectors[i], vectors[j]) {
+                sum += theta;
+                count += 1;
+            }
+        }
+    }
+    if count == 0 {
+        None
+    } else {
+        Some(sum / count as f64)
+    }
+}
+
+/// All angles (radians) between each vector in `set` and a single
+/// `reference` vector, skipping zero vectors.
+pub fn angles_to_reference(set: &[&[f32]], reference: &[f32]) -> Vec<f64> {
+    set.iter()
+        .filter_map(|v| angle_between(v, reference))
+        .collect()
+}
+
+/// Scales `v` in place so its l2 norm equals `target` (no-op on zero
+/// vectors or non-positive targets).
+pub fn rescale_to_norm(v: &mut [f32], target: f64) {
+    let n = l2_norm(v);
+    if n <= f64::EPSILON || target <= 0.0 {
+        return;
+    }
+    let s = (target / n) as f32;
+    for x in v {
+        *x *= s;
+    }
+}
+
+/// Clips `v` in place so its l2 norm is at most `bound` (no-op if already
+/// within the bound or `bound <= 0`).
+pub fn clip_to_norm(v: &mut [f32], bound: f64) {
+    let n = l2_norm(v);
+    if bound > 0.0 && n > bound {
+        rescale_to_norm(v, bound);
+    }
+}
+
+/// Element-wise mean of equal-length vectors. Returns `None` if the input is
+/// empty.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+pub fn mean_vector(vectors: &[&[f32]]) -> Option<Vec<f32>> {
+    let first = vectors.first()?;
+    let dim = first.len();
+    let mut acc = vec![0.0f64; dim];
+    for v in vectors {
+        assert_eq!(v.len(), dim, "mean_vector: length mismatch");
+        for (a, &x) in acc.iter_mut().zip(v.iter()) {
+            *a += x as f64;
+        }
+    }
+    let n = vectors.len() as f64;
+    Some(acc.into_iter().map(|a| (a / n) as f32).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert!((l2_norm(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert!((l2_distance(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_extremes() {
+        assert!((cosine_similarity(&[1.0, 0.0], &[2.0, 0.0]).unwrap() - 1.0).abs() < 1e-9);
+        assert!((cosine_similarity(&[1.0, 0.0], &[-3.0, 0.0]).unwrap() + 1.0).abs() < 1e-9);
+        assert!(cosine_similarity(&[1.0, 0.0], &[0.0, 5.0]).unwrap().abs() < 1e-9);
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 1.0]), None);
+    }
+
+    #[test]
+    fn angle_right_and_opposite() {
+        let th = angle_between(&[1.0, 0.0], &[0.0, 1.0]).unwrap();
+        assert!((th - std::f64::consts::FRAC_PI_2).abs() < 1e-9);
+        let th = angle_between(&[1.0, 0.0], &[-1.0, 0.0]).unwrap();
+        assert!((th - std::f64::consts::PI).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_pairwise_angle_of_axes() {
+        let x = [1.0f32, 0.0, 0.0];
+        let y = [0.0f32, 1.0, 0.0];
+        let z = [0.0f32, 0.0, 1.0];
+        let m = mean_pairwise_angle(&[&x, &y, &z]).unwrap();
+        assert!((m - std::f64::consts::FRAC_PI_2).abs() < 1e-9);
+        assert_eq!(mean_pairwise_angle(&[&x]), None);
+    }
+
+    #[test]
+    fn angles_to_reference_skips_zero() {
+        let zero = [0.0f32, 0.0];
+        let a = [1.0f32, 0.0];
+        let angles = angles_to_reference(&[&zero, &a], &[1.0, 0.0]);
+        assert_eq!(angles.len(), 1);
+        assert!(angles[0].abs() < 1e-6);
+    }
+
+    #[test]
+    fn rescale_and_clip() {
+        let mut v = vec![3.0f32, 4.0];
+        rescale_to_norm(&mut v, 10.0);
+        assert!((l2_norm(&v) - 10.0).abs() < 1e-5);
+        clip_to_norm(&mut v, 1.0);
+        assert!((l2_norm(&v) - 1.0).abs() < 1e-5);
+        // Already within bound: unchanged.
+        let before = v.clone();
+        clip_to_norm(&mut v, 5.0);
+        assert_eq!(v, before);
+        // Zero vector untouched.
+        let mut z = vec![0.0f32; 4];
+        rescale_to_norm(&mut z, 5.0);
+        assert!(z.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn mean_vector_basic() {
+        let a = [1.0f32, 2.0];
+        let b = [3.0f32, 4.0];
+        let m = mean_vector(&[&a, &b]).unwrap();
+        assert_eq!(m, vec![2.0, 3.0]);
+        assert_eq!(mean_vector(&[]), None);
+    }
+
+    #[test]
+    fn cosine_f64_for_label_distributions() {
+        let p = [0.5f64, 0.5, 0.0];
+        let q = [0.5f64, 0.5, 0.0];
+        assert!((cosine_similarity_f64(&p, &q).unwrap() - 1.0).abs() < 1e-12);
+        let r = [0.0f64, 0.0, 1.0];
+        assert!(cosine_similarity_f64(&p, &r).unwrap().abs() < 1e-12);
+    }
+}

@@ -1,0 +1,98 @@
+//! Hoeffding concentration bounds.
+//!
+//! Theorem 1 of the paper approximates `Σψ_c` by `|C|·(a+b)/2` and `Σβᵢ²` by
+//! its expectation; the paper notes both approximation errors are controlled
+//! by Hoeffding's inequality. This module provides the deviation bound and
+//! the induced relative error on the `|C|` lower bound, which Fig. 4 plots.
+
+/// Hoeffding deviation: with probability at least `1 − delta`, the mean of
+/// `n` independent samples bounded in `[lo, hi]` deviates from its
+/// expectation by at most the returned epsilon.
+///
+/// `ε = (hi − lo) · sqrt(ln(2/δ) / (2n))`
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `hi < lo`, or `delta` is outside `(0, 1)`.
+///
+/// # Example
+///
+/// ```
+/// let eps = collapois_stats::hoeffding::deviation(1000, 0.0, 1.0, 0.05);
+/// assert!(eps < 0.05);
+/// ```
+pub fn deviation(n: usize, lo: f64, hi: f64, delta: f64) -> f64 {
+    assert!(n > 0, "hoeffding deviation needs n > 0");
+    assert!(hi >= lo, "hoeffding deviation needs hi >= lo");
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+    (hi - lo) * ((2.0 / delta).ln() / (2.0 * n as f64)).sqrt()
+}
+
+/// One-sided tail: probability that the sample mean of `n` values in
+/// `[lo, hi]` exceeds its expectation by more than `t`.
+///
+/// `P ≤ exp(−2 n t² / (hi − lo)²)`
+///
+/// # Panics
+///
+/// Panics if `hi <= lo`.
+pub fn tail_probability(n: usize, lo: f64, hi: f64, t: f64) -> f64 {
+    assert!(hi > lo, "hoeffding tail needs hi > lo");
+    if t <= 0.0 {
+        return 1.0;
+    }
+    (-2.0 * n as f64 * t * t / (hi - lo).powi(2)).exp().min(1.0)
+}
+
+/// Sample size required so the Hoeffding deviation is at most `eps` with
+/// confidence `1 − delta`.
+///
+/// # Panics
+///
+/// Panics if `eps <= 0`, `hi <= lo`, or `delta` outside `(0, 1)`.
+pub fn required_samples(lo: f64, hi: f64, eps: f64, delta: f64) -> usize {
+    assert!(eps > 0.0, "eps must be positive");
+    assert!(hi > lo, "required_samples needs hi > lo");
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+    let n = (hi - lo).powi(2) * (2.0 / delta).ln() / (2.0 * eps * eps);
+    n.ceil() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deviation_shrinks_with_n() {
+        let e1 = deviation(100, 0.0, 1.0, 0.05);
+        let e2 = deviation(10_000, 0.0, 1.0, 0.05);
+        assert!(e2 < e1);
+        assert!((e1 / e2 - 10.0).abs() < 1e-9); // sqrt(10000/100) = 10
+    }
+
+    #[test]
+    fn deviation_scales_with_range() {
+        let e1 = deviation(100, 0.0, 1.0, 0.05);
+        let e2 = deviation(100, 0.0, 2.0, 0.05);
+        assert!((e2 / e1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tail_probability_monotone() {
+        let p1 = tail_probability(100, 0.0, 1.0, 0.05);
+        let p2 = tail_probability(100, 0.0, 1.0, 0.2);
+        assert!(p2 < p1);
+        assert_eq!(tail_probability(100, 0.0, 1.0, 0.0), 1.0);
+        assert_eq!(tail_probability(100, 0.0, 1.0, -1.0), 1.0);
+    }
+
+    #[test]
+    fn required_samples_roundtrip() {
+        let n = required_samples(0.0, 1.0, 0.01, 0.05);
+        let eps = deviation(n, 0.0, 1.0, 0.05);
+        assert!(eps <= 0.01 + 1e-9);
+        // One fewer sample must not suffice.
+        let eps_short = deviation(n - 1, 0.0, 1.0, 0.05);
+        assert!(eps_short > 0.01 - 1e-6);
+    }
+}

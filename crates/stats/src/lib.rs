@@ -1,0 +1,45 @@
+//! Statistical substrate for the CollaPois reproduction.
+//!
+//! The paper's analysis leans on a handful of statistical tools that have no
+//! counterpart in the allowed dependency set, so this crate implements them
+//! from scratch:
+//!
+//! * [`special`] — special functions (log-gamma, regularized incomplete
+//!   beta/gamma, error function) backing every p-value computation.
+//! * [`distribution`] — samplers for Normal, Gamma, Dirichlet and Uniform
+//!   distributions built on top of [`rand`]. The symmetric Dirichlet is what
+//!   the paper uses to induce non-IID label skew (`Dir(α)`).
+//! * [`descriptive`] — means, variances, medians, quantiles, histograms.
+//! * [`hypothesis`] — Student/Welch t-tests, Levene's test, the two-sample
+//!   Kolmogorov–Smirnov test and the 3σ outlier rule: exactly the battery the
+//!   paper applies in §V ("Bypassing Defenses").
+//! * [`geometry`] — cosine similarity, angles between gradient vectors, norms:
+//!   the quantities behind Figs. 3 and 6 and Theorem 1.
+//! * [`hoeffding`] — Hoeffding concentration bounds used to quantify the
+//!   approximation error of Theorem 1 (Fig. 4).
+//!
+//! # Example
+//!
+//! ```
+//! use collapois_stats::geometry::angle_between;
+//!
+//! let a = [1.0_f32, 0.0];
+//! let b = [0.0_f32, 1.0];
+//! let theta = angle_between(&a, &b).expect("non-zero vectors");
+//! assert!((theta - std::f64::consts::FRAC_PI_2).abs() < 1e-6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod descriptive;
+pub mod distribution;
+pub mod geometry;
+pub mod hoeffding;
+pub mod hypothesis;
+pub mod special;
+
+pub use descriptive::{mean, median, quantile, std_dev, variance};
+pub use distribution::{Dirichlet, Gamma, Normal};
+pub use geometry::{angle_between, cosine_similarity, l2_norm};
+pub use hypothesis::{ks_two_sample, levene_test, t_test_welch, three_sigma_outliers, TestResult};

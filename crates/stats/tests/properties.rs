@@ -1,0 +1,110 @@
+//! Property-based tests for the statistical substrate.
+
+use collapois_stats::descriptive::{histogram, max, mean, median, min, quantile};
+use collapois_stats::distribution::{Dirichlet, Gamma, Normal};
+use collapois_stats::geometry::{angle_between, cosine_similarity, l2_norm, rescale_to_norm};
+use collapois_stats::hypothesis::{ks_two_sample, levene_test, t_test_welch};
+use collapois_stats::special::{betai, kolmogorov_sf, normal_cdf, t_sf};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// p-values of every test live in [0, 1] for arbitrary inputs.
+    #[test]
+    fn p_values_in_unit_interval(
+        seed in 0u64..10_000,
+        n in 3usize..40,
+        shift in -2.0f64..2.0,
+        scale in 0.1f64..3.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Normal::new(0.0, 1.0).unwrap().sample_n(&mut rng, n);
+        let b = Normal::new(shift, scale).unwrap().sample_n(&mut rng, n);
+        for r in [
+            t_test_welch(&a, &b).unwrap(),
+            levene_test(&a, &b).unwrap(),
+            ks_two_sample(&a, &b).unwrap(),
+        ] {
+            prop_assert!((0.0..=1.0).contains(&r.p_value), "{r:?}");
+        }
+    }
+
+    /// CDF-like special functions are monotone and bounded.
+    #[test]
+    fn special_functions_bounded(x in -6.0f64..6.0, df in 1.0f64..200.0) {
+        let phi = normal_cdf(x);
+        prop_assert!((0.0..=1.0).contains(&phi));
+        let t = t_sf(x, df);
+        prop_assert!((0.0..=1.0).contains(&t));
+        prop_assert!((0.0..=1.0).contains(&kolmogorov_sf(x.abs())));
+    }
+
+    /// The incomplete beta is a CDF in x: monotone, 0 at 0, 1 at 1.
+    #[test]
+    fn betai_is_monotone_cdf(a in 0.2f64..10.0, b in 0.2f64..10.0, x in 0.01f64..0.98) {
+        let lo = betai(a, b, x);
+        let hi = betai(a, b, (x + 0.02).min(1.0));
+        prop_assert!(lo <= hi + 1e-9, "betai not monotone: {lo} > {hi}");
+        prop_assert!((0.0..=1.0).contains(&lo));
+    }
+
+    /// Dirichlet samples live on the simplex for any (alpha, k).
+    #[test]
+    fn dirichlet_on_simplex(alpha in 0.01f64..100.0, k in 2usize..30, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = Dirichlet::symmetric(alpha, k).unwrap().sample(&mut rng);
+        prop_assert_eq!(p.len(), k);
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|&v| v >= 0.0));
+    }
+
+    /// Gamma samples are non-negative for any valid parameters.
+    #[test]
+    fn gamma_non_negative(shape in 0.05f64..20.0, scale in 0.05f64..5.0, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = Gamma::new(shape, scale).unwrap();
+        for _ in 0..10 {
+            prop_assert!(g.sample(&mut rng) >= 0.0);
+        }
+    }
+
+    /// Descriptive stats respect ordering: min <= q25 <= median <= q75 <= max,
+    /// and the histogram conserves the sample count.
+    #[test]
+    fn descriptive_orderings(xs in prop::collection::vec(-100.0f64..100.0, 1..50)) {
+        let lo = min(&xs).unwrap();
+        let hi = max(&xs).unwrap();
+        let q25 = quantile(&xs, 0.25);
+        let q75 = quantile(&xs, 0.75);
+        let med = median(&xs);
+        prop_assert!(lo <= q25 + 1e-9 && q25 <= med + 1e-9);
+        prop_assert!(med <= q75 + 1e-9 && q75 <= hi + 1e-9);
+        prop_assert!(lo <= mean(&xs) + 1e-9 && mean(&xs) <= hi + 1e-9);
+        let h = histogram(&xs, -100.0, 100.0 + 1e-9, 7);
+        prop_assert_eq!(h.iter().sum::<usize>(), xs.len());
+    }
+
+    /// Geometry: cosine in [-1,1], angle in [0, pi], rescale hits the target
+    /// norm, for arbitrary non-zero vectors.
+    #[test]
+    fn geometry_invariants(
+        a in prop::collection::vec(-10.0f32..10.0, 2..20),
+        target in 0.1f64..50.0,
+    ) {
+        let b: Vec<f32> = a.iter().rev().cloned().collect();
+        if l2_norm(&a) > 1e-3 {
+            if let Some(cs) = cosine_similarity(&a, &b) {
+                prop_assert!((-1.0..=1.0).contains(&cs));
+            }
+            if let Some(theta) = angle_between(&a, &b) {
+                prop_assert!((0.0..=std::f64::consts::PI + 1e-9).contains(&theta));
+            }
+            let mut v = a.clone();
+            rescale_to_norm(&mut v, target);
+            prop_assert!((l2_norm(&v) - target).abs() < 1e-3 * target.max(1.0));
+        }
+    }
+}

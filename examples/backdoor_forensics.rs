@@ -1,0 +1,90 @@
+//! Backdoor forensics: apply the classical inference-phase defenses (STRIP,
+//! Neural Cleanse, Fine-Pruning) to Trojaned models and see why the paper's
+//! WaNet trigger slips through while a patch trigger is caught.
+//!
+//! ```bash
+//! cargo run --release --example backdoor_forensics
+//! ```
+
+use collapois::core::trojan::{train_trojan, TrojanConfig};
+use collapois::data::poison::stamp_only;
+use collapois::data::synthetic::{SyntheticImage, SyntheticImageConfig};
+use collapois::data::trigger::{PatchTrigger, Trigger, WaNetTrigger};
+use collapois::defense::fine_pruning::fine_prune;
+use collapois::defense::neural_cleanse::{neural_cleanse, CleanseConfig};
+use collapois::defense::strip::{strip_screen, StripConfig};
+use collapois::nn::zoo::ModelSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SIDE: usize = 12;
+
+fn main() {
+    let clean = SyntheticImage::new(SyntheticImageConfig {
+        side: SIDE,
+        classes: 4,
+        samples: 400,
+        noise: 0.05,
+        max_shift: 1,
+        seed: 7,
+    })
+    .generate();
+    let spec = ModelSpec::mlp(SIDE * SIDE, &[48], 4);
+
+    let triggers: Vec<(&str, Box<dyn Trigger>)> = vec![
+        ("WaNet warp", Box::new(WaNetTrigger::new(SIDE, 4, 3.0, 0x7716))),
+        ("BadNets patch", Box::new(PatchTrigger::badnets(SIDE))),
+    ];
+    for (name, trigger) in &triggers {
+        println!("\n=== Trojaned model with the {name} trigger ===");
+        let trained =
+            train_trojan(&spec, &clean, trigger.as_ref(), &TrojanConfig::default());
+        let mut model = spec.build(&mut StdRng::seed_from_u64(0));
+        model.set_params(&trained.params);
+        println!(
+            "clean accuracy {:.1}%, trigger success {:.1}%",
+            100.0 * trained.clean_accuracy,
+            100.0 * trained.trigger_success
+        );
+
+        // STRIP.
+        let mut rng = StdRng::seed_from_u64(1);
+        let suspects =
+            stamp_only(&clean.subset(&(0..30).collect::<Vec<_>>()), trigger.as_ref());
+        let strip =
+            strip_screen(&mut rng, &mut model, &suspects, &clean, &StripConfig::default());
+        println!(
+            "STRIP: flags {:.1}% of triggered inputs (threshold entropy {:.3})",
+            100.0 * strip.detection_rate(),
+            strip.threshold
+        );
+
+        // Neural Cleanse.
+        let report = neural_cleanse(&mut model, &clean, &CleanseConfig::default());
+        for t in &report.triggers {
+            println!(
+                "Neural Cleanse class {}: mask l1 {:.2}, flip rate {:.0}%, anomaly {:.2}{}",
+                t.class,
+                t.mask_l1,
+                100.0 * t.flip_rate,
+                report.anomaly_index[t.class],
+                if report.flagged_classes.contains(&t.class) { "  <-- FLAGGED" } else { "" }
+            );
+        }
+
+        // Fine-Pruning.
+        let mut pruned = spec.build(&mut StdRng::seed_from_u64(0));
+        pruned.set_params(&trained.params);
+        let _ = fine_prune(&mut pruned, &spec, &clean, 0.3);
+        let stamped = stamp_only(&clean, trigger.as_ref());
+        let (x, _) = stamped.as_batch();
+        let sr = pruned.predict(&x).iter().filter(|&&p| p == 0).count() as f64
+            / clean.len() as f64;
+        println!("Fine-Pruning (30% of units): attack SR afterwards {:.1}%", 100.0 * sr);
+    }
+    println!(
+        "\nReading: the localized patch is visible to all three defenses; the smooth,\n\
+         input-dependent warp presents neither a low-entropy STRIP signature nor a\n\
+         small reconstructable (mask, pattern) — the paper's SS II-B evasion claim."
+    );
+}

@@ -1,0 +1,72 @@
+//! Trigger gallery: renders every trigger family and reports perturbation
+//! sizes and standalone learnability (can a centrally trained model learn
+//! each trigger as a backdoor?).
+//!
+//! ```bash
+//! cargo run --release --example trigger_gallery
+//! ```
+
+use collapois::core::trojan::{train_trojan, TrojanConfig};
+use collapois::data::synthetic::{SyntheticImage, SyntheticImageConfig};
+use collapois::data::trigger::{
+    l2_perturbation, linf_perturbation, DbaTrigger, PatchTrigger, Trigger, WaNetTrigger,
+};
+use collapois::nn::zoo::ModelSpec;
+
+const SIDE: usize = 12;
+
+fn ascii(image: &[f32]) -> String {
+    let ramp: &[u8] = b" .:-=+*#%@";
+    let mut out = String::new();
+    for y in 0..SIDE {
+        for x in 0..SIDE {
+            let v = image[y * SIDE + x].clamp(0.0, 1.0);
+            let idx = ((v * (ramp.len() - 1) as f32).round()) as usize;
+            out.push(ramp[idx] as char);
+            out.push(ramp[idx] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn main() {
+    let aux = SyntheticImage::new(SyntheticImageConfig {
+        side: SIDE,
+        classes: 6,
+        samples: 360,
+        noise: 0.05,
+        max_shift: 1,
+        seed: 21,
+    })
+    .generate();
+    let clean = aux.features_of(0).to_vec();
+    println!("Clean sample:\n{}", ascii(&clean));
+
+    let triggers: Vec<(&str, Box<dyn Trigger>)> = vec![
+        ("wanet (warping)", Box::new(WaNetTrigger::new(SIDE, 4, 3.0, 99))),
+        ("badnets (patch)", Box::new(PatchTrigger::badnets(SIDE))),
+        ("dba (composed)", Box::new(DbaTrigger::new(SIDE, 2, 1.0))),
+    ];
+    let spec = ModelSpec::mlp(SIDE * SIDE, &[48], 6);
+    let trojan_cfg = TrojanConfig { epochs: 40, ..Default::default() };
+
+    for (name, trigger) in &triggers {
+        let mut stamped = clean.clone();
+        trigger.apply(&mut stamped);
+        println!("--- {name} ---");
+        println!("{}", ascii(&stamped));
+        let x = train_trojan(&spec, &aux, trigger.as_ref(), &trojan_cfg);
+        println!(
+            "linf perturbation: {:.4}   l2: {:.4}   trojan clean-acc: {:.1}%   trigger-success: {:.1}%\n",
+            linf_perturbation(trigger.as_ref(), &clean),
+            l2_perturbation(trigger.as_ref(), &clean),
+            100.0 * x.clean_accuracy,
+            100.0 * x.trigger_success
+        );
+    }
+    println!(
+        "Reading: the WaNet warp perturbs each pixel far less than a visible patch\n\
+         while remaining fully learnable as a backdoor (the paper's Fig. 14 point)."
+    );
+}

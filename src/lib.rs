@@ -1,0 +1,40 @@
+//! # CollaPois — collaborative backdoor poisoning in non-IID federated learning
+//!
+//! This facade crate re-exports the full reproduction of the ICDCS 2025
+//! paper *"A Client-level Assessment of Collaborative Backdoor Poisoning in
+//! Non-IID Federated Learning"*:
+//!
+//! * [`stats`] — statistical substrate (distributions, hypothesis tests,
+//!   vector geometry, Hoeffding bounds).
+//! * [`nn`] — neural-network substrate (layers, losses, SGD, flat parameter
+//!   vectors).
+//! * [`data`] — synthetic federated datasets, Dirichlet(α) non-IID
+//!   partitioning, WaNet/patch/DBA/text triggers.
+//! * [`defense`] — inference-phase backdoor defenses (STRIP, Neural
+//!   Cleanse, Fine-Pruning) the paper's trigger evades.
+//! * [`fl`] — federated round protocol, robust aggregation rules,
+//!   personalization (FedDC, MetaFed, Ditto), per-client metrics.
+//! * [`core`] — the CollaPois attack, baseline attacks (DPois, MRepl, DBA),
+//!   Theorems 1–3, stealth analysis and the scenario experiment driver.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use collapois::core::scenario::{Scenario, ScenarioConfig};
+//!
+//! let cfg = ScenarioConfig::quick_image(0.5 /* alpha */, 0.01 /* compromised */);
+//! let report = Scenario::new(cfg).run();
+//! println!("Benign AC = {:.2}%  Attack SR = {:.2}%",
+//!          100.0 * report.final_round().benign_accuracy,
+//!          100.0 * report.final_round().attack_success_rate);
+//! ```
+//!
+//! See `examples/` for runnable end-to-end programs and `crates/bench` for
+//! the per-figure benchmark harness.
+
+pub use collapois_core as core;
+pub use collapois_data as data;
+pub use collapois_defense as defense;
+pub use collapois_fl as fl;
+pub use collapois_nn as nn;
+pub use collapois_stats as stats;

@@ -1,0 +1,162 @@
+//! Cross-crate integration tests: full attack scenarios exercising data,
+//! nn, fl and core together.
+
+use collapois::core::scenario::{
+    AttackKind, DatasetKind, DefenseKind, FlAlgo, Scenario, ScenarioConfig,
+};
+
+/// Small but meaningful configuration shared by the integration tests.
+fn base(alpha: f64, frac: f64) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::quick_image(alpha, frac);
+    cfg.num_clients = 20;
+    cfg.samples_per_client = 30;
+    cfg.rounds = 20;
+    cfg.eval_every = 20;
+    cfg.sample_rate = 0.4;
+    cfg.trojan.epochs = 30;
+    cfg.seed = 77;
+    cfg
+}
+
+#[test]
+fn collapois_backdoors_undefended_fl() {
+    let mut cfg = base(0.1, 0.1);
+    cfg.attack = AttackKind::CollaPois;
+    let report = Scenario::new(cfg).run();
+    let last = report.final_round();
+    assert!(
+        last.attack_success_rate > 0.5,
+        "CollaPois should backdoor undefended FL: SR={}",
+        last.attack_success_rate
+    );
+    assert!(
+        last.benign_accuracy > 0.4,
+        "utility must not collapse: AC={}",
+        last.benign_accuracy
+    );
+}
+
+#[test]
+fn collapois_outperforms_dpois_in_attack_sr() {
+    let mut cp = base(0.1, 0.1);
+    cp.attack = AttackKind::CollaPois;
+    let mut dp = base(0.1, 0.1);
+    dp.attack = AttackKind::DPois;
+    let cp_sr = Scenario::new(cp).run().final_round().attack_success_rate;
+    let dp_sr = Scenario::new(dp).run().final_round().attack_success_rate;
+    assert!(
+        cp_sr > dp_sr,
+        "CollaPois ({cp_sr:.3}) should beat DPois ({dp_sr:.3}) at equal budget"
+    );
+}
+
+#[test]
+fn clean_training_has_no_backdoor() {
+    let mut cfg = base(1.0, 0.0);
+    cfg.attack = AttackKind::None;
+    cfg.rounds = 25;
+    let report = Scenario::new(cfg).run();
+    let last = report.final_round();
+    assert!(last.benign_accuracy > 0.5, "clean FL should learn: {}", last.benign_accuracy);
+    // Without poisoning, the trigger should act like noise: SR stays near the
+    // base rate of predicting class 0 (1/6) plus slack.
+    assert!(
+        last.attack_success_rate < 0.55,
+        "no-attack SR should be low: {}",
+        last.attack_success_rate
+    );
+}
+
+#[test]
+fn trojan_model_pulls_global_towards_it() {
+    // Theorem 2's observable: under CollaPois the distance ||theta - X||
+    // shrinks over training.
+    let mut cfg = base(0.1, 0.1);
+    cfg.attack = AttackKind::CollaPois;
+    cfg.collect_updates = true;
+    let report = Scenario::new(cfg).run();
+    let x = &report.trojan.as_ref().expect("X").params;
+    let first = report
+        .records
+        .iter()
+        .find_map(|r| r.global_before.as_ref())
+        .expect("snapshots collected");
+    let d_start = collapois::stats::geometry::l2_distance(first, x);
+    let d_end = collapois::stats::geometry::l2_distance(&report.final_global, x);
+    assert!(
+        d_end < d_start * 0.5,
+        "global model must approach X: start={d_start:.3} end={d_end:.3}"
+    );
+}
+
+#[test]
+fn text_scenario_end_to_end() {
+    let mut cfg = base(0.1, 0.1);
+    cfg.dataset = DatasetKind::Text;
+    cfg.attack = AttackKind::CollaPois;
+    let report = Scenario::new(cfg).run();
+    let last = report.final_round();
+    assert!(last.benign_accuracy > 0.5, "text AC: {}", last.benign_accuracy);
+    assert!(last.attack_success_rate > 0.5, "text SR: {}", last.attack_success_rate);
+}
+
+#[test]
+fn krum_costs_utility_under_non_iid() {
+    // The paper's defense finding: selection defenses pay Benign AC under
+    // high diversity.
+    let mut none = base(0.01, 0.1);
+    none.attack = AttackKind::CollaPois;
+    none.defense = DefenseKind::None;
+    let mut krum = none.clone();
+    krum.defense = DefenseKind::Krum;
+    let ac_none = Scenario::new(none).run().final_round().benign_accuracy;
+    let ac_krum = Scenario::new(krum).run().final_round().benign_accuracy;
+    // Krum selects a single (possibly unrepresentative or malicious) update;
+    // it must not beat plain averaging on utility in this regime.
+    assert!(
+        ac_krum <= ac_none + 0.1,
+        "krum AC {ac_krum:.3} vs fedavg AC {ac_none:.3}"
+    );
+}
+
+#[test]
+fn personalized_algorithms_produce_distinct_dynamics() {
+    let mut fedavg = base(0.1, 0.1);
+    fedavg.attack = AttackKind::CollaPois;
+    let mut feddc = fedavg.clone();
+    feddc.algo = FlAlgo::FedDc;
+    let a = Scenario::new(fedavg).run();
+    let b = Scenario::new(feddc).run();
+    assert_ne!(
+        a.final_global, b.final_global,
+        "different FL algorithms must yield different models"
+    );
+}
+
+#[test]
+fn cluster_reports_cover_all_benign_clients() {
+    let mut cfg = base(0.1, 0.1);
+    cfg.attack = AttackKind::CollaPois;
+    let report = Scenario::new(cfg).run();
+    let clustered: usize = report.clusters.iter().map(|c| c.clients.len()).sum();
+    assert_eq!(clustered, report.clients.len());
+    // Cluster SR ordering: the 1% cluster must not have lower SR than the
+    // bottom cluster (Eq. 8 sorts by score = AC + SR).
+    let first = report.clusters.first().expect("clusters");
+    let last = report.clusters.last().expect("clusters");
+    assert!(first.attack_sr + first.benign_ac >= last.attack_sr + last.benign_ac);
+}
+
+#[test]
+fn reports_are_reproducible() {
+    let mut cfg = base(0.1, 0.1);
+    cfg.attack = AttackKind::CollaPois;
+    let a = Scenario::new(cfg.clone()).run();
+    let b = Scenario::new(cfg).run();
+    assert_eq!(a.final_global, b.final_global);
+    assert_eq!(a.rounds.len(), b.rounds.len());
+    for (ra, rb) in a.rounds.iter().zip(&b.rounds) {
+        assert_eq!(ra.benign_accuracy, rb.benign_accuracy);
+        assert_eq!(ra.attack_success_rate, rb.attack_success_rate);
+    }
+}

@@ -1,0 +1,152 @@
+//! Integration tests validating Theorems 1–3 against measured trajectories
+//! from real simulation runs (not just the closed forms).
+
+use collapois::core::analysis::split_updates;
+use collapois::core::scenario::{AttackKind, Scenario, ScenarioConfig};
+use collapois::core::theory::theorem1::{estimate_angle_stats, theorem1_bound};
+use collapois::core::theory::theorem2::check_bound;
+use collapois::core::theory::theorem3::{estimation_error, lower_bound, upper_bound_sampled};
+use collapois::stats::geometry::{angles_to_reference, mean_vector};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn run(alpha: f64) -> collapois::core::scenario::ScenarioReport {
+    let mut cfg = ScenarioConfig::quick_image(alpha, 0.1);
+    cfg.num_clients = 20;
+    cfg.samples_per_client = 30;
+    cfg.rounds = 20;
+    cfg.eval_every = 20;
+    cfg.sample_rate = 0.4;
+    cfg.trojan.epochs = 25;
+    cfg.attack = AttackKind::CollaPois;
+    cfg.collect_updates = true;
+    cfg.seed = 99;
+    Scenario::new(cfg).run()
+}
+
+/// Benign-vs-malicious-direction angles pooled over a run.
+fn benign_angles(report: &collapois::core::scenario::ScenarioReport) -> Vec<f64> {
+    let mut angles = Vec::new();
+    for r in &report.records {
+        let Some(updates) = &r.updates else { continue };
+        let (benign, malicious) = split_updates(updates, &report.compromised);
+        if let Some(dir) = mean_vector(&malicious) {
+            angles.extend(angles_to_reference(&benign, &dir));
+        }
+    }
+    angles
+}
+
+#[test]
+fn theorem1_bound_shrinks_with_measured_diversity() {
+    // Measured angle stats at high vs low diversity feed Eq. 5: the non-IID
+    // run must require at most as many compromised clients.
+    let diverse = run(0.01);
+    let uniform = run(100.0);
+    let a_div = estimate_angle_stats(&benign_angles(&diverse));
+    let a_uni = estimate_angle_stats(&benign_angles(&uniform));
+    assert!(a_div.n >= 10 && a_uni.n >= 10, "need angle samples");
+    let b_div = theorem1_bound(a_div.mu, a_div.sigma, 0.9, 1.0, 1000);
+    let b_uni = theorem1_bound(a_uni.mu, a_uni.sigma, 0.9, 1.0, 1000);
+    assert!(
+        b_div <= b_uni + 50.0,
+        "diverse data must not need (meaningfully) more clients: {b_div:.0} vs {b_uni:.0}"
+    );
+}
+
+#[test]
+fn theorem2_bound_holds_along_the_trajectory() {
+    let report = run(0.1);
+    let x = &report.trojan.as_ref().expect("X").params;
+    let a = report.config.collapois.psi_low;
+    let mut checked = 0;
+    // At each recorded round with malicious participation, the distance from
+    // X must satisfy Eq. 6 with zeta = the residual we can measure directly:
+    // zeta = theta^{t+1} - (theta^t + delta_c) for the pure-malicious view.
+    for pair in report.records.windows(2) {
+        let (r0, r1) = (&pair[0], &pair[1]);
+        let (Some(updates), Some(theta0), Some(theta1)) =
+            (&r0.updates, &r0.global_before, &r1.global_before)
+        else {
+            continue;
+        };
+        let (_, malicious) = split_updates(updates, &report.compromised);
+        let Some(delta) = malicious.first() else { continue };
+        // zeta: what the global actually did minus what the compromised
+        // client alone would have produced.
+        let zeta: Vec<f32> = theta1
+            .iter()
+            .zip(theta0.iter())
+            .zip(delta.iter())
+            .map(|((t1, t0), d)| t1 - (t0 + d))
+            .collect();
+        let check = check_bound(theta1, x, delta, a, &zeta);
+        assert!(
+            check.holds,
+            "round {}: distance {:.4} exceeds bound {:.4}",
+            r0.round, check.distance, check.bound
+        );
+        checked += 1;
+    }
+    assert!(checked >= 3, "too few malicious rounds checked: {checked}");
+}
+
+#[test]
+fn theorem3_sandwich_on_measured_run() {
+    // Theorem 3's algebra treats the flagged compromised clients' models as
+    // the global model θ^t they hold, so with p = 1 the server's estimation
+    // error is ‖θ^t − X‖: Δθ_c = ψ_c(X − θ^t) gives the Eq. 7 lower bound
+    // ‖ΣΔθ_c‖/(m·b) = (mean ψ/b)·‖X − θ^t‖ ≤ Error, and the subset-max over
+    // submitted client models upper-bounds it.
+    let report = run(0.1);
+    let x = &report.trojan.as_ref().expect("X").params;
+    let b = report.config.collapois.psi_high;
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut checked = 0;
+    for r in &report.records {
+        let (Some(updates), Some(theta)) = (&r.updates, &r.global_before) else { continue };
+        let (benign, malicious) = split_updates(updates, &report.compromised);
+        let m = malicious.len();
+        if m == 0 || benign.len() < m {
+            continue;
+        }
+        // Error with p = 1: flagged clients hold θ^t.
+        let err = estimation_error(&[theta.as_slice()], x);
+        let lb = lower_bound(&malicious, 1.0, m, b);
+        // Subset-max over submitted models (θ^t + Δ for every participant).
+        let all_models: Vec<Vec<f32>> = updates
+            .iter()
+            .map(|u| theta.iter().zip(&u.delta).map(|(t, d)| t + d).collect())
+            .collect();
+        let all_refs: Vec<&[f32]> = all_models.iter().map(|v| v.as_slice()).collect();
+        let ub = upper_bound_sampled(&mut rng, &all_refs, x, m.min(all_refs.len()), 200);
+        assert!(lb <= err + 1e-6, "round {}: lb {lb:.4} > err {err:.4}", r.round);
+        // The sampled upper bound explores only a few hundred subsets, so
+        // allow a small slack.
+        assert!(
+            err <= 1.25 * ub + 1e-6,
+            "round {}: err {err:.4} > ub {ub:.4}",
+            r.round
+        );
+        checked += 1;
+    }
+    assert!(checked >= 2, "too few rounds checked: {checked}");
+}
+
+#[test]
+fn more_diversity_scatters_benign_angles() {
+    // The Fig. 3 observable that powers Theorem 1: smaller alpha = larger
+    // benign pairwise scatter relative to the malicious direction.
+    let diverse = run(0.01);
+    let uniform = run(100.0);
+    let s_div = estimate_angle_stats(&benign_angles(&diverse));
+    let s_uni = estimate_angle_stats(&benign_angles(&uniform));
+    assert!(
+        s_div.mu + s_div.sigma >= s_uni.mu,
+        "diverse run should not be dramatically tighter: div=({:.3},{:.3}) uni=({:.3},{:.3})",
+        s_div.mu,
+        s_div.sigma,
+        s_uni.mu,
+        s_uni.sigma
+    );
+}
