@@ -6,12 +6,11 @@
 //! conv path too.
 
 use collapois_bench::{pct, Scale, Table};
-use collapois_core::scenario::{AttackKind, Scenario, ScenarioConfig, ScenarioModel};
+use collapois_core::scenario::{AttackKind, ScenarioConfig, ScenarioModel};
 
 fn main() {
     let scale = Scale::from_env();
-    let mut table =
-        Table::new(&["model", "attack", "benign ac", "attack sr", "params"]);
+    let mut table = Table::new(&["model", "attack", "benign ac", "attack sr", "params"]);
     for model_kind in [ScenarioModel::Mlp, ScenarioModel::Cnn] {
         for attack in [AttackKind::None, AttackKind::CollaPois] {
             let mut cfg = scale.apply(ScenarioConfig::quick_image(0.1, 0.05));
@@ -29,7 +28,7 @@ fn main() {
                 let mut rng = rand::rngs::StdRng::seed_from_u64(0);
                 cfg.model_spec().build(&mut rng).param_count()
             };
-            let report = Scenario::new(cfg).run();
+            let report = collapois_bench::run_scenario(cfg);
             let last = report.final_round();
             table.row(&[
                 model_kind.name().into(),

@@ -8,7 +8,7 @@
 use collapois_bench::{pct, Scale, Table};
 use collapois_core::analysis::split_updates;
 use collapois_core::collapois::CollaPoisConfig;
-use collapois_core::scenario::{AttackKind, Scenario, ScenarioConfig};
+use collapois_core::scenario::{AttackKind, ScenarioConfig};
 use collapois_core::stealth::stealth_battery;
 
 fn run(collapois: CollaPoisConfig) -> (f64, f64, f64) {
@@ -18,7 +18,7 @@ fn run(collapois: CollaPoisConfig) -> (f64, f64, f64) {
     cfg.collapois = collapois;
     cfg.collect_updates = true;
     cfg.seed = 4242;
-    let report = Scenario::new(cfg).run();
+    let report = collapois_bench::run_scenario(cfg);
     let last = report.final_round();
 
     let mut background = Vec::new();
@@ -41,8 +41,13 @@ fn run(collapois: CollaPoisConfig) -> (f64, f64, f64) {
 }
 
 fn main() {
-    let mut table =
-        Table::new(&["psi range", "clip bound", "benign ac", "attack sr", "3-sigma flag rate"]);
+    let mut table = Table::new(&[
+        "psi range",
+        "clip bound",
+        "benign ac",
+        "attack sr",
+        "3-sigma flag rate",
+    ]);
     let cases = [
         (0.5, 0.6, None),
         (0.9, 1.0, None),
@@ -52,7 +57,12 @@ fn main() {
         (0.95, 0.99, Some(0.8)),
     ];
     for (a, b, clip) in cases {
-        let cfg = CollaPoisConfig { psi_low: a, psi_high: b, clip_bound: clip, min_norm: None };
+        let cfg = CollaPoisConfig {
+            psi_low: a,
+            psi_high: b,
+            clip_bound: clip,
+            min_norm: None,
+        };
         let (ac, sr, flag) = run(cfg);
         table.row(&[
             format!("U[{a}, {b}]"),
@@ -62,7 +72,8 @@ fn main() {
             if flag.is_nan() { "-".into() } else { pct(flag) },
         ]);
     }
-    table.print("Ablation: psi range and clipping bound vs effectiveness and stealth (FEMNIST-sim)");
+    table
+        .print("Ablation: psi range and clipping bound vs effectiveness and stealth (FEMNIST-sim)");
     println!(
         "\nReading: the paper's U[0.9,1] keeps the pull strong; narrowing psi and adding\n\
          the clip bound suppresses the 3-sigma flag rate while preserving Attack SR."

@@ -36,10 +36,14 @@ fn main() {
         ("every round", ActivationPolicy::EveryNth { period: 1 }),
         ("every 2nd", ActivationPolicy::EveryNth { period: 2 }),
         ("every 5th", ActivationPolicy::EveryNth { period: 5 }),
-        ("after T/2", ActivationPolicy::After { start: base.rounds / 2 }),
+        (
+            "after T/2",
+            ActivationPolicy::After {
+                start: base.rounds / 2,
+            },
+        ),
     ];
-    let mut table =
-        Table::new(&["activation", "rounds attacked", "benign ac", "attack sr"]);
+    let mut table = Table::new(&["activation", "rounds attacked", "benign ac", "attack sr"]);
     for (label, policy) in policies {
         let fl_cfg = FlConfig {
             model: spec.clone(),

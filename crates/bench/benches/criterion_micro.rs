@@ -14,8 +14,8 @@ use collapois_data::partition::dirichlet_partition;
 use collapois_data::synthetic::{SyntheticImage, SyntheticImageConfig};
 use collapois_data::trigger::PatchTrigger;
 use collapois_fl::aggregate::{
-    Aggregator, CoordinateMedian, DpAggregator, FedAvg, Flare, Krum, NormBound,
-    RobustLearningRate, SignSgd, TrimmedMean,
+    Aggregator, CoordinateMedian, DpAggregator, FedAvg, Flare, Krum, NormBound, RobustLearningRate,
+    SignSgd, TrimmedMean,
 };
 use collapois_fl::server::Adversary;
 use collapois_fl::update::ClientUpdate;
@@ -101,8 +101,7 @@ fn bench_attack_cost(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("attack_update_cost");
     group.bench_function("collapois_craft", |b| {
-        let mut adv =
-            CollaPois::new(vec![0], trojan.clone(), CollaPoisConfig::paper());
+        let mut adv = CollaPois::new(vec![0], trojan.clone(), CollaPoisConfig::paper());
         let mut rng = StdRng::seed_from_u64(4);
         b.iter(|| black_box(adv.craft_update(0, &global, 0, &mut rng)));
     });

@@ -7,7 +7,7 @@
 //! gradients dilute regardless.
 
 use collapois_bench::{pct, Scale, Table};
-use collapois_core::scenario::{AttackKind, Scenario, ScenarioConfig};
+use collapois_core::scenario::{AttackKind, ScenarioConfig};
 
 fn main() {
     let scale = Scale::from_env();
@@ -20,7 +20,7 @@ fn main() {
                 let mut cfg = scale.apply(ScenarioConfig::quick_text(alpha, frac));
                 cfg.attack = attack;
                 cfg.seed = 1001;
-                let report = Scenario::new(cfg).run();
+                let report = collapois_bench::run_scenario(cfg);
                 let last = report.final_round();
                 table.row(&[
                     attack.name().into(),

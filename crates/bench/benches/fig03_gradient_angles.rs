@@ -10,7 +10,7 @@
 
 use collapois_bench::{num, Scale, Table};
 use collapois_core::analysis::pooled_mean_angles_deg;
-use collapois_core::scenario::{AttackKind, FlAlgo, Scenario, ScenarioConfig};
+use collapois_core::scenario::{AttackKind, FlAlgo, ScenarioConfig};
 
 fn main() {
     let scale = Scale::from_env();
@@ -33,8 +33,8 @@ fn main() {
             let mut dpois_cfg = collapois_cfg.clone();
             dpois_cfg.attack = AttackKind::DPois;
 
-            let cp = Scenario::new(collapois_cfg).run();
-            let dp = Scenario::new(dpois_cfg).run();
+            let cp = collapois_bench::run_scenario(collapois_cfg);
+            let dp = collapois_bench::run_scenario(dpois_cfg);
             let (benign, cp_mal) = pooled_mean_angles_deg(&cp.records, &cp.compromised);
             let (_, dp_mal) = pooled_mean_angles_deg(&dp.records, &dp.compromised);
             let fmt = |v: Option<f64>| v.map(|x| num(x, 2)).unwrap_or_else(|| "-".into());

@@ -18,7 +18,7 @@
 
 use collapois_bench::{num, pct, Scale, Table};
 use collapois_core::analysis::split_updates;
-use collapois_core::scenario::{AttackKind, Scenario, ScenarioConfig};
+use collapois_core::scenario::{AttackKind, ScenarioConfig};
 use collapois_core::theory::theorem1::{estimate_angle_stats, theorem1_bound};
 use collapois_stats::geometry::{angles_to_reference, mean_vector};
 use collapois_stats::hoeffding;
@@ -43,14 +43,16 @@ fn main() {
         cfg.seed = 404;
         let n = cfg.num_clients;
         let (a, b) = (cfg.collapois.psi_low, cfg.collapois.psi_high);
-        let report = Scenario::new(cfg).run();
+        let report = collapois_bench::run_scenario(cfg);
 
         let mut early = Vec::new();
         let mut all = Vec::new();
         for r in &report.records {
             let Some(updates) = &r.updates else { continue };
             let (benign, malicious) = split_updates(updates, &report.compromised);
-            let Some(mal_dir) = mean_vector(&malicious) else { continue };
+            let Some(mal_dir) = mean_vector(&malicious) else {
+                continue;
+            };
             let angles = angles_to_reference(&benign, &mal_dir);
             if r.round < 10 {
                 early.extend(angles.iter().copied());
@@ -58,7 +60,14 @@ fn main() {
             all.extend(angles);
         }
         if early.len() < 2 || all.len() < 2 {
-            table.row(&[format!("{alpha}"), "-".into(), "-".into(), "-".into(), "-".into(), "-".into()]);
+            table.row(&[
+                format!("{alpha}"),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
             continue;
         }
         let sample = estimate_angle_stats(&early);

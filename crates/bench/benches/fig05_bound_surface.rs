@@ -29,7 +29,9 @@ fn main() {
         }
         table.row(&row);
     }
-    table.print("Fig. 5: Theorem 1 lower bound |C|/|N| as a function of (mu_alpha, sigma), psi~U[0.9,1]");
+    table.print(
+        "Fig. 5: Theorem 1 lower bound |C|/|N| as a function of (mu_alpha, sigma), psi~U[0.9,1]",
+    );
 
     // Sanity line mirroring the paper's reading of the surface.
     let tight = theorem1_bound(0.1, 0.1, a, b, n) / n as f64;

@@ -9,7 +9,7 @@
 use collapois_bench::{num, Scale, Table};
 use collapois_core::analysis::split_updates;
 use collapois_core::collapois::CollaPoisConfig;
-use collapois_core::scenario::{AttackKind, Scenario, ScenarioConfig};
+use collapois_core::scenario::{AttackKind, ScenarioConfig};
 use collapois_core::stealth::gradient_features;
 use collapois_stats::descriptive::Summary;
 
@@ -29,7 +29,7 @@ fn main() {
     cfg.rounds = cfg.rounds.max(20);
     cfg.eval_every = cfg.rounds;
     cfg.seed = 606;
-    let report = Scenario::new(cfg).run();
+    let report = collapois_bench::run_scenario(cfg);
 
     // Background = benign updates of even rounds; measured groups come from
     // odd rounds (disjoint samples, mimicking the attacker's sampled clean
@@ -54,7 +54,13 @@ fn main() {
     let bm = Summary::of(&bf.magnitudes);
     let mm = Summary::of(&mf.magnitudes);
 
-    let mut table = Table::new(&["group", "mean angle (deg)", "angle std", "mean |grad|", "|grad| std"]);
+    let mut table = Table::new(&[
+        "group",
+        "mean angle (deg)",
+        "angle std",
+        "mean |grad|",
+        "|grad| std",
+    ]);
     table.row(&[
         "benign".into(),
         num(bs.mean.to_degrees(), 2),

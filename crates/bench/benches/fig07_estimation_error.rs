@@ -10,7 +10,7 @@
 use collapois_bench::{num, Scale, Table};
 use collapois_core::analysis::split_updates;
 use collapois_core::collapois::CollaPoisConfig;
-use collapois_core::scenario::{AttackKind, Scenario, ScenarioConfig};
+use collapois_core::scenario::{AttackKind, ScenarioConfig};
 use collapois_core::theory::theorem3::{estimation_error, lower_bound};
 
 fn main() {
@@ -20,22 +20,26 @@ fn main() {
     for &frac in &fracs {
         let mut cfg = scale.apply(ScenarioConfig::quick_image(0.1, frac));
         cfg.attack = AttackKind::CollaPois;
-        cfg.collapois = CollaPoisConfig { min_norm: Some(2.0), ..CollaPoisConfig::paper() };
+        cfg.collapois = CollaPoisConfig {
+            min_norm: Some(2.0),
+            ..CollaPoisConfig::paper()
+        };
         cfg.collect_updates = true;
         cfg.rounds = cfg.rounds.max(30);
         cfg.eval_every = cfg.rounds;
         cfg.seed = 707;
         let b = cfg.collapois.psi_high;
-        let report = Scenario::new(cfg).run();
+        let report = collapois_bench::run_scenario(cfg);
         let x = &report.trojan.as_ref().expect("X trained").params;
-
 
         let mut printed = 0;
         for r in &report.records {
             if r.num_malicious == 0 || r.round % 5 != 0 {
                 continue;
             }
-            let (Some(updates), Some(theta)) = (&r.updates, &r.global_before) else { continue };
+            let (Some(updates), Some(theta)) = (&r.updates, &r.global_before) else {
+                continue;
+            };
             let (_, malicious) = split_updates(updates, &report.compromised);
             if malicious.is_empty() {
                 continue;
@@ -54,7 +58,12 @@ fn main() {
             printed += 1;
         }
         if printed == 0 {
-            table.row(&[format!("{:.0}%", 100.0 * frac), "-".into(), "-".into(), "-".into()]);
+            table.row(&[
+                format!("{:.0}%", 100.0 * frac),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
         }
     }
     table.print("Fig. 7: server's estimation error of X over rounds (p=1, tau=2, FEMNIST-sim)");

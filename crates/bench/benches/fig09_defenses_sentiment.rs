@@ -6,5 +6,9 @@ use collapois_bench::figures::run_defenses_figure;
 use collapois_core::scenario::DatasetKind;
 
 fn main() {
-    run_defenses_figure(DatasetKind::Text, "Fig. 9: CollaPois under defenses, Sentiment-sim", 909);
+    run_defenses_figure(
+        DatasetKind::Text,
+        "Fig. 9: CollaPois under defenses, Sentiment-sim",
+        909,
+    );
 }

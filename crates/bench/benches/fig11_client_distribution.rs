@@ -6,7 +6,7 @@
 //! averages hide the risk.
 
 use collapois_bench::{pct, Scale, Table};
-use collapois_core::scenario::{AttackKind, DefenseKind, Scenario, ScenarioConfig};
+use collapois_core::scenario::{AttackKind, DefenseKind, ScenarioConfig};
 use collapois_stats::descriptive::histogram;
 
 fn main() {
@@ -15,7 +15,7 @@ fn main() {
     cfg.attack = AttackKind::CollaPois;
     cfg.defense = DefenseKind::Dp;
     cfg.seed = 1111;
-    let report = Scenario::new(cfg).run();
+    let report = collapois_bench::run_scenario(cfg);
 
     let srs: Vec<f64> = report.clients.iter().map(|c| c.attack_sr).collect();
     let acs: Vec<f64> = report.clients.iter().map(|c| c.benign_ac).collect();
@@ -33,7 +33,8 @@ fn main() {
             format!("{}", ac_hist[i]),
         ]);
     }
-    table.print("Fig. 11: per-client Benign AC / Attack SR distribution (FEMNIST-sim, FedAvg + DP)");
+    table
+        .print("Fig. 11: per-client Benign AC / Attack SR distribution (FEMNIST-sim, FedAvg + DP)");
 
     let pop = report.population();
     let max_sr = srs.iter().cloned().fold(0.0, f64::max);

@@ -8,7 +8,7 @@
 //! clusters (FEMNIST: CS 0.95→0.85 as SR 98%→32%).
 
 use collapois_bench::{num, pct, Scale, Table};
-use collapois_core::scenario::{AttackKind, DatasetKind, Scenario, ScenarioConfig};
+use collapois_core::scenario::{AttackKind, DatasetKind, ScenarioConfig};
 
 fn main() {
     let scale = Scale::from_env();
@@ -23,9 +23,15 @@ fn main() {
         let mut cfg = scale.apply(base);
         cfg.attack = AttackKind::CollaPois;
         cfg.seed = seed;
-        let report = Scenario::new(cfg).run();
+        let report = collapois_bench::run_scenario(cfg);
 
-        let mut table = Table::new(&["cluster", "clients", "CS_k (Eq. 9)", "attack sr", "benign ac"]);
+        let mut table = Table::new(&[
+            "cluster",
+            "clients",
+            "CS_k (Eq. 9)",
+            "attack sr",
+            "benign ac",
+        ]);
         for c in &report.clusters {
             table.row(&[
                 c.label.clone(),
@@ -35,7 +41,9 @@ fn main() {
                 pct(c.benign_ac),
             ]);
         }
-        table.print(&format!("Fig. 12: label-distribution proximity vs Attack SR ({label})"));
+        table.print(&format!(
+            "Fig. 12: label-distribution proximity vs Attack SR ({label})"
+        ));
     }
     println!(
         "\nPaper shape: clusters closer to the auxiliary data (higher CS_k) suffer\n\

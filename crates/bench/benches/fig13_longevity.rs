@@ -7,19 +7,23 @@
 //! slowly and plateau lower.
 
 use collapois_bench::{pct, Scale, Table};
-use collapois_core::scenario::{AttackKind, Scenario, ScenarioConfig};
+use collapois_core::scenario::{AttackKind, ScenarioConfig};
 
 fn main() {
     let scale = Scale::from_env();
-    let attacks =
-        [AttackKind::CollaPois, AttackKind::DPois, AttackKind::MRepl, AttackKind::Dba];
+    let attacks = [
+        AttackKind::CollaPois,
+        AttackKind::DPois,
+        AttackKind::MRepl,
+        AttackKind::Dba,
+    ];
     let mut table = Table::new(&["attack", "round", "benign ac", "attack sr"]);
     for attack in attacks {
         let mut cfg = scale.apply(ScenarioConfig::quick_image(0.01, 0.01));
         cfg.attack = attack;
         cfg.eval_every = (cfg.rounds / 6).max(1);
         cfg.seed = 1313;
-        let report = Scenario::new(cfg).run();
+        let report = collapois_bench::run_scenario(cfg);
         for r in &report.rounds {
             table.row(&[
                 attack.name().into(),

@@ -8,7 +8,9 @@
 use collapois_bench::{num, Table};
 use collapois_core::scenario::IMAGE_SIDE;
 use collapois_data::synthetic::{SyntheticImage, SyntheticImageConfig};
-use collapois_data::trigger::{l2_perturbation, linf_perturbation, DbaTrigger, PatchTrigger, Trigger, WaNetTrigger};
+use collapois_data::trigger::{
+    l2_perturbation, linf_perturbation, DbaTrigger, PatchTrigger, Trigger, WaNetTrigger,
+};
 
 fn ascii(image: &[f32], side: usize) -> String {
     let ramp: &[u8] = b" .:-=+*#%@";

@@ -6,5 +6,9 @@ use collapois_bench::figures::run_defenses_figure;
 use collapois_core::scenario::DatasetKind;
 
 fn main() {
-    run_defenses_figure(DatasetKind::Image, "Fig. 16: CollaPois under defenses, FEMNIST-sim", 1616);
+    run_defenses_figure(
+        DatasetKind::Image,
+        "Fig. 16: CollaPois under defenses, FEMNIST-sim",
+        1616,
+    );
 }

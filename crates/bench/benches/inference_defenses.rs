@@ -24,7 +24,11 @@ use rand::SeedableRng;
 const SIDE: usize = 12;
 const CLASSES: usize = 4;
 
-fn attack_sr(model: &mut collapois_nn::Sequential, data: &collapois_data::Dataset, trigger: &dyn Trigger) -> f64 {
+fn attack_sr(
+    model: &mut collapois_nn::Sequential,
+    data: &collapois_data::Dataset,
+    trigger: &dyn Trigger,
+) -> f64 {
     let stamped = stamp_only(data, trigger);
     let (x, _) = stamped.as_batch();
     let preds = model.predict(&x);
@@ -42,7 +46,10 @@ fn main() {
     })
     .generate();
     let spec = ModelSpec::mlp(SIDE * SIDE, &[48], CLASSES);
-    let trojan_cfg = TrojanConfig { epochs: 50, ..Default::default() };
+    let trojan_cfg = TrojanConfig {
+        epochs: 50,
+        ..Default::default()
+    };
 
     let triggers: Vec<(&str, Box<dyn Trigger>)> = vec![
         ("wanet", Box::new(WaNetTrigger::new(SIDE, 4, 3.0, 0x7716))),
@@ -65,9 +72,17 @@ fn main() {
 
         // STRIP.
         let mut rng = StdRng::seed_from_u64(1);
-        let suspects = stamp_only(&clean.subset(&(0..40).collect::<Vec<_>>()), trigger.as_ref());
-        let strip =
-            strip_screen(&mut rng, &mut model, &suspects, &clean, &StripConfig::default());
+        let suspects = stamp_only(
+            &clean.subset(&(0..40).collect::<Vec<_>>()),
+            trigger.as_ref(),
+        );
+        let strip = strip_screen(
+            &mut rng,
+            &mut model,
+            &suspects,
+            &clean,
+            &StripConfig::default(),
+        );
 
         // Neural Cleanse.
         let cleanse = neural_cleanse(&mut model, &clean, &CleanseConfig::default());
@@ -84,7 +99,11 @@ fn main() {
             (*name).into(),
             pct(pre_sr),
             pct(strip.detection_rate()),
-            if flags_target { "yes".into() } else { "no".to_string() },
+            if flags_target {
+                "yes".into()
+            } else {
+                "no".to_string()
+            },
             num(anomaly0, 2),
             pct(post_sr),
         ]);

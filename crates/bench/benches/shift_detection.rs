@@ -8,7 +8,7 @@
 //! false-positive reference.
 
 use collapois_bench::{pct, Scale, Table};
-use collapois_core::scenario::{AttackKind, Scenario, ScenarioConfig};
+use collapois_core::scenario::{AttackKind, ScenarioConfig};
 use collapois_fl::monitor::ShiftDetector;
 
 fn main() {
@@ -20,15 +20,18 @@ fn main() {
         "max one-round ac jump",
         "final attack sr",
     ]);
-    for attack in
-        [AttackKind::None, AttackKind::CollaPois, AttackKind::DPois, AttackKind::MRepl]
-    {
+    for attack in [
+        AttackKind::None,
+        AttackKind::CollaPois,
+        AttackKind::DPois,
+        AttackKind::MRepl,
+    ] {
         let mut cfg = scale.apply(ScenarioConfig::quick_image(0.1, 0.05));
         cfg.attack = attack;
         cfg.eval_every = 1; // per-round utility series
         cfg.rounds = cfg.rounds.min(40);
         cfg.seed = 5151;
-        let report = Scenario::new(cfg).run();
+        let report = collapois_bench::run_scenario(cfg);
 
         let mut detector = ShiftDetector::default_paper();
         for r in &report.rounds {
@@ -47,7 +50,11 @@ fn main() {
         table.row(&[
             attack.name().into(),
             format!("{}", detector.alerts().len()),
-            if detector.alerts().is_empty() { "-".into() } else { format!("{max_z:.1}") },
+            if detector.alerts().is_empty() {
+                "-".into()
+            } else {
+                format!("{max_z:.1}")
+            },
             pct(max_jump),
             pct(report.final_round().attack_success_rate),
         ]);

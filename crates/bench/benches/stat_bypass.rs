@@ -10,7 +10,7 @@
 use collapois_bench::{num, pct, Scale, Table};
 use collapois_core::analysis::split_updates;
 use collapois_core::collapois::CollaPoisConfig;
-use collapois_core::scenario::{AttackKind, Scenario, ScenarioConfig};
+use collapois_core::scenario::{AttackKind, ScenarioConfig};
 use collapois_core::stealth::stealth_battery;
 use collapois_fl::aggregate::StatFilter;
 use collapois_fl::update::ClientUpdate;
@@ -33,7 +33,7 @@ fn main() {
     cfg.rounds = 16;
     cfg.eval_every = cfg.rounds;
     cfg.seed = 3001;
-    let report = Scenario::new(cfg).run();
+    let report = collapois_bench::run_scenario(cfg);
 
     let mut background = Vec::new();
     let mut benign = Vec::new();
@@ -56,15 +56,24 @@ fn main() {
             name.into(),
             num(r.statistic, 4),
             format!("{:.3e}", r.p_value),
-            if r.rejects_at(0.01) { "yes".into() } else { "no".to_string() },
+            if r.rejects_at(0.01) {
+                "yes".into()
+            } else {
+                "no".to_string()
+            },
         ]);
     };
     push("t-test (mean angle)", &rep.angle_t_test);
     push("levene (angle variance)", &rep.angle_levene);
     push("ks (angle distribution)", &rep.angle_ks);
     push("t-test (magnitude)", &rep.magnitude_t_test);
-    table.print("Bypassing statistical defenses: malicious vs benign gradients (CollaPois, stealth config)");
-    println!("\n3-sigma outlier flag rate for malicious gradients: {}", pct(rep.three_sigma_rate));
+    table.print(
+        "Bypassing statistical defenses: malicious vs benign gradients (CollaPois, stealth config)",
+    );
+    println!(
+        "\n3-sigma outlier flag rate for malicious gradients: {}",
+        pct(rep.three_sigma_rate)
+    );
     println!("Benign angles:    {}", rep.benign_angles);
     println!("Malicious angles: {}", rep.malicious_angles);
     println!(

@@ -5,7 +5,7 @@
 //! FEMNIST-sim at a fixed non-IID level.
 
 use collapois_bench::{pct, Scale, Table};
-use collapois_core::scenario::{AttackKind, DefenseKind, FlAlgo, Scenario, ScenarioConfig};
+use collapois_core::scenario::{AttackKind, DefenseKind, FlAlgo, ScenarioConfig};
 
 fn main() {
     let scale = Scale::from_env();
@@ -14,14 +14,16 @@ fn main() {
     let mut clean = scale.apply(ScenarioConfig::quick_image(0.1, 0.0));
     clean.attack = AttackKind::None;
     clean.seed = 2100;
-    let clean_ac = Scenario::new(clean).run().final_round().benign_accuracy;
+    let clean_ac = collapois_bench::run_scenario(clean)
+        .final_round()
+        .benign_accuracy;
 
     for &defense in DefenseKind::all() {
         let mut cfg = scale.apply(ScenarioConfig::quick_image(0.1, 0.01));
         cfg.attack = AttackKind::CollaPois;
         cfg.defense = defense;
         cfg.seed = 2101;
-        let report = Scenario::new(cfg).run();
+        let report = collapois_bench::run_scenario(cfg);
         let last = report.final_round();
         let verdict = if last.attack_success_rate > 0.5 {
             "bypassed"
@@ -42,13 +44,17 @@ fn main() {
     cfg.attack = AttackKind::CollaPois;
     cfg.algo = FlAlgo::Ditto;
     cfg.seed = 2102;
-    let report = Scenario::new(cfg).run();
+    let report = collapois_bench::run_scenario(cfg);
     let last = report.final_round();
     table.row(&[
         "ditto".into(),
         pct(last.benign_accuracy),
         pct(last.attack_success_rate),
-        if last.attack_success_rate > 0.5 { "bypassed".into() } else { "holds".to_string() },
+        if last.attack_success_rate > 0.5 {
+            "bypassed".into()
+        } else {
+            "holds".to_string()
+        },
     ]);
 
     table.print(&format!(

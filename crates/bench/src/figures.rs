@@ -20,8 +20,12 @@ pub fn base_config(dataset: DatasetKind, alpha: f64, frac: f64, scale: Scale) ->
 pub fn run_attacks_figure(dataset: DatasetKind, title: &str, seed: u64) {
     let scale = Scale::from_env();
     let alphas = [0.01, 1.0, 100.0];
-    let attacks =
-        [AttackKind::CollaPois, AttackKind::DPois, AttackKind::MRepl, AttackKind::Dba];
+    let attacks = [
+        AttackKind::CollaPois,
+        AttackKind::DPois,
+        AttackKind::MRepl,
+        AttackKind::Dba,
+    ];
     for algo in [FlAlgo::FedAvg, FlAlgo::FedDc, FlAlgo::MetaFed] {
         let mut table = Table::new(&["attack", "alpha", "benign ac", "attack sr"]);
         for attack in attacks {
@@ -53,13 +57,17 @@ pub fn run_attacks_figure(dataset: DatasetKind, title: &str, seed: u64) {
 pub fn run_defenses_figure(dataset: DatasetKind, title: &str, seed: u64) {
     let scale = Scale::from_env();
     let alphas = [0.01, 1.0, 100.0];
-    let defenses =
-        [DefenseKind::Dp, DefenseKind::NormBound, DefenseKind::Krum, DefenseKind::Rlr];
+    let defenses = [
+        DefenseKind::Dp,
+        DefenseKind::NormBound,
+        DefenseKind::Krum,
+        DefenseKind::Rlr,
+    ];
     for algo in [FlAlgo::FedAvg, FlAlgo::FedDc, FlAlgo::MetaFed] {
         let mut table = Table::new(&["defense", "alpha", "benign ac", "attack sr"]);
         for defense in defenses {
-            let not_applicable = algo == FlAlgo::MetaFed
-                && matches!(defense, DefenseKind::Krum | DefenseKind::Rlr);
+            let not_applicable =
+                algo == FlAlgo::MetaFed && matches!(defense, DefenseKind::Krum | DefenseKind::Rlr);
             if not_applicable {
                 continue;
             }
@@ -79,7 +87,10 @@ pub fn run_defenses_figure(dataset: DatasetKind, title: &str, seed: u64) {
                 ]);
             }
         }
-        table.print(&format!("{title} — {} (CollaPois, 1% compromised)", algo.name()));
+        table.print(&format!(
+            "{title} — {} (CollaPois, 1% compromised)",
+            algo.name()
+        ));
     }
     println!(
         "\nPaper shape: DP and NormBound leave Attack SR high; Krum and RLR suppress it\n\

@@ -11,7 +11,7 @@
 
 pub mod figures;
 
-use collapois_core::scenario::ScenarioConfig;
+use collapois_core::scenario::{RunOptions, Scenario, ScenarioConfig, ScenarioReport};
 
 /// Experiment scale, selected with the `COLLAPOIS_SCALE` environment
 /// variable (`quick` default; `full` for larger N / more rounds).
@@ -49,6 +49,26 @@ impl Scale {
 /// The α sweep used throughout the paper's figures.
 pub const ALPHAS: [f64; 5] = [0.01, 0.1, 1.0, 10.0, 100.0];
 
+/// Execution options from the environment: `COLLAPOIS_WORKERS=N` fans
+/// benign-client training over `N` worker threads. Results are
+/// bit-identical for any worker count, so figures are reproducible
+/// regardless of this knob.
+pub fn run_options_from_env() -> RunOptions {
+    let workers = std::env::var("COLLAPOIS_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(1);
+    RunOptions {
+        workers,
+        ..RunOptions::default()
+    }
+}
+
+/// Runs a scenario under the environment-derived execution options.
+pub fn run_scenario(cfg: ScenarioConfig) -> ScenarioReport {
+    Scenario::new(cfg).run_with(&run_options_from_env())
+}
+
 /// Simple aligned text-table printer for the figure outputs.
 #[derive(Debug, Clone, Default)]
 pub struct Table {
@@ -59,7 +79,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new(header: &[&str]) -> Self {
-        Self { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (must match the header length).
@@ -132,7 +155,14 @@ impl Table {
             }
         };
         let mut out = String::new();
-        out.push_str(&self.header.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|c| quote(c))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));

@@ -33,7 +33,11 @@ impl std::fmt::Display for ArgError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::MissingValue(k) => write!(f, "option --{k} requires a value"),
-            Self::BadValue { key, value, expected } => {
+            Self::BadValue {
+                key,
+                value,
+                expected,
+            } => {
                 write!(f, "option --{key}: '{value}' is not a valid {expected}")
             }
             Self::UnexpectedToken(t) => write!(f, "unexpected argument '{t}'"),
@@ -63,7 +67,8 @@ impl Args {
                 let value = iter
                     .next()
                     .ok_or_else(|| ArgError::MissingValue(key.to_string()))?;
-                args.options.insert(key.to_string(), value.as_ref().to_string());
+                args.options
+                    .insert(key.to_string(), value.as_ref().to_string());
             } else if args.command.is_none() {
                 args.command = Some(tok.to_string());
             } else {

@@ -8,8 +8,11 @@
 //!                            signsgd|flare|crfl|stat-filter|user-dp]
 //!                 [--algo fedavg|feddc|metafed|ditto|clustered]
 //!                 [--rounds T] [--clients N] [--seed S] [--topk K]
+//!                 [--workers W] [--trace FILE] [--checkpoint-dir DIR]
+//!                 [--checkpoint-every E] [--resume true] [--monitor true]
 //! collapois sweep [--attack ...] [--defense ...] [--algo ...] — alpha sweep
 //! collapois bound [--a 0.9] [--b 1.0] [--clients N] — Theorem 1 table
+//! collapois trace --file RUN.jsonl — inspect a structured run trace
 //! collapois help
 //! ```
 
@@ -17,9 +20,13 @@ mod args;
 
 use args::{ArgError, Args};
 use collapois_core::scenario::{
-    AttackKind, DatasetKind, DefenseKind, FlAlgo, Scenario, ScenarioConfig, ScenarioModel,
+    AttackKind, DatasetKind, DefenseKind, FlAlgo, RunOptions, Scenario, ScenarioConfig,
+    ScenarioModel,
 };
 use collapois_core::theory::theorem1_bound;
+use collapois_fl::server::round_records_from_events;
+use collapois_runtime::trace::{read_trace, TraceEvent};
+use std::path::{Path, PathBuf};
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -39,6 +46,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         Some("run") => cmd_run(&args),
         Some("sweep") => cmd_sweep(&args),
         Some("bound") => cmd_bound(&args),
+        Some("trace") => cmd_trace(&args),
         Some("help") | None => {
             print_help();
             Ok(())
@@ -54,6 +62,7 @@ fn print_help() {
          \u{20}  run    run one scenario (attack x defense x FL algorithm)\n\
          \u{20}  sweep  sweep the Dirichlet alpha for a fixed configuration\n\
          \u{20}  bound  print Theorem 1's |C| lower-bound table\n\
+         \u{20}  trace  inspect a structured run trace (--file RUN.jsonl)\n\
          \u{20}  help   this message\n\n\
          common options:\n\
          \u{20}  --dataset image|text   --alpha A      --frac F       --seed S\n\
@@ -62,13 +71,36 @@ fn print_help() {
          \u{20}            flare|crfl|stat-filter|user-dp\n\
          \u{20}  --algo fedavg|feddc|metafed|ditto|clustered\n\
          \u{20}  --model mlp|cnn   --repeats R\n\
-         \u{20}  --rounds T   --clients N   --topk K"
+         \u{20}  --rounds T   --clients N   --topk K\n\n\
+         execution (bit-identical for any worker count):\n\
+         \u{20}  --workers W            fan benign training over W threads\n\
+         \u{20}  --trace FILE           write a JSONL run trace\n\
+         \u{20}  --checkpoint-dir DIR   write periodic snapshots into DIR\n\
+         \u{20}  --checkpoint-every E   snapshot cadence in rounds (default 5)\n\
+         \u{20}  --resume true          resume from the newest snapshot in DIR\n\
+         \u{20}  --monitor true         emit shift-detector alerts into the trace"
     );
 }
 
 const RUN_KEYS: &[&str] = &[
-    "dataset", "alpha", "frac", "attack", "defense", "algo", "rounds", "clients", "seed",
-    "topk", "model", "repeats",
+    "dataset",
+    "alpha",
+    "frac",
+    "attack",
+    "defense",
+    "algo",
+    "rounds",
+    "clients",
+    "seed",
+    "topk",
+    "model",
+    "repeats",
+    "workers",
+    "trace",
+    "checkpoint-dir",
+    "checkpoint-every",
+    "resume",
+    "monitor",
 ];
 
 fn parse_attack(s: &str) -> Result<AttackKind, String> {
@@ -132,8 +164,21 @@ fn build_config(args: &Args) -> Result<ScenarioConfig, String> {
     Ok(cfg)
 }
 
+fn build_run_options(args: &Args) -> Result<RunOptions, String> {
+    let err = |e: ArgError| e.to_string();
+    Ok(RunOptions {
+        workers: args.get_or("workers", 1).map_err(err)?,
+        trace_path: args.get("trace").map(PathBuf::from),
+        checkpoint_dir: args.get("checkpoint-dir").map(PathBuf::from),
+        checkpoint_every: args.get_or("checkpoint-every", 0).map_err(err)?,
+        resume: args.get_or("resume", false).map_err(err)?,
+        monitor: args.get_or("monitor", false).map_err(err)?,
+    })
+}
+
 fn cmd_run(args: &Args) -> Result<(), String> {
     let cfg = build_config(args)?;
+    let opts = build_run_options(args)?;
     let topk: f64 = args.get_or("topk", 25.0).map_err(|e| e.to_string())?;
     let repeats: usize = args.get_or("repeats", 1).map_err(|e| e.to_string())?;
     if repeats > 1 {
@@ -161,7 +206,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         cfg.num_clients,
         cfg.rounds
     );
-    let report = Scenario::new(cfg).run();
+    let report = Scenario::new(cfg).run_with(&opts);
     if let Some(x) = &report.trojan {
         println!(
             "trojaned model X: clean acc {:.1}%, trigger success {:.1}%",
@@ -204,6 +249,12 @@ fn cmd_run(args: &Args) -> Result<(), String> {
 
 fn cmd_sweep(args: &Args) -> Result<(), String> {
     let base = build_config(args)?;
+    // The sweep honors --workers; per-run trace/checkpoint paths would
+    // overwrite each other across alphas, so only the thread knob applies.
+    let opts = RunOptions {
+        workers: build_run_options(args)?.workers,
+        ..RunOptions::default()
+    };
     println!(
         "alpha sweep: attack={} defense={} algo={}",
         base.attack.name(),
@@ -214,7 +265,7 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     for alpha in [0.01, 0.1, 1.0, 10.0, 100.0] {
         let mut cfg = base.clone();
         cfg.alpha = alpha;
-        let report = Scenario::new(cfg).run();
+        let report = Scenario::new(cfg).run_with(&opts);
         let last = report.final_round();
         println!(
             "{:<8} {:>9.2}% {:>9.2}%",
@@ -248,6 +299,88 @@ fn cmd_bound(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+const TRACE_KEYS: &[&str] = &["file"];
+
+fn cmd_trace(args: &Args) -> Result<(), String> {
+    if let Some(k) = args.unknown_key(TRACE_KEYS) {
+        return Err(format!("unknown option --{k}"));
+    }
+    let file = args.get("file").ok_or("trace requires --file RUN.jsonl")?;
+    let events = read_trace(Path::new(file)).map_err(|e| e.to_string())?;
+    let mut header_printed = false;
+    for event in &events {
+        match event {
+            TraceEvent::RunStarted {
+                run_seed,
+                config_hash,
+                num_clients,
+                rounds,
+                workers,
+                aggregator,
+                resumed_from,
+            } => {
+                println!(
+                    "run: seed={run_seed} config=0x{config_hash:016x} clients={num_clients} \
+                     rounds={rounds} workers={workers} aggregator={aggregator}{}",
+                    match resumed_from {
+                        Some(r) => format!(" (resumed from round {r})"),
+                        None => String::new(),
+                    }
+                );
+            }
+            TraceEvent::RoundCompleted {
+                round,
+                aggregator: _,
+                num_malicious,
+                benign_norms,
+                malicious_norms: _,
+                agg_delta_norm,
+                elapsed_ms,
+            } => {
+                if !header_printed {
+                    println!("\nround  benign  malicious  |agg delta|        ms");
+                    header_printed = true;
+                }
+                println!(
+                    "{round:>5}  {:>6}  {num_malicious:>9}  {agg_delta_norm:>11.4}  {elapsed_ms:>8.1}",
+                    benign_norms.len()
+                );
+            }
+            TraceEvent::ShiftAlert {
+                round,
+                observed,
+                baseline_median,
+                z_score,
+            } => {
+                println!(
+                    "  ! shift alert at round {round}: observed {observed:.4} vs median \
+                     {baseline_median:.4} (z = {z_score:.1})"
+                );
+            }
+            TraceEvent::CheckpointSaved { round, path } => {
+                println!("  * checkpoint for round {round}: {path}");
+            }
+            TraceEvent::RunCompleted {
+                rounds_executed,
+                elapsed_ms,
+            } => {
+                println!(
+                    "\nrun completed: {rounds_executed} rounds in {:.2}s",
+                    elapsed_ms / 1e3
+                );
+            }
+            TraceEvent::RoundStarted { .. } => {}
+        }
+    }
+    let records = round_records_from_events(&events);
+    println!(
+        "{} events, {} reconstructed round records",
+        events.len(),
+        records.len()
+    );
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -263,9 +396,25 @@ mod tests {
     #[test]
     fn config_builder_applies_options() {
         let args = Args::parse([
-            "run", "--dataset", "text", "--alpha", "0.5", "--frac", "0.05", "--attack",
-            "dpois", "--defense", "krum", "--algo", "feddc", "--rounds", "7", "--clients",
-            "30", "--seed", "9",
+            "run",
+            "--dataset",
+            "text",
+            "--alpha",
+            "0.5",
+            "--frac",
+            "0.05",
+            "--attack",
+            "dpois",
+            "--defense",
+            "krum",
+            "--algo",
+            "feddc",
+            "--rounds",
+            "7",
+            "--clients",
+            "30",
+            "--seed",
+            "9",
         ])
         .unwrap();
         let cfg = build_config(&args).unwrap();
@@ -290,8 +439,63 @@ mod tests {
     }
 
     #[test]
+    fn run_options_parse() {
+        let args = Args::parse([
+            "run",
+            "--workers",
+            "4",
+            "--trace",
+            "/tmp/t.jsonl",
+            "--checkpoint-dir",
+            "/tmp/ck",
+            "--checkpoint-every",
+            "3",
+            "--resume",
+            "true",
+            "--monitor",
+            "true",
+        ])
+        .unwrap();
+        let opts = build_run_options(&args).unwrap();
+        assert_eq!(opts.workers, 4);
+        assert_eq!(opts.trace_path.as_deref(), Some(Path::new("/tmp/t.jsonl")));
+        assert_eq!(opts.checkpoint_dir.as_deref(), Some(Path::new("/tmp/ck")));
+        assert_eq!(opts.checkpoint_every, 3);
+        assert!(opts.resume);
+        assert!(opts.monitor);
+        // Defaults: sequential, nothing written.
+        let defaults = build_run_options(&Args::parse(["run"]).unwrap()).unwrap();
+        assert_eq!(
+            defaults,
+            RunOptions {
+                workers: 1,
+                ..RunOptions::default()
+            }
+        );
+    }
+
+    #[test]
+    fn trace_command_validates_input() {
+        let e = run(&["trace".to_string()]).unwrap_err();
+        assert!(e.contains("--file"));
+        let e = run(&[
+            "trace".to_string(),
+            "--file".to_string(),
+            "/nonexistent/run.jsonl".to_string(),
+        ])
+        .unwrap_err();
+        assert!(!e.is_empty());
+    }
+
+    #[test]
     fn bound_command_validates_psi() {
-        let args = vec!["bound".to_string(), "--a".into(), "1.0".into(), "--b".into(), "0.5".into()];
+        let args = vec![
+            "bound".to_string(),
+            "--a".into(),
+            "1.0".into(),
+            "--b".into(),
+            "0.5".into(),
+        ];
         assert!(run(&args).is_err());
     }
 

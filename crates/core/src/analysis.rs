@@ -82,7 +82,11 @@ mod tests {
     use super::*;
 
     fn record(round: usize, updates: Vec<ClientUpdate>) -> RoundRecord {
-        RoundRecord { round, updates: Some(updates), ..Default::default() }
+        RoundRecord {
+            round,
+            updates: Some(updates),
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -122,14 +126,20 @@ mod tests {
 
     #[test]
     fn pooled_angles_aggregate_across_rounds() {
-        let r1 = record(0, vec![
-            ClientUpdate::new(0, vec![1.0, 0.0], 1),
-            ClientUpdate::new(9, vec![1.0, 0.0], 1),
-        ]);
-        let r2 = record(1, vec![
-            ClientUpdate::new(1, vec![0.0, 1.0], 1),
-            ClientUpdate::new(9, vec![1.0, 0.0], 1),
-        ]);
+        let r1 = record(
+            0,
+            vec![
+                ClientUpdate::new(0, vec![1.0, 0.0], 1),
+                ClientUpdate::new(9, vec![1.0, 0.0], 1),
+            ],
+        );
+        let r2 = record(
+            1,
+            vec![
+                ClientUpdate::new(1, vec![0.0, 1.0], 1),
+                ClientUpdate::new(9, vec![1.0, 0.0], 1),
+            ],
+        );
         let (benign, malicious) = pooled_mean_angles_deg(&[r1, r2], &[9]);
         assert!((benign.unwrap() - 90.0).abs() < 1e-6);
         assert!(malicious.unwrap().abs() < 1e-3);

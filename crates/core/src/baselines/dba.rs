@@ -43,8 +43,15 @@ impl DbaAttack {
         cfg: LocalTrainConfig,
         seed: u64,
     ) -> Self {
-        assert_eq!(compromised.len(), local_data.len(), "one dataset per compromised client");
-        assert!(!compromised.is_empty(), "need at least one compromised client");
+        assert_eq!(
+            compromised.len(),
+            local_data.len(),
+            "one dataset per compromised client"
+        );
+        assert!(
+            !compromised.is_empty(),
+            "need at least one compromised client"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let poisoned_data: Vec<Dataset> = local_data
             .iter()
@@ -56,7 +63,12 @@ impl DbaAttack {
             })
             .collect();
         let scratch = spec.build(&mut rng);
-        Self { compromised, poisoned_data, scratch, cfg }
+        Self {
+            compromised,
+            poisoned_data,
+            scratch,
+            cfg,
+        }
     }
 }
 

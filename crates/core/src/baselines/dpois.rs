@@ -45,8 +45,15 @@ impl DPois {
         cfg: LocalTrainConfig,
         seed: u64,
     ) -> Self {
-        assert_eq!(compromised.len(), local_data.len(), "one dataset per compromised client");
-        assert!(!compromised.is_empty(), "need at least one compromised client");
+        assert_eq!(
+            compromised.len(),
+            local_data.len(),
+            "one dataset per compromised client"
+        );
+        assert!(
+            !compromised.is_empty(),
+            "need at least one compromised client"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let poisoned_data: Vec<Dataset> = local_data
             .iter()
@@ -56,7 +63,12 @@ impl DPois {
             })
             .collect();
         let scratch = spec.build(&mut rng);
-        Self { compromised, poisoned_data, scratch, cfg }
+        Self {
+            compromised,
+            poisoned_data,
+            scratch,
+            cfg,
+        }
     }
 
     fn index_of(&self, client_id: usize) -> usize {
@@ -96,8 +108,12 @@ mod tests {
     use collapois_data::trigger::PatchTrigger;
 
     fn local_data() -> Dataset {
-        let cfg =
-            SyntheticImageConfig { side: 8, classes: 3, samples: 60, ..Default::default() };
+        let cfg = SyntheticImageConfig {
+            side: 8,
+            classes: 3,
+            samples: 60,
+            ..Default::default()
+        };
         SyntheticImage::new(cfg).generate()
     }
 

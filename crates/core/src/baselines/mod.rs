@@ -28,7 +28,11 @@ pub struct LocalTrainConfig {
 
 impl Default for LocalTrainConfig {
     fn default() -> Self {
-        Self { steps: 4, batch_size: 16, lr: 0.05 }
+        Self {
+            steps: 4,
+            batch_size: 16,
+            lr: 0.05,
+        }
     }
 }
 
@@ -47,5 +51,10 @@ pub(crate) fn poisoned_local_delta(
         let (x, y) = data.minibatch(rng, cfg.batch_size);
         model.train_batch(&x, &y, &mut opt);
     }
-    model.params().iter().zip(global).map(|(l, g)| l - g).collect()
+    model
+        .params()
+        .iter()
+        .zip(global)
+        .map(|(l, g)| l - g)
+        .collect()
 }

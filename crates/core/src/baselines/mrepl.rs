@@ -50,8 +50,15 @@ impl MRepl {
         boost: f64,
         seed: u64,
     ) -> Self {
-        assert_eq!(compromised.len(), local_data.len(), "one dataset per compromised client");
-        assert!(!compromised.is_empty(), "need at least one compromised client");
+        assert_eq!(
+            compromised.len(),
+            local_data.len(),
+            "one dataset per compromised client"
+        );
+        assert!(
+            !compromised.is_empty(),
+            "need at least one compromised client"
+        );
         assert!(boost > 0.0, "boost must be positive");
         let mut rng = StdRng::seed_from_u64(seed);
         let poisoned_data: Vec<Dataset> = local_data
@@ -62,7 +69,13 @@ impl MRepl {
             })
             .collect();
         let scratch = spec.build(&mut rng);
-        Self { compromised, poisoned_data, scratch, cfg, boost }
+        Self {
+            compromised,
+            poisoned_data,
+            scratch,
+            cfg,
+            boost,
+        }
     }
 
     /// The boost factor.

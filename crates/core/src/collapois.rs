@@ -37,7 +37,12 @@ pub struct CollaPoisConfig {
 impl CollaPoisConfig {
     /// The paper's configuration: `ψ ~ U[0.9, 1]`, no clipping, no upscale.
     pub fn paper() -> Self {
-        Self { psi_low: 0.9, psi_high: 1.0, clip_bound: None, min_norm: None }
+        Self {
+            psi_low: 0.9,
+            psi_high: 1.0,
+            clip_bound: None,
+            min_norm: None,
+        }
     }
 
     /// Validates the ψ range and bounds.
@@ -90,9 +95,18 @@ impl CollaPois {
     ///
     /// Panics if the configuration is invalid or `compromised` is empty.
     pub fn new(compromised: Vec<usize>, trojan: Vec<f32>, cfg: CollaPoisConfig) -> Self {
-        cfg.validate().unwrap_or_else(|e| panic!("invalid CollaPoisConfig: {e}"));
-        assert!(!compromised.is_empty(), "need at least one compromised client");
-        Self { compromised, trojan, cfg, psi_history: Vec::new() }
+        cfg.validate()
+            .unwrap_or_else(|e| panic!("invalid CollaPoisConfig: {e}"));
+        assert!(
+            !compromised.is_empty(),
+            "need at least one compromised client"
+        );
+        Self {
+            compromised,
+            trojan,
+            cfg,
+            psi_history: Vec::new(),
+        }
     }
 
     /// The Trojaned model X.
@@ -113,11 +127,19 @@ impl CollaPois {
     /// Crafts the malicious delta for the current global model — exposed so
     /// the theory/stealth analyses can generate updates without a server.
     pub fn craft(&mut self, global: &[f32], rng: &mut StdRng) -> Vec<f32> {
-        assert_eq!(global.len(), self.trojan.len(), "global/trojan dimension mismatch");
+        assert_eq!(
+            global.len(),
+            self.trojan.len(),
+            "global/trojan dimension mismatch"
+        );
         let psi = rng.gen_range(self.cfg.psi_low..self.cfg.psi_high) as f32;
         self.psi_history.push(psi as f64);
-        let mut delta: Vec<f32> =
-            self.trojan.iter().zip(global).map(|(x, g)| psi * (x - g)).collect();
+        let mut delta: Vec<f32> = self
+            .trojan
+            .iter()
+            .zip(global)
+            .map(|(x, g)| psi * (x - g))
+            .collect();
         if let Some(bound) = self.cfg.clip_bound {
             clip_to_norm(&mut delta, bound);
         }
@@ -187,7 +209,10 @@ mod tests {
 
     #[test]
     fn clipping_bounds_the_norm() {
-        let cfg = CollaPoisConfig { clip_bound: Some(0.5), ..CollaPoisConfig::paper() };
+        let cfg = CollaPoisConfig {
+            clip_bound: Some(0.5),
+            ..CollaPoisConfig::paper()
+        };
         let mut adv = CollaPois::new(vec![0], vec![10.0; 16], cfg);
         let mut rng = StdRng::seed_from_u64(2);
         let delta = adv.craft(&[0.0; 16], &mut rng);
@@ -196,7 +221,10 @@ mod tests {
 
     #[test]
     fn tau_upscales_tiny_deltas() {
-        let cfg = CollaPoisConfig { min_norm: Some(2.0), ..CollaPoisConfig::paper() };
+        let cfg = CollaPoisConfig {
+            min_norm: Some(2.0),
+            ..CollaPoisConfig::paper()
+        };
         let mut adv = CollaPois::new(vec![0], vec![1e-4; 16], cfg);
         let mut rng = StdRng::seed_from_u64(3);
         let delta = adv.craft(&[0.0; 16], &mut rng);
@@ -223,19 +251,31 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid CollaPoisConfig")]
     fn rejects_bad_psi_range() {
-        let cfg = CollaPoisConfig { psi_low: 0.9, psi_high: 0.8, ..CollaPoisConfig::paper() };
+        let cfg = CollaPoisConfig {
+            psi_low: 0.9,
+            psi_high: 0.8,
+            ..CollaPoisConfig::paper()
+        };
         let _ = CollaPois::new(vec![0], vec![0.0; 4], cfg);
     }
 
     #[test]
     fn validate_catches_all_constraints() {
         assert!(CollaPoisConfig::paper().validate().is_ok());
-        let bad_clip =
-            CollaPoisConfig { clip_bound: Some(0.0), ..CollaPoisConfig::paper() };
+        let bad_clip = CollaPoisConfig {
+            clip_bound: Some(0.0),
+            ..CollaPoisConfig::paper()
+        };
         assert!(bad_clip.validate().is_err());
-        let bad_tau = CollaPoisConfig { min_norm: Some(-1.0), ..CollaPoisConfig::paper() };
+        let bad_tau = CollaPoisConfig {
+            min_norm: Some(-1.0),
+            ..CollaPoisConfig::paper()
+        };
         assert!(bad_tau.validate().is_err());
-        let bad_low = CollaPoisConfig { psi_low: 0.0, ..CollaPoisConfig::paper() };
+        let bad_low = CollaPoisConfig {
+            psi_low: 0.0,
+            ..CollaPoisConfig::paper()
+        };
         assert!(bad_low.validate().is_err());
     }
 }

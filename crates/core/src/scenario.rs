@@ -23,9 +23,10 @@ use collapois_fl::aggregate::{
 };
 use collapois_fl::config::FlConfig;
 use collapois_fl::metrics::{
-    cluster_analysis, evaluate_clients, population, top_k_percent, ClientMetrics,
-    ClusterReport, PopulationMetrics,
+    cluster_analysis, evaluate_clients, population, top_k_percent, ClientMetrics, ClusterReport,
+    PopulationMetrics,
 };
+use collapois_fl::monitor::ShiftDetector;
 use collapois_fl::personalize::{
     Clustered, Ditto, FedDc, MetaFed, NoPersonalization, Personalization,
 };
@@ -34,6 +35,7 @@ use collapois_nn::zoo::ModelSpec;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::path::PathBuf;
 
 /// Which synthetic corpus to use (stand-ins for FEMNIST / Sentiment).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -366,6 +368,39 @@ pub const TEXT_DIM: usize = 32;
 /// Class count of the Sentiment-sim scenario.
 pub const TEXT_CLASSES: usize = 2;
 
+/// Execution-engine options for a scenario run (`collapois-runtime` knobs);
+/// none of them change the numerical result — `workers = N` is bit-identical
+/// to `workers = 1`, and a resumed run converges to the same final model as
+/// an uninterrupted one.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunOptions {
+    /// Worker threads for benign-client training fan-out (`0`/`1` =
+    /// sequential).
+    pub workers: usize,
+    /// Mirror the structured JSONL run trace to this file.
+    pub trace_path: Option<PathBuf>,
+    /// Directory for periodic snapshots (`None` disables checkpointing).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Snapshot every this many completed rounds (`0` = a default of 5
+    /// when `checkpoint_dir` is set).
+    pub checkpoint_every: usize,
+    /// Resume from the newest snapshot in `checkpoint_dir`, if any.
+    pub resume: bool,
+    /// Attach the round-to-round shift monitor; alerts land in the trace.
+    pub monitor: bool,
+}
+
+impl RunOptions {
+    /// Effective checkpoint cadence.
+    fn effective_checkpoint_every(&self) -> usize {
+        if self.checkpoint_every == 0 {
+            5
+        } else {
+            self.checkpoint_every
+        }
+    }
+}
+
 /// Population metrics at one evaluation point.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct RoundMetrics {
@@ -405,7 +440,9 @@ impl ScenarioReport {
     ///
     /// Panics if the scenario ran zero evaluation points (rounds = 0).
     pub fn final_round(&self) -> &RoundMetrics {
-        self.rounds.last().expect("scenario ran at least one evaluation")
+        self.rounds
+            .last()
+            .expect("scenario ran at least one evaluation")
     }
 
     /// Population metrics over all benign clients at the end.
@@ -467,9 +504,14 @@ impl Scenario {
                 Scenario::new(cfg).run()
             })
             .collect();
-        let acs: Vec<f64> = runs.iter().map(|r| r.final_round().benign_accuracy).collect();
-        let srs: Vec<f64> =
-            runs.iter().map(|r| r.final_round().attack_success_rate).collect();
+        let acs: Vec<f64> = runs
+            .iter()
+            .map(|r| r.final_round().benign_accuracy)
+            .collect();
+        let srs: Vec<f64> = runs
+            .iter()
+            .map(|r| r.final_round().attack_success_rate)
+            .collect();
         RepeatedReport {
             benign_ac_mean: collapois_stats::descriptive::mean(&acs),
             benign_ac_std: collapois_stats::descriptive::std_dev(&acs),
@@ -504,13 +546,25 @@ impl Scenario {
         }
     }
 
-    /// Runs the scenario end to end.
+    /// Runs the scenario end to end with default execution options
+    /// (sequential, no trace file, no checkpoints).
     ///
     /// # Panics
     ///
     /// Panics on invalid configurations (zero rounds, bad rates — see
     /// [`FlConfig::validate`]).
     pub fn run(&self) -> ScenarioReport {
+        self.run_with(&RunOptions::default())
+    }
+
+    /// Runs the scenario end to end under the given execution options.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid configurations, on trace/checkpoint I/O errors,
+    /// and when `opts.resume` finds a snapshot from a different
+    /// configuration.
+    pub fn run_with(&self, opts: &RunOptions) -> ScenarioReport {
         let cfg = &self.cfg;
         let spec = cfg.model_spec();
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5CE0);
@@ -537,13 +591,8 @@ impl Scenario {
         };
 
         // 4. Adversary.
-        let mut adversary: Option<Box<dyn Adversary>> = self.build_adversary(
-            &fed,
-            &compromised,
-            trigger.as_ref(),
-            trojan.as_ref(),
-            &spec,
-        );
+        let mut adversary: Option<Box<dyn Adversary>> =
+            self.build_adversary(&fed, &compromised, trigger.as_ref(), trojan.as_ref(), &spec);
 
         // 5. Server with defense + personalization.
         let fl_cfg = FlConfig {
@@ -561,11 +610,32 @@ impl Scenario {
         let personalization = self.build_personalization();
         let mut server = FlServer::new(fl_cfg, fed, aggregator, personalization);
         server.collect_updates(cfg.collect_updates);
+        if opts.workers > 1 {
+            server.set_workers(opts.workers);
+        }
+        if let Some(path) = &opts.trace_path {
+            server
+                .trace_to_file(path)
+                .unwrap_or_else(|e| panic!("cannot open trace file {path:?}: {e}"));
+        }
+        if opts.monitor {
+            server.enable_monitor(ShiftDetector::default_paper());
+        }
+        if let Some(dir) = &opts.checkpoint_dir {
+            server.enable_checkpoints(dir, opts.effective_checkpoint_every());
+            if opts.resume {
+                server
+                    .resume_latest(dir)
+                    .unwrap_or_else(|e| panic!("cannot resume from {dir:?}: {e}"));
+            }
+        }
 
-        // 6. Round loop with periodic evaluation.
-        let mut records = Vec::with_capacity(cfg.rounds);
+        // 6. Round loop with periodic evaluation (starting past any
+        // checkpointed rounds when resuming).
+        let start_round = server.rounds_done();
+        let mut records = Vec::with_capacity(cfg.rounds.saturating_sub(start_round));
         let mut round_metrics = Vec::new();
-        for t in 0..cfg.rounds {
+        for t in start_round..cfg.rounds {
             let adv = adversary.as_deref_mut();
             records.push(server.run_round(adv));
             let at_eval = (t + 1) % cfg.eval_every == 0 || t + 1 == cfg.rounds;
@@ -578,6 +648,21 @@ impl Scenario {
                     attack_success_rate: pop.attack_sr,
                 });
             }
+        }
+
+        server.finish_run();
+
+        // A resume that finds the run already complete executes no rounds;
+        // still report one evaluation point so downstream consumers see
+        // final metrics.
+        if round_metrics.is_empty() {
+            let metrics = self.evaluate(&server, trigger.as_ref(), &compromised);
+            let pop = population(&metrics);
+            round_metrics.push(RoundMetrics {
+                round: server.rounds_done(),
+                benign_accuracy: pop.benign_ac,
+                attack_success_rate: pop.attack_sr,
+            });
         }
 
         // 7. Final client-level metrics and cluster analysis.
@@ -636,9 +721,7 @@ impl Scenario {
         match self.cfg.defense {
             DefenseKind::None => Box::new(FedAvg::new()),
             DefenseKind::Dp => Box::new(DpAggregator::new(p.dp_clip, p.dp_noise)),
-            DefenseKind::NormBound => {
-                Box::new(NormBound::new(p.nb_bound).with_noise(p.nb_noise))
-            }
+            DefenseKind::NormBound => Box::new(NormBound::new(p.nb_bound).with_noise(p.nb_noise)),
             DefenseKind::Krum => Box::new(Krum::new(compromised.len().max(1))),
             DefenseKind::Rlr => Box::new(RobustLearningRate::new(
                 ((expected_cohort as f64 * p.rlr_frac).round() as usize).max(1),
@@ -670,13 +753,22 @@ impl Scenario {
             batch_size: cfg.batch_size,
             lr: cfg.client_lr,
         };
-        let local_data: Vec<Dataset> =
-            compromised.iter().map(|&c| fed.client(c).train.clone()).collect();
+        let local_data: Vec<Dataset> = compromised
+            .iter()
+            .map(|&c| fed.client(c).train.clone())
+            .collect();
         match cfg.attack {
             AttackKind::None => None,
             AttackKind::CollaPois => {
-                let x = trojan.expect("CollaPois requires a Trojaned model").params.clone();
-                Some(Box::new(CollaPois::new(compromised.to_vec(), x, cfg.collapois)))
+                let x = trojan
+                    .expect("CollaPois requires a Trojaned model")
+                    .params
+                    .clone();
+                Some(Box::new(CollaPois::new(
+                    compromised.to_vec(),
+                    x,
+                    cfg.collapois,
+                )))
             }
             AttackKind::DPois => Some(Box::new(DPois::new(
                 compromised.to_vec(),
@@ -689,10 +781,10 @@ impl Scenario {
                 cfg.seed ^ 0xD901,
             ))),
             AttackKind::MRepl => {
-                let expected_cohort =
-                    (cfg.num_clients as f64 * cfg.sample_rate).round().max(1.0);
-                let expected_malicious =
-                    (compromised.len() as f64 * cfg.sample_rate).round().max(1.0);
+                let expected_cohort = (cfg.num_clients as f64 * cfg.sample_rate).round().max(1.0);
+                let expected_malicious = (compromised.len() as f64 * cfg.sample_rate)
+                    .round()
+                    .max(1.0);
                 let boost =
                     (expected_cohort / (cfg.server_lr * expected_malicious)).clamp(1.0, 50.0);
                 Some(Box::new(MRepl::new(
@@ -792,11 +884,19 @@ mod tests {
 
     #[test]
     fn collapois_scenario_produces_full_report() {
-        let report =
-            Scenario::new(tiny(AttackKind::CollaPois, DefenseKind::None, FlAlgo::FedAvg)).run();
+        let report = Scenario::new(tiny(
+            AttackKind::CollaPois,
+            DefenseKind::None,
+            FlAlgo::FedAvg,
+        ))
+        .run();
         assert_eq!(report.compromised.len(), 4); // floor of 4
         let x = report.trojan.as_ref().expect("X trained");
-        assert!(x.trigger_success > 0.5, "X trigger success {}", x.trigger_success);
+        assert!(
+            x.trigger_success > 0.5,
+            "X trigger success {}",
+            x.trigger_success
+        );
         assert_eq!(report.clients.len(), 12 - 4);
         assert!(!report.clusters.is_empty());
         assert_eq!(report.rounds.len(), 2); // evals at rounds 3 and 6
@@ -836,13 +936,11 @@ mod tests {
     #[test]
     fn defenses_and_algos_run() {
         for defense in [DefenseKind::Krum, DefenseKind::Dp] {
-            let report =
-                Scenario::new(tiny(AttackKind::CollaPois, defense, FlAlgo::FedAvg)).run();
+            let report = Scenario::new(tiny(AttackKind::CollaPois, defense, FlAlgo::FedAvg)).run();
             assert_eq!(report.rounds.len(), 2);
         }
         for algo in [FlAlgo::FedDc, FlAlgo::MetaFed, FlAlgo::Ditto] {
-            let report =
-                Scenario::new(tiny(AttackKind::CollaPois, DefenseKind::None, algo)).run();
+            let report = Scenario::new(tiny(AttackKind::CollaPois, DefenseKind::None, algo)).run();
             assert_eq!(report.rounds.len(), 2, "{:?}", algo);
         }
     }
@@ -880,8 +978,12 @@ mod tests {
 
     #[test]
     fn top_k_at_least_population_sr() {
-        let report =
-            Scenario::new(tiny(AttackKind::CollaPois, DefenseKind::None, FlAlgo::FedAvg)).run();
+        let report = Scenario::new(tiny(
+            AttackKind::CollaPois,
+            DefenseKind::None,
+            FlAlgo::FedAvg,
+        ))
+        .run();
         let all = report.population();
         let top = report.top_k(25.0);
         assert!(top.attack_sr + 1e-9 >= all.attack_sr);

@@ -116,8 +116,8 @@ pub fn stealth_battery(
         levene_test(&mf.angles, &bf.angles).map_err(|_| StealthError::TooFewGradients)?;
     let angle_ks =
         ks_two_sample(&mf.angles, &bf.angles).map_err(|_| StealthError::TooFewGradients)?;
-    let magnitude_t_test = t_test_welch(&mf.magnitudes, &bf.magnitudes)
-        .map_err(|_| StealthError::TooFewGradients)?;
+    let magnitude_t_test =
+        t_test_welch(&mf.magnitudes, &bf.magnitudes).map_err(|_| StealthError::TooFewGradients)?;
     let flagged = three_sigma_outliers(&bf.magnitudes, &mf.magnitudes);
     let three_sigma_rate = flagged.len() as f64 / mf.magnitudes.len().max(1) as f64;
     Ok(StealthReport {
@@ -176,7 +176,10 @@ mod tests {
         let background = cloud(&mut rng, 30, 16, 0.5, 1.0);
         let report =
             stealth_battery(&refs(&benign), &refs(&malicious), &refs(&background)).unwrap();
-        assert!(!report.is_stealthy(0.01, 0.05), "boosted attack must be detectable");
+        assert!(
+            !report.is_stealthy(0.01, 0.05),
+            "boosted attack must be detectable"
+        );
         assert!(report.three_sigma_rate > 0.5 || report.magnitude_t_test.rejects_at(0.01));
     }
 

@@ -59,7 +59,11 @@ impl TargetedCollaPois {
         if let ActivationPolicy::EveryNth { period } = policy {
             assert!(period > 0, "period must be positive");
         }
-        Self { inner: CollaPois::new(compromised, trojan, cfg), policy, attacked_rounds: Vec::new() }
+        Self {
+            inner: CollaPois::new(compromised, trojan, cfg),
+            policy,
+            attacked_rounds: Vec::new(),
+        }
     }
 
     /// Whether the policy activates in `round`.
@@ -137,8 +141,14 @@ mod tests {
         let mut a = adv(ActivationPolicy::After { start: 5 });
         let mut rng = StdRng::seed_from_u64(1);
         let global = vec![0.0f32; 8];
-        assert!(a.craft_update(0, &global, 4, &mut rng).iter().all(|&v| v == 0.0));
-        assert!(a.craft_update(0, &global, 5, &mut rng).iter().any(|&v| v != 0.0));
+        assert!(a
+            .craft_update(0, &global, 4, &mut rng)
+            .iter()
+            .all(|&v| v == 0.0));
+        assert!(a
+            .craft_update(0, &global, 5, &mut rng)
+            .iter()
+            .any(|&v| v != 0.0));
         assert!(!a.is_active(0));
         assert!(a.is_active(99));
     }

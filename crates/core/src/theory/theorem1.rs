@@ -27,7 +27,11 @@ pub struct AngleStats {
 
 /// Estimates `(μ_α, σ)` from angle samples (radians).
 pub fn estimate_angle_stats(angles: &[f64]) -> AngleStats {
-    AngleStats { mu: mean(angles), sigma: std_dev(angles), n: angles.len() }
+    AngleStats {
+        mu: mean(angles),
+        sigma: std_dev(angles),
+        n: angles.len(),
+    }
 }
 
 /// Eq. 5: the lower bound on `|C|` (as a real number of clients; callers
@@ -38,7 +42,10 @@ pub fn estimate_angle_stats(angles: &[f64]) -> AngleStats {
 ///
 /// Panics unless `0 < a < b ≤ 1` and `n > 0`.
 pub fn theorem1_bound(mu: f64, sigma: f64, a: f64, b: f64, n: usize) -> f64 {
-    assert!(0.0 < a && a < b && b <= 1.0, "psi range must satisfy 0 < a < b <= 1");
+    assert!(
+        0.0 < a && a < b && b <= 1.0,
+        "psi range must satisfy 0 < a < b <= 1"
+    );
     assert!(n > 0, "need at least one client");
     let num = 2.0 - sigma * sigma - mu * mu;
     if num <= 0.0 {
@@ -78,7 +85,10 @@ pub fn estimate_bound(
     n: usize,
     delta: f64,
 ) -> BoundEstimate {
-    assert!(!sampled.is_empty() && !reference.is_empty(), "need angle samples");
+    assert!(
+        !sampled.is_empty() && !reference.is_empty(),
+        "need angle samples"
+    );
     let s = estimate_angle_stats(sampled);
     let r = estimate_angle_stats(reference);
     let bound = theorem1_bound(s.mu, s.sigma, a, b, n);
@@ -92,7 +102,12 @@ pub fn estimate_bound(
     } else {
         ((bound - truth) / truth).abs()
     };
-    BoundEstimate { bound, bound_low, bound_high, relative_error }
+    BoundEstimate {
+        bound,
+        bound_low,
+        bound_high,
+        relative_error,
+    }
 }
 
 #[cfg(test)]
@@ -104,7 +119,10 @@ mod tests {
         let n = 1000;
         let tight = theorem1_bound(0.1, 0.1, 0.9, 1.0, n);
         let loose = theorem1_bound(1.0, 0.5, 0.9, 1.0, n);
-        assert!(loose < tight, "more scatter must need fewer clients: {loose} vs {tight}");
+        assert!(
+            loose < tight,
+            "more scatter must need fewer clients: {loose} vs {tight}"
+        );
     }
 
     #[test]
@@ -159,7 +177,9 @@ mod tests {
     #[test]
     fn estimation_error_small_for_close_samples() {
         // Attacker sees a slightly shifted sample of the same distribution.
-        let reference: Vec<f64> = (0..500).map(|i| 0.8 + 0.1 * ((i % 20) as f64 / 20.0)).collect();
+        let reference: Vec<f64> = (0..500)
+            .map(|i| 0.8 + 0.1 * ((i % 20) as f64 / 20.0))
+            .collect();
         let sampled: Vec<f64> = reference.iter().map(|a| a + 0.01).collect();
         let est = estimate_bound(&sampled, &reference, 0.9, 1.0, 1000, 0.05);
         assert!(est.relative_error < 0.05, "error {}", est.relative_error);

@@ -51,7 +51,11 @@ pub fn check_bound(
 ) -> BoundCheck {
     let distance = l2_distance(theta, x);
     let bound = theorem2_bound(l2_norm(last_malicious_delta), a, l2_norm(zeta));
-    BoundCheck { distance, bound, holds: distance <= bound * (1.0 + 1e-9) + 1e-9 }
+    BoundCheck {
+        distance,
+        bound,
+        holds: distance <= bound * (1.0 + 1e-9) + 1e-9,
+    }
 }
 
 #[cfg(test)]
@@ -75,14 +79,29 @@ mod tests {
         let x = vec![1.0f32; 4];
         let psi = 0.93f32;
         let a = 0.9;
-        let delta: Vec<f32> = x.iter().zip(&theta_prev).map(|(xv, tv)| psi * (xv - tv)).collect();
+        let delta: Vec<f32> = x
+            .iter()
+            .zip(&theta_prev)
+            .map(|(xv, tv)| psi * (xv - tv))
+            .collect();
         let theta: Vec<f32> = theta_prev.iter().zip(&delta).map(|(t, d)| t + d).collect();
         let check = check_bound(&theta, &x, &delta, a, &[0.0; 4]);
-        assert!(check.holds, "distance {} bound {}", check.distance, check.bound);
+        assert!(
+            check.holds,
+            "distance {} bound {}",
+            check.distance, check.bound
+        );
         // The bound is tight when ψ = a.
-        let delta_a: Vec<f32> =
-            x.iter().zip(&theta_prev).map(|(xv, tv)| (a as f32) * (xv - tv)).collect();
-        let theta_a: Vec<f32> = theta_prev.iter().zip(&delta_a).map(|(t, d)| t + d).collect();
+        let delta_a: Vec<f32> = x
+            .iter()
+            .zip(&theta_prev)
+            .map(|(xv, tv)| (a as f32) * (xv - tv))
+            .collect();
+        let theta_a: Vec<f32> = theta_prev
+            .iter()
+            .zip(&delta_a)
+            .map(|(t, d)| t + d)
+            .collect();
         let check = check_bound(&theta_a, &x, &delta_a, a, &[0.0; 4]);
         assert!((check.distance - check.bound).abs() < 1e-6);
     }

@@ -21,7 +21,10 @@ use rand::Rng;
 ///
 /// Panics if `flagged_models` is empty or dimensions mismatch.
 pub fn estimation_error(flagged_models: &[&[f32]], x: &[f32]) -> f64 {
-    assert!(!flagged_models.is_empty(), "need at least one flagged model");
+    assert!(
+        !flagged_models.is_empty(),
+        "need at least one flagged model"
+    );
     let dim = x.len();
     let mut mean = vec![0.0f64; dim];
     for m in flagged_models {
@@ -45,7 +48,10 @@ pub fn lower_bound(malicious_deltas: &[&[f32]], p: f64, c_total: usize, b: f64) 
     assert!(0.0 < p && p <= 1.0, "precision must be in (0, 1]");
     assert!(0.0 < b && b <= 1.0, "psi upper bound must be in (0, 1]");
     assert!(c_total > 0, "need at least one compromised client");
-    assert!(!malicious_deltas.is_empty(), "need at least one malicious delta");
+    assert!(
+        !malicious_deltas.is_empty(),
+        "need at least one malicious delta"
+    );
     let dim = malicious_deltas[0].len();
     let mut sum = vec![0.0f64; dim];
     for d in malicious_deltas {
@@ -82,7 +88,10 @@ pub fn upper_bound_sampled<R: Rng + ?Sized>(
     let mut best: f64 = 0.0;
     for _ in 0..trials.max(1) {
         indices.shuffle(rng);
-        let subset: Vec<&[f32]> = indices[..c_total].iter().map(|&i| client_models[i]).collect();
+        let subset: Vec<&[f32]> = indices[..c_total]
+            .iter()
+            .map(|&i| client_models[i])
+            .collect();
         best = best.max(estimation_error(&subset, x));
     }
     best
@@ -134,8 +143,7 @@ mod tests {
     #[test]
     fn upper_bound_grows_with_trials() {
         let x = vec![0.0f32; 2];
-        let models: Vec<Vec<f32>> =
-            (0..10).map(|i| vec![i as f32, -(i as f32)]).collect();
+        let models: Vec<Vec<f32>> = (0..10).map(|i| vec![i as f32, -(i as f32)]).collect();
         let refs: Vec<&[f32]> = models.iter().map(|m| m.as_slice()).collect();
         let mut rng = StdRng::seed_from_u64(1);
         let few = upper_bound_sampled(&mut rng, &refs, &x, 3, 2);

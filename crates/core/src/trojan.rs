@@ -35,7 +35,13 @@ pub struct TrojanConfig {
 
 impl Default for TrojanConfig {
     fn default() -> Self {
-        Self { epochs: 60, batch_size: 32, lr: 0.1, target_class: 0, seed: 0xA77AC }
+        Self {
+            epochs: 60,
+            batch_size: 32,
+            lr: 0.1,
+            target_class: 0,
+            seed: 0xA77AC,
+        }
     }
 }
 
@@ -81,7 +87,11 @@ pub fn train_trojan(
     let clean_accuracy = model.evaluate(&cx, &cy);
     let (px, py) = poisoned.as_batch();
     let trigger_success = model.evaluate(&px, &py);
-    TrojanedModel { params: model.params(), clean_accuracy, trigger_success }
+    TrojanedModel {
+        params: model.params(),
+        clean_accuracy,
+        trigger_success,
+    }
 }
 
 #[cfg(test)]
@@ -103,7 +113,10 @@ mod tests {
         let aux = SyntheticImage::new(img_cfg).generate();
         let trigger = WaNetTrigger::new(12, 4, 3.0, 99);
         let spec = ModelSpec::mlp(144, &[48], 4);
-        let cfg = TrojanConfig { epochs: 40, ..Default::default() };
+        let cfg = TrojanConfig {
+            epochs: 40,
+            ..Default::default()
+        };
         let x = train_trojan(&spec, &aux, &trigger, &cfg);
         assert!(
             x.clean_accuracy > 0.85,
@@ -128,7 +141,10 @@ mod tests {
         let aux = SyntheticImage::new(img_cfg).generate();
         let trigger = WaNetTrigger::new(8, 4, 3.0, 1);
         let spec = ModelSpec::mlp(64, &[16], 3);
-        let cfg = TrojanConfig { epochs: 3, ..Default::default() };
+        let cfg = TrojanConfig {
+            epochs: 3,
+            ..Default::default()
+        };
         let a = train_trojan(&spec, &aux, &trigger, &cfg);
         let b = train_trojan(&spec, &aux, &trigger, &cfg);
         assert_eq!(a.params, b.params);

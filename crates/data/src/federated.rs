@@ -159,7 +159,12 @@ mod tests {
     use rand::SeedableRng;
 
     fn fed(alpha: f64, clients: usize) -> FederatedDataset {
-        let cfg = SyntheticImageConfig { samples: 600, side: 8, classes: 5, ..Default::default() };
+        let cfg = SyntheticImageConfig {
+            samples: 600,
+            side: 8,
+            classes: 5,
+            ..Default::default()
+        };
         let ds = SyntheticImage::new(cfg).generate();
         let mut rng = StdRng::seed_from_u64(9);
         FederatedDataset::build(&mut rng, &ds, clients, alpha)

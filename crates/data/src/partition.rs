@@ -78,7 +78,9 @@ pub fn dirichlet_partition<R: Rng + ?Sized>(
             .max_by_key(|(_, v)| v.len())
             .map(|(i, _)| i)
             .expect("non-empty assignment list");
-        let moved = assignment[largest].pop().expect("largest client must be non-empty");
+        let moved = assignment[largest]
+            .pop()
+            .expect("largest client must be non-empty");
         assignment[empty].push(moved);
     }
     assignment
@@ -147,8 +149,11 @@ mod tests {
 
     #[test]
     fn works_on_binary_text_dataset() {
-        let ds = SyntheticText::new(SyntheticTextConfig { samples: 300, ..Default::default() })
-            .generate();
+        let ds = SyntheticText::new(SyntheticTextConfig {
+            samples: 300,
+            ..Default::default()
+        })
+        .generate();
         let mut rng = StdRng::seed_from_u64(3);
         let parts = dirichlet_partition(&mut rng, &ds, 30, 0.1);
         assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), 300);

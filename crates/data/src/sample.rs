@@ -42,8 +42,15 @@ impl Dataset {
         num_classes: usize,
     ) -> Self {
         let per: usize = sample_shape.iter().product();
-        assert_eq!(features.len(), labels.len() * per, "features/labels mismatch");
-        assert!(labels.iter().all(|&y| y < num_classes), "label out of range");
+        assert_eq!(
+            features.len(),
+            labels.len() * per,
+            "features/labels mismatch"
+        );
+        assert!(
+            labels.iter().all(|&y| y < num_classes),
+            "label out of range"
+        );
         let mut ds = Self::empty(sample_shape, num_classes);
         ds.features = features;
         ds.labels = labels;
@@ -121,7 +128,11 @@ impl Dataset {
     ///
     /// Panics if the feature length or label is inconsistent.
     pub fn push(&mut self, features: &[f32], label: usize) {
-        assert_eq!(features.len(), self.feature_len(), "feature length mismatch");
+        assert_eq!(
+            features.len(),
+            self.feature_len(),
+            "feature length mismatch"
+        );
         assert!(label < self.num_classes, "label {label} out of range");
         self.features.extend_from_slice(features);
         self.labels.push(label);
@@ -133,7 +144,10 @@ impl Dataset {
     ///
     /// Panics if shapes or class counts differ.
     pub fn extend_from(&mut self, other: &Dataset) {
-        assert_eq!(self.sample_shape, other.sample_shape, "sample shape mismatch");
+        assert_eq!(
+            self.sample_shape, other.sample_shape,
+            "sample shape mismatch"
+        );
         assert_eq!(self.num_classes, other.num_classes, "class count mismatch");
         self.features.extend_from_slice(&other.features);
         self.labels.extend_from_slice(&other.labels);
@@ -158,7 +172,10 @@ impl Dataset {
         let mut shape = Vec::with_capacity(self.sample_shape.len() + 1);
         shape.push(self.len());
         shape.extend_from_slice(&self.sample_shape);
-        (Tensor::from_vec(self.features.clone(), &shape), self.labels.clone())
+        (
+            Tensor::from_vec(self.features.clone(), &shape),
+            self.labels.clone(),
+        )
     }
 
     /// Batches the given indices into a tensor plus labels.
@@ -200,8 +217,14 @@ impl Dataset {
         train_frac: f64,
         test_frac: f64,
     ) -> (Dataset, Dataset, Dataset) {
-        assert!(train_frac >= 0.0 && test_frac >= 0.0, "fractions must be non-negative");
-        assert!(train_frac + test_frac <= 1.0 + 1e-9, "fractions must sum to at most 1");
+        assert!(
+            train_frac >= 0.0 && test_frac >= 0.0,
+            "fractions must be non-negative"
+        );
+        assert!(
+            train_frac + test_frac <= 1.0 + 1e-9,
+            "fractions must sum to at most 1"
+        );
         let mut idx: Vec<usize> = (0..self.len()).collect();
         idx.shuffle(rng);
         let n_train = (self.len() as f64 * train_frac).round() as usize;

@@ -31,7 +31,14 @@ pub struct SyntheticImageConfig {
 
 impl Default for SyntheticImageConfig {
     fn default() -> Self {
-        Self { side: 28, classes: 10, samples: 10_000, noise: 0.08, max_shift: 2, seed: 7 }
+        Self {
+            side: 28,
+            classes: 10,
+            samples: 10_000,
+            noise: 0.08,
+            max_shift: 2,
+            seed: 7,
+        }
     }
 }
 
@@ -92,8 +99,16 @@ impl SyntheticImage {
     fn render_sample<R: Rng + ?Sized>(&self, rng: &mut R, class: usize, out: &mut [f32]) {
         let s = self.config.side as isize;
         let max = self.config.max_shift as isize;
-        let dx = if max > 0 { rng.gen_range(-max..=max) } else { 0 };
-        let dy = if max > 0 { rng.gen_range(-max..=max) } else { 0 };
+        let dx = if max > 0 {
+            rng.gen_range(-max..=max)
+        } else {
+            0
+        };
+        let dy = if max > 0 {
+            rng.gen_range(-max..=max)
+        } else {
+            0
+        };
         let proto = &self.prototypes[class];
         for y in 0..s {
             for x in 0..s {
@@ -141,7 +156,10 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let cfg = SyntheticImageConfig { samples: 50, ..Default::default() };
+        let cfg = SyntheticImageConfig {
+            samples: 50,
+            ..Default::default()
+        };
         let a = SyntheticImage::new(cfg).generate();
         let b = SyntheticImage::new(cfg).generate();
         assert_eq!(a, b);
@@ -149,7 +167,11 @@ mod tests {
 
     #[test]
     fn values_in_unit_interval() {
-        let cfg = SyntheticImageConfig { samples: 100, side: 16, ..Default::default() };
+        let cfg = SyntheticImageConfig {
+            samples: 100,
+            side: 16,
+            ..Default::default()
+        };
         let ds = SyntheticImage::new(cfg).generate();
         for i in 0..ds.len() {
             assert!(ds.features_of(i).iter().all(|&v| (0.0..=1.0).contains(&v)));
@@ -158,7 +180,11 @@ mod tests {
 
     #[test]
     fn classes_are_balanced() {
-        let cfg = SyntheticImageConfig { samples: 100, classes: 10, ..Default::default() };
+        let cfg = SyntheticImageConfig {
+            samples: 100,
+            classes: 10,
+            ..Default::default()
+        };
         let ds = SyntheticImage::new(cfg).generate();
         let mut counts = [0usize; 10];
         for &y in ds.labels() {
@@ -186,7 +212,11 @@ mod tests {
         for _ in 0..60 {
             model.train_batch(&x, &y, &mut opt);
         }
-        assert!(model.evaluate(&x, &y) > 0.9, "acc={}", model.evaluate(&x, &y));
+        assert!(
+            model.evaluate(&x, &y) > 0.9,
+            "acc={}",
+            model.evaluate(&x, &y)
+        );
     }
 
     #[test]

@@ -31,7 +31,14 @@ pub struct SyntheticTextConfig {
 
 impl Default for SyntheticTextConfig {
     fn default() -> Self {
-        Self { dim: 64, classes: 2, clusters_per_class: 3, samples: 20_000, noise: 0.6, seed: 11 }
+        Self {
+            dim: 64,
+            classes: 2,
+            clusters_per_class: 3,
+            samples: 20_000,
+            noise: 0.6,
+            seed: 11,
+        }
     }
 }
 
@@ -51,7 +58,10 @@ impl SyntheticText {
     pub fn new(config: SyntheticTextConfig) -> Self {
         assert!(config.dim > 0, "dim must be positive");
         assert!(config.classes > 0, "classes must be positive");
-        assert!(config.clusters_per_class > 0, "clusters_per_class must be positive");
+        assert!(
+            config.clusters_per_class > 0,
+            "clusters_per_class must be positive"
+        );
         assert!(config.samples > 0, "samples must be positive");
         let mut rng = StdRng::seed_from_u64(config.seed);
         let centers = (0..config.classes * config.clusters_per_class)
@@ -106,13 +116,22 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let cfg = SyntheticTextConfig { samples: 64, ..Default::default() };
-        assert_eq!(SyntheticText::new(cfg).generate(), SyntheticText::new(cfg).generate());
+        let cfg = SyntheticTextConfig {
+            samples: 64,
+            ..Default::default()
+        };
+        assert_eq!(
+            SyntheticText::new(cfg).generate(),
+            SyntheticText::new(cfg).generate()
+        );
     }
 
     #[test]
     fn shapes_and_balance() {
-        let cfg = SyntheticTextConfig { samples: 100, ..Default::default() };
+        let cfg = SyntheticTextConfig {
+            samples: 100,
+            ..Default::default()
+        };
         let ds = SyntheticText::new(cfg).generate();
         assert_eq!(ds.len(), 100);
         assert_eq!(ds.sample_shape(), &[64]);
@@ -122,7 +141,12 @@ mod tests {
 
     #[test]
     fn task_is_learnable_by_head() {
-        let cfg = SyntheticTextConfig { dim: 32, samples: 400, noise: 0.4, ..Default::default() };
+        let cfg = SyntheticTextConfig {
+            dim: 32,
+            samples: 400,
+            noise: 0.4,
+            ..Default::default()
+        };
         let ds = SyntheticText::new(cfg).generate();
         let mut rng = StdRng::seed_from_u64(5);
         let mut model = ModelSpec::mlp(32, &[16], 2).build(&mut rng);
@@ -131,6 +155,10 @@ mod tests {
         for _ in 0..80 {
             model.train_batch(&x, &y, &mut opt);
         }
-        assert!(model.evaluate(&x, &y) > 0.95, "acc={}", model.evaluate(&x, &y));
+        assert!(
+            model.evaluate(&x, &y) > 0.95,
+            "acc={}",
+            model.evaluate(&x, &y)
+        );
     }
 }

@@ -32,7 +32,12 @@ impl PatchTrigger {
     /// Panics if `patch == 0` or `patch > side`.
     pub fn new(side: usize, patch: usize, value: f32, corner: Corner) -> Self {
         assert!(patch > 0 && patch <= side, "patch must fit in the image");
-        Self { side, patch, value, corner }
+        Self {
+            side,
+            patch,
+            value,
+            corner,
+        }
     }
 
     /// The classic 3×3 white square in the bottom-right corner.
@@ -55,7 +60,11 @@ impl PatchTrigger {
 impl Trigger for PatchTrigger {
     fn apply(&self, features: &mut [f32]) {
         let s = self.side;
-        assert_eq!(features.len(), s * s, "patch expects a {s}x{s} single-channel image");
+        assert_eq!(
+            features.len(),
+            s * s,
+            "patch expects a {s}x{s} single-channel image"
+        );
         let (oy, ox) = self.origin();
         for y in oy..oy + self.patch {
             for x in ox..ox + self.patch {
@@ -90,8 +99,12 @@ mod tests {
     #[test]
     fn corners_do_not_overlap_for_small_patches() {
         let mut imgs: Vec<Vec<f32>> = Vec::new();
-        for corner in [Corner::TopLeft, Corner::TopRight, Corner::BottomLeft, Corner::BottomRight]
-        {
+        for corner in [
+            Corner::TopLeft,
+            Corner::TopRight,
+            Corner::BottomLeft,
+            Corner::BottomRight,
+        ] {
             let t = PatchTrigger::new(10, 2, 1.0, corner);
             let mut img = vec![0.0f32; 100];
             t.apply(&mut img);

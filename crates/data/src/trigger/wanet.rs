@@ -41,7 +41,10 @@ impl WaNetTrigger {
         let raw: Vec<(f32, f32)> = (0..grid * grid)
             .map(|_| (rng.gen_range(-1.0f32..1.0), rng.gen_range(-1.0f32..1.0)))
             .collect();
-        let mean_abs: f32 = raw.iter().map(|(x, y)| (x.abs() + y.abs()) / 2.0).sum::<f32>()
+        let mean_abs: f32 = raw
+            .iter()
+            .map(|(x, y)| (x.abs() + y.abs()) / 2.0)
+            .sum::<f32>()
             / (grid * grid) as f32;
         let scale = strength as f32 / mean_abs.max(1e-6);
         let control: Vec<(f32, f32)> = raw.iter().map(|&(x, y)| (x * scale, y * scale)).collect();
@@ -66,7 +69,11 @@ impl WaNetTrigger {
                 flow.push(lerp2(top, bot, fy));
             }
         }
-        Self { side, flow, strength }
+        Self {
+            side,
+            flow,
+            strength,
+        }
     }
 
     /// Image side length this trigger was built for.
@@ -91,7 +98,11 @@ impl WaNetTrigger {
 impl Trigger for WaNetTrigger {
     fn apply(&self, features: &mut [f32]) {
         let s = self.side;
-        assert_eq!(features.len(), s * s, "wanet expects a {s}x{s} single-channel image");
+        assert_eq!(
+            features.len(),
+            s * s,
+            "wanet expects a {s}x{s} single-channel image"
+        );
         let src = features.to_vec();
         for y in 0..s {
             for x in 0..s {

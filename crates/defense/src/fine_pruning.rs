@@ -42,19 +42,29 @@ pub fn fine_prune(
     assert!((0.0..1.0).contains(&fraction), "fraction must be in [0, 1)");
     assert!(!clean.is_empty(), "need clean data");
     let (input, hidden, classes) = match spec {
-        ModelSpec::Mlp { input, hidden, classes } if hidden.len() == 1 => {
-            (*input, hidden[0], *classes)
-        }
+        ModelSpec::Mlp {
+            input,
+            hidden,
+            classes,
+        } if hidden.len() == 1 => (*input, hidden[0], *classes),
         _ => panic!("fine_prune supports single-hidden-layer MLPs"),
     };
-    assert_eq!(clean.feature_len(), input, "dataset does not match the model input");
+    assert_eq!(
+        clean.feature_len(),
+        input,
+        "dataset does not match the model input"
+    );
 
     let mut params = model.params();
     let w1_len = hidden * input;
     let b1_off = w1_len;
     let w2_off = b1_off + hidden;
     let b2_off = w2_off + classes * hidden;
-    assert_eq!(params.len(), b2_off + classes, "unexpected MLP parameter layout");
+    assert_eq!(
+        params.len(),
+        b2_off + classes,
+        "unexpected MLP parameter layout"
+    );
 
     // Mean ReLU activation per hidden unit on the clean data.
     let mut activations = vec![0.0f64; hidden];
@@ -89,7 +99,11 @@ pub fn fine_prune(
         }
     }
     model.set_params(&params);
-    PruneOutcome { pruned_units, activations, pruned_params: params }
+    PruneOutcome {
+        pruned_units,
+        activations,
+        pruned_params: params,
+    }
 }
 
 #[cfg(test)]

@@ -34,7 +34,13 @@ pub struct CleanseConfig {
 
 impl Default for CleanseConfig {
     fn default() -> Self {
-        Self { steps: 150, lr: 0.5, mask_penalty: 0.05, batch: 24, anomaly_threshold: 2.0 }
+        Self {
+            steps: 150,
+            lr: 0.5,
+            mask_penalty: 0.05,
+            batch: 24,
+            anomaly_threshold: 2.0,
+        }
     }
 }
 
@@ -84,15 +90,18 @@ pub fn neural_cleanse(
     let deviations: Vec<f64> = norms.iter().map(|n| (n - med).abs()).collect();
     let mad = median(&deviations).max(1e-9);
     // 1.4826 makes MAD consistent with the std of a normal distribution.
-    let anomaly_index: Vec<f64> =
-        norms.iter().map(|n| (med - n) / (1.4826 * mad)).collect();
+    let anomaly_index: Vec<f64> = norms.iter().map(|n| (med - n) / (1.4826 * mad)).collect();
     let flagged_classes: Vec<usize> = anomaly_index
         .iter()
         .enumerate()
         .filter(|(i, &a)| a > cfg.anomaly_threshold && triggers[*i].flip_rate > 0.75)
         .map(|(i, _)| i)
         .collect();
-    CleanseReport { triggers, flagged_classes, anomaly_index }
+    CleanseReport {
+        triggers,
+        flagged_classes,
+        anomaly_index,
+    }
 }
 
 /// Optimizes `(mask, pattern)` flipping clean inputs to `class`.
@@ -156,10 +165,13 @@ fn reverse_engineer(
         }
     }
     let preds = model.predict(&stamped);
-    let flip_rate =
-        preds.iter().filter(|&&p| p == class).count() as f64 / eval_n.max(1) as f64;
+    let flip_rate = preds.iter().filter(|&&p| p == class).count() as f64 / eval_n.max(1) as f64;
     let mask_l1: f64 = mask.iter().map(|&m| m as f64).sum();
-    ClassTrigger { class, mask_l1, flip_rate }
+    ClassTrigger {
+        class,
+        mask_l1,
+        flip_rate,
+    }
 }
 
 #[cfg(test)]

@@ -28,7 +28,11 @@ pub struct StripConfig {
 
 impl Default for StripConfig {
     fn default() -> Self {
-        Self { overlays: 16, blend: 0.5, fpr: 0.05 }
+        Self {
+            overlays: 16,
+            blend: 0.5,
+            fpr: 0.05,
+        }
     }
 }
 
@@ -117,7 +121,11 @@ pub fn strip_screen<R: Rng + ?Sized>(
         .filter(|(_, &h)| h < threshold)
         .map(|(i, _)| i)
         .collect();
-    StripReport { entropies, threshold, flagged }
+    StripReport {
+        entropies,
+        threshold,
+        flagged,
+    }
 }
 
 #[cfg(test)]
@@ -186,7 +194,10 @@ mod tests {
     fn screen_flags_patch_trigger() {
         let (mut model, clean, poisoned) = backdoored_setup();
         let mut rng = StdRng::seed_from_u64(2);
-        let cfg = StripConfig { fpr: 0.2, ..Default::default() };
+        let cfg = StripConfig {
+            fpr: 0.2,
+            ..Default::default()
+        };
         let suspects = poisoned.subset(&(0..20).collect::<Vec<_>>());
         let report = strip_screen(&mut rng, &mut model, &suspects, &clean, &cfg);
         assert!(
@@ -201,8 +212,13 @@ mod tests {
         let (mut model, clean, _) = backdoored_setup();
         let mut rng = StdRng::seed_from_u64(3);
         let suspects = Dataset::empty(&[1, 4, 4], 2);
-        let report =
-            strip_screen(&mut rng, &mut model, &suspects, &clean, &StripConfig::default());
+        let report = strip_screen(
+            &mut rng,
+            &mut model,
+            &suspects,
+            &clean,
+            &StripConfig::default(),
+        );
         assert_eq!(report.detection_rate(), 0.0);
         assert!(report.flagged.is_empty());
     }

@@ -28,7 +28,10 @@ impl Crfl {
     pub fn new(param_bound: f64, noise_std: f64) -> Self {
         assert!(param_bound > 0.0, "param bound must be positive");
         assert!(noise_std >= 0.0, "noise std must be non-negative");
-        Self { param_bound, noise_std }
+        Self {
+            param_bound,
+            noise_std,
+        }
     }
 }
 

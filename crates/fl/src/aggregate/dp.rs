@@ -25,8 +25,14 @@ impl DpAggregator {
     /// Panics if `clip <= 0` or `noise_multiplier < 0`.
     pub fn new(clip: f64, noise_multiplier: f64) -> Self {
         assert!(clip > 0.0, "clip must be positive");
-        assert!(noise_multiplier >= 0.0, "noise multiplier must be non-negative");
-        Self { clip, noise_multiplier }
+        assert!(
+            noise_multiplier >= 0.0,
+            "noise multiplier must be non-negative"
+        );
+        Self {
+            clip,
+            noise_multiplier,
+        }
     }
 
     /// The sensitivity (clipping) bound.
@@ -86,7 +92,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let a = agg.aggregate(&small, 1000, &mut rng);
         let b = agg.aggregate(&big, 1000, &mut rng);
-        assert!(l2_norm(&a) > l2_norm(&b), "noise must shrink with cohort size");
+        assert!(
+            l2_norm(&a) > l2_norm(&b),
+            "noise must shrink with cohort size"
+        );
     }
 
     #[test]

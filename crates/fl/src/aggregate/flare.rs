@@ -54,8 +54,10 @@ impl Flare {
         // Normalize distances to a comparable scale before the softmax.
         let scale = mean_dist.iter().sum::<f64>() / n as f64;
         let scale = scale.max(1e-12);
-        let logits: Vec<f64> =
-            mean_dist.iter().map(|&d| -self.sharpness * d / scale).collect();
+        let logits: Vec<f64> = mean_dist
+            .iter()
+            .map(|&d| -self.sharpness * d / scale)
+            .collect();
         let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let exps: Vec<f64> = logits.iter().map(|&l| (l - max).exp()).collect();
         let sum: f64 = exps.iter().sum();

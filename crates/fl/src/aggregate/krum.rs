@@ -24,7 +24,10 @@ pub struct Krum {
 impl Krum {
     /// Classic Krum (selects a single update).
     pub fn new(assumed_malicious: usize) -> Self {
-        Self { assumed_malicious, select: 1 }
+        Self {
+            assumed_malicious,
+            select: 1,
+        }
     }
 
     /// Multi-Krum selecting (and averaging) the best `select` updates.
@@ -34,14 +37,20 @@ impl Krum {
     /// Panics if `select == 0`.
     pub fn multi(assumed_malicious: usize, select: usize) -> Self {
         assert!(select > 0, "must select at least one update");
-        Self { assumed_malicious, select }
+        Self {
+            assumed_malicious,
+            select,
+        }
     }
 
     /// Krum scores for each update (lower = more central).
     pub fn scores(&self, updates: &[ClientUpdate]) -> Vec<f64> {
         let n = updates.len();
         // Number of neighbours: n − f − 2, at least 1.
-        let k = n.saturating_sub(self.assumed_malicious + 2).max(1).min(n.saturating_sub(1));
+        let k = n
+            .saturating_sub(self.assumed_malicious + 2)
+            .max(1)
+            .min(n.saturating_sub(1));
         let mut scores = Vec::with_capacity(n);
         for i in 0..n {
             let mut dists: Vec<f64> = (0..n)
@@ -98,7 +107,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let us = updates(&[&[0.0, 0.0], &[0.1, 0.1], &[0.05, 0.0], &[9.0, 9.0]]);
         let out = agg.aggregate(&us, 2, &mut rng);
-        assert!(us.iter().any(|u| u.delta == out), "krum must select an input");
+        assert!(
+            us.iter().any(|u| u.delta == out),
+            "krum must select an input"
+        );
     }
 
     #[test]

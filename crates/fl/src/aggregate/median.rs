@@ -27,8 +27,10 @@ impl Aggregator for CoordinateMedian {
         }
         (0..dim)
             .map(|c| {
-                let vals: Vec<f64> =
-                    coordinate_values(updates, c).into_iter().map(f64::from).collect();
+                let vals: Vec<f64> = coordinate_values(updates, c)
+                    .into_iter()
+                    .map(f64::from)
+                    .collect();
                 median(&vals) as f32
             })
             .collect()

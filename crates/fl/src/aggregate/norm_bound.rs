@@ -22,7 +22,10 @@ impl NormBound {
     /// Panics if `bound <= 0`.
     pub fn new(bound: f64) -> Self {
         assert!(bound > 0.0, "bound must be positive");
-        Self { bound, noise_std: 0.0 }
+        Self {
+            bound,
+            noise_std: 0.0,
+        }
     }
 
     /// Adds Gaussian noise of the given std-dev to the aggregated delta.

@@ -85,7 +85,11 @@ mod tests {
         let us = updates(&[&[1.0], &[2.0], &[-0.5]]);
         let out = agg.aggregate(&us, 1, &mut rng);
         let mean = (1.0 + 2.0 - 0.5) / 3.0;
-        assert!((out[0] + mean).abs() < 1e-6, "expected flipped mean, got {}", out[0]);
+        assert!(
+            (out[0] + mean).abs() < 1e-6,
+            "expected flipped mean, got {}",
+            out[0]
+        );
     }
 
     #[test]

@@ -106,8 +106,7 @@ mod tests {
         let mut agg = StatFilter::new();
         let mut rng = StdRng::seed_from_u64(0);
         // 7 benign-ish updates and one boosted outlier.
-        let benign: Vec<Vec<f32>> =
-            (0..7).map(|i| vec![0.1 + 0.01 * i as f32, 0.1]).collect();
+        let benign: Vec<Vec<f32>> = (0..7).map(|i| vec![0.1 + 0.01 * i as f32, 0.1]).collect();
         let mut all: Vec<&[f32]> = benign.iter().map(|v| v.as_slice()).collect();
         let boosted = vec![500.0f32, 500.0];
         all.push(&boosted);

@@ -72,7 +72,13 @@ mod tests {
     fn bounded_per_coordinate() {
         let mut agg = TrimmedMean::new(0.2);
         let mut rng = StdRng::seed_from_u64(0);
-        let us = updates(&[&[0.0, 5.0], &[1.0, 6.0], &[2.0, 7.0], &[3.0, 8.0], &[4.0, 9.0]]);
+        let us = updates(&[
+            &[0.0, 5.0],
+            &[1.0, 6.0],
+            &[2.0, 7.0],
+            &[3.0, 8.0],
+            &[4.0, 9.0],
+        ]);
         let out = agg.aggregate(&us, 2, &mut rng);
         assert!(out[0] >= 0.0 && out[0] <= 4.0);
         assert!(out[1] >= 5.0 && out[1] <= 9.0);

@@ -32,7 +32,11 @@ impl UserLevelDp {
     pub fn new(sensitivity: f64, noise_multiplier: f64) -> Self {
         assert!(sensitivity > 0.0, "sensitivity must be positive");
         assert!(noise_multiplier > 0.0, "noise multiplier must be positive");
-        Self { sensitivity, noise_multiplier, rho: 0.0 }
+        Self {
+            sensitivity,
+            noise_multiplier,
+            rho: 0.0,
+        }
     }
 
     /// Accumulated zCDP budget ρ.
@@ -68,8 +72,7 @@ impl Aggregator for UserLevelDp {
             .collect();
         let mut agg = mean_delta(&clipped, dim);
         if !updates.is_empty() {
-            let sigma =
-                (self.noise_multiplier * self.sensitivity / updates.len() as f64) as f32;
+            let sigma = (self.noise_multiplier * self.sensitivity / updates.len() as f64) as f32;
             for v in &mut agg {
                 *v += sigma * standard_normal(rng) as f32;
             }

@@ -94,7 +94,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let delta = local_sgd_delta(&mut rng, &mut model, &global, &toy_data(), &cfg);
         assert_eq!(delta.len(), global.len());
-        assert!(delta.iter().any(|&d| d != 0.0), "training must move the model");
+        assert!(
+            delta.iter().any(|&d| d != 0.0),
+            "training must move the model"
+        );
     }
 
     #[test]

@@ -15,7 +15,9 @@
 //!   knowledge distillation, and Ditto personalization.
 //! * [`server`] — the round loop with client sampling probability `q` and an
 //!   [`server::Adversary`] hook through which the attack crates inject
-//!   malicious updates.
+//!   malicious updates. Execution (derived RNG streams, worker fan-out,
+//!   checkpoint/resume, structured traces) is delegated to the
+//!   `collapois-runtime` engine.
 //! * [`metrics`] — Benign AC, Attack SR, the Eq. 8 per-client score, top-k%
 //!   clusters and the Eq. 9 cumulative-label cosine.
 //! * [`monitor`] — the round-to-round shift detector (§II-B: MRepl's abrupt
@@ -35,6 +37,6 @@ pub mod update;
 
 pub use aggregate::Aggregator;
 pub use config::FlConfig;
-pub use personalize::Personalization;
-pub use server::{Adversary, FlServer, RoundRecord};
+pub use personalize::{LocalOutcome, Personalization, StateCommit};
+pub use server::{round_records_from_events, Adversary, FlServer, RoundRecord};
 pub use update::ClientUpdate;

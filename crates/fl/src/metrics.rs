@@ -76,9 +76,12 @@ pub fn evaluate_clients<F>(
 where
     F: Fn(usize) -> Vec<f32> + Sync,
 {
-    let ids: Vec<usize> =
-        (0..fed.num_clients()).filter(|id| !excluded.contains(id)).collect();
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let ids: Vec<usize> = (0..fed.num_clients())
+        .filter(|id| !excluded.contains(id))
+        .collect();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let chunk = ids.len().div_ceil(threads.max(1)).max(1);
     let mut results: Vec<Vec<ClientMetrics>> = Vec::new();
     crossbeam::thread::scope(|s| {
@@ -113,7 +116,11 @@ where
                                 preds.iter().filter(|&&p| p == target_class).count() as f64
                                     / preds.len() as f64
                             };
-                            ClientMetrics { client_id: id, benign_ac, attack_sr }
+                            ClientMetrics {
+                                client_id: id,
+                                benign_ac,
+                                attack_sr,
+                            }
                         })
                         .collect::<Vec<_>>()
                 })
@@ -209,7 +216,12 @@ mod tests {
     use rand::SeedableRng;
 
     fn fed() -> FederatedDataset {
-        let cfg = SyntheticImageConfig { samples: 400, side: 8, classes: 4, ..Default::default() };
+        let cfg = SyntheticImageConfig {
+            samples: 400,
+            side: 8,
+            classes: 4,
+            ..Default::default()
+        };
         let ds = SyntheticImage::new(cfg).generate();
         let mut rng = StdRng::seed_from_u64(0);
         FederatedDataset::build(&mut rng, &ds, 8, 1.0)
@@ -257,7 +269,12 @@ mod tests {
         assert_eq!(sorted.len(), all.len(), "clusters must be disjoint");
         assert_eq!(all.len(), 8, "clusters must cover all clients");
         for r in &reports {
-            assert!((0.0..=1.0).contains(&r.label_cosine), "{}: {}", r.label, r.label_cosine);
+            assert!(
+                (0.0..=1.0).contains(&r.label_cosine),
+                "{}: {}",
+                r.label,
+                r.label_cosine
+            );
         }
     }
 

@@ -119,11 +119,17 @@ impl ShiftDetector {
         // make microscopic jitter look like a billion-sigma event. The
         // 5e-3·(1+|med|) term sets the minimum jump size considered
         // meaningful at this window's scale.
-        let spread =
-            (1.4826 * mad).max(0.1 * range).max(5e-3 * (1.0 + med.abs()));
+        let spread = (1.4826 * mad)
+            .max(0.1 * range)
+            .max(5e-3 * (1.0 + med.abs()));
         let z = (observed - med) / spread;
         if z > self.z_threshold {
-            Some(ShiftAlert { round: self.round, observed, baseline_median: med, z_score: z })
+            Some(ShiftAlert {
+                round: self.round,
+                observed,
+                baseline_median: med,
+                z_score: z,
+            })
         } else {
             None
         }
@@ -149,7 +155,10 @@ mod tests {
             // Slowly converging model with mild wobble.
             let wobble = 0.004 * ((t % 3) as f32);
             let v = vec![1.0f32 / (t as f32 + 1.0) + wobble; 4];
-            det.observe(Some(&v), Some(0.5 + 0.01 * t as f64 + 0.002 * (t % 2) as f64));
+            det.observe(
+                Some(&v),
+                Some(0.5 + 0.01 * t as f64 + 0.002 * (t % 2) as f64),
+            );
         }
     }
 
@@ -186,9 +195,7 @@ mod tests {
     fn needs_history_before_alerting() {
         let mut det = ShiftDetector::default_paper();
         for t in 0..4 {
-            assert!(det
-                .observe(Some(&[100.0 * t as f32; 4]), None)
-                .is_none());
+            assert!(det.observe(Some(&[100.0 * t as f32; 4]), None).is_none());
         }
     }
 

@@ -10,8 +10,14 @@
 //! aggregation and attacks operate unchanged); the trained parameters are
 //! stored back into the cluster. Evaluation uses the client's last-selected
 //! cluster model.
+//!
+//! Under the compute/commit contract, cluster initialization and anchoring
+//! happen once per round in [`Personalization::begin_round`]; every client
+//! of the round selects against that same cluster snapshot, and trained
+//! cluster parameters land at commit time in sampled order (last writer per
+//! cluster wins). This is what makes the strategy schedule-independent.
 
-use super::Personalization;
+use super::{LocalOutcome, Personalization, StateCommit};
 use crate::config::FlConfig;
 use collapois_data::sample::Dataset;
 use collapois_nn::loss::cross_entropy;
@@ -41,7 +47,12 @@ impl Clustered {
     /// Panics if `k == 0`.
     pub fn new(k: usize) -> Self {
         assert!(k > 0, "need at least one cluster");
-        Self { k, clusters: Vec::new(), assignment: Vec::new(), anchor: 0.1 }
+        Self {
+            k,
+            clusters: Vec::new(),
+            assignment: Vec::new(),
+            anchor: 0.1,
+        }
     }
 
     /// Number of clusters.
@@ -102,16 +113,7 @@ impl Personalization for Clustered {
         self.clusters.clear();
     }
 
-    fn local_train(
-        &mut self,
-        client_id: usize,
-        global: &[f32],
-        data: &Dataset,
-        cfg: &FlConfig,
-        model: &mut Sequential,
-        rng: &mut StdRng,
-    ) -> Vec<f32> {
-        assert!(!data.is_empty(), "client has no training data");
+    fn begin_round(&mut self, global: &[f32], rng: &mut StdRng) {
         self.ensure_clusters(global, rng);
         // Anchor clusters toward the current federation model.
         for cluster in &mut self.clusters {
@@ -119,10 +121,23 @@ impl Personalization for Clustered {
                 *c += self.anchor * (g - *c);
             }
         }
+    }
+
+    fn local_train(
+        &self,
+        _client_id: usize,
+        global: &[f32],
+        data: &Dataset,
+        cfg: &FlConfig,
+        model: &mut Sequential,
+        rng: &mut StdRng,
+    ) -> LocalOutcome {
+        assert!(!data.is_empty(), "client has no training data");
+        assert!(
+            !self.clusters.is_empty(),
+            "begin_round must run before local_train"
+        );
         let cluster = self.select_cluster(model, data, cfg, rng);
-        if client_id < self.assignment.len() {
-            self.assignment[client_id] = Some(cluster);
-        }
         model.set_params(&self.clusters[cluster]);
         let mut opt = Sgd::new(cfg.client_lr);
         for _ in 0..cfg.local_steps {
@@ -130,8 +145,25 @@ impl Personalization for Clustered {
             model.train_batch(&x, &y, &mut opt);
         }
         let trained = model.params();
-        self.clusters[cluster] = trained.clone();
-        trained.iter().zip(global).map(|(t, g)| t - g).collect()
+        let delta = trained.iter().zip(global).map(|(t, g)| t - g).collect();
+        LocalOutcome {
+            delta,
+            commit: StateCommit {
+                cluster: Some((cluster, trained)),
+                ..StateCommit::none()
+            },
+        }
+    }
+
+    fn commit(&mut self, client_id: usize, commit: StateCommit) {
+        if let Some((cluster, trained)) = commit.cluster {
+            if client_id < self.assignment.len() {
+                self.assignment[client_id] = Some(cluster);
+            }
+            if cluster < self.clusters.len() {
+                self.clusters[cluster] = trained;
+            }
+        }
     }
 
     fn eval_params(&self, client_id: usize, global: &[f32]) -> Vec<f32> {
@@ -139,6 +171,34 @@ impl Personalization for Clustered {
             Some(c) if c < self.clusters.len() => self.clusters[c].clone(),
             _ => global.to_vec(),
         }
+    }
+
+    /// Layout: `n` assignment entries (single-element vectors holding the
+    /// cluster index) followed by the cluster models (absent before the
+    /// first round initializes them).
+    fn export_state(&self) -> Vec<Option<Vec<f32>>> {
+        let mut state: Vec<Option<Vec<f32>>> = self
+            .assignment
+            .iter()
+            .map(|a| a.map(|c| vec![c as f32]))
+            .collect();
+        state.extend(self.clusters.iter().cloned().map(Some));
+        state
+    }
+
+    fn import_state(&mut self, state: Vec<Option<Vec<f32>>>) {
+        let n = self.assignment.len();
+        debug_assert!(
+            state.len() == n || state.len() == n + self.k,
+            "Clustered state layout mismatch"
+        );
+        let mut it = state.into_iter();
+        self.assignment = it
+            .by_ref()
+            .take(n)
+            .map(|entry| entry.and_then(|v| v.first().map(|&c| c as usize)))
+            .collect();
+        self.clusters = it.flatten().collect();
     }
 }
 
@@ -170,6 +230,19 @@ mod tests {
         (cfg, model, global)
     }
 
+    fn train_and_commit(
+        cl: &mut Clustered,
+        cid: usize,
+        global: &[f32],
+        data: &Dataset,
+        cfg: &FlConfig,
+        model: &mut Sequential,
+        rng: &mut StdRng,
+    ) {
+        let out = cl.local_train(cid, global, data, cfg, model, rng);
+        cl.commit(cid, out.commit);
+    }
+
     #[test]
     fn clients_with_conflicting_data_land_in_different_clusters() {
         let (cfg, mut model, global) = setup();
@@ -180,8 +253,9 @@ mod tests {
         let b = population_data(true);
         // Several alternating rounds so each specializes a cluster.
         for _ in 0..6 {
-            let _ = cl.local_train(0, &global, &a, &cfg, &mut model, &mut rng);
-            let _ = cl.local_train(1, &global, &b, &cfg, &mut model, &mut rng);
+            cl.begin_round(&global, &mut rng);
+            train_and_commit(&mut cl, 0, &global, &a, &cfg, &mut model, &mut rng);
+            train_and_commit(&mut cl, 1, &global, &b, &cfg, &mut model, &mut rng);
         }
         let c0 = cl.assignment_of(0).unwrap();
         let c1 = cl.assignment_of(1).unwrap();
@@ -203,6 +277,31 @@ mod tests {
         assert_eq!(cl.eval_params(2, &global), global);
         assert_eq!(cl.assignment_of(2), None);
         assert_eq!(cl.k(), 3);
+    }
+
+    #[test]
+    fn state_survives_export_import() {
+        let (cfg, mut model, global) = setup();
+        let mut cl = Clustered::new(2);
+        cl.init(2, global.len());
+        let mut rng = StdRng::seed_from_u64(2);
+        cl.begin_round(&global, &mut rng);
+        train_and_commit(
+            &mut cl,
+            1,
+            &global,
+            &population_data(false),
+            &cfg,
+            &mut model,
+            &mut rng,
+        );
+        let state = cl.export_state();
+        assert_eq!(state.len(), 2 + 2); // 2 assignments + 2 clusters
+        let mut restored = Clustered::new(2);
+        restored.init(2, global.len());
+        restored.import_state(state);
+        assert_eq!(restored.assignment_of(1), cl.assignment_of(1));
+        assert_eq!(restored.eval_params(1, &global), cl.eval_params(1, &global));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! personal models. Listed as a "robust aggregation" row of the paper's
 //! Table I.
 
-use super::{PersonalStore, Personalization};
+use super::{LocalOutcome, PersonalStore, Personalization, StateCommit};
 use crate::client::local_sgd_delta;
 use crate::config::FlConfig;
 use collapois_data::sample::Dataset;
@@ -30,7 +30,10 @@ impl Ditto {
     /// Panics if `lambda < 0`.
     pub fn new(lambda: f64) -> Self {
         assert!(lambda >= 0.0, "lambda must be non-negative");
-        Self { lambda, personal: PersonalStore::default() }
+        Self {
+            lambda,
+            personal: PersonalStore::default(),
+        }
     }
 }
 
@@ -44,14 +47,14 @@ impl Personalization for Ditto {
     }
 
     fn local_train(
-        &mut self,
+        &self,
         client_id: usize,
         global: &[f32],
         data: &Dataset,
         cfg: &FlConfig,
         model: &mut Sequential,
         rng: &mut StdRng,
-    ) -> Vec<f32> {
+    ) -> LocalOutcome {
         // The update sent to the server: plain local SGD from the global.
         let delta = local_sgd_delta(rng, model, global, data, cfg);
         // The personal model: prox-regularized training starting from the
@@ -80,8 +83,19 @@ impl Personalization for Ditto {
                 model.set_params(&params);
             }
         }
-        self.personal.set(client_id, model.params());
-        delta
+        LocalOutcome {
+            delta,
+            commit: StateCommit {
+                personal: Some(model.params()),
+                ..StateCommit::none()
+            },
+        }
+    }
+
+    fn commit(&mut self, client_id: usize, commit: StateCommit) {
+        if let Some(personal) = commit.personal {
+            self.personal.set(client_id, personal);
+        }
     }
 
     fn eval_params(&self, client_id: usize, global: &[f32]) -> Vec<f32> {
@@ -89,6 +103,14 @@ impl Personalization for Ditto {
             Some(p) => p.clone(),
             None => global.to_vec(),
         }
+    }
+
+    fn export_state(&self) -> Vec<Option<Vec<f32>>> {
+        self.personal.export()
+    }
+
+    fn import_state(&mut self, state: Vec<Option<Vec<f32>>>) {
+        self.personal.import(state);
     }
 }
 
@@ -109,6 +131,21 @@ mod tests {
         ds
     }
 
+    /// Runs compute + commit the way the round engine does.
+    fn train_and_commit(
+        d: &mut Ditto,
+        cid: usize,
+        global: &[f32],
+        data: &Dataset,
+        cfg: &FlConfig,
+        model: &mut Sequential,
+        rng: &mut StdRng,
+    ) -> Vec<f32> {
+        let out = d.local_train(cid, global, data, cfg, model, rng);
+        d.commit(cid, out.commit);
+        out.delta
+    }
+
     #[test]
     fn keeps_separate_personal_model() {
         let spec = ModelSpec::mlp(2, &[4], 2);
@@ -118,7 +155,7 @@ mod tests {
         let global = model.params();
         let mut d = Ditto::new(0.1);
         d.init(1, global.len());
-        let delta = d.local_train(0, &global, &toy_data(), &cfg, &mut model, &mut rng);
+        let delta = train_and_commit(&mut d, 0, &global, &toy_data(), &cfg, &mut model, &mut rng);
         assert!(delta.iter().any(|&v| v != 0.0));
         assert_ne!(d.eval_params(0, &global), global);
     }
@@ -135,9 +172,43 @@ mod tests {
             let mut d = Ditto::new(lambda);
             d.init(1, global.len());
             let mut rng2 = StdRng::seed_from_u64(2);
-            let _ = d.local_train(0, &global, &data, &cfg, &mut model, &mut rng2);
+            let _ = train_and_commit(&mut d, 0, &global, &data, &cfg, &mut model, &mut rng2);
             l2_distance(&d.eval_params(0, &global), &global)
         };
-        assert!(run(100.0) < run(0.0), "large lambda must stay closer to global");
+        assert!(
+            run(100.0) < run(0.0),
+            "large lambda must stay closer to global"
+        );
+    }
+
+    #[test]
+    fn state_survives_export_import() {
+        let spec = ModelSpec::mlp(2, &[4], 2);
+        let cfg = FlConfig::quick(spec.clone());
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut model = spec.build(&mut rng);
+        let global = model.params();
+        let mut d = Ditto::new(0.1);
+        d.init(2, global.len());
+        let _ = train_and_commit(&mut d, 1, &global, &toy_data(), &cfg, &mut model, &mut rng);
+        let state = d.export_state();
+        let mut restored = Ditto::new(0.1);
+        restored.init(2, global.len());
+        restored.import_state(state);
+        assert_eq!(restored.eval_params(1, &global), d.eval_params(1, &global));
+    }
+
+    #[test]
+    fn uncommitted_training_leaves_state_untouched() {
+        let spec = ModelSpec::mlp(2, &[4], 2);
+        let cfg = FlConfig::quick(spec.clone());
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut model = spec.build(&mut rng);
+        let global = model.params();
+        let mut d = Ditto::new(0.1);
+        d.init(1, global.len());
+        let _ = d.local_train(0, &global, &toy_data(), &cfg, &mut model, &mut rng);
+        // No commit: the strategy must still evaluate on the global model.
+        assert_eq!(d.eval_params(0, &global), global);
     }
 }

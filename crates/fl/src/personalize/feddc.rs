@@ -11,7 +11,7 @@
 //! This is the simplified drift-decoupled variant documented in DESIGN.md §1
 //! (no per-minibatch drift schedule).
 
-use super::{PersonalStore, Personalization};
+use super::{LocalOutcome, PersonalStore, Personalization, StateCommit};
 use crate::client::local_sgd_delta_prox;
 use crate::config::FlConfig;
 use collapois_data::sample::Dataset;
@@ -35,7 +35,12 @@ impl FedDc {
     /// Panics if `prox_mu < 0`.
     pub fn new(prox_mu: f64) -> Self {
         assert!(prox_mu >= 0.0, "prox_mu must be non-negative");
-        Self { prox_mu, drift_decay: 0.5, drift: Vec::new(), personal: PersonalStore::default() }
+        Self {
+            prox_mu,
+            drift_decay: 0.5,
+            drift: Vec::new(),
+            personal: PersonalStore::default(),
+        }
     }
 
     /// Drift of client `id` (zero vector if never trained).
@@ -55,19 +60,23 @@ impl Personalization for FedDc {
     }
 
     fn local_train(
-        &mut self,
+        &self,
         client_id: usize,
         global: &[f32],
         data: &Dataset,
         cfg: &FlConfig,
         model: &mut Sequential,
         rng: &mut StdRng,
-    ) -> Vec<f32> {
+    ) -> LocalOutcome {
         let delta = local_sgd_delta_prox(rng, model, global, data, cfg, self.prox_mu);
         // Drift correction: h_i ← decay·h_i + (θ_i − θ).
         let decay = self.drift_decay as f32;
         let new_drift: Vec<f32> = match self.drift.get(client_id).and_then(Option::as_ref) {
-            Some(h) => h.iter().zip(&delta).map(|(hv, dv)| decay * hv + dv).collect(),
+            Some(h) => h
+                .iter()
+                .zip(&delta)
+                .map(|(hv, dv)| decay * hv + dv)
+                .collect(),
             None => delta.clone(),
         };
         // Personalized model: global + local delta + accumulated drift.
@@ -77,11 +86,25 @@ impl Personalization for FedDc {
             .zip(&new_drift)
             .map(|((g, d), h)| g + d + decay * h)
             .collect();
-        if client_id < self.drift.len() {
-            self.drift[client_id] = Some(new_drift);
+        LocalOutcome {
+            delta,
+            commit: StateCommit {
+                personal: Some(personal),
+                drift: Some(new_drift),
+                ..StateCommit::none()
+            },
         }
-        self.personal.set(client_id, personal);
-        delta
+    }
+
+    fn commit(&mut self, client_id: usize, commit: StateCommit) {
+        if let Some(drift) = commit.drift {
+            if client_id < self.drift.len() {
+                self.drift[client_id] = Some(drift);
+            }
+        }
+        if let Some(personal) = commit.personal {
+            self.personal.set(client_id, personal);
+        }
     }
 
     fn eval_params(&self, client_id: usize, global: &[f32]) -> Vec<f32> {
@@ -89,6 +112,21 @@ impl Personalization for FedDc {
             Some(p) => p.clone(),
             None => global.to_vec(),
         }
+    }
+
+    /// Layout: `n` drift entries followed by `n` personal-model entries.
+    fn export_state(&self) -> Vec<Option<Vec<f32>>> {
+        let mut state = self.drift.clone();
+        state.extend(self.personal.export());
+        state
+    }
+
+    fn import_state(&mut self, state: Vec<Option<Vec<f32>>>) {
+        let n = self.drift.len();
+        debug_assert_eq!(state.len(), 2 * n, "FedDc state layout mismatch");
+        let mut it = state.into_iter();
+        self.drift = it.by_ref().take(n).collect();
+        self.personal.import(it.collect());
     }
 }
 
@@ -108,6 +146,20 @@ mod tests {
         ds
     }
 
+    fn train_and_commit(
+        fd: &mut FedDc,
+        cid: usize,
+        global: &[f32],
+        data: &Dataset,
+        cfg: &FlConfig,
+        model: &mut Sequential,
+        rng: &mut StdRng,
+    ) -> Vec<f32> {
+        let out = fd.local_train(cid, global, data, cfg, model, rng);
+        fd.commit(cid, out.commit);
+        out.delta
+    }
+
     #[test]
     fn accumulates_drift_and_personal_model() {
         let spec = ModelSpec::mlp(2, &[4], 2);
@@ -118,7 +170,7 @@ mod tests {
         let mut fd = FedDc::new(1.0);
         fd.init(2, global.len());
         assert!(fd.drift_of(0).is_none());
-        let _ = fd.local_train(0, &global, &toy_data(), &cfg, &mut model, &mut rng);
+        let _ = train_and_commit(&mut fd, 0, &global, &toy_data(), &cfg, &mut model, &mut rng);
         assert!(fd.drift_of(0).is_some());
         // Personalized model differs from the global.
         assert_ne!(fd.eval_params(0, &global), global);
@@ -135,10 +187,29 @@ mod tests {
         let global = model.params();
         let mut fd = FedDc::new(1.0);
         fd.init(1, global.len());
-        let _ = fd.local_train(0, &global, &toy_data(), &cfg, &mut model, &mut rng);
+        let _ = train_and_commit(&mut fd, 0, &global, &toy_data(), &cfg, &mut model, &mut rng);
         let d1 = fd.drift_of(0).unwrap().clone();
-        let _ = fd.local_train(0, &global, &toy_data(), &cfg, &mut model, &mut rng);
+        let _ = train_and_commit(&mut fd, 0, &global, &toy_data(), &cfg, &mut model, &mut rng);
         let d2 = fd.drift_of(0).unwrap().clone();
         assert_ne!(d1, d2);
+    }
+
+    #[test]
+    fn state_survives_export_import() {
+        let spec = ModelSpec::mlp(2, &[4], 2);
+        let cfg = FlConfig::quick(spec.clone());
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut model = spec.build(&mut rng);
+        let global = model.params();
+        let mut fd = FedDc::new(1.0);
+        fd.init(3, global.len());
+        let _ = train_and_commit(&mut fd, 2, &global, &toy_data(), &cfg, &mut model, &mut rng);
+        let state = fd.export_state();
+        assert_eq!(state.len(), 6); // 3 drift + 3 personal slots
+        let mut restored = FedDc::new(1.0);
+        restored.init(3, global.len());
+        restored.import_state(state);
+        assert_eq!(restored.drift_of(2), fd.drift_of(2));
+        assert_eq!(restored.eval_params(2, &global), fd.eval_params(2, &global));
     }
 }

@@ -10,7 +10,7 @@
 //! highly non-IID settings sparse "neighbours" limit knowledge transfer and
 //! restrain backdoor spread — emerges from the distillation bottleneck.
 
-use super::{PersonalStore, Personalization};
+use super::{LocalOutcome, PersonalStore, Personalization, StateCommit};
 use crate::config::FlConfig;
 use collapois_data::sample::Dataset;
 use collapois_nn::model::Sequential;
@@ -34,7 +34,11 @@ impl MetaFed {
     /// Panics if `temperature <= 0`.
     pub fn new(temperature: f64, distill_steps: usize) -> Self {
         assert!(temperature > 0.0, "temperature must be positive");
-        Self { temperature, distill_steps, personal: PersonalStore::default() }
+        Self {
+            temperature,
+            distill_steps,
+            personal: PersonalStore::default(),
+        }
     }
 }
 
@@ -48,14 +52,14 @@ impl Personalization for MetaFed {
     }
 
     fn local_train(
-        &mut self,
+        &self,
         client_id: usize,
         global: &[f32],
         data: &Dataset,
         cfg: &FlConfig,
         model: &mut Sequential,
         rng: &mut StdRng,
-    ) -> Vec<f32> {
+    ) -> LocalOutcome {
         assert!(!data.is_empty(), "client has no training data");
         // Teacher: the circulating common model.
         let mut teacher = model.clone();
@@ -83,8 +87,19 @@ impl Personalization for MetaFed {
         }
         let personal = model.params();
         let delta: Vec<f32> = personal.iter().zip(global).map(|(p, g)| p - g).collect();
-        self.personal.set(client_id, personal);
-        delta
+        LocalOutcome {
+            delta,
+            commit: StateCommit {
+                personal: Some(personal),
+                ..StateCommit::none()
+            },
+        }
+    }
+
+    fn commit(&mut self, client_id: usize, commit: StateCommit) {
+        if let Some(personal) = commit.personal {
+            self.personal.set(client_id, personal);
+        }
     }
 
     fn eval_params(&self, client_id: usize, global: &[f32]) -> Vec<f32> {
@@ -92,6 +107,14 @@ impl Personalization for MetaFed {
             Some(p) => p.clone(),
             None => global.to_vec(),
         }
+    }
+
+    fn export_state(&self) -> Vec<Option<Vec<f32>>> {
+        self.personal.export()
+    }
+
+    fn import_state(&mut self, state: Vec<Option<Vec<f32>>>) {
+        self.personal.import(state);
     }
 }
 
@@ -120,11 +143,13 @@ mod tests {
         let global = model.params();
         let mut mf = MetaFed::new(2.0, 2);
         mf.init(2, global.len());
-        let _ = mf.local_train(0, &global, &toy_data(), &cfg, &mut model, &mut rng);
+        let out = mf.local_train(0, &global, &toy_data(), &cfg, &mut model, &mut rng);
+        mf.commit(0, out.commit);
         let p1 = mf.eval_params(0, &global);
         assert_ne!(p1, global);
         // A second round starts from the stored personal model, not global.
-        let _ = mf.local_train(0, &global, &toy_data(), &cfg, &mut model, &mut rng);
+        let out = mf.local_train(0, &global, &toy_data(), &cfg, &mut model, &mut rng);
+        mf.commit(0, out.commit);
         let p2 = mf.eval_params(0, &global);
         assert_ne!(p2, p1);
         // Never-sampled client falls back to global.
@@ -143,7 +168,8 @@ mod tests {
         let mut mf = MetaFed::new(2.0, 2);
         mf.init(1, global.len());
         let data = toy_data();
-        let _ = mf.local_train(0, &global, &data, &cfg, &mut model, &mut rng);
+        let out = mf.local_train(0, &global, &data, &cfg, &mut model, &mut rng);
+        mf.commit(0, out.commit);
         model.set_params(&mf.eval_params(0, &global));
         let (x, y) = data.as_batch();
         assert!(model.evaluate(&x, &y) > 0.9);

@@ -6,6 +6,24 @@
 //! ICML 2021]. A [`Personalization`] strategy controls (a) how a sampled
 //! client trains locally and what update it sends, and (b) which parameters
 //! a client's metrics are evaluated on (`θ_i`, the personalized model).
+//!
+//! ## Compute/commit split
+//!
+//! Local training is split into a **pure compute** phase and an **ordered
+//! commit** phase so the round engine can fan clients over worker threads
+//! without losing determinism:
+//!
+//! 1. [`Personalization::begin_round`] runs once, sequentially, before any
+//!    client trains (shared-state setup such as cluster anchoring).
+//! 2. [`Personalization::local_train`] takes `&self`: it reads a snapshot
+//!    of strategy state and returns the update **plus** a [`StateCommit`]
+//!    describing every mutation it wants.
+//! 3. [`Personalization::commit`] applies the commits sequentially in
+//!    sampled-client order, regardless of which worker finished first.
+//!
+//! Under this contract `workers = N` is bit-identical to `workers = 1` by
+//! construction: no client can observe another client's same-round writes,
+//! and writes land in a schedule-independent order.
 
 mod clustered;
 mod ditto;
@@ -23,6 +41,44 @@ use collapois_data::sample::Dataset;
 use collapois_nn::model::Sequential;
 use rand::rngs::StdRng;
 
+/// State mutations requested by one client's local training, applied by
+/// [`Personalization::commit`] in sampled order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StateCommit {
+    /// New personal model for the client.
+    pub personal: Option<Vec<f32>>,
+    /// New drift variable for the client (FedDC).
+    pub drift: Option<Vec<f32>>,
+    /// Cluster selection + trained cluster parameters (clustered FL).
+    pub cluster: Option<(usize, Vec<f32>)>,
+}
+
+impl StateCommit {
+    /// A commit that changes nothing.
+    pub fn none() -> Self {
+        Self::default()
+    }
+}
+
+/// What one client's local training produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalOutcome {
+    /// Flat delta `θ_local − θ_global` sent to the server.
+    pub delta: Vec<f32>,
+    /// State mutations to apply at commit time.
+    pub commit: StateCommit,
+}
+
+impl LocalOutcome {
+    /// An outcome carrying only a delta (stateless strategies).
+    pub fn stateless(delta: Vec<f32>) -> Self {
+        Self {
+            delta,
+            commit: StateCommit::none(),
+        }
+    }
+}
+
 /// A client-side training/evaluation strategy.
 pub trait Personalization: std::fmt::Debug + Send + Sync {
     /// Short name for report tables.
@@ -32,22 +88,45 @@ pub trait Personalization: std::fmt::Debug + Send + Sync {
     /// dimension (for per-client state allocation).
     fn init(&mut self, num_clients: usize, dim: usize);
 
-    /// Local training for a sampled benign client: returns the delta sent to
-    /// the server and updates any per-client state.
+    /// Round hook: runs once, sequentially, before any client of the round
+    /// trains. Shared-state maintenance (e.g. cluster initialization and
+    /// anchoring) belongs here, not in [`Personalization::local_train`].
+    fn begin_round(&mut self, _global: &[f32], _rng: &mut StdRng) {}
+
+    /// Local training for a sampled benign client.
+    ///
+    /// Must not mutate strategy state (`&self`): it reads the state
+    /// snapshot as of [`Personalization::begin_round`] and reports every
+    /// intended mutation through the returned [`StateCommit`].
     fn local_train(
-        &mut self,
+        &self,
         client_id: usize,
         global: &[f32],
         data: &Dataset,
         cfg: &FlConfig,
         model: &mut Sequential,
         rng: &mut StdRng,
-    ) -> Vec<f32>;
+    ) -> LocalOutcome;
+
+    /// Applies a client's state mutations. Called by the round engine in
+    /// sampled-client order after all of the round's training finished.
+    fn commit(&mut self, _client_id: usize, _commit: StateCommit) {}
 
     /// Parameters of the model used to evaluate client `client_id`'s
     /// metrics (the personalized model `θ_i`; the global model when the
     /// strategy keeps no per-client state or the client never participated).
     fn eval_params(&self, client_id: usize, global: &[f32]) -> Vec<f32>;
+
+    /// Serializes the strategy's mutable state for checkpointing. The
+    /// layout is strategy-internal; the only contract is that
+    /// [`Personalization::import_state`] on an identically-configured
+    /// strategy restores it exactly.
+    fn export_state(&self) -> Vec<Option<Vec<f32>>> {
+        Vec::new()
+    }
+
+    /// Restores state captured by [`Personalization::export_state`].
+    fn import_state(&mut self, _state: Vec<Option<Vec<f32>>>) {}
 }
 
 /// Plain FedAvg: no personalization — clients train from the global model
@@ -70,15 +149,15 @@ impl Personalization for NoPersonalization {
     fn init(&mut self, _num_clients: usize, _dim: usize) {}
 
     fn local_train(
-        &mut self,
+        &self,
         _client_id: usize,
         global: &[f32],
         data: &Dataset,
         cfg: &FlConfig,
         model: &mut Sequential,
         rng: &mut StdRng,
-    ) -> Vec<f32> {
-        local_sgd_delta(rng, model, global, data, cfg)
+    ) -> LocalOutcome {
+        LocalOutcome::stateless(local_sgd_delta(rng, model, global, data, cfg))
     }
 
     fn eval_params(&self, _client_id: usize, global: &[f32]) -> Vec<f32> {
@@ -105,6 +184,16 @@ impl PersonalStore {
         if id < self.models.len() {
             self.models[id] = Some(params);
         }
+    }
+
+    /// Snapshot of every slot (for checkpoint export).
+    pub(crate) fn export(&self) -> Vec<Option<Vec<f32>>> {
+        self.models.clone()
+    }
+
+    /// Restores a snapshot taken by [`PersonalStore::export`].
+    pub(crate) fn import(&mut self, models: Vec<Option<Vec<f32>>>) {
+        self.models = models;
     }
 }
 
@@ -140,9 +229,11 @@ mod tests {
         let global = model.params();
         let mut p = NoPersonalization::new();
         p.init(1, global.len());
-        let delta = p.local_train(0, &global, &toy_data(), &cfg, &mut model, &mut rng);
-        assert_eq!(delta.len(), global.len());
-        assert!(delta.iter().any(|&d| d != 0.0));
+        let out = p.local_train(0, &global, &toy_data(), &cfg, &mut model, &mut rng);
+        assert_eq!(out.delta.len(), global.len());
+        assert!(out.delta.iter().any(|&d| d != 0.0));
+        assert_eq!(out.commit, StateCommit::none());
+        assert!(p.export_state().is_empty());
     }
 
     #[test]
@@ -154,5 +245,9 @@ mod tests {
         assert_eq!(s.get(1), Some(&vec![1.0]));
         s.set(99, vec![2.0]); // out of range: ignored
         assert!(s.get(99).is_none());
+        let snapshot = s.export();
+        let mut t = PersonalStore::default();
+        t.import(snapshot);
+        assert_eq!(t.get(1), Some(&vec![1.0]));
     }
 }

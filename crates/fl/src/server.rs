@@ -5,15 +5,36 @@
 //! [`Personalization`] strategy, let the [`Adversary`] craft malicious
 //! updates for sampled compromised clients, aggregate with the configured
 //! [`Aggregator`], and apply `θ ← θ + λ·Δ`.
+//!
+//! Execution is delegated to the `collapois-runtime` engine:
+//!
+//! * every RNG draw comes from a stream derived as
+//!   `mix(run_seed, domain, round, client)` ([`collapois_runtime::seed`]),
+//!   so results are independent of execution order;
+//! * benign local training fans out over a [`WorkerPool`] — `workers = N`
+//!   is bit-identical to `workers = 1` because strategies follow the
+//!   compute/commit contract of [`Personalization`];
+//! * every round emits structured [`TraceEvent`]s into a [`TraceLog`], and
+//!   the [`RoundRecord`] handed to callers is rebuilt from those events so
+//!   live runs and `--trace` files expose the same data;
+//! * [`FlServer::snapshot`]/[`FlServer::restore`] round-trip the mutable
+//!   run state through the versioned checkpoint codec for kill/resume.
 
 use crate::aggregate::Aggregator;
 use crate::config::FlConfig;
+use crate::monitor::ShiftDetector;
 use crate::personalize::Personalization;
 use crate::update::ClientUpdate;
 use collapois_data::federated::FederatedDataset;
 use collapois_nn::model::Sequential;
+use collapois_runtime::checkpoint::{self, CheckpointError, Snapshot};
+use collapois_runtime::pool::WorkerPool;
+use collapois_runtime::seed;
+use collapois_runtime::trace::{TraceEvent, TraceLog};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 /// An attacker controlling a fixed set of compromised clients.
 ///
@@ -26,7 +47,8 @@ pub trait Adversary: std::fmt::Debug {
     fn compromised(&self) -> &[usize];
 
     /// Malicious delta for compromised client `client_id` at `round`, given
-    /// the current global parameters (what the client just received).
+    /// the current global parameters (what the client just received). The
+    /// `rng` is the client's derived `Domain::Adversary` stream.
     fn craft_update(
         &mut self,
         client_id: usize,
@@ -62,6 +84,57 @@ pub struct RoundRecord {
     pub global_before: Option<Vec<f32>>,
 }
 
+impl RoundRecord {
+    /// Rebuilds a record from a round's `RoundStarted`/`RoundCompleted`
+    /// trace-event pair. Returns `None` unless the events are that pair
+    /// and agree on the round index.
+    pub fn from_trace(started: &TraceEvent, completed: &TraceEvent) -> Option<Self> {
+        match (started, completed) {
+            (
+                TraceEvent::RoundStarted { round, sampled, .. },
+                TraceEvent::RoundCompleted {
+                    round: completed_round,
+                    num_malicious,
+                    benign_norms,
+                    malicious_norms,
+                    ..
+                },
+            ) if round == completed_round => Some(Self {
+                round: *round,
+                sampled: sampled.clone(),
+                num_malicious: *num_malicious,
+                benign_norms: benign_norms.clone(),
+                malicious_norms: malicious_norms.clone(),
+                updates: None,
+                global_before: None,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Rebuilds every round's [`RoundRecord`] from a trace-event sequence (as
+/// produced live by [`FlServer::trace_events`] or read back from a trace
+/// file). Unpaired or interleaved round events are skipped.
+pub fn round_records_from_events(events: &[TraceEvent]) -> Vec<RoundRecord> {
+    let mut records = Vec::new();
+    let mut pending: Option<&TraceEvent> = None;
+    for event in events {
+        match event {
+            TraceEvent::RoundStarted { .. } => pending = Some(event),
+            TraceEvent::RoundCompleted { .. } => {
+                if let Some(started) = pending.take() {
+                    if let Some(record) = RoundRecord::from_trace(started, event) {
+                        records.push(record);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    records
+}
+
 /// The federated server simulation.
 #[derive(Debug)]
 pub struct FlServer {
@@ -71,9 +144,17 @@ pub struct FlServer {
     personalization: Box<dyn Personalization>,
     global: Vec<f32>,
     scratch: Sequential,
-    rng: StdRng,
     round: usize,
     collect_updates: bool,
+    workers: WorkerPool,
+    trace: TraceLog,
+    monitor: Option<ShiftDetector>,
+    checkpoint_dir: Option<PathBuf>,
+    checkpoint_every: usize,
+    run_started: bool,
+    run_start: Option<Instant>,
+    rounds_executed: usize,
+    resumed_from: Option<u32>,
 }
 
 impl FlServer {
@@ -88,7 +169,8 @@ impl FlServer {
         aggregator: Box<dyn Aggregator>,
         mut personalization: Box<dyn Personalization>,
     ) -> Self {
-        cfg.validate().unwrap_or_else(|e| panic!("invalid FlConfig: {e}"));
+        cfg.validate()
+            .unwrap_or_else(|e| panic!("invalid FlConfig: {e}"));
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let scratch = cfg.model.build(&mut rng);
         let global = scratch.params();
@@ -100,9 +182,17 @@ impl FlServer {
             personalization,
             global,
             scratch,
-            rng,
             round: 0,
             collect_updates: false,
+            workers: WorkerPool::new(1),
+            trace: TraceLog::in_memory(),
+            monitor: None,
+            checkpoint_dir: None,
+            checkpoint_every: 0,
+            run_started: false,
+            run_start: None,
+            rounds_executed: 0,
+            resumed_from: None,
         }
     }
 
@@ -112,10 +202,44 @@ impl FlServer {
         self.collect_updates = enable;
     }
 
+    /// Sets the worker-thread count for benign-client fan-out. Any count
+    /// produces bit-identical results; `0` is clamped to `1`.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = WorkerPool::new(workers);
+    }
+
+    /// Current worker-thread count.
+    pub fn workers(&self) -> usize {
+        self.workers.workers()
+    }
+
+    /// Mirrors the run trace to a JSONL file (truncating it). Call before
+    /// the first round; events already pushed stay in memory only.
+    pub fn trace_to_file(&mut self, path: &Path) -> std::io::Result<()> {
+        self.trace = TraceLog::to_file(path)?;
+        Ok(())
+    }
+
+    /// The structured trace events emitted so far.
+    pub fn trace_events(&self) -> &[TraceEvent] {
+        self.trace.events()
+    }
+
+    /// Attaches a shift detector; alerts become `ShiftAlert` trace events.
+    pub fn enable_monitor(&mut self, detector: ShiftDetector) {
+        self.monitor = Some(detector);
+    }
+
+    /// Writes a snapshot to `dir` every `every` completed rounds
+    /// (`every = 0` disables checkpointing).
+    pub fn enable_checkpoints(&mut self, dir: impl Into<PathBuf>, every: usize) {
+        self.checkpoint_dir = Some(dir.into());
+        self.checkpoint_every = every;
+    }
+
     /// Current global parameters.
     pub fn global(&self) -> &[f32] {
-        self.global
-            .as_slice()
+        self.global.as_slice()
     }
 
     /// Overwrites the global parameters (used to warm-start experiments).
@@ -143,18 +267,101 @@ impl FlServer {
         self.personalization.as_ref()
     }
 
-    /// Completed round count.
+    /// Completed round count (the next round to execute).
     pub fn rounds_done(&self) -> usize {
         self.round
     }
 
+    /// FNV-1a hash of the configuration's debug representation; stored in
+    /// snapshots so a checkpoint cannot silently resume a different run.
+    pub fn config_hash(&self) -> u64 {
+        checkpoint::config_hash(&format!("{:?}", self.cfg))
+    }
+
+    /// Captures the mutable run state (global model, round cursor,
+    /// personalization state) as a codec-ready [`Snapshot`].
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            run_seed: self.cfg.seed,
+            config_hash: self.config_hash(),
+            round: self.round as u32,
+            global: self.global.clone(),
+            client_states: self.personalization.export_state(),
+        }
+    }
+
+    /// Restores run state from a snapshot taken by [`FlServer::snapshot`]
+    /// on an identically-configured server.
+    pub fn restore(&mut self, snap: &Snapshot) -> Result<(), CheckpointError> {
+        snap.require_config(self.config_hash())?;
+        if snap.global.len() != self.global.len() {
+            return Err(CheckpointError::Corrupt(format!(
+                "snapshot holds {} parameters, model has {}",
+                snap.global.len(),
+                self.global.len()
+            )));
+        }
+        self.global.copy_from_slice(&snap.global);
+        self.personalization
+            .import_state(snap.client_states.clone());
+        self.round = snap.round as usize;
+        self.resumed_from = Some(snap.round);
+        Ok(())
+    }
+
+    /// Restores from the highest-round checkpoint in `dir`, if any.
+    /// Returns the round the run will resume from.
+    pub fn resume_latest(&mut self, dir: &Path) -> Result<Option<u32>, CheckpointError> {
+        match checkpoint::latest_checkpoint(dir) {
+            Some(path) => {
+                let snap = Snapshot::load(&path)?;
+                self.restore(&snap)?;
+                Ok(Some(snap.round))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Emits the `RunCompleted` trace event and flushes the trace sink.
+    /// Call once after the round loop; a no-op if no round ever ran.
+    pub fn finish_run(&mut self) {
+        if !self.run_started {
+            return;
+        }
+        let elapsed_ms = self
+            .run_start
+            .map(|t| t.elapsed().as_secs_f64() * 1e3)
+            .unwrap_or(0.0);
+        self.trace.push(TraceEvent::RunCompleted {
+            rounds_executed: self.rounds_executed,
+            elapsed_ms,
+        });
+        self.trace.flush();
+        self.run_started = false;
+    }
+
+    fn ensure_run_started(&mut self) {
+        if self.run_started {
+            return;
+        }
+        self.run_started = true;
+        self.run_start = Some(Instant::now());
+        self.trace.push(TraceEvent::RunStarted {
+            run_seed: self.cfg.seed,
+            config_hash: self.config_hash(),
+            num_clients: self.fed.num_clients(),
+            rounds: self.cfg.rounds,
+            workers: self.workers.workers(),
+            aggregator: self.aggregator.name().to_string(),
+            resumed_from: self.resumed_from,
+        });
+    }
+
     /// Samples the round's client set: each client independently with
     /// probability `q`, re-drawn until non-empty.
-    fn sample_clients(&mut self) -> Vec<usize> {
-        let n = self.fed.num_clients();
+    fn sample_clients(rng: &mut StdRng, num_clients: usize, q: f64) -> Vec<usize> {
         loop {
-            let sampled: Vec<usize> =
-                (0..n).filter(|_| self.rng.gen_bool(self.cfg.sample_rate)).collect();
+            let sampled: Vec<usize> = (0..num_clients).filter(|_| rng.gen_bool(q)).collect();
             if !sampled.is_empty() {
                 return sampled;
             }
@@ -162,73 +369,171 @@ impl FlServer {
     }
 
     /// Runs one federated round, optionally under attack.
-    pub fn run_round(
-        &mut self,
-        mut adversary: Option<&mut (dyn Adversary + '_)>,
-    ) -> RoundRecord {
-        let sampled = self.sample_clients();
+    pub fn run_round(&mut self, mut adversary: Option<&mut (dyn Adversary + '_)>) -> RoundRecord {
+        self.ensure_run_started();
+        let round_start = Instant::now();
+        let round = self.round;
+        let round_u64 = round as u64;
+        let run_seed = self.cfg.seed;
         let dim = self.global.len();
-        let global_before =
-            if self.collect_updates { Some(self.global.clone()) } else { None };
+
+        let mut sampling_rng = seed::sampling_rng(run_seed, round_u64);
+        let sampled = Self::sample_clients(
+            &mut sampling_rng,
+            self.fed.num_clients(),
+            self.cfg.sample_rate,
+        );
+        let compromised: Vec<usize> = match adversary.as_ref() {
+            Some(adv) => sampled
+                .iter()
+                .copied()
+                .filter(|cid| adv.compromised().contains(cid))
+                .collect(),
+            None => Vec::new(),
+        };
+        let started = TraceEvent::RoundStarted {
+            round,
+            sampled: sampled.clone(),
+            compromised: compromised.clone(),
+        };
+        self.trace.push(started.clone());
+
+        let mut setup_rng = seed::round_setup_rng(run_seed, round_u64);
+        self.personalization
+            .begin_round(&self.global, &mut setup_rng);
+
+        let global_before = if self.collect_updates {
+            Some(self.global.clone())
+        } else {
+            None
+        };
+
+        // Benign training jobs, fanned over the worker pool. The closure
+        // only holds shared borrows; all mutation is deferred to commits.
+        let benign: Vec<usize> = sampled
+            .iter()
+            .copied()
+            .filter(|cid| !compromised.contains(cid) && !self.fed.client(*cid).train.is_empty())
+            .collect();
+        let pool = self.workers;
+        let pers: &dyn Personalization = self.personalization.as_ref();
+        let fed = &self.fed;
+        let cfg = &self.cfg;
+        let global = &self.global;
+        let scratch = &self.scratch;
+        let outcomes = pool.map(benign, move |_, cid| {
+            let mut model = scratch.clone();
+            let mut rng = seed::client_rng(run_seed, round_u64, cid);
+            let out = pers.local_train(
+                cid,
+                global,
+                &fed.client(cid).train,
+                cfg,
+                &mut model,
+                &mut rng,
+            );
+            (cid, out)
+        });
+
+        // Assemble updates in sampled order; personalization commits land
+        // in the same order, independent of worker scheduling.
         let mut updates: Vec<ClientUpdate> = Vec::with_capacity(sampled.len());
         let mut benign_norms = Vec::new();
         let mut malicious_norms = Vec::new();
-        let mut num_malicious = 0usize;
-
+        let mut outcome_iter = outcomes.into_iter().peekable();
         for &cid in &sampled {
-            let is_compromised = adversary
-                .as_ref()
-                .map(|a| a.compromised().contains(&cid))
-                .unwrap_or(false);
-            let delta = if is_compromised {
-                num_malicious += 1;
+            if compromised.contains(&cid) {
                 let adv = adversary.as_mut().expect("compromised implies adversary");
-                adv.craft_update(cid, &self.global, self.round, &mut self.rng)
-            } else {
-                let data = &self.fed.client(cid).train;
-                if data.is_empty() {
-                    continue;
-                }
-                self.personalization.local_train(
-                    cid,
-                    &self.global,
-                    data,
-                    &self.cfg,
-                    &mut self.scratch,
-                    &mut self.rng,
-                )
-            };
-            assert_eq!(delta.len(), dim, "client {cid} produced a wrong-sized update");
-            let update = ClientUpdate::new(cid, delta, self.fed.client(cid).train.len());
-            if is_compromised {
+                let mut rng = seed::adversary_rng(run_seed, round_u64, cid);
+                let delta = adv.craft_update(cid, &self.global, round, &mut rng);
+                assert_eq!(
+                    delta.len(),
+                    dim,
+                    "client {cid} produced a wrong-sized update"
+                );
+                let update = ClientUpdate::new(cid, delta, self.fed.client(cid).train.len());
                 malicious_norms.push(update.norm());
-            } else {
+                updates.push(update);
+            } else if outcome_iter.peek().map(|(c, _)| *c) == Some(cid) {
+                let (_, out) = outcome_iter.next().expect("peeked");
+                self.personalization.commit(cid, out.commit);
+                assert_eq!(
+                    out.delta.len(),
+                    dim,
+                    "client {cid} produced a wrong-sized update"
+                );
+                let update = ClientUpdate::new(cid, out.delta, self.fed.client(cid).train.len());
                 benign_norms.push(update.norm());
+                updates.push(update);
             }
-            updates.push(update);
+            // else: a benign client without training data — contributes
+            // nothing this round.
         }
+        let num_malicious = malicious_norms.len();
 
-        let agg = self.aggregator.aggregate(&updates, dim, &mut self.rng);
+        let mut agg_rng = seed::aggregation_rng(run_seed, round_u64);
+        let agg = self.aggregator.aggregate(&updates, dim, &mut agg_rng);
         let lr = self.cfg.server_lr as f32;
+        let mut agg_sq = 0.0f64;
         for (g, &d) in self.global.iter_mut().zip(&agg) {
-            *g += lr * d;
+            let step = lr * d;
+            agg_sq += f64::from(step) * f64::from(step);
+            *g += step;
         }
-        self.aggregator.post_process(&mut self.global, &mut self.rng);
+        let agg_delta_norm = agg_sq.sqrt();
+        self.aggregator.post_process(&mut self.global, &mut agg_rng);
 
         if let Some(adv) = adversary.as_mut() {
-            adv.observe_global(&self.global, self.round);
+            adv.observe_global(&self.global, round);
         }
 
-        let record = RoundRecord {
-            round: self.round,
-            sampled,
+        if let Some(monitor) = &mut self.monitor {
+            if let Some(alert) = monitor.observe(Some(&self.global), None) {
+                self.trace.push(TraceEvent::ShiftAlert {
+                    round: alert.round,
+                    observed: alert.observed,
+                    baseline_median: alert.baseline_median,
+                    z_score: alert.z_score,
+                });
+            }
+        }
+
+        let completed = TraceEvent::RoundCompleted {
+            round,
+            aggregator: self.aggregator.name().to_string(),
             num_malicious,
             benign_norms,
             malicious_norms,
-            updates: if self.collect_updates { Some(updates) } else { None },
-            global_before,
+            agg_delta_norm,
+            elapsed_ms: round_start.elapsed().as_secs_f64() * 1e3,
         };
+        self.trace.push(completed.clone());
+
+        let mut record = RoundRecord::from_trace(&started, &completed)
+            .expect("start/complete events of the same round");
+        record.updates = if self.collect_updates {
+            Some(updates)
+        } else {
+            None
+        };
+        record.global_before = global_before;
+
         self.round += 1;
+        self.rounds_executed += 1;
+
+        if self.checkpoint_every > 0 && self.round % self.checkpoint_every == 0 {
+            if let Some(dir) = self.checkpoint_dir.clone() {
+                let path = checkpoint::checkpoint_path(&dir, self.round as u32);
+                self.snapshot()
+                    .save(&path)
+                    .unwrap_or_else(|e| panic!("failed to write checkpoint {path:?}: {e}"));
+                self.trace.push(TraceEvent::CheckpointSaved {
+                    round: self.round,
+                    path: path.display().to_string(),
+                });
+            }
+        }
+
         record
     }
 
@@ -251,11 +556,11 @@ impl FlServer {
 mod tests {
     use super::*;
     use crate::aggregate::FedAvg;
-    use crate::personalize::NoPersonalization;
+    use crate::personalize::{Clustered, Ditto, NoPersonalization};
     use collapois_data::synthetic::{SyntheticImage, SyntheticImageConfig};
     use collapois_nn::zoo::ModelSpec;
 
-    fn quick_server() -> FlServer {
+    fn quick_server_with(personalization: Box<dyn Personalization>) -> FlServer {
         let cfg_img = SyntheticImageConfig {
             samples: 400,
             side: 8,
@@ -268,7 +573,11 @@ mod tests {
         let spec = ModelSpec::mlp(64, &[16], 4);
         let mut cfg = FlConfig::quick(spec);
         cfg.sample_rate = 0.5;
-        FlServer::new(cfg, fed, Box::new(FedAvg::new()), Box::new(NoPersonalization::new()))
+        FlServer::new(cfg, fed, Box::new(FedAvg::new()), personalization)
+    }
+
+    fn quick_server() -> FlServer {
+        quick_server_with(Box::new(NoPersonalization::new()))
     }
 
     /// A trivial adversary pushing a constant delta.
@@ -321,10 +630,126 @@ mod tests {
     }
 
     #[test]
+    fn parallel_matches_sequential_bitwise() {
+        let mut seq = quick_server_with(Box::new(Ditto::new(0.1)));
+        let mut par = quick_server_with(Box::new(Ditto::new(0.1)));
+        par.set_workers(4);
+        let rs = seq.run_rounds(3, None);
+        let rp = par.run_rounds(3, None);
+        assert_eq!(seq.global(), par.global());
+        assert_eq!(rs, rp);
+        // Personalized evaluation state must agree too.
+        for cid in 0..seq.dataset().num_clients() {
+            assert_eq!(
+                seq.personalization().eval_params(cid, seq.global()),
+                par.personalization().eval_params(cid, par.global()),
+            );
+        }
+    }
+
+    #[test]
+    fn trace_events_rebuild_round_records() {
+        let mut server = quick_server();
+        let records = server.run_rounds(3, None);
+        server.finish_run();
+        let events = server.trace_events();
+        assert!(matches!(events[0], TraceEvent::RunStarted { .. }));
+        assert!(matches!(
+            events.last(),
+            Some(TraceEvent::RunCompleted { .. })
+        ));
+        let rebuilt = round_records_from_events(events);
+        assert_eq!(rebuilt.len(), records.len());
+        for (a, b) in rebuilt.iter().zip(&records) {
+            assert_eq!(a.round, b.round);
+            assert_eq!(a.sampled, b.sampled);
+            assert_eq!(a.benign_norms, b.benign_norms);
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_matches_uninterrupted_run() {
+        // Uninterrupted 6-round reference.
+        let mut full = quick_server_with(Box::new(Clustered::new(2)));
+        full.run_rounds(6, None);
+
+        // Run 3 rounds, snapshot, restore into a fresh server, finish.
+        let mut first = quick_server_with(Box::new(Clustered::new(2)));
+        first.run_rounds(3, None);
+        let snap = first.snapshot();
+        let bytes = snap.encode();
+        let snap = Snapshot::decode(&bytes).expect("codec roundtrip");
+        let mut resumed = quick_server_with(Box::new(Clustered::new(2)));
+        resumed.restore(&snap).expect("config matches");
+        assert_eq!(resumed.rounds_done(), 3);
+        resumed.run_rounds(3, None);
+
+        assert_eq!(full.global(), resumed.global());
+        for cid in 0..full.dataset().num_clients() {
+            assert_eq!(
+                full.personalization().eval_params(cid, full.global()),
+                resumed.personalization().eval_params(cid, resumed.global()),
+            );
+        }
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_config() {
+        let a = quick_server();
+        let snap = a.snapshot();
+        let cfg_img = SyntheticImageConfig {
+            samples: 400,
+            side: 8,
+            classes: 4,
+            ..Default::default()
+        };
+        let ds = SyntheticImage::new(cfg_img).generate();
+        let mut rng = StdRng::seed_from_u64(3);
+        let fed = FederatedDataset::build(&mut rng, &ds, 10, 1.0);
+        let spec = ModelSpec::mlp(64, &[16], 4);
+        let mut cfg = FlConfig::quick(spec);
+        cfg.sample_rate = 0.5;
+        cfg.seed += 1; // different run seed ⇒ different config hash
+        let mut b = FlServer::new(
+            cfg,
+            fed,
+            Box::new(FedAvg::new()),
+            Box::new(NoPersonalization::new()),
+        );
+        assert!(matches!(
+            b.restore(&snap),
+            Err(CheckpointError::ConfigMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn checkpoints_written_on_schedule() {
+        let dir =
+            std::env::temp_dir().join(format!("collapois-server-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut server = quick_server();
+        server.enable_checkpoints(&dir, 2);
+        server.run_rounds(5, None);
+        let saved: Vec<_> = server
+            .trace_events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::CheckpointSaved { .. }))
+            .collect();
+        assert_eq!(saved.len(), 2); // after rounds 2 and 4
+        let latest = checkpoint::latest_checkpoint(&dir).expect("checkpoint exists");
+        let snap = Snapshot::load(&latest).expect("readable");
+        assert_eq!(snap.round, 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn adversary_updates_are_used() {
         let mut server = quick_server();
         server.collect_updates(true);
-        let mut adv = ConstAdversary { ids: vec![0, 1, 2, 3, 4], value: 0.5 };
+        let mut adv = ConstAdversary {
+            ids: vec![0, 1, 2, 3, 4],
+            value: 0.5,
+        };
         // Run rounds until a compromised client is sampled.
         let mut saw_malicious = false;
         for _ in 0..20 {

@@ -23,7 +23,11 @@ pub struct ClientUpdate {
 impl ClientUpdate {
     /// Creates an update.
     pub fn new(client_id: usize, delta: Vec<f32>, num_samples: usize) -> Self {
-        Self { client_id, delta, num_samples }
+        Self {
+            client_id,
+            delta,
+            num_samples,
+        }
     }
 
     /// l2 norm of the delta.

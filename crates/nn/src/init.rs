@@ -18,7 +18,13 @@ pub enum Init {
 
 impl Init {
     /// Fills `out` with `n = out.len()` initialized values.
-    pub fn fill<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [f32], fan_in: usize, fan_out: usize) {
+    pub fn fill<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        out: &mut [f32],
+        fan_in: usize,
+        fan_out: usize,
+    ) {
         match self {
             Init::HeNormal => {
                 let std = (2.0 / fan_in.max(1) as f64).sqrt();

@@ -20,7 +20,11 @@ impl ReLU {
 impl Layer for ReLU {
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         let mut out = input.clone();
-        let mut mask = if train { Vec::with_capacity(input.len()) } else { Vec::new() };
+        let mut mask = if train {
+            Vec::with_capacity(input.len())
+        } else {
+            Vec::new()
+        };
         for v in out.data_mut() {
             let active = *v > 0.0;
             if !active {
@@ -38,7 +42,10 @@ impl Layer for ReLU {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let mask = self.mask.take().expect("relu backward called without a training forward");
+        let mask = self
+            .mask
+            .take()
+            .expect("relu backward called without a training forward");
         assert_eq!(grad_out.len(), mask.len(), "relu grad shape mismatch");
         let mut g = grad_out.clone().reshaped(&self.shape);
         for (v, &active) in g.data_mut().iter_mut().zip(&mask) {

@@ -27,7 +27,10 @@ impl Conv2d {
     ///
     /// Panics if any dimension is zero.
     pub fn new<R: Rng + ?Sized>(rng: &mut R, in_c: usize, out_c: usize, kernel: usize) -> Self {
-        assert!(in_c > 0 && out_c > 0 && kernel > 0, "conv dims must be positive");
+        assert!(
+            in_c > 0 && out_c > 0 && kernel > 0,
+            "conv dims must be positive"
+        );
         let fan_in = in_c * kernel * kernel;
         let mut weight = vec![0.0; out_c * fan_in];
         Init::HeNormal.fill(rng, &mut weight, fan_in, out_c * kernel * kernel);
@@ -110,7 +113,11 @@ impl Layer for Conv2d {
         let shape = input.shape();
         let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
         let (oh, ow) = self.out_hw(h, w);
-        assert_eq!(grad_out.shape(), &[n, self.out_c, oh, ow], "conv grad shape mismatch");
+        assert_eq!(
+            grad_out.shape(),
+            &[n, self.out_c, oh, ow],
+            "conv grad shape mismatch"
+        );
         let x = input.data();
         let g = grad_out.data();
         let in_plane = h * w;
@@ -232,7 +239,9 @@ mod tests {
     fn forward_matches_reference() {
         let mut rng = StdRng::seed_from_u64(0);
         let mut conv = Conv2d::new(&mut rng, 2, 3, 3);
-        let x: Vec<f32> = (0..2 * 2 * 6 * 6).map(|i| ((i * 31 % 17) as f32 - 8.0) * 0.1).collect();
+        let x: Vec<f32> = (0..2 * 2 * 6 * 6)
+            .map(|i| ((i * 31 % 17) as f32 - 8.0) * 0.1)
+            .collect();
         let t = Tensor::from_vec(x.clone(), &[2, 2, 6, 6]);
         let out = conv.forward(&t, false);
         let mut params = vec![0.0; conv.param_count()];
@@ -269,7 +278,11 @@ mod tests {
             conv.read_params(&lo);
             let s_lo: f32 = conv.forward(&x, false).data().iter().sum();
             let fd = (s_hi - s_lo) / (2.0 * eps);
-            assert!((fd - grads[idx]).abs() < 1e-2, "param {idx}: fd={fd} vs {}", grads[idx]);
+            assert!(
+                (fd - grads[idx]).abs() < 1e-2,
+                "param {idx}: fd={fd} vs {}",
+                grads[idx]
+            );
         }
         // Spot-check an input gradient.
         conv.read_params(&params);

@@ -25,7 +25,12 @@ impl Dense {
     }
 
     /// Creates a dense layer with the given weight initialization.
-    pub fn with_init<R: Rng + ?Sized>(rng: &mut R, in_dim: usize, out_dim: usize, init: Init) -> Self {
+    pub fn with_init<R: Rng + ?Sized>(
+        rng: &mut R,
+        in_dim: usize,
+        out_dim: usize,
+        init: Init,
+    ) -> Self {
         assert!(in_dim > 0 && out_dim > 0, "dense dims must be positive");
         let mut weight = vec![0.0; in_dim * out_dim];
         init.fill(rng, &mut weight, in_dim, out_dim);
@@ -89,7 +94,11 @@ impl Layer for Dense {
             .take()
             .expect("dense backward called without a training forward");
         let n = input.batch();
-        assert_eq!(grad_out.len(), n * self.out_dim, "dense grad shape mismatch");
+        assert_eq!(
+            grad_out.len(),
+            n * self.out_dim,
+            "dense grad shape mismatch"
+        );
         let x = input.data();
         let g = grad_out.data();
         // dW[o, i] += Σ_batch g[o] * x[i] ; db[o] += Σ_batch g[o]

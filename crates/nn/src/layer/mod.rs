@@ -24,7 +24,7 @@ use crate::tensor::Tensor;
 /// `forward` caches whatever the subsequent `backward` needs; `backward`
 /// consumes the cache, **accumulates** parameter gradients internally, and
 /// returns the gradient with respect to the layer input.
-pub trait Layer: std::fmt::Debug + Send {
+pub trait Layer: std::fmt::Debug + Send + Sync {
     /// Forward pass. `train` controls caching (inference can skip it).
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
 

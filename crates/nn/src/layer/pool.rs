@@ -30,7 +30,10 @@ impl Layer for MaxPool2d {
         assert_eq!(shape.len(), 4, "pool expects [N, C, H, W], got {shape:?}");
         let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
         let s = self.size;
-        assert!(h >= s && w >= s, "pool input {h}x{w} smaller than window {s}");
+        assert!(
+            h >= s && w >= s,
+            "pool input {h}x{w} smaller than window {s}"
+        );
         let oh = h / s;
         let ow = w / s;
         let x = input.data();
@@ -76,7 +79,10 @@ impl Layer for MaxPool2d {
     }
 
     fn clone_box(&self) -> Box<dyn Layer> {
-        Box::new(Self { size: self.size, cached: None })
+        Box::new(Self {
+            size: self.size,
+            cached: None,
+        })
     }
 }
 

@@ -62,7 +62,11 @@ pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> LossOutput {
     for g in grad.data_mut() {
         *g *= inv_n;
     }
-    LossOutput { loss: loss / n as f64, grad, correct }
+    LossOutput {
+        loss: loss / n as f64,
+        grad,
+        correct,
+    }
 }
 
 /// Distillation loss: cross-entropy of the student's temperature-softened
@@ -74,7 +78,11 @@ pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> LossOutput {
 /// Panics if shapes mismatch or `temperature <= 0`.
 pub fn distillation(logits: &Tensor, soft_targets: &Tensor, temperature: f64) -> LossOutput {
     assert!(temperature > 0.0, "temperature must be positive");
-    assert_eq!(logits.shape(), soft_targets.shape(), "distillation shape mismatch");
+    assert_eq!(
+        logits.shape(),
+        soft_targets.shape(),
+        "distillation shape mismatch"
+    );
     let n = logits.batch();
     let k = logits.len() / n.max(1);
     let t = temperature as f32;
@@ -103,7 +111,11 @@ pub fn distillation(logits: &Tensor, soft_targets: &Tensor, temperature: f64) ->
     for g in grad.data_mut() {
         *g *= scale;
     }
-    LossOutput { loss: loss / n as f64, grad, correct }
+    LossOutput {
+        loss: loss / n as f64,
+        grad,
+        correct,
+    }
 }
 
 /// Index of the maximum element (first on ties).

@@ -80,9 +80,19 @@ impl Sequential {
     pub fn input_gradient(&mut self, x: &Tensor, labels: &[usize]) -> (Tensor, BatchStats) {
         self.zero_grad();
         let logits = self.forward(x, true);
-        let LossOutput { loss, grad, correct } = cross_entropy(&logits, labels);
+        let LossOutput {
+            loss,
+            grad,
+            correct,
+        } = cross_entropy(&logits, labels);
         let gx = self.backward_with_input_grad(&grad);
-        (gx, BatchStats { loss, accuracy: correct as f64 / labels.len().max(1) as f64 })
+        (
+            gx,
+            BatchStats {
+                loss,
+                accuracy: correct as f64 / labels.len().max(1) as f64,
+            },
+        )
     }
 
     /// Clears accumulated gradients in every layer.
@@ -142,13 +152,20 @@ impl Sequential {
     ) -> BatchStats {
         self.zero_grad();
         let logits = self.forward(x, true);
-        let LossOutput { loss, grad, correct } = cross_entropy(&logits, labels);
+        let LossOutput {
+            loss,
+            grad,
+            correct,
+        } = cross_entropy(&logits, labels);
         self.backward(&grad);
         let mut params = self.params();
         let grads = self.grads();
         optimizer.step(&mut params, &grads);
         self.set_params(&params);
-        BatchStats { loss, accuracy: correct as f64 / labels.len().max(1) as f64 }
+        BatchStats {
+            loss,
+            accuracy: correct as f64 / labels.len().max(1) as f64,
+        }
     }
 
     /// One SGD step distilling toward soft targets (MetaFed's KD step).
@@ -161,13 +178,20 @@ impl Sequential {
     ) -> BatchStats {
         self.zero_grad();
         let logits = self.forward(x, true);
-        let LossOutput { loss, grad, correct } = distillation(&logits, soft_targets, temperature);
+        let LossOutput {
+            loss,
+            grad,
+            correct,
+        } = distillation(&logits, soft_targets, temperature);
         self.backward(&grad);
         let mut params = self.params();
         let grads = self.grads();
         optimizer.step(&mut params, &grads);
         self.set_params(&params);
-        BatchStats { loss, accuracy: correct as f64 / x.batch().max(1) as f64 }
+        BatchStats {
+            loss,
+            accuracy: correct as f64 / x.batch().max(1) as f64,
+        }
     }
 
     /// Computes per-batch gradients without applying them; the flat gradient
@@ -175,9 +199,16 @@ impl Sequential {
     pub fn compute_grads(&mut self, x: &Tensor, labels: &[usize]) -> BatchStats {
         self.zero_grad();
         let logits = self.forward(x, true);
-        let LossOutput { loss, grad, correct } = cross_entropy(&logits, labels);
+        let LossOutput {
+            loss,
+            grad,
+            correct,
+        } = cross_entropy(&logits, labels);
         self.backward(&grad);
-        BatchStats { loss, accuracy: correct as f64 / labels.len().max(1) as f64 }
+        BatchStats {
+            loss,
+            accuracy: correct as f64 / labels.len().max(1) as f64,
+        }
     }
 
     /// Predicted class for every sample in the batch.
@@ -257,7 +288,10 @@ mod tests {
         for _ in 0..100 {
             last = m.train_batch(&x, &y, &mut opt).loss;
         }
-        assert!(last < first * 0.5, "loss did not decrease: {first} -> {last}");
+        assert!(
+            last < first * 0.5,
+            "loss did not decrease: {first} -> {last}"
+        );
         assert!(m.evaluate(&x, &y) > 0.95);
     }
 
@@ -269,7 +303,11 @@ mod tests {
         let mut opt = Sgd::new(0.5);
         let before = c.params();
         m.train_batch(&x, &y, &mut opt);
-        assert_eq!(c.params(), before, "training the original must not affect the clone");
+        assert_eq!(
+            c.params(),
+            before,
+            "training the original must not affect the clone"
+        );
         assert_ne!(m.params(), before);
     }
 

@@ -45,7 +45,12 @@ impl Sgd {
     /// Panics if `lr <= 0`.
     pub fn new(lr: f64) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
-        Self { lr, momentum: 0.0, weight_decay: 0.0, velocity: Vec::new() }
+        Self {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            velocity: Vec::new(),
+        }
     }
 
     /// Adds classical momentum.
@@ -124,7 +129,10 @@ impl DpSgd {
     /// Panics if `lr <= 0`, `clip_bound <= 0` or `noise_multiplier < 0`.
     pub fn new(lr: f64, clip_bound: f64, noise_multiplier: f64, seed: u64) -> Self {
         assert!(clip_bound > 0.0, "clip bound must be positive");
-        assert!(noise_multiplier >= 0.0, "noise multiplier must be non-negative");
+        assert!(
+            noise_multiplier >= 0.0,
+            "noise multiplier must be non-negative"
+        );
         Self {
             inner: Sgd::new(lr),
             clip_bound,

@@ -27,12 +27,18 @@ impl Tensor {
             data.len(),
             shape
         );
-        Self { data, shape: shape.to_vec() }
+        Self {
+            data,
+            shape: shape.to_vec(),
+        }
     }
 
     /// All-zeros tensor of the given shape.
     pub fn zeros(shape: &[usize]) -> Self {
-        Self { data: vec![0.0; shape.iter().product()], shape: shape.to_vec() }
+        Self {
+            data: vec![0.0; shape.iter().product()],
+            shape: shape.to_vec(),
+        }
     }
 
     /// Tensor shape (row-major, batch first).
@@ -77,7 +83,13 @@ impl Tensor {
     /// Panics if the element counts differ.
     pub fn reshaped(mut self, shape: &[usize]) -> Self {
         let expected: usize = shape.iter().product();
-        assert_eq!(self.data.len(), expected, "reshape from {:?} to {:?}", self.shape, shape);
+        assert_eq!(
+            self.data.len(),
+            expected,
+            "reshape from {:?} to {:?}",
+            self.shape,
+            shape
+        );
         self.shape = shape.to_vec();
         self
     }
@@ -127,7 +139,13 @@ impl Tensor {
         let per: usize = sample_shape.iter().product();
         let mut data = Vec::with_capacity(per * samples.len());
         for s in samples {
-            assert_eq!(s.len(), per, "stack: sample length {} != shape {:?}", s.len(), sample_shape);
+            assert_eq!(
+                s.len(),
+                per,
+                "stack: sample length {} != shape {:?}",
+                s.len(),
+                sample_shape
+            );
             data.extend_from_slice(s);
         }
         let mut shape = Vec::with_capacity(sample_shape.len() + 1);

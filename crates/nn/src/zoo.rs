@@ -44,18 +44,36 @@ pub enum ModelSpec {
 impl ModelSpec {
     /// Convenience constructor for an MLP.
     pub fn mlp(input: usize, hidden: &[usize], classes: usize) -> Self {
-        Self::Mlp { input, hidden: hidden.to_vec(), classes }
+        Self::Mlp {
+            input,
+            hidden: hidden.to_vec(),
+            classes,
+        }
     }
 
     /// The paper's LeNet configuration for `side`×`side` grayscale images.
     pub fn lenet(side: usize, classes: usize) -> Self {
-        Self::LeNet { channels: 1, side, conv_channels: (6, 16), kernel: 5, hidden: 64, classes }
+        Self::LeNet {
+            channels: 1,
+            side,
+            conv_channels: (6, 16),
+            kernel: 5,
+            hidden: 64,
+            classes,
+        }
     }
 
     /// A small CNN (k = 3) usable on sides as small as 10 — the conv-path
     /// variant of the scenario models.
     pub fn small_cnn(side: usize, classes: usize) -> Self {
-        Self::LeNet { channels: 1, side, conv_channels: (4, 8), kernel: 3, hidden: 32, classes }
+        Self::LeNet {
+            channels: 1,
+            side,
+            conv_channels: (4, 8),
+            kernel: 3,
+            hidden: 32,
+            classes,
+        }
     }
 
     /// Number of output classes.
@@ -81,23 +99,41 @@ impl ModelSpec {
     /// (side too small).
     pub fn build<R: Rng + ?Sized>(&self, rng: &mut R) -> Sequential {
         match self {
-            Self::Mlp { input, hidden, classes } => {
+            Self::Mlp {
+                input,
+                hidden,
+                classes,
+            } => {
                 let mut m = Sequential::new();
                 let mut prev = *input;
                 for &h in hidden {
-                    m = m.push(Box::new(Dense::new(rng, prev, h))).push(Box::new(ReLU::new()));
+                    m = m
+                        .push(Box::new(Dense::new(rng, prev, h)))
+                        .push(Box::new(ReLU::new()));
                     prev = h;
                 }
                 m.push(Box::new(Dense::new(rng, prev, *classes)))
             }
-            Self::LeNet { channels, side, conv_channels, kernel, hidden, classes } => {
+            Self::LeNet {
+                channels,
+                side,
+                conv_channels,
+                kernel,
+                hidden,
+                classes,
+            } => {
                 let (c1, c2) = *conv_channels;
                 let k = *kernel;
                 let after_conv1 = side.checked_sub(k - 1).expect("lenet: side too small");
                 let after_pool1 = after_conv1 / 2;
-                let after_conv2 = after_pool1.checked_sub(k - 1).expect("lenet: side too small");
+                let after_conv2 = after_pool1
+                    .checked_sub(k - 1)
+                    .expect("lenet: side too small");
                 let after_pool2 = after_conv2 / 2;
-                assert!(after_pool2 > 0, "lenet: side {side} too small for two conv+pool stages");
+                assert!(
+                    after_pool2 > 0,
+                    "lenet: side {side} too small for two conv+pool stages"
+                );
                 let flat = c2 * after_pool2 * after_pool2;
                 Sequential::new()
                     .push(Box::new(Conv2d::new(rng, *channels, c1, k)))
@@ -171,7 +207,10 @@ mod tests {
         let mut labels = Vec::new();
         for i in 0..n {
             let bright = i % 2 == 0;
-            data.extend(std::iter::repeat_n(if bright { 0.9f32 } else { 0.1 }, 16 * 16));
+            data.extend(std::iter::repeat_n(
+                if bright { 0.9f32 } else { 0.1 },
+                16 * 16,
+            ));
             labels.push(if bright { 1usize } else { 0 });
         }
         let x = Tensor::from_vec(data, &[n, 1, 16, 16]);

@@ -1,0 +1,19 @@
+//! collapois-runtime: deterministic round-execution engine.
+//!
+//! Owns the mechanics of executing federated rounds so that `collapois-fl`
+//! can focus on the learning semantics:
+//!
+//! - [`seed`]: per-(run, round, client) RNG stream derivation. Every client
+//!   trains off its own deterministically derived `StdRng`, so results are
+//!   bit-identical regardless of execution order or worker count.
+//! - [`pool`]: a scoped worker pool that fans independent jobs over threads
+//!   and returns results in input order.
+//! - [`checkpoint`]: versioned binary snapshots of run state for
+//!   kill-and-resume semantics.
+//! - [`trace`]: structured JSONL run traces (one event per line) that both
+//!   humans and downstream tooling consume.
+
+pub mod checkpoint;
+pub mod pool;
+pub mod seed;
+pub mod trace;

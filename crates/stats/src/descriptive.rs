@@ -54,7 +54,10 @@ pub fn quantile(xs: &[f64], q: f64) -> f64 {
         return 0.0;
     }
     let mut sorted: Vec<f64> = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("quantile input must not contain NaN"));
+    sorted.sort_by(|a, b| {
+        a.partial_cmp(b)
+            .expect("quantile input must not contain NaN")
+    });
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -68,26 +71,30 @@ pub fn quantile(xs: &[f64], q: f64) -> f64 {
 
 /// Minimum of a slice; `None` if empty or containing NaN.
 pub fn min(xs: &[f64]) -> Option<f64> {
-    xs.iter().copied().try_fold(f64::INFINITY, |acc, x| {
-        if x.is_nan() {
-            None
-        } else {
-            Some(acc.min(x))
-        }
-    })
-    .filter(|_| !xs.is_empty())
+    xs.iter()
+        .copied()
+        .try_fold(f64::INFINITY, |acc, x| {
+            if x.is_nan() {
+                None
+            } else {
+                Some(acc.min(x))
+            }
+        })
+        .filter(|_| !xs.is_empty())
 }
 
 /// Maximum of a slice; `None` if empty or containing NaN.
 pub fn max(xs: &[f64]) -> Option<f64> {
-    xs.iter().copied().try_fold(f64::NEG_INFINITY, |acc, x| {
-        if x.is_nan() {
-            None
-        } else {
-            Some(acc.max(x))
-        }
-    })
-    .filter(|_| !xs.is_empty())
+    xs.iter()
+        .copied()
+        .try_fold(f64::NEG_INFINITY, |acc, x| {
+            if x.is_nan() {
+                None
+            } else {
+                Some(acc.max(x))
+            }
+        })
+        .filter(|_| !xs.is_empty())
 }
 
 /// Fixed-width histogram of `xs` over `[lo, hi)` with `bins` buckets.

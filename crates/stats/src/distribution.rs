@@ -46,7 +46,10 @@ impl Normal {
 
     /// Standard normal `N(0, 1)`.
     pub fn standard() -> Self {
-        Self { mean: 0.0, std: 1.0 }
+        Self {
+            mean: 0.0,
+            std: 1.0,
+        }
     }
 
     /// The mean parameter.
@@ -137,9 +140,7 @@ impl Gamma {
                 continue;
             }
             let u: f64 = rng.gen_range(0.0..1.0);
-            if u < 1.0 - 0.0331 * x.powi(4)
-                || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln())
-            {
+            if u < 1.0 - 0.0331 * x.powi(4) || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
                 return self.scale * d * v;
             }
         }

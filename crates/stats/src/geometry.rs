@@ -12,7 +12,13 @@
 ///
 /// Panics if the slices have different lengths.
 pub fn dot(a: &[f32], b: &[f32]) -> f64 {
-    assert_eq!(a.len(), b.len(), "dot: length mismatch {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "dot: length mismatch {} vs {}",
+        a.len(),
+        b.len()
+    );
     a.iter().zip(b).map(|(&x, &y)| x as f64 * y as f64).sum()
 }
 

@@ -34,7 +34,11 @@ impl TestResult {
 
 impl std::fmt::Display for TestResult {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "stat={:.4} p={:.4e} df={:.1}", self.statistic, self.p_value, self.df)
+        write!(
+            f,
+            "stat={:.4} p={:.4e} df={:.1}",
+            self.statistic, self.p_value, self.df
+        )
     }
 }
 
@@ -87,15 +91,26 @@ pub fn t_test_welch(a: &[f64], b: &[f64]) -> Result<TestResult, TestError> {
     let se2 = va / na + vb / nb;
     if se2 <= 0.0 {
         // Identical constant samples: means equal ⇒ p = 1; unequal ⇒ p = 0.
-        let p = if (ma - mb).abs() < f64::EPSILON { 1.0 } else { 0.0 };
-        return Ok(TestResult { statistic: 0.0, p_value: p, df: na + nb - 2.0 });
+        let p = if (ma - mb).abs() < f64::EPSILON {
+            1.0
+        } else {
+            0.0
+        };
+        return Ok(TestResult {
+            statistic: 0.0,
+            p_value: p,
+            df: na + nb - 2.0,
+        });
     }
     let t = (ma - mb) / se2.sqrt();
     // Welch–Satterthwaite degrees of freedom.
-    let df = se2 * se2
-        / ((va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0));
+    let df = se2 * se2 / ((va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0));
     let p = (2.0 * t_sf(t.abs(), df)).clamp(0.0, 1.0);
-    Ok(TestResult { statistic: t, p_value: p, df })
+    Ok(TestResult {
+        statistic: t,
+        p_value: p,
+        df,
+    })
 }
 
 /// Student's pooled-variance two-sample t-test, two-sided.
@@ -115,12 +130,24 @@ pub fn t_test_student(a: &[f64], b: &[f64]) -> Result<TestResult, TestError> {
     let sp2 = ((na - 1.0) * va + (nb - 1.0) * vb) / df;
     let se2 = sp2 * (1.0 / na + 1.0 / nb);
     if se2 <= 0.0 {
-        let p = if (ma - mb).abs() < f64::EPSILON { 1.0 } else { 0.0 };
-        return Ok(TestResult { statistic: 0.0, p_value: p, df });
+        let p = if (ma - mb).abs() < f64::EPSILON {
+            1.0
+        } else {
+            0.0
+        };
+        return Ok(TestResult {
+            statistic: 0.0,
+            p_value: p,
+            df,
+        });
     }
     let t = (ma - mb) / se2.sqrt();
     let p = (2.0 * t_sf(t.abs(), df)).clamp(0.0, 1.0);
-    Ok(TestResult { statistic: t, p_value: p, df })
+    Ok(TestResult {
+        statistic: t,
+        p_value: p,
+        df,
+    })
 }
 
 /// Levene's test for equality of variances (Brown–Forsythe variant: absolute
@@ -154,11 +181,19 @@ pub fn levene_test(a: &[f64], b: &[f64]) -> Result<TestResult, TestError> {
     let df2 = n - k;
     if within <= 0.0 {
         let p = if between <= 0.0 { 1.0 } else { 0.0 };
-        return Ok(TestResult { statistic: 0.0, p_value: p, df: df2 });
+        return Ok(TestResult {
+            statistic: 0.0,
+            p_value: p,
+            df: df2,
+        });
     }
     let w = (df2 / df1) * (between / within);
     let p = f_sf(w, df1, df2).clamp(0.0, 1.0);
-    Ok(TestResult { statistic: w, p_value: p, df: df2 })
+    Ok(TestResult {
+        statistic: w,
+        p_value: p,
+        df: df2,
+    })
 }
 
 /// Two-sample Kolmogorov–Smirnov test with the asymptotic p-value.
@@ -196,7 +231,11 @@ pub fn ks_two_sample(a: &[f64], b: &[f64]) -> Result<TestResult, TestError> {
     let ne = (na as f64 * nb as f64) / (na as f64 + nb as f64);
     let lambda = (ne.sqrt() + 0.12 + 0.11 / ne.sqrt()) * d;
     let p = kolmogorov_sf(lambda);
-    Ok(TestResult { statistic: d, p_value: p, df: 0.0 })
+    Ok(TestResult {
+        statistic: d,
+        p_value: p,
+        df: 0.0,
+    })
 }
 
 /// Indices of observations lying outside `mean ± 3·std` of `background` —

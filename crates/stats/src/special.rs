@@ -57,7 +57,10 @@ pub fn ln_gamma(x: f64) -> f64 {
 /// Panics if `a <= 0`, `b <= 0`, or `x` is outside `[0, 1]`.
 pub fn betai(a: f64, b: f64, x: f64) -> f64 {
     assert!(a > 0.0 && b > 0.0, "betai requires a,b > 0 (a={a}, b={b})");
-    assert!((0.0..=1.0).contains(&x), "betai requires x in [0,1], got {x}");
+    assert!(
+        (0.0..=1.0).contains(&x),
+        "betai requires x in [0,1], got {x}"
+    );
     if x == 0.0 {
         return 0.0;
     }
@@ -147,7 +150,7 @@ pub fn erfc(x: f64) -> f64 {
                                 + t * (-1.135_203_98
                                     + t * (1.488_515_87
                                         + t * (-0.822_152_23 + t * 0.170_872_77)))))))))
-        .exp();
+            .exp();
     if x >= 0.0 {
         ans
     } else {

@@ -32,13 +32,15 @@ fn main() {
     let spec = ModelSpec::mlp(SIDE * SIDE, &[48], 4);
 
     let triggers: Vec<(&str, Box<dyn Trigger>)> = vec![
-        ("WaNet warp", Box::new(WaNetTrigger::new(SIDE, 4, 3.0, 0x7716))),
+        (
+            "WaNet warp",
+            Box::new(WaNetTrigger::new(SIDE, 4, 3.0, 0x7716)),
+        ),
         ("BadNets patch", Box::new(PatchTrigger::badnets(SIDE))),
     ];
     for (name, trigger) in &triggers {
         println!("\n=== Trojaned model with the {name} trigger ===");
-        let trained =
-            train_trojan(&spec, &clean, trigger.as_ref(), &TrojanConfig::default());
+        let trained = train_trojan(&spec, &clean, trigger.as_ref(), &TrojanConfig::default());
         let mut model = spec.build(&mut StdRng::seed_from_u64(0));
         model.set_params(&trained.params);
         println!(
@@ -49,10 +51,17 @@ fn main() {
 
         // STRIP.
         let mut rng = StdRng::seed_from_u64(1);
-        let suspects =
-            stamp_only(&clean.subset(&(0..30).collect::<Vec<_>>()), trigger.as_ref());
-        let strip =
-            strip_screen(&mut rng, &mut model, &suspects, &clean, &StripConfig::default());
+        let suspects = stamp_only(
+            &clean.subset(&(0..30).collect::<Vec<_>>()),
+            trigger.as_ref(),
+        );
+        let strip = strip_screen(
+            &mut rng,
+            &mut model,
+            &suspects,
+            &clean,
+            &StripConfig::default(),
+        );
         println!(
             "STRIP: flags {:.1}% of triggered inputs (threshold entropy {:.3})",
             100.0 * strip.detection_rate(),
@@ -68,7 +77,11 @@ fn main() {
                 t.mask_l1,
                 100.0 * t.flip_rate,
                 report.anomaly_index[t.class],
-                if report.flagged_classes.contains(&t.class) { "  <-- FLAGGED" } else { "" }
+                if report.flagged_classes.contains(&t.class) {
+                    "  <-- FLAGGED"
+                } else {
+                    ""
+                }
             );
         }
 
@@ -78,9 +91,11 @@ fn main() {
         let _ = fine_prune(&mut pruned, &spec, &clean, 0.3);
         let stamped = stamp_only(&clean, trigger.as_ref());
         let (x, _) = stamped.as_batch();
-        let sr = pruned.predict(&x).iter().filter(|&&p| p == 0).count() as f64
-            / clean.len() as f64;
-        println!("Fine-Pruning (30% of units): attack SR afterwards {:.1}%", 100.0 * sr);
+        let sr = pruned.predict(&x).iter().filter(|&&p| p == 0).count() as f64 / clean.len() as f64;
+        println!(
+            "Fine-Pruning (30% of units): attack SR afterwards {:.1}%",
+            100.0 * sr
+        );
     }
     println!(
         "\nReading: the localized patch is visible to all three defenses; the smooth,\n\

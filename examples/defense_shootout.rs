@@ -16,7 +16,10 @@ fn main() {
     clean_cfg.rounds = 20;
     clean_cfg.eval_every = 20;
     let clean_ac = Scenario::new(clean_cfg).run().final_round().benign_accuracy;
-    println!("Clean-run benign AC (no attack, FedAvg): {:.2}%\n", 100.0 * clean_ac);
+    println!(
+        "Clean-run benign AC (no attack, FedAvg): {:.2}%\n",
+        100.0 * clean_ac
+    );
 
     println!(
         "{:<14} {:>10} {:>10} {:>12}",

@@ -24,7 +24,10 @@ fn main() {
     );
     let report = Scenario::new(cfg).run();
 
-    let x = report.trojan.as_ref().expect("CollaPois trains a Trojaned model");
+    let x = report
+        .trojan
+        .as_ref()
+        .expect("CollaPois trains a Trojaned model");
     println!(
         "\nTrojaned model X: clean accuracy {:.1}%, trigger success {:.1}%",
         100.0 * x.clean_accuracy,
@@ -47,7 +50,6 @@ fn main() {
     );
     println!(
         "Compromised clients: {:?} (of {})",
-        report.compromised,
-        report.config.num_clients
+        report.compromised, report.config.num_clients
     );
 }

@@ -44,12 +44,18 @@ fn main() {
     println!("Clean sample:\n{}", ascii(&clean));
 
     let triggers: Vec<(&str, Box<dyn Trigger>)> = vec![
-        ("wanet (warping)", Box::new(WaNetTrigger::new(SIDE, 4, 3.0, 99))),
+        (
+            "wanet (warping)",
+            Box::new(WaNetTrigger::new(SIDE, 4, 3.0, 99)),
+        ),
         ("badnets (patch)", Box::new(PatchTrigger::badnets(SIDE))),
         ("dba (composed)", Box::new(DbaTrigger::new(SIDE, 2, 1.0))),
     ];
     let spec = ModelSpec::mlp(SIDE * SIDE, &[48], 6);
-    let trojan_cfg = TrojanConfig { epochs: 40, ..Default::default() };
+    let trojan_cfg = TrojanConfig {
+        epochs: 40,
+        ..Default::default()
+    };
 
     for (name, trigger) in &triggers {
         let mut stamped = clean.clone();

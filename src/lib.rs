@@ -14,6 +14,8 @@
 //!   Cleanse, Fine-Pruning) the paper's trigger evades.
 //! * [`fl`] — federated round protocol, robust aggregation rules,
 //!   personalization (FedDC, MetaFed, Ditto), per-client metrics.
+//! * [`runtime`] — the deterministic execution engine: derived RNG
+//!   streams, worker pools, checkpoint/resume, structured JSONL traces.
 //! * [`core`] — the CollaPois attack, baseline attacks (DPois, MRepl, DBA),
 //!   Theorems 1–3, stealth analysis and the scenario experiment driver.
 //!
@@ -37,4 +39,5 @@ pub use collapois_data as data;
 pub use collapois_defense as defense;
 pub use collapois_fl as fl;
 pub use collapois_nn as nn;
+pub use collapois_runtime as runtime;
 pub use collapois_stats as stats;

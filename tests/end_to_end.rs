@@ -57,7 +57,11 @@ fn clean_training_has_no_backdoor() {
     cfg.rounds = 25;
     let report = Scenario::new(cfg).run();
     let last = report.final_round();
-    assert!(last.benign_accuracy > 0.5, "clean FL should learn: {}", last.benign_accuracy);
+    assert!(
+        last.benign_accuracy > 0.5,
+        "clean FL should learn: {}",
+        last.benign_accuracy
+    );
     // Without poisoning, the trigger should act like noise: SR stays near the
     // base rate of predicting class 0 (1/6) plus slack.
     assert!(
@@ -96,8 +100,16 @@ fn text_scenario_end_to_end() {
     cfg.attack = AttackKind::CollaPois;
     let report = Scenario::new(cfg).run();
     let last = report.final_round();
-    assert!(last.benign_accuracy > 0.5, "text AC: {}", last.benign_accuracy);
-    assert!(last.attack_success_rate > 0.5, "text SR: {}", last.attack_success_rate);
+    assert!(
+        last.benign_accuracy > 0.5,
+        "text AC: {}",
+        last.benign_accuracy
+    );
+    assert!(
+        last.attack_success_rate > 0.5,
+        "text SR: {}",
+        last.attack_success_rate
+    );
 }
 
 #[test]

@@ -24,7 +24,10 @@ fn labelled_dataset(labels: Vec<usize>, classes: usize) -> Dataset {
 }
 
 fn updates_from(vs: &[Vec<f32>]) -> Vec<ClientUpdate> {
-    vs.iter().enumerate().map(|(i, v)| ClientUpdate::new(i, v.clone(), 1)).collect()
+    vs.iter()
+        .enumerate()
+        .map(|(i, v)| ClientUpdate::new(i, v.clone(), 1))
+        .collect()
 }
 
 proptest! {

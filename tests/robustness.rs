@@ -2,9 +2,7 @@
 //! degenerate cohorts, and numerical sanity of every aggregation rule under
 //! attack.
 
-use collapois::core::scenario::{
-    AttackKind, DefenseKind, FlAlgo, Scenario, ScenarioConfig,
-};
+use collapois::core::scenario::{AttackKind, DefenseKind, FlAlgo, Scenario, ScenarioConfig};
 use collapois::fl::aggregate::{
     Aggregator, CoordinateMedian, Crfl, DpAggregator, FedAvg, Flare, Krum, NormBound,
     RobustLearningRate, SignSgd, TrimmedMean,
@@ -101,7 +99,12 @@ fn mrepl_under_median_does_not_destroy_the_model() {
 fn all_defense_algo_combinations_run_without_panicking() {
     // Smoke matrix: every defense × every FL algorithm on a tiny scenario.
     for &defense in DefenseKind::all() {
-        for algo in [FlAlgo::FedAvg, FlAlgo::FedDc, FlAlgo::MetaFed, FlAlgo::Ditto] {
+        for algo in [
+            FlAlgo::FedAvg,
+            FlAlgo::FedDc,
+            FlAlgo::MetaFed,
+            FlAlgo::Ditto,
+        ] {
             let mut cfg = ScenarioConfig::quick_image(1.0, 0.1);
             cfg.num_clients = 10;
             cfg.samples_per_client = 20;

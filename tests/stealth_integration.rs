@@ -52,7 +52,11 @@ fn refs(v: &[Vec<f32>]) -> Vec<&[f32]> {
 #[test]
 fn collapois_stealth_config_blends_magnitudes() {
     let (benign, malicious, background) = run(AttackKind::CollaPois, true);
-    assert!(malicious.len() >= 2, "need malicious samples: {}", malicious.len());
+    assert!(
+        malicious.len() >= 2,
+        "need malicious samples: {}",
+        malicious.len()
+    );
     let report =
         stealth_battery(&refs(&benign), &refs(&malicious), &refs(&background)).expect("battery");
     // The clipped, narrow-psi configuration keeps malicious magnitudes within
@@ -90,8 +94,12 @@ fn psi_history_matches_configured_range() {
     cfg.sample_rate = 0.5;
     cfg.trojan.epochs = 15;
     cfg.attack = AttackKind::CollaPois;
-    cfg.collapois =
-        CollaPoisConfig { psi_low: 0.92, psi_high: 0.97, clip_bound: None, min_norm: None };
+    cfg.collapois = CollaPoisConfig {
+        psi_low: 0.92,
+        psi_high: 0.97,
+        clip_bound: None,
+        min_norm: None,
+    };
     cfg.seed = 5;
     // Run via the adversary directly to inspect psi draws.
     use collapois::core::collapois::CollaPois;

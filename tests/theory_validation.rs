@@ -71,7 +71,9 @@ fn theorem2_bound_holds_along_the_trajectory() {
             continue;
         };
         let (_, malicious) = split_updates(updates, &report.compromised);
-        let Some(delta) = malicious.first() else { continue };
+        let Some(delta) = malicious.first() else {
+            continue;
+        };
         // zeta: what the global actually did minus what the compromised
         // client alone would have produced.
         let zeta: Vec<f32> = theta1
@@ -104,7 +106,9 @@ fn theorem3_sandwich_on_measured_run() {
     let mut rng = StdRng::seed_from_u64(0);
     let mut checked = 0;
     for r in &report.records {
-        let (Some(updates), Some(theta)) = (&r.updates, &r.global_before) else { continue };
+        let (Some(updates), Some(theta)) = (&r.updates, &r.global_before) else {
+            continue;
+        };
         let (benign, malicious) = split_updates(updates, &report.compromised);
         let m = malicious.len();
         if m == 0 || benign.len() < m {
@@ -120,7 +124,11 @@ fn theorem3_sandwich_on_measured_run() {
             .collect();
         let all_refs: Vec<&[f32]> = all_models.iter().map(|v| v.as_slice()).collect();
         let ub = upper_bound_sampled(&mut rng, &all_refs, x, m.min(all_refs.len()), 200);
-        assert!(lb <= err + 1e-6, "round {}: lb {lb:.4} > err {err:.4}", r.round);
+        assert!(
+            lb <= err + 1e-6,
+            "round {}: lb {lb:.4} > err {err:.4}",
+            r.round
+        );
         // The sampled upper bound explores only a few hundred subsets, so
         // allow a small slack.
         assert!(

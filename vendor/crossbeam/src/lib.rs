@@ -1,0 +1,113 @@
+//! Offline vendored stand-in for the
+//! [`crossbeam`](https://crates.io/crates/crossbeam) crate, providing the
+//! scoped-thread subset this workspace uses, implemented on top of
+//! `std::thread::scope` (stable since Rust 1.63).
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! resolves `crossbeam` to this path dependency (see README "Offline
+//! builds"). Only `crossbeam::thread::{scope, Scope, ScopedJoinHandle}` is
+//! provided; the semantics match the upstream crate for the patterns used
+//! here (spawn + explicit join of every handle inside the scope).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod thread {
+    //! Scoped threads.
+
+    use std::any::Any;
+
+    /// Error payload of a panicked scoped thread.
+    pub type ThreadError = Box<dyn Any + Send + 'static>;
+
+    /// A scope handle for spawning threads that may borrow from the caller's
+    /// stack. `Copy` so spawned closures can re-spawn (upstream crossbeam
+    /// passes `&Scope` into the closure for the same purpose).
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Owns the result of a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives a copy of the scope
+        /// (so nested spawning is possible); call sites that do not need it
+        /// use `|_| ...`.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(scope)),
+            }
+        }
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish; `Err` carries its panic payload.
+        pub fn join(self) -> Result<T, ThreadError> {
+            self.inner.join()
+        }
+    }
+
+    /// Creates a scope for spawning borrowing threads, joining any
+    /// still-running threads before returning.
+    ///
+    /// Upstream crossbeam returns `Err` with the panic payloads of
+    /// unhandled child panics; `std::thread::scope` instead resumes the
+    /// panic after joining. For call sites that join every handle
+    /// explicitly (as this workspace does) the two behave identically, so
+    /// the `Err` variant here only preserves the upstream signature.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, ThreadError>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let data = vec![1u64, 2, 3, 4];
+            let total: u64 = super::scope(|s| {
+                let handles: Vec<_> = data
+                    .chunks(2)
+                    .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum()
+            })
+            .unwrap();
+            assert_eq!(total, 10);
+        }
+
+        #[test]
+        fn join_surfaces_panics() {
+            let caught = super::scope(|s| {
+                let h = s.spawn(|_| panic!("boom"));
+                h.join()
+            })
+            .unwrap();
+            assert!(caught.is_err());
+        }
+
+        #[test]
+        fn nested_spawn_through_scope_copy() {
+            let n = super::scope(|s| {
+                let h = s.spawn(|scope| {
+                    let inner = scope.spawn(|_| 21u32);
+                    inner.join().unwrap() * 2
+                });
+                h.join().unwrap()
+            })
+            .unwrap();
+            assert_eq!(n, 42);
+        }
+    }
+}
