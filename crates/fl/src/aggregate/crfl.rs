@@ -8,8 +8,8 @@
 
 use super::Aggregator;
 use crate::update::{mean_delta, ClientUpdate};
+use collapois_nn::kernels;
 use collapois_stats::distribution::standard_normal;
-use collapois_stats::geometry::clip_to_norm;
 use rand::rngs::StdRng;
 
 /// CRFL: FedAvg + global-model parameter clipping + noising.
@@ -45,7 +45,10 @@ impl Aggregator for Crfl {
     }
 
     fn post_process(&mut self, global: &mut [f32], rng: &mut StdRng) {
-        clip_to_norm(global, self.param_bound);
+        let norm = kernels::sq_l2_norm(global).sqrt();
+        if norm > self.param_bound {
+            kernels::scale(global, (self.param_bound / norm) as f32);
+        }
         if self.noise_std > 0.0 {
             for v in global.iter_mut() {
                 *v += (self.noise_std * standard_normal(rng)) as f32;

@@ -8,7 +8,7 @@
 
 use super::Aggregator;
 use crate::update::ClientUpdate;
-use collapois_stats::geometry::l2_distance;
+use collapois_nn::kernels;
 use rand::rngs::StdRng;
 
 /// Trust-weighted aggregation with softmax over negative mean pairwise
@@ -39,11 +39,15 @@ impl Flare {
         if n == 1 {
             return vec![1.0];
         }
-        // Mean distance of each update to all others.
+        // Mean distance of each update to all others, from the kernel-layer
+        // pairwise squared-distance matrix (one evaluation per unordered
+        // pair).
+        let deltas: Vec<&[f32]> = updates.iter().map(|u| u.delta.as_slice()).collect();
+        let d2 = kernels::pairwise_sq_distances(&deltas);
         let mut mean_dist = vec![0.0f64; n];
         for i in 0..n {
             for j in (i + 1)..n {
-                let d = l2_distance(&updates[i].delta, &updates[j].delta);
+                let d = d2[i * n + j].sqrt();
                 mean_dist[i] += d;
                 mean_dist[j] += d;
             }
@@ -77,9 +81,7 @@ impl Aggregator for Flare {
         let trust = self.trust_scores(updates);
         let mut acc = vec![0.0f64; dim];
         for (u, &w) in updates.iter().zip(&trust) {
-            for (a, &d) in acc.iter_mut().zip(&u.delta) {
-                *a += w * d as f64;
-            }
+            kernels::acc_scaled(&mut acc, &u.delta, w);
         }
         acc.into_iter().map(|a| a as f32).collect()
     }

@@ -9,7 +9,7 @@
 
 use super::Aggregator;
 use crate::update::{mean_delta, ClientUpdate};
-use collapois_stats::geometry::l2_distance;
+use collapois_nn::kernels;
 use rand::rngs::StdRng;
 
 /// Krum / Multi-Krum aggregation.
@@ -44,6 +44,11 @@ impl Krum {
     }
 
     /// Krum scores for each update (lower = more central).
+    ///
+    /// The pairwise squared distances are computed once per unordered pair
+    /// through the blocked kernel layer and mirrored; each score sorts its
+    /// row and sums the `k` nearest in ascending order, so scores are
+    /// exactly stable under client reordering.
     pub fn scores(&self, updates: &[ClientUpdate]) -> Vec<f64> {
         let n = updates.len();
         // Number of neighbours: n − f − 2, at least 1.
@@ -51,15 +56,13 @@ impl Krum {
             .saturating_sub(self.assumed_malicious + 2)
             .max(1)
             .min(n.saturating_sub(1));
+        let deltas: Vec<&[f32]> = updates.iter().map(|u| u.delta.as_slice()).collect();
+        let d2 = kernels::pairwise_sq_distances(&deltas);
         let mut scores = Vec::with_capacity(n);
+        let mut dists = Vec::with_capacity(n.saturating_sub(1));
         for i in 0..n {
-            let mut dists: Vec<f64> = (0..n)
-                .filter(|&j| j != i)
-                .map(|j| {
-                    let d = l2_distance(&updates[i].delta, &updates[j].delta);
-                    d * d
-                })
-                .collect();
+            dists.clear();
+            dists.extend((0..n).filter(|&j| j != i).map(|j| d2[i * n + j]));
             dists.sort_by(|a, b| a.partial_cmp(b).expect("distances are finite"));
             scores.push(dists.iter().take(k).sum());
         }

@@ -1,18 +1,25 @@
 //! Coordinate-wise median [Yin et al., ICML 2018].
 
-use super::{coordinate_values, Aggregator};
+use super::{fill_coordinate, Aggregator};
 use crate::update::ClientUpdate;
-use collapois_stats::descriptive::median;
+use collapois_nn::kernels;
 use rand::rngs::StdRng;
 
 /// Element-wise median of the round's deltas.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct CoordinateMedian;
+///
+/// Each coordinate is gathered into a reusable scratch buffer and reduced
+/// by [`kernels::median_inplace`] (partial select instead of a full sort;
+/// even lengths interpolate the two middle order statistics in `f64`,
+/// matching `collapois_stats::descriptive::median`).
+#[derive(Debug, Clone, Default)]
+pub struct CoordinateMedian {
+    scratch: Vec<f32>,
+}
 
 impl CoordinateMedian {
     /// Creates the aggregator.
     pub fn new() -> Self {
-        Self
+        Self::default()
     }
 }
 
@@ -27,11 +34,8 @@ impl Aggregator for CoordinateMedian {
         }
         (0..dim)
             .map(|c| {
-                let vals: Vec<f64> = coordinate_values(updates, c)
-                    .into_iter()
-                    .map(f64::from)
-                    .collect();
-                median(&vals) as f32
+                fill_coordinate(updates, c, &mut self.scratch);
+                kernels::median_inplace(&mut self.scratch)
             })
             .collect()
     }
@@ -59,6 +63,14 @@ mod tests {
         let out = agg.aggregate(&us, 2, &mut rng);
         assert!(out[0] >= 1.0 && out[0] <= 5.0);
         assert!(out[1] >= -4.0 && out[1] <= 1.0);
+    }
+
+    #[test]
+    fn even_count_interpolates_middle_pair() {
+        let mut agg = CoordinateMedian::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let us = updates(&[&[1.0], &[4.0], &[2.0], &[3.0]]);
+        assert_eq!(agg.aggregate(&us, 1, &mut rng), vec![2.5]);
     }
 
     #[test]

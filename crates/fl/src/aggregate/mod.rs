@@ -48,9 +48,12 @@ pub trait Aggregator: std::fmt::Debug + Send {
     fn post_process(&mut self, _global: &mut [f32], _rng: &mut StdRng) {}
 }
 
-/// Collects per-coordinate values across updates (helper for median/trim).
-pub(crate) fn coordinate_values(updates: &[ClientUpdate], coord: usize) -> Vec<f32> {
-    updates.iter().map(|u| u.delta[coord]).collect()
+/// Refills `out` with the per-coordinate values across updates so the
+/// scratch-buffer aggregators (median/trimmed-mean) can reuse one buffer
+/// across all `dim` coordinates.
+pub(crate) fn fill_coordinate(updates: &[ClientUpdate], coord: usize, out: &mut Vec<f32>) {
+    out.clear();
+    out.extend(updates.iter().map(|u| u.delta[coord]));
 }
 
 #[cfg(test)]

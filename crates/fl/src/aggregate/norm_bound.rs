@@ -2,9 +2,9 @@
 //! optionally add Gaussian noise.
 
 use super::Aggregator;
-use crate::update::{mean_delta, ClientUpdate};
+use crate::update::ClientUpdate;
+use collapois_nn::kernels;
 use collapois_stats::distribution::standard_normal;
-use collapois_stats::geometry::clip_to_norm;
 use rand::rngs::StdRng;
 
 /// NormBound defense: per-update l2 clipping plus optional noise.
@@ -51,15 +51,22 @@ impl Aggregator for NormBound {
     }
 
     fn aggregate(&mut self, updates: &[ClientUpdate], dim: usize, rng: &mut StdRng) -> Vec<f32> {
-        let clipped: Vec<ClientUpdate> = updates
-            .iter()
-            .map(|u| {
-                let mut delta = u.delta.clone();
-                clip_to_norm(&mut delta, self.bound);
-                ClientUpdate::new(u.client_id, delta, u.num_samples)
-            })
-            .collect();
-        let mut agg = mean_delta(&clipped, dim);
+        // Clip-then-average without materializing clipped copies: updates
+        // within the bound accumulate directly; the rest accumulate their
+        // `f32`-rounded rescaled coordinates (exactly what averaging an
+        // explicitly clipped copy would have summed).
+        let mut acc = vec![0.0f64; dim];
+        for u in updates {
+            assert_eq!(u.delta.len(), dim, "update dimension mismatch");
+            let norm = kernels::sq_l2_norm(&u.delta).sqrt();
+            if norm > self.bound {
+                kernels::acc_scaled_f32(&mut acc, &u.delta, (self.bound / norm) as f32);
+            } else {
+                kernels::acc_add(&mut acc, &u.delta);
+            }
+        }
+        let n = updates.len().max(1) as f64;
+        let mut agg: Vec<f32> = acc.into_iter().map(|a| (a / n) as f32).collect();
         if self.noise_std > 0.0 {
             for v in &mut agg {
                 *v += (self.noise_std * standard_normal(rng)) as f32;

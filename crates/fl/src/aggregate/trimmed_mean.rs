@@ -1,14 +1,21 @@
 //! α-trimmed mean [Yin et al., ICML 2018].
 
-use super::{coordinate_values, Aggregator};
+use super::{fill_coordinate, Aggregator};
 use crate::update::ClientUpdate;
+use collapois_nn::kernels;
 use rand::rngs::StdRng;
 
 /// Per-coordinate trimmed mean: drop the top and bottom `beta` fraction of
 /// values, average the rest.
-#[derive(Debug, Clone, Copy)]
+///
+/// Each coordinate is gathered into a reusable scratch buffer and reduced
+/// by [`kernels::trimmed_mean_inplace`], which partial-selects the trim
+/// boundaries instead of fully sorting and sums the kept middle in
+/// ascending order — so the result is independent of client order.
+#[derive(Debug, Clone)]
 pub struct TrimmedMean {
     beta: f64,
+    scratch: Vec<f32>,
 }
 
 impl TrimmedMean {
@@ -19,7 +26,10 @@ impl TrimmedMean {
     /// Panics if `beta` is outside `[0, 0.5)`.
     pub fn new(beta: f64) -> Self {
         assert!((0.0..0.5).contains(&beta), "beta must be in [0, 0.5)");
-        Self { beta }
+        Self {
+            beta,
+            scratch: Vec::new(),
+        }
     }
 }
 
@@ -33,14 +43,11 @@ impl Aggregator for TrimmedMean {
             return vec![0.0; dim];
         }
         let n = updates.len();
-        let trim = ((n as f64) * self.beta).floor() as usize;
-        let keep = n - 2 * trim.min(n / 2);
+        let trim = (((n as f64) * self.beta).floor() as usize).min(n / 2);
         (0..dim)
             .map(|c| {
-                let mut vals = coordinate_values(updates, c);
-                vals.sort_by(|a, b| a.partial_cmp(b).expect("finite deltas"));
-                let kept = &vals[trim.min(n / 2)..trim.min(n / 2) + keep];
-                (kept.iter().map(|&v| v as f64).sum::<f64>() / kept.len().max(1) as f64) as f32
+                fill_coordinate(updates, c, &mut self.scratch);
+                kernels::trimmed_mean_inplace(&mut self.scratch, trim)
             })
             .collect()
     }

@@ -6,6 +6,7 @@
 //! CollaPois' malicious delta `ψ(X − θ^t)` therefore pulls the model toward
 //! the Trojaned model X.
 
+use collapois_nn::kernels;
 use collapois_stats::geometry::l2_norm;
 
 /// One client's contribution to a training round.
@@ -51,9 +52,7 @@ pub fn mean_delta(updates: &[ClientUpdate], dim: usize) -> Vec<f32> {
     let mut acc = vec![0.0f64; dim];
     for u in updates {
         assert_eq!(u.delta.len(), dim, "update dimension mismatch");
-        for (a, &d) in acc.iter_mut().zip(&u.delta) {
-            *a += d as f64;
-        }
+        kernels::acc_add(&mut acc, &u.delta);
     }
     let n = updates.len().max(1) as f64;
     acc.into_iter().map(|a| (a / n) as f32).collect()

@@ -1,0 +1,259 @@
+//! Cache-blocked `f32` compute kernels for the nn + aggregation hot paths.
+//!
+//! Every dense forward/backward matmul, the fused softmax cross-entropy,
+//! and the flat-parameter-vector sweeps of the robust aggregation rules in
+//! `collapois-fl` route through this module. Two implementations of the
+//! same API live side by side:
+//!
+//! * [`blocked`] — the optimized kernels: GotoBLAS-style tiled matmul with
+//!   transposed-`B` packing, 8-wide unrolled axpy microkernels, 4-chain
+//!   `f64` reductions, partial-select order statistics, and a fused
+//!   softmax + cross-entropy that never materializes a probability tensor.
+//! * [`reference`] — the naive textbook formulations, kept alive forever as
+//!   the differential-testing oracle (`tests/kernel_equivalence.rs` in the
+//!   workspace root pins one to the other).
+//!
+//! The free functions at this level are thin dispatchers: they call
+//! [`blocked`] by default and [`reference`] when the crate is built with
+//! the `reference` cargo feature, so the entire stack — tensors, layers,
+//! losses, aggregation rules — can be swapped onto the oracle with
+//! `cargo test --features reference` (CI runs both).
+//!
+//! # Numerical contract
+//!
+//! * Matmul family, element-wise ops (`axpy`, `scale`, the `acc_*`
+//!   accumulators), partial-select reductions (`trimmed_mean_inplace`,
+//!   `median_inplace`), `softmax_rows` and `softmax_xent`: **bitwise
+//!   identical** between the two implementations — the blocked kernels
+//!   preserve the reference's per-element floating-point operation order
+//!   (see the module docs of [`blocked`] for why blocking does not change
+//!   it).
+//! * `dot`, `sq_l2_norm`, `sq_l2_distance`, `pairwise_sq_distances`:
+//!   reassociated `f64` reductions, deterministic but up to a few `f64`
+//!   ulps from the reference.
+
+pub mod blocked;
+pub mod reference;
+
+#[cfg(not(feature = "reference"))]
+use blocked as imp;
+#[cfg(feature = "reference")]
+use reference as imp;
+
+/// Whether the dispatchers below route to the naive reference oracle
+/// (`reference` cargo feature) instead of the blocked kernels.
+pub const USING_REFERENCE: bool = cfg!(feature = "reference");
+
+/// `C = A · B` (`A: [m, k]`, `B: [k, n]`, `C: [m, n]`, row-major).
+pub fn matmul(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    imp::matmul(a, b, c, m, k, n)
+}
+
+/// `C = A · Bᵀ` with `bt: [n, k]` row-major (dense-layer forward layout).
+pub fn matmul_transb(a: &[f32], bt: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    imp::matmul_transb(a, bt, c, m, k, n)
+}
+
+/// `C += Aᵀ · B` (`A: [m, p]`, `B: [m, q]`, `C: [p, q]`) — weight-gradient
+/// accumulation.
+pub fn matmul_transa_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, p: usize, q: usize) {
+    imp::matmul_transa_acc(a, b, c, m, p, q)
+}
+
+/// `y += alpha · x`.
+pub fn axpy(y: &mut [f32], alpha: f32, x: &[f32]) {
+    imp::axpy(y, alpha, x)
+}
+
+/// `x *= alpha`.
+pub fn scale(x: &mut [f32], alpha: f32) {
+    imp::scale(x, alpha)
+}
+
+/// `acc += x` (`f64` accumulator vector).
+pub fn acc_add(acc: &mut [f64], x: &[f32]) {
+    imp::acc_add(acc, x)
+}
+
+/// `acc += w · x` with the product in `f64`.
+pub fn acc_scaled(acc: &mut [f64], x: &[f32], w: f64) {
+    imp::acc_scaled(acc, x, w)
+}
+
+/// `acc += (x · s)` with the product rounded to `f32` first (clip-then-
+/// average without materializing the clipped copy).
+pub fn acc_scaled_f32(acc: &mut [f64], x: &[f32], s: f32) {
+    imp::acc_scaled_f32(acc, x, s)
+}
+
+/// Dot product in `f64`.
+pub fn dot(a: &[f32], b: &[f32]) -> f64 {
+    imp::dot(a, b)
+}
+
+/// Squared l2 norm in `f64`.
+pub fn sq_l2_norm(a: &[f32]) -> f64 {
+    imp::sq_l2_norm(a)
+}
+
+/// Squared l2 distance in `f64`.
+pub fn sq_l2_distance(a: &[f32], b: &[f32]) -> f64 {
+    imp::sq_l2_distance(a, b)
+}
+
+/// `n × n` matrix (row-major) of pairwise squared l2 distances.
+pub fn pairwise_sq_distances(vectors: &[&[f32]]) -> Vec<f64> {
+    imp::pairwise_sq_distances(vectors)
+}
+
+/// α-trimmed mean of a scratch buffer (reordered in place): drop the
+/// `trim` lowest and highest values, average the rest.
+pub fn trimmed_mean_inplace(buf: &mut [f32], trim: usize) -> f32 {
+    imp::trimmed_mean_inplace(buf, trim)
+}
+
+/// Median of a scratch buffer (reordered in place); even lengths
+/// interpolate the two middle order statistics in `f64`.
+pub fn median_inplace(buf: &mut [f32]) -> f32 {
+    imp::median_inplace(buf)
+}
+
+/// In-place numerically-stable softmax over `n` rows of length `k`.
+pub fn softmax_rows(data: &mut [f32], n: usize, k: usize) {
+    imp::softmax_rows(data, n, k)
+}
+
+/// Fused softmax + cross-entropy: writes the batch-mean gradient into
+/// `grad`, returns `(summed loss, correct argmax predictions)`.
+pub fn softmax_xent(
+    logits: &[f32],
+    labels: &[usize],
+    n: usize,
+    k: usize,
+    grad: &mut [f32],
+) -> (f64, usize) {
+    imp::softmax_xent(logits, labels, n, k, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small_known_product() {
+        // [1 2; 3 4] · [5 6; 7 8] = [19 22; 43 50]
+        let a = [1.0f32, 2.0, 3.0, 4.0];
+        let b = [5.0f32, 6.0, 7.0, 8.0];
+        let mut c = [0.0f32; 4];
+        matmul(&a, &b, &mut c, 2, 2, 2);
+        assert_eq!(c, [19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_transb_matches_matmul() {
+        // B = [2, 3]; Bt = transpose stored [3, 2].
+        let a = [1.0f32, 2.0, 3.0, 4.0]; // [2, 2]
+        let b = [1.0f32, 0.0, 2.0, 0.0, 1.0, -1.0]; // [2, 3]
+        let bt = [1.0f32, 0.0, 0.0, 1.0, 2.0, -1.0]; // [3, 2]
+        let mut c1 = [0.0f32; 6];
+        let mut c2 = [0.0f32; 6];
+        matmul(&a, &b, &mut c1, 2, 2, 3);
+        matmul_transb(&a, &bt, &mut c2, 2, 2, 3);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn matmul_transa_accumulates() {
+        let a = [1.0f32, 2.0, 3.0, 4.0]; // [2, 2] (m=2, p=2)
+        let b = [1.0f32, 1.0, 1.0, 1.0]; // [2, 2] (m=2, q=2)
+        let mut c = [10.0f32; 4];
+        matmul_transa_acc(&a, &b, &mut c, 2, 2, 2);
+        // AᵀB = [[1+3, 1+3], [2+4, 2+4]] = [[4,4],[6,6]], plus 10.
+        assert_eq!(c, [14.0, 14.0, 16.0, 16.0]);
+    }
+
+    #[test]
+    fn blocked_matmul_is_bitwise_reference_beyond_tile_bounds() {
+        // Dimensions straddling the KC/NC tile edges exercise the packing
+        // remainders.
+        let (m, k, n) = (3, 130, 300);
+        let a: Vec<f32> = (0..m * k)
+            .map(|i| ((i * 37 % 97) as f32 - 48.0) * 0.03125)
+            .collect();
+        let b: Vec<f32> = (0..k * n)
+            .map(|i| ((i * 53 % 89) as f32 - 44.0) * 0.0625)
+            .collect();
+        let mut c_blk = vec![0.0f32; m * n];
+        let mut c_ref = vec![0.0f32; m * n];
+        blocked::matmul(&a, &b, &mut c_blk, m, k, n);
+        reference::matmul(&a, &b, &mut c_ref, m, k, n);
+        assert_eq!(c_blk, c_ref);
+    }
+
+    #[test]
+    fn slice_ops_basics() {
+        let mut y = vec![1.0f32, 2.0, 3.0];
+        axpy(&mut y, 2.0, &[1.0, 1.0, 1.0]);
+        assert_eq!(y, vec![3.0, 4.0, 5.0]);
+        scale(&mut y, 0.5);
+        assert_eq!(y, vec![1.5, 2.0, 2.5]);
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(sq_l2_norm(&[3.0, 4.0]), 25.0);
+        assert_eq!(sq_l2_distance(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        let mut acc = vec![0.0f64; 2];
+        acc_add(&mut acc, &[1.0, 2.0]);
+        acc_scaled(&mut acc, &[2.0, 2.0], 0.5);
+        assert_eq!(acc, vec![2.0, 3.0]);
+        acc_scaled_f32(&mut acc, &[4.0, 4.0], 0.25);
+        assert_eq!(acc, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn order_statistics() {
+        let mut buf = vec![5.0f32, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(median_inplace(&mut buf), 3.0);
+        let mut buf = vec![4.0f32, 1.0, 2.0, 3.0];
+        assert_eq!(median_inplace(&mut buf), 2.5);
+        let mut buf = vec![-1000.0f32, 1.0, 3.0, 1000.0];
+        assert_eq!(trimmed_mean_inplace(&mut buf, 1), 2.0);
+        let mut buf = vec![1.0f32, 2.0, 3.0];
+        assert_eq!(trimmed_mean_inplace(&mut buf, 0), 2.0);
+    }
+
+    #[test]
+    fn pairwise_matrix_is_symmetric_with_zero_diagonal() {
+        let vs: Vec<Vec<f32>> = vec![vec![0.0, 0.0], vec![3.0, 4.0], vec![1.0, 1.0]];
+        let refs: Vec<&[f32]> = vs.iter().map(|v| v.as_slice()).collect();
+        let d = pairwise_sq_distances(&refs);
+        let n = 3;
+        for i in 0..n {
+            assert_eq!(d[i * n + i], 0.0);
+            for j in 0..n {
+                assert_eq!(d[i * n + j], d[j * n + i]);
+            }
+        }
+        assert_eq!(d[1], 25.0);
+    }
+
+    #[test]
+    fn fused_softmax_xent_matches_two_pass_reference() {
+        let n = 3;
+        let k = 4;
+        let logits: Vec<f32> = (0..n * k).map(|i| (i as f32 * 0.7).sin()).collect();
+        let labels = [2usize, 0, 3];
+        let mut g_blk = vec![0.0f32; n * k];
+        let mut g_ref = vec![0.0f32; n * k];
+        let (l_blk, c_blk) = blocked::softmax_xent(&logits, &labels, n, k, &mut g_blk);
+        let (l_ref, c_ref) = reference::softmax_xent(&logits, &labels, n, k, &mut g_ref);
+        assert_eq!(g_blk, g_ref);
+        assert_eq!(l_blk, l_ref);
+        assert_eq!(c_blk, c_ref);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn axpy_rejects_length_mismatch() {
+        let mut y = vec![0.0f32; 2];
+        axpy(&mut y, 1.0, &[1.0]);
+    }
+}

@@ -2,6 +2,7 @@
 
 use super::Layer;
 use crate::init::Init;
+use crate::kernels;
 use crate::tensor::Tensor;
 use rand::Rng;
 
@@ -67,17 +68,10 @@ impl Layer for Dense {
             input.shape()
         );
         let x = input.data();
+        // y = x Wᵀ, then add the bias per row.
         let mut out = vec![0.0f32; n * self.out_dim];
-        for i in 0..n {
-            let xi = &x[i * self.in_dim..(i + 1) * self.in_dim];
-            let oi = &mut out[i * self.out_dim..(i + 1) * self.out_dim];
-            for (o, row) in oi.iter_mut().zip(self.weight.chunks_exact(self.in_dim)) {
-                let mut acc = 0.0f32;
-                for (w, xv) in row.iter().zip(xi) {
-                    acc += w * xv;
-                }
-                *o = acc;
-            }
+        kernels::matmul_transb(x, &self.weight, &mut out, n, self.in_dim, self.out_dim);
+        for oi in out.chunks_exact_mut(self.out_dim) {
             for (o, b) in oi.iter_mut().zip(&self.bias) {
                 *o += b;
             }
@@ -101,36 +95,16 @@ impl Layer for Dense {
         );
         let x = input.data();
         let g = grad_out.data();
-        // dW[o, i] += Σ_batch g[o] * x[i] ; db[o] += Σ_batch g[o]
-        for b in 0..n {
-            let xb = &x[b * self.in_dim..(b + 1) * self.in_dim];
-            let gb = &g[b * self.out_dim..(b + 1) * self.out_dim];
-            for (o, &go) in gb.iter().enumerate() {
-                if go == 0.0 {
-                    continue;
-                }
-                let row = &mut self.grad_weight[o * self.in_dim..(o + 1) * self.in_dim];
-                for (gw, &xv) in row.iter_mut().zip(xb) {
-                    *gw += go * xv;
-                }
-                self.grad_bias[o] += go;
+        // dW += gᵀ x ; db[o] += Σ_batch g[o].
+        kernels::matmul_transa_acc(g, x, &mut self.grad_weight, n, self.out_dim, self.in_dim);
+        for gb in g.chunks_exact(self.out_dim) {
+            for (db, &go) in self.grad_bias.iter_mut().zip(gb) {
+                *db += go;
             }
         }
-        // dX = g W
+        // dX = g W.
         let mut grad_in = vec![0.0f32; n * self.in_dim];
-        for b in 0..n {
-            let gb = &g[b * self.out_dim..(b + 1) * self.out_dim];
-            let gi = &mut grad_in[b * self.in_dim..(b + 1) * self.in_dim];
-            for (o, &go) in gb.iter().enumerate() {
-                if go == 0.0 {
-                    continue;
-                }
-                let row = &self.weight[o * self.in_dim..(o + 1) * self.in_dim];
-                for (giv, &w) in gi.iter_mut().zip(row) {
-                    *giv += go * w;
-                }
-            }
-        }
+        kernels::matmul(g, &self.weight, &mut grad_in, n, self.out_dim, self.in_dim);
         Tensor::from_vec(grad_in, &[n, self.in_dim])
     }
 

@@ -4,6 +4,10 @@
 //! crate implements exactly what the paper's experiments need, from scratch:
 //!
 //! * [`tensor`] — a dense row-major `f32` tensor with shape tracking.
+//! * [`kernels`] — cache-blocked `f32` primitives (tiled matmul with
+//!   transposed-`B` packing, fused softmax + cross-entropy, slice ops)
+//!   behind a dispatcher that the `reference` cargo feature reroutes onto
+//!   the retained naive oracle implementations.
 //! * [`layer`] — Dense, Conv2d (valid, stride 1), MaxPool2d, ReLU, Tanh and
 //!   Flatten layers, each with forward/backward passes and parameter access.
 //! * [`loss`] — softmax cross-entropy (hard labels) and distillation loss
@@ -39,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod init;
+pub mod kernels;
 pub mod layer;
 pub mod loss;
 pub mod model;

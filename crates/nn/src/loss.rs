@@ -1,25 +1,16 @@
 //! Loss functions: softmax cross-entropy (hard labels) and distillation
 //! loss (soft targets), plus the softmax itself.
 
+use crate::kernels;
 use crate::tensor::Tensor;
 
-/// Numerically stable softmax over the last dimension of a `[N, K]` tensor.
+/// Numerically stable softmax over the last dimension of a `[N, K]` tensor,
+/// routed through [`kernels::softmax_rows`].
 pub fn softmax(logits: &Tensor) -> Tensor {
     let n = logits.batch();
     let k = logits.len() / n.max(1);
     let mut out = logits.clone();
-    for i in 0..n {
-        let row = &mut out.data_mut()[i * k..(i + 1) * k];
-        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-        let mut sum = 0.0f32;
-        for v in row.iter_mut() {
-            *v = (*v - max).exp();
-            sum += *v;
-        }
-        for v in row.iter_mut() {
-            *v /= sum;
-        }
-    }
+    kernels::softmax_rows(out.data_mut(), n, k);
     out
 }
 
@@ -44,24 +35,11 @@ pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> LossOutput {
     let n = logits.batch();
     assert_eq!(labels.len(), n, "labels/batch mismatch");
     let k = logits.len() / n.max(1);
-    let probs = softmax(logits);
-    let mut grad = probs.clone();
-    let mut loss = 0.0f64;
-    let mut correct = 0usize;
-    for (i, &y) in labels.iter().enumerate() {
-        assert!(y < k, "label {y} out of range for {k} classes");
-        let row = probs.row(i);
-        loss += -(row[y].max(1e-12) as f64).ln();
-        let pred = argmax(row);
-        if pred == y {
-            correct += 1;
-        }
-        grad.data_mut()[i * k + y] -= 1.0;
-    }
-    let inv_n = 1.0 / n as f32;
-    for g in grad.data_mut() {
-        *g *= inv_n;
-    }
+    // Single fused pass per row: the max-subtracted exponentials are
+    // computed exactly once and normalized straight into the gradient
+    // buffer (no intermediate probability tensor, no second batch sweep).
+    let mut grad = Tensor::zeros(&[n, k]);
+    let (loss, correct) = kernels::softmax_xent(logits.data(), labels, n, k, grad.data_mut());
     LossOutput {
         loss: loss / n as f64,
         grad,

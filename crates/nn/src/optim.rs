@@ -1,5 +1,6 @@
 //! Gradient-descent optimizers over flat parameter vectors.
 
+use crate::kernels;
 use collapois_stats::distribution::standard_normal;
 use collapois_stats::geometry::clip_to_norm;
 use rand::rngs::StdRng;
@@ -91,6 +92,9 @@ impl Optimizer for Sgd {
                 *v = mu * *v + g;
                 *p -= lr * *v;
             }
+        } else if wd == 0.0 {
+            // Plain SGD is a pure axpy: p += (−lr)·g.
+            kernels::axpy(params, -lr, grads);
         } else {
             for (p, &g) in params.iter_mut().zip(grads) {
                 *p -= lr * (g + wd * *p);

@@ -127,6 +127,44 @@ impl Tensor {
         &mut self.data[i * stride..(i + 1) * stride]
     }
 
+    /// Matrix product `self · other` of two rank-2 tensors
+    /// (`[m, k] · [k, n] → [m, n]`), routed through the cache-blocked
+    /// kernel layer ([`crate::kernels::matmul`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either tensor is not rank 2 or the inner dimensions
+    /// disagree.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "matmul requires rank-2 lhs");
+        assert_eq!(other.shape.len(), 2, "matmul requires rank-2 rhs");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul inner dims {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        crate::kernels::matmul(&self.data, &other.data, &mut out, m, k, n);
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Matrix product `self · otherᵀ` where `other` is stored `[n, k]`
+    /// row-major (`[m, k] · [n, k]ᵀ → [m, n]`) — the dense-layer forward
+    /// layout, routed through [`crate::kernels::matmul_transb`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either tensor is not rank 2 or the inner dimensions
+    /// disagree.
+    pub fn matmul_transb(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "matmul_transb requires rank-2 lhs");
+        assert_eq!(other.shape.len(), 2, "matmul_transb requires rank-2 rhs");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (n, k2) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul_transb inner dims {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        crate::kernels::matmul_transb(&self.data, &other.data, &mut out, m, k, n);
+        Tensor::from_vec(out, &[m, n])
+    }
+
     /// Stacks equal-shape samples into a batch tensor of shape
     /// `[samples.len(), sample_shape...]`.
     ///
@@ -203,5 +241,23 @@ mod tests {
     #[should_panic(expected = "reshape")]
     fn reshape_rejects_mismatch() {
         let _ = Tensor::zeros(&[2, 3]).reshaped(&[7]);
+    }
+
+    #[test]
+    fn matmul_and_transb_agree() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0], &[3, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[4.0, 5.0, 10.0, 11.0]);
+        // bt = b transposed, stored [2, 3].
+        let bt = Tensor::from_vec(vec![1.0, 0.0, 1.0, 0.0, 1.0, 1.0], &[2, 3]);
+        assert_eq!(a.matmul_transb(&bt).data(), c.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims")]
+    fn matmul_rejects_dim_mismatch() {
+        let _ = Tensor::zeros(&[2, 3]).matmul(&Tensor::zeros(&[2, 3]));
     }
 }

@@ -1,0 +1,69 @@
+//! Golden end-to-end determinism test.
+//!
+//! Runs a small fixed CollaPois scenario for 5 rounds and hashes the final
+//! global parameter vector's exact `f32` bit patterns, comparing against a
+//! committed fixture (`tests/fixtures/golden_final_params.hash`). The same
+//! hash must come out at every worker count — the runtime engine's
+//! determinism guarantee — and must not drift across refactors of the
+//! kernel layer, the aggregation rules, or the training loop.
+//!
+//! If a change *intentionally* alters the numerics (e.g. a new reduction
+//! order), regenerate the fixture by running this test and copying the
+//! `actual` hash from the failure message into the fixture file, and call
+//! the change out in the PR description.
+
+use collapois::core::scenario::{AttackKind, DefenseKind, RunOptions, Scenario, ScenarioConfig};
+
+/// FNV-1a over the little-endian `f32` bit patterns.
+fn fnv1a_params(params: &[f32]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for v in params {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+fn golden_cfg() -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::quick_image(1.0, 0.05);
+    cfg.num_clients = 10;
+    cfg.samples_per_client = 20;
+    cfg.rounds = 5;
+    cfg.eval_every = 5;
+    cfg.sample_rate = 0.5;
+    cfg.trojan.epochs = 8;
+    cfg.attack = AttackKind::CollaPois;
+    // Krum routes the round through the pairwise-distance kernels on top
+    // of the dense/loss kernels every client step already exercises.
+    cfg.defense = DefenseKind::Krum;
+    cfg
+}
+
+#[test]
+fn five_round_scenario_matches_committed_fixture_at_every_worker_count() {
+    let fixture_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/golden_final_params.hash"
+    );
+    let expected = std::fs::read_to_string(fixture_path)
+        .expect("fixture missing: tests/fixtures/golden_final_params.hash")
+        .trim()
+        .to_string();
+
+    let cfg = golden_cfg();
+    for workers in [1usize, 2, 4] {
+        let report = Scenario::new(cfg.clone()).run_with(&RunOptions {
+            workers,
+            ..RunOptions::default()
+        });
+        let actual = format!("{:016x}", fnv1a_params(&report.final_global));
+        assert_eq!(
+            actual, expected,
+            "final global params diverged from the golden fixture at \
+             workers={workers} (actual {actual}, expected {expected}); \
+             see the module docs for when/how to regenerate"
+        );
+    }
+}

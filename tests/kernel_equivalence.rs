@@ -1,0 +1,250 @@
+//! Differential tests pinning the blocked kernels to the naive reference
+//! oracle (`collapois::nn::kernels::{blocked, reference}`).
+//!
+//! Both implementations are always compiled, so this suite compares them
+//! directly regardless of which one the `reference` cargo feature routes
+//! the dispatchers to. CI runs it in debug and `--release` to catch
+//! optimization-level-dependent floating-point differences.
+//!
+//! # Tolerance policy
+//!
+//! * **Exact (bitwise)** — matmul family, element-wise ops (`axpy`,
+//!   `scale`, the `acc_*` accumulators), order statistics
+//!   (`trimmed_mean_inplace`, `median_inplace`), `softmax_rows` and the
+//!   fused `softmax_xent`: the blocked kernels preserve the reference's
+//!   per-element floating-point reduction order (a single `f32`
+//!   accumulator sweeping `k` in ascending order per output element;
+//!   ascending sorted-order sums for the order statistics), so any
+//!   difference at all is a bug.
+//! * **1e-12 relative** — `dot`, `sq_l2_norm`, `sq_l2_distance`,
+//!   `pairwise_sq_distances`: the blocked versions split the `f64` sum
+//!   into 4 independent chains combined by a fixed tree, which is
+//!   deterministic but reassociated, so results may differ from the
+//!   single-chain reference by a few `f64` ulps. 1e-12 relative is ~4
+//!   orders of magnitude above f64 epsilon yet far below anything the
+//!   `f32` inputs can resolve.
+
+use collapois::nn::kernels::{blocked, reference};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn fill(rng: &mut StdRng, len: usize) -> Vec<f32> {
+    (0..len).map(|_| rng.gen_range(-2.0f32..2.0)).collect()
+}
+
+fn assert_rel_close(a: f64, b: f64, what: &str) {
+    let denom = a.abs().max(b.abs()).max(1.0);
+    assert!(
+        ((a - b) / denom).abs() <= 1e-12,
+        "{what}: blocked={a} reference={b}"
+    );
+}
+
+/// Dimensions straddling the KC=128 / NC=256 tile boundaries exercise every
+/// packing remainder path; checked exhaustively outside proptest.
+#[test]
+fn matmul_family_bitwise_at_tile_boundaries() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for &(m, k, n) in &[
+        (1, 1, 1),
+        (3, 127, 255),
+        (3, 128, 256),
+        (3, 129, 257),
+        (2, 256, 300),
+        (8, 300, 513),
+    ] {
+        let a = fill(&mut rng, m * k);
+        let b = fill(&mut rng, k * n);
+        let mut c_blk = vec![0.0f32; m * n];
+        let mut c_ref = vec![0.0f32; m * n];
+        blocked::matmul(&a, &b, &mut c_blk, m, k, n);
+        reference::matmul(&a, &b, &mut c_ref, m, k, n);
+        assert_eq!(c_blk, c_ref, "matmul {m}x{k}x{n}");
+
+        // Bᵀ stored [n, k].
+        let bt = fill(&mut rng, n * k);
+        c_blk.fill(0.0);
+        c_ref.fill(0.0);
+        blocked::matmul_transb(&a, &bt, &mut c_blk, m, k, n);
+        reference::matmul_transb(&a, &bt, &mut c_ref, m, k, n);
+        assert_eq!(c_blk, c_ref, "matmul_transb {m}x{k}x{n}");
+
+        // C += Aᵀ·B with A: [m, p], B: [m, q] — reuse k as p, n as q.
+        let (p, q) = (k, n);
+        let a2 = fill(&mut rng, m * p);
+        let b2 = fill(&mut rng, m * q);
+        let init = fill(&mut rng, p * q);
+        let mut acc_blk = init.clone();
+        let mut acc_ref = init;
+        blocked::matmul_transa_acc(&a2, &b2, &mut acc_blk, m, p, q);
+        reference::matmul_transa_acc(&a2, &b2, &mut acc_ref, m, p, q);
+        assert_eq!(acc_blk, acc_ref, "matmul_transa_acc {m}x{p}x{q}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Blocked matmul is bitwise identical to the reference for arbitrary
+    /// small shapes (the boundary test above covers the large tiles).
+    #[test]
+    fn matmul_bitwise(seed in 0u64..10_000, m in 1usize..12, k in 1usize..48, n in 1usize..48) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = fill(&mut rng, m * k);
+        let b = fill(&mut rng, k * n);
+        let mut c_blk = vec![0.0f32; m * n];
+        let mut c_ref = vec![0.0f32; m * n];
+        blocked::matmul(&a, &b, &mut c_blk, m, k, n);
+        reference::matmul(&a, &b, &mut c_ref, m, k, n);
+        prop_assert_eq!(c_blk, c_ref);
+    }
+
+    /// Same for the transposed-B (dense forward) variant.
+    #[test]
+    fn matmul_transb_bitwise(seed in 0u64..10_000, m in 1usize..12, k in 1usize..48, n in 1usize..48) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = fill(&mut rng, m * k);
+        let bt = fill(&mut rng, n * k);
+        let mut c_blk = vec![0.0f32; m * n];
+        let mut c_ref = vec![0.0f32; m * n];
+        blocked::matmul_transb(&a, &bt, &mut c_blk, m, k, n);
+        reference::matmul_transb(&a, &bt, &mut c_ref, m, k, n);
+        prop_assert_eq!(c_blk, c_ref);
+    }
+
+    /// Same for the accumulating Aᵀ·B (weight-gradient) variant, including
+    /// a non-zero initial accumulator.
+    #[test]
+    fn matmul_transa_acc_bitwise(seed in 0u64..10_000, m in 1usize..12, p in 1usize..32, q in 1usize..32) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = fill(&mut rng, m * p);
+        let b = fill(&mut rng, m * q);
+        let init = fill(&mut rng, p * q);
+        let mut c_blk = init.clone();
+        let mut c_ref = init;
+        blocked::matmul_transa_acc(&a, &b, &mut c_blk, m, p, q);
+        reference::matmul_transa_acc(&a, &b, &mut c_ref, m, p, q);
+        prop_assert_eq!(c_blk, c_ref);
+    }
+
+    /// Element-wise ops are trivially order-preserving: exact equality.
+    #[test]
+    fn elementwise_ops_bitwise(seed in 0u64..10_000, len in 1usize..400, alpha in -3.0f32..3.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = fill(&mut rng, len);
+        let y0 = fill(&mut rng, len);
+
+        let mut y_blk = y0.clone();
+        let mut y_ref = y0.clone();
+        blocked::axpy(&mut y_blk, alpha, &x);
+        reference::axpy(&mut y_ref, alpha, &x);
+        prop_assert_eq!(&y_blk, &y_ref);
+
+        blocked::scale(&mut y_blk, alpha);
+        reference::scale(&mut y_ref, alpha);
+        prop_assert_eq!(&y_blk, &y_ref);
+
+        let acc0: Vec<f64> = y0.iter().map(|&v| v as f64).collect();
+        let mut a_blk = acc0.clone();
+        let mut a_ref = acc0;
+        blocked::acc_add(&mut a_blk, &x);
+        reference::acc_add(&mut a_ref, &x);
+        prop_assert_eq!(&a_blk, &a_ref);
+        blocked::acc_scaled(&mut a_blk, &x, alpha as f64);
+        reference::acc_scaled(&mut a_ref, &x, alpha as f64);
+        prop_assert_eq!(&a_blk, &a_ref);
+        blocked::acc_scaled_f32(&mut a_blk, &x, alpha);
+        reference::acc_scaled_f32(&mut a_ref, &x, alpha);
+        prop_assert_eq!(a_blk, a_ref);
+    }
+
+    /// Softmax rows and the fused softmax+cross-entropy match the two-pass
+    /// reference bitwise (loss, gradient, and correct-count).
+    #[test]
+    fn softmax_paths_bitwise(seed in 0u64..10_000, n in 1usize..16, k in 2usize..12) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let logits = fill(&mut rng, n * k);
+        let labels: Vec<usize> = (0..n).map(|_| rng.gen_range(0usize..k)).collect();
+
+        let mut s_blk = logits.clone();
+        let mut s_ref = logits.clone();
+        blocked::softmax_rows(&mut s_blk, n, k);
+        reference::softmax_rows(&mut s_ref, n, k);
+        prop_assert_eq!(s_blk, s_ref);
+
+        let mut g_blk = vec![0.0f32; n * k];
+        let mut g_ref = vec![0.0f32; n * k];
+        let (l_blk, c_blk) = blocked::softmax_xent(&logits, &labels, n, k, &mut g_blk);
+        let (l_ref, c_ref) = reference::softmax_xent(&logits, &labels, n, k, &mut g_ref);
+        prop_assert_eq!(g_blk, g_ref);
+        prop_assert_eq!(l_blk, l_ref);
+        prop_assert_eq!(c_blk, c_ref);
+    }
+
+    /// Partial-select order statistics equal the full-sort reference bitwise
+    /// and are invariant to input order (both sum kept values ascending).
+    /// The size range straddles the blocked kernel's small-`n` sort cutoff
+    /// (512) so both code paths are exercised.
+    #[test]
+    fn order_statistics_bitwise(seed in 0u64..10_000, n in 1usize..700) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let vals = fill(&mut rng, n);
+        let trim = rng.gen_range(0usize..=(n.saturating_sub(1)) / 2);
+
+        let mut b_blk = vals.clone();
+        let mut b_ref = vals.clone();
+        let tm_blk = blocked::trimmed_mean_inplace(&mut b_blk, trim);
+        let tm_ref = reference::trimmed_mean_inplace(&mut b_ref, trim);
+        prop_assert_eq!(tm_blk, tm_ref);
+
+        let mut b_blk = vals.clone();
+        let mut b_ref = vals.clone();
+        let md_blk = blocked::median_inplace(&mut b_blk);
+        let md_ref = reference::median_inplace(&mut b_ref);
+        prop_assert_eq!(md_blk, md_ref);
+
+        // Reversing the input must not change either statistic.
+        let mut rev: Vec<f32> = vals.clone();
+        rev.reverse();
+        let mut r1 = rev.clone();
+        prop_assert_eq!(blocked::trimmed_mean_inplace(&mut r1, trim), tm_blk);
+        let mut r2 = rev;
+        prop_assert_eq!(blocked::median_inplace(&mut r2), md_blk);
+    }
+
+    /// Reassociated f64 reductions: within 1e-12 relative of the
+    /// single-chain reference (see the tolerance policy above).
+    #[test]
+    fn f64_reductions_within_tolerance(seed in 0u64..10_000, len in 1usize..600) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = fill(&mut rng, len);
+        let b = fill(&mut rng, len);
+        assert_rel_close(blocked::dot(&a, &b), reference::dot(&a, &b), "dot");
+        assert_rel_close(blocked::sq_l2_norm(&a), reference::sq_l2_norm(&a), "sq_l2_norm");
+        assert_rel_close(
+            blocked::sq_l2_distance(&a, &b),
+            reference::sq_l2_distance(&a, &b),
+            "sq_l2_distance",
+        );
+    }
+
+    /// Pairwise distance matrices: symmetric, zero diagonal, each entry
+    /// within tolerance of the all-ordered-pairs reference.
+    #[test]
+    fn pairwise_distances_within_tolerance(seed in 0u64..10_000, n in 1usize..8, dim in 1usize..80) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let vs: Vec<Vec<f32>> = (0..n).map(|_| fill(&mut rng, dim)).collect();
+        let refs: Vec<&[f32]> = vs.iter().map(|v| v.as_slice()).collect();
+        let d_blk = blocked::pairwise_sq_distances(&refs);
+        let d_ref = reference::pairwise_sq_distances(&refs);
+        prop_assert_eq!(d_blk.len(), n * n);
+        for i in 0..n {
+            prop_assert_eq!(d_blk[i * n + i], 0.0);
+            for j in 0..n {
+                prop_assert_eq!(d_blk[i * n + j], d_blk[j * n + i]);
+                assert_rel_close(d_blk[i * n + j], d_ref[i * n + j], "pairwise");
+            }
+        }
+    }
+}
