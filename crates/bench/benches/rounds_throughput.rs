@@ -1,0 +1,266 @@
+//! End-to-end round-loop throughput benchmark (`harness = false`).
+//!
+//! Runs the 64-client / 5%-compromise CollaPois scenario at worker counts
+//! 1/2/4, measures steady-state rounds/sec from the per-round `elapsed_ms`
+//! of the structured run trace (setup — data generation, Trojan training —
+//! is excluded by construction), and emits `BENCH_rounds.json` to seed the
+//! perf trajectory.
+//!
+//! With the `bench-alloc` feature a counting `#[global_allocator]` is
+//! installed and the per-round heap traffic is derived from the marginal
+//! byte count between an `R`-round and a `2R`-round run of the identical
+//! scenario (the setup allocations cancel).
+//!
+//! Usage (all flags optional):
+//!
+//! ```text
+//! cargo bench --bench rounds_throughput -- \
+//!     [--rounds N] [--out PATH] [--check BASELINE.json]
+//! ```
+//!
+//! `--check` compares the workers=1 rounds/sec against a previously
+//! committed `BENCH_rounds.json` and exits non-zero on a >20% regression —
+//! the CI guard-rail once a baseline exists.
+
+use collapois_core::scenario::{AttackKind, DefenseKind, RunOptions, Scenario, ScenarioConfig};
+use collapois_runtime::trace::{read_trace, TraceEvent};
+use std::path::PathBuf;
+
+#[cfg(feature = "bench-alloc")]
+mod counting_alloc {
+    //! Byte-counting global allocator, enabled by the `bench-alloc` feature.
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    pub static BYTES: AtomicU64 = AtomicU64::new(0);
+    pub static COUNT: AtomicU64 = AtomicU64::new(0);
+
+    pub struct Counting;
+
+    unsafe impl GlobalAlloc for Counting {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            COUNT.fetch_add(1, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+            COUNT.fetch_add(1, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+    }
+
+    #[global_allocator]
+    static ALLOC: Counting = Counting;
+
+    pub fn bytes_now() -> u64 {
+        BYTES.load(Ordering::Relaxed)
+    }
+}
+
+/// The benchmark scenario: 64 clients, 5% compromised, CollaPois attack,
+/// plain FedAvg — the steady-state configuration the paper's client-level
+/// sweeps (Figs. 10–13) spend their round budget on.
+fn bench_cfg(rounds: usize) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::quick_image(1.0, 0.05);
+    cfg.num_clients = 64;
+    cfg.samples_per_client = 30;
+    cfg.rounds = rounds;
+    // Evaluate only once at the end: this benchmark times the round loop,
+    // not the metrics pass.
+    cfg.eval_every = rounds;
+    cfg.sample_rate = 0.25;
+    cfg.attack = AttackKind::CollaPois;
+    cfg.defense = DefenseKind::None;
+    cfg.trojan.epochs = 4;
+    cfg
+}
+
+/// Per-round wall-clock samples of one scenario run, read back from the
+/// structured trace (ms per completed round, in round order).
+fn round_times_ms(cfg: &ScenarioConfig, workers: usize, trace_path: &PathBuf) -> Vec<f64> {
+    let _ = std::fs::remove_file(trace_path);
+    Scenario::new(cfg.clone()).run_with(&RunOptions {
+        workers,
+        trace_path: Some(trace_path.clone()),
+        ..RunOptions::default()
+    });
+    let events = read_trace(trace_path).expect("trace readable");
+    let _ = std::fs::remove_file(trace_path);
+    events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::RoundCompleted { elapsed_ms, .. } => Some(*elapsed_ms),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Marginal heap bytes per round: run the identical scenario at `r` and
+/// `2r` rounds and divide the byte-count difference by the extra rounds.
+#[cfg(feature = "bench-alloc")]
+fn bytes_per_round(cfg: &ScenarioConfig, workers: usize) -> u64 {
+    let run = |rounds: usize| -> u64 {
+        let mut c = cfg.clone();
+        c.rounds = rounds;
+        c.eval_every = rounds;
+        let before = counting_alloc::bytes_now();
+        Scenario::new(c).run_with(&RunOptions {
+            workers,
+            ..RunOptions::default()
+        });
+        counting_alloc::bytes_now() - before
+    };
+    let r = cfg.rounds.max(2);
+    let short = run(r);
+    let long = run(2 * r);
+    long.saturating_sub(short) / r as u64
+}
+
+struct WorkerResult {
+    workers: usize,
+    rounds_per_sec: f64,
+    mean_round_ms: f64,
+    bytes_alloc_per_round: Option<u64>,
+}
+
+fn json_escape_free(s: &str) -> &str {
+    // Everything serialized here is numeric or a fixed keyword.
+    s
+}
+
+fn emit_json(rounds: usize, results: &[WorkerResult], out: &PathBuf) {
+    let mut body = String::from("{\n");
+    body.push_str("  \"bench\": \"rounds_throughput\",\n");
+    body.push_str(&format!(
+        "  \"scenario\": {{\"clients\": 64, \"compromised_frac\": 0.05, \"attack\": \"collapois\", \"defense\": \"none\", \"rounds\": {rounds}, \"sample_rate\": 0.25}},\n"
+    ));
+    body.push_str(&format!(
+        "  \"alloc_counted\": {},\n",
+        cfg!(feature = "bench-alloc")
+    ));
+    body.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let bytes = match r.bytes_alloc_per_round {
+            Some(b) => b.to_string(),
+            None => "null".to_string(),
+        };
+        body.push_str(&format!(
+            "    {{\"workers\": {}, \"rounds_per_sec\": {:.3}, \"mean_round_ms\": {:.3}, \"bytes_alloc_per_round\": {}}}{}\n",
+            r.workers,
+            r.rounds_per_sec,
+            r.mean_round_ms,
+            json_escape_free(&bytes),
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    std::fs::write(out, &body).unwrap_or_else(|e| panic!("cannot write {out:?}: {e}"));
+    println!("wrote {}", out.display());
+}
+
+/// Extracts `"rounds_per_sec": <f64>` for `"workers": 1` from a previously
+/// emitted `BENCH_rounds.json` (hand-rolled: the workspace has no JSON
+/// dependency).
+fn baseline_rounds_per_sec(path: &PathBuf) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    for line in text.lines() {
+        if line.contains("\"workers\": 1,") {
+            let key = "\"rounds_per_sec\": ";
+            let start = line.find(key)? + key.len();
+            let rest = &line[start..];
+            let end = rest.find(',').unwrap_or(rest.len());
+            return rest[..end].trim().parse().ok();
+        }
+    }
+    None
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut rounds = 20usize;
+    let mut out = PathBuf::from("BENCH_rounds.json");
+    let mut check: Option<PathBuf> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--rounds" => {
+                i += 1;
+                rounds = args[i].parse().expect("--rounds takes an integer");
+            }
+            "--out" => {
+                i += 1;
+                out = PathBuf::from(&args[i]);
+            }
+            "--check" => {
+                i += 1;
+                check = Some(PathBuf::from(&args[i]));
+            }
+            // `cargo bench` passes --bench through to the target.
+            "--bench" => {}
+            other => panic!("unknown argument {other:?}"),
+        }
+        i += 1;
+    }
+    let rounds = rounds.max(2);
+
+    let cfg = bench_cfg(rounds);
+    let trace_path = std::env::temp_dir().join(format!(
+        "collapois-rounds-throughput-{}.jsonl",
+        std::process::id()
+    ));
+
+    let mut results = Vec::new();
+    for workers in [1usize, 2, 4] {
+        let times = round_times_ms(&cfg, workers, &trace_path);
+        assert_eq!(times.len(), rounds, "trace must hold one entry per round");
+        // Drop the first round: it pays one-off warm-up costs (arena
+        // growth, kernel scratch, lazily-sized buffers).
+        let steady = &times[1.min(times.len() - 1)..];
+        let mean_ms: f64 = steady.iter().sum::<f64>() / steady.len() as f64;
+        let rps = 1e3 / mean_ms;
+        #[cfg(feature = "bench-alloc")]
+        let bytes = Some(bytes_per_round(&cfg, workers));
+        #[cfg(not(feature = "bench-alloc"))]
+        let bytes = None;
+        println!(
+            "workers={workers}: {rps:.2} rounds/sec (mean {mean_ms:.2} ms/round{})",
+            match bytes {
+                Some(b) => format!(", {b} bytes allocated/round"),
+                None => String::new(),
+            }
+        );
+        results.push(WorkerResult {
+            workers,
+            rounds_per_sec: rps,
+            mean_round_ms: mean_ms,
+            bytes_alloc_per_round: bytes,
+        });
+    }
+
+    emit_json(rounds, &results, &out);
+
+    if let Some(baseline_path) = check {
+        match baseline_rounds_per_sec(&baseline_path) {
+            Some(base) => {
+                let now = results[0].rounds_per_sec;
+                let floor = 0.8 * base;
+                println!(
+                    "baseline check: workers=1 {now:.2} rounds/sec vs committed {base:.2} (floor {floor:.2})"
+                );
+                assert!(
+                    now >= floor,
+                    "rounds/sec regressed >20% against the committed baseline: \
+                     {now:.2} < 0.8 * {base:.2}"
+                );
+            }
+            None => println!(
+                "no baseline at {} — skipping regression check",
+                baseline_path.display()
+            ),
+        }
+    }
+}

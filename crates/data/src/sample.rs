@@ -199,10 +199,48 @@ impl Dataset {
 
     /// Random minibatch of up to `size` samples (without replacement).
     pub fn minibatch<R: Rng + ?Sized>(&self, rng: &mut R, size: usize) -> (Tensor, Vec<usize>) {
-        let mut idx: Vec<usize> = (0..self.len()).collect();
+        let mut idx = Vec::new();
+        let mut x = Tensor::default();
+        let mut y = Vec::new();
+        self.minibatch_into(rng, size, &mut idx, &mut x, &mut y);
+        (x, y)
+    }
+
+    /// In-place [`Dataset::minibatch`]: fills the caller-owned index,
+    /// feature and label buffers, reusing their heap allocations across
+    /// calls. Draws from `rng` in exactly the same sequence as `minibatch`
+    /// (the full index range is shuffled, then truncated), so both variants
+    /// leave any shared RNG in an identical state.
+    pub fn minibatch_into<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        size: usize,
+        idx: &mut Vec<usize>,
+        x: &mut Tensor,
+        y: &mut Vec<usize>,
+    ) {
+        idx.clear();
+        idx.extend(0..self.len());
         idx.shuffle(rng);
         idx.truncate(size.min(self.len()));
-        self.batch_of(&idx)
+        self.batch_into(idx, x, y);
+    }
+
+    /// In-place [`Dataset::batch_of`]: writes the selected samples into the
+    /// caller-owned tensor and label buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn batch_into(&self, indices: &[usize], x: &mut Tensor, y: &mut Vec<usize>) {
+        let per = self.feature_len();
+        x.resize_batch(indices.len(), &self.sample_shape);
+        let data = x.data_mut();
+        y.clear();
+        for (row, &i) in indices.iter().enumerate() {
+            data[row * per..(row + 1) * per].copy_from_slice(self.features_of(i));
+            y.push(self.labels[i]);
+        }
     }
 
     /// Splits into `(train, test, val)` datasets by the given fractions
@@ -291,6 +329,23 @@ mod tests {
         // Requesting more than available returns everything.
         let (x, _) = ds.minibatch(&mut rng, 100);
         assert_eq!(x.batch(), 9);
+    }
+
+    #[test]
+    fn minibatch_into_matches_allocating_path() {
+        let ds = toy();
+        let mut rng_a = StdRng::seed_from_u64(7);
+        let mut rng_b = StdRng::seed_from_u64(7);
+        let mut idx = Vec::new();
+        let mut x = Tensor::default();
+        let mut y = Vec::new();
+        // Varying sizes exercise buffer reuse (grow and shrink).
+        for size in [5usize, 3, 9, 1] {
+            let (xa, ya) = ds.minibatch(&mut rng_a, size);
+            ds.minibatch_into(&mut rng_b, size, &mut idx, &mut x, &mut y);
+            assert_eq!(x, xa);
+            assert_eq!(y, ya);
+        }
     }
 
     #[test]

@@ -1,18 +1,23 @@
 //! FedAvg: plain uniform averaging (Eq. 2 of the paper).
 
 use super::Aggregator;
-use crate::update::{mean_delta, ClientUpdate};
+use crate::update::{mean_delta_into, ClientUpdate};
 use rand::rngs::StdRng;
 
 /// Uniform mean of the round's deltas — the paper's Eq. 2 baseline
 /// aggregation, vulnerable by construction.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct FedAvg;
+///
+/// Keeps a reusable f64 accumulator so steady-state rounds aggregate
+/// without allocating.
+#[derive(Debug, Clone, Default)]
+pub struct FedAvg {
+    acc: Vec<f64>,
+}
 
 impl FedAvg {
     /// Creates the aggregator.
     pub fn new() -> Self {
-        Self
+        Self::default()
     }
 }
 
@@ -21,8 +26,14 @@ impl Aggregator for FedAvg {
         "fedavg"
     }
 
-    fn aggregate(&mut self, updates: &[ClientUpdate], dim: usize, _rng: &mut StdRng) -> Vec<f32> {
-        mean_delta(updates, dim)
+    fn aggregate(&mut self, updates: &[ClientUpdate], dim: usize, rng: &mut StdRng) -> Vec<f32> {
+        let mut out = vec![0.0f32; dim];
+        self.aggregate_into(updates, &mut out, rng);
+        out
+    }
+
+    fn aggregate_into(&mut self, updates: &[ClientUpdate], out: &mut [f32], _rng: &mut StdRng) {
+        mean_delta_into(updates, out, &mut self.acc);
     }
 }
 

@@ -43,6 +43,17 @@ pub trait Aggregator: std::fmt::Debug + Send {
     /// Must return a zero vector when `updates` is empty.
     fn aggregate(&mut self, updates: &[ClientUpdate], dim: usize, rng: &mut StdRng) -> Vec<f32>;
 
+    /// In-place aggregation: writes the aggregated delta into `out`
+    /// (whose length is the parameter dimension). The default forwards to
+    /// [`Aggregator::aggregate`] and copies; rules on the steady-state hot
+    /// path (FedAvg) override this to reuse internal accumulators and write
+    /// straight into the borrowed slice. Both paths must produce bitwise
+    /// identical results.
+    fn aggregate_into(&mut self, updates: &[ClientUpdate], out: &mut [f32], rng: &mut StdRng) {
+        let v = self.aggregate(updates, out.len(), rng);
+        out.copy_from_slice(&v);
+    }
+
     /// Optional transformation of the global model after the delta has been
     /// applied (e.g. CRFL's parameter clipping + noising).
     fn post_process(&mut self, _global: &mut [f32], _rng: &mut StdRng) {}

@@ -1,6 +1,7 @@
 //! Benign client-side local training.
 
 use crate::config::FlConfig;
+use crate::scratch::ClientScratch;
 use collapois_data::sample::Dataset;
 use collapois_nn::model::Sequential;
 use collapois_nn::optim::Sgd;
@@ -29,6 +30,10 @@ pub fn local_sgd_delta<R: Rng + ?Sized>(
 /// added to the local objective (used by FedDC-style drift correction and
 /// Ditto). `prox_mu = 0` recovers plain local SGD.
 ///
+/// Thin wrapper over [`local_sgd_delta_prox_into`] (one shared code path),
+/// paying one scratch-arena construction per call; the round engine calls
+/// the `_into` variant on a persistent arena instead.
+///
 /// # Panics
 ///
 /// Panics if `data` is empty.
@@ -40,26 +45,81 @@ pub fn local_sgd_delta_prox<R: Rng + ?Sized>(
     cfg: &FlConfig,
     prox_mu: f64,
 ) -> Vec<f32> {
+    let mut scratch = ClientScratch::for_model(model);
+    local_sgd_delta_prox_into(rng, &mut scratch, global, data, cfg, prox_mu);
+    // Preserve the historical contract: the caller's model ends up holding
+    // the trained local parameters.
+    model.set_params(&scratch.params);
+    std::mem::take(&mut scratch.delta)
+}
+
+/// In-place [`local_sgd_delta`]: trains on `scratch.model` and leaves the
+/// flat delta in `scratch.delta`, touching no heap after arena warm-up.
+///
+/// # Panics
+///
+/// Panics if `data` is empty.
+pub fn local_sgd_delta_into<R: Rng + ?Sized>(
+    rng: &mut R,
+    scratch: &mut ClientScratch,
+    global: &[f32],
+    data: &Dataset,
+    cfg: &FlConfig,
+) {
+    local_sgd_delta_prox_into(rng, scratch, global, data, cfg, 0.0);
+}
+
+/// In-place [`local_sgd_delta_prox`]: the zero-allocation training inner
+/// loop. `scratch.model` is reloaded from `global`, trained for
+/// `cfg.local_steps` minibatches through the persistent workspace, and the
+/// delta `θ_local − θ_global` is written into `scratch.delta`
+/// (`scratch.params` is left holding the trained local parameters).
+///
+/// Performs the same floating-point operations in the same order as the
+/// allocating path, so results are bitwise identical.
+///
+/// # Panics
+///
+/// Panics if `data` is empty.
+pub fn local_sgd_delta_prox_into<R: Rng + ?Sized>(
+    rng: &mut R,
+    scratch: &mut ClientScratch,
+    global: &[f32],
+    data: &Dataset,
+    cfg: &FlConfig,
+    prox_mu: f64,
+) {
     assert!(!data.is_empty(), "client has no training data");
-    model.set_params(global);
+    scratch.model.load_params_into(global);
     let mut opt = Sgd::new(cfg.client_lr);
     for _ in 0..cfg.local_steps {
-        let (x, y) = data.minibatch(rng, cfg.batch_size);
-        model.train_batch(&x, &y, &mut opt);
+        data.minibatch_into(
+            rng,
+            cfg.batch_size,
+            &mut scratch.idx,
+            &mut scratch.x,
+            &mut scratch.y,
+        );
+        scratch
+            .model
+            .train_batch_ws(&scratch.x, &scratch.y, &mut opt, &mut scratch.ws);
         if prox_mu > 0.0 {
             // Gradient of the proximal term: μ(θ − θ_global), applied as an
             // extra SGD step. The factor is clamped at 1 so that very large
             // μ pins the iterate to θ_global instead of diverging.
-            let mut params = model.params();
+            scratch.model.store_params_into(&mut scratch.params);
             let lr_mu = (cfg.client_lr * prox_mu).min(1.0) as f32;
-            for (p, &g) in params.iter_mut().zip(global) {
+            for (p, &g) in scratch.params.iter_mut().zip(global) {
                 *p -= lr_mu * (*p - g);
             }
-            model.set_params(&params);
+            scratch.model.load_params_into(&scratch.params);
         }
     }
-    let local = model.params();
-    local.iter().zip(global).map(|(l, g)| l - g).collect()
+    scratch.model.store_params_into(&mut scratch.params);
+    scratch.delta.clear();
+    scratch
+        .delta
+        .extend(scratch.params.iter().zip(global).map(|(l, g)| l - g));
 }
 
 #[cfg(test)]
@@ -111,6 +171,25 @@ mod tests {
         let n_free = collapois_stats::geometry::l2_norm(&free);
         let n_prox = collapois_stats::geometry::l2_norm(&prox);
         assert!(n_prox < n_free, "prox={n_prox} free={n_free}");
+    }
+
+    #[test]
+    fn scratch_reuse_is_history_free() {
+        let (cfg, model, global) = setup();
+        let data = toy_data();
+        let mut scratch = ClientScratch::for_model(&model);
+        let mut rng = StdRng::seed_from_u64(4);
+        local_sgd_delta_prox_into(&mut rng, &mut scratch, &global, &data, &cfg, 0.5);
+        let first = scratch.delta.clone();
+        // Re-run with identical RNG on the warm arena: bitwise equal.
+        let mut rng = StdRng::seed_from_u64(4);
+        local_sgd_delta_prox_into(&mut rng, &mut scratch, &global, &data, &cfg, 0.5);
+        assert_eq!(first, scratch.delta);
+        // And equal to a fresh arena.
+        let mut fresh = ClientScratch::for_model(&model);
+        let mut rng = StdRng::seed_from_u64(4);
+        local_sgd_delta_prox_into(&mut rng, &mut fresh, &global, &data, &cfg, 0.5);
+        assert_eq!(first, fresh.delta);
     }
 
     #[test]

@@ -32,11 +32,13 @@ pub mod config;
 pub mod metrics;
 pub mod monitor;
 pub mod personalize;
+pub mod scratch;
 pub mod server;
 pub mod update;
 
 pub use aggregate::Aggregator;
 pub use config::FlConfig;
 pub use personalize::{LocalOutcome, Personalization, StateCommit};
+pub use scratch::ClientScratch;
 pub use server::{round_records_from_events, Adversary, FlServer, RoundRecord};
 pub use update::ClientUpdate;

@@ -19,9 +19,8 @@
 
 use super::{LocalOutcome, Personalization, StateCommit};
 use crate::config::FlConfig;
+use crate::scratch::ClientScratch;
 use collapois_data::sample::Dataset;
-use collapois_nn::loss::cross_entropy;
-use collapois_nn::model::Sequential;
 use collapois_nn::optim::Sgd;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -82,18 +81,25 @@ impl Clustered {
     /// Picks the cluster with the lowest loss on a sample of `data`.
     fn select_cluster(
         &self,
-        model: &mut Sequential,
+        scratch: &mut ClientScratch,
         data: &Dataset,
         cfg: &FlConfig,
         rng: &mut StdRng,
     ) -> usize {
-        let (x, y) = data.minibatch(rng, cfg.batch_size.max(16));
+        data.minibatch_into(
+            rng,
+            cfg.batch_size.max(16),
+            &mut scratch.idx,
+            &mut scratch.x,
+            &mut scratch.y,
+        );
         let mut best = 0usize;
         let mut best_loss = f64::INFINITY;
         for (c, params) in self.clusters.iter().enumerate() {
-            model.set_params(params);
-            let logits = model.forward(&x, false);
-            let loss = cross_entropy(&logits, &y).loss;
+            scratch.model.load_params_into(params);
+            let (loss, _) = scratch
+                .model
+                .loss_ws(&scratch.x, &scratch.y, &mut scratch.ws);
             if loss < best_loss {
                 best_loss = loss;
                 best = c;
@@ -129,7 +135,7 @@ impl Personalization for Clustered {
         global: &[f32],
         data: &Dataset,
         cfg: &FlConfig,
-        model: &mut Sequential,
+        scratch: &mut ClientScratch,
         rng: &mut StdRng,
     ) -> LocalOutcome {
         assert!(!data.is_empty(), "client has no training data");
@@ -137,17 +143,28 @@ impl Personalization for Clustered {
             !self.clusters.is_empty(),
             "begin_round must run before local_train"
         );
-        let cluster = self.select_cluster(model, data, cfg, rng);
-        model.set_params(&self.clusters[cluster]);
+        let cluster = self.select_cluster(scratch, data, cfg, rng);
+        scratch.model.load_params_into(&self.clusters[cluster]);
         let mut opt = Sgd::new(cfg.client_lr);
         for _ in 0..cfg.local_steps {
-            let (x, y) = data.minibatch(rng, cfg.batch_size);
-            model.train_batch(&x, &y, &mut opt);
+            data.minibatch_into(
+                rng,
+                cfg.batch_size,
+                &mut scratch.idx,
+                &mut scratch.x,
+                &mut scratch.y,
+            );
+            scratch
+                .model
+                .train_batch_ws(&scratch.x, &scratch.y, &mut opt, &mut scratch.ws);
         }
-        let trained = model.params();
-        let delta = trained.iter().zip(global).map(|(t, g)| t - g).collect();
+        let trained = scratch.model.params();
+        scratch.delta.clear();
+        scratch
+            .delta
+            .extend(trained.iter().zip(global).map(|(t, g)| t - g));
         LocalOutcome {
-            delta,
+            delta: std::mem::take(&mut scratch.delta),
             commit: StateCommit {
                 cluster: Some((cluster, trained)),
                 ..StateCommit::none()
@@ -205,6 +222,7 @@ impl Personalization for Clustered {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use collapois_nn::model::Sequential;
     use collapois_nn::zoo::ModelSpec;
     use rand::SeedableRng;
 
@@ -236,16 +254,17 @@ mod tests {
         global: &[f32],
         data: &Dataset,
         cfg: &FlConfig,
-        model: &mut Sequential,
+        scratch: &mut ClientScratch,
         rng: &mut StdRng,
     ) {
-        let out = cl.local_train(cid, global, data, cfg, model, rng);
+        let out = cl.local_train(cid, global, data, cfg, scratch, rng);
         cl.commit(cid, out.commit);
     }
 
     #[test]
     fn clients_with_conflicting_data_land_in_different_clusters() {
         let (cfg, mut model, global) = setup();
+        let mut scratch = ClientScratch::for_model(&model);
         let mut cl = Clustered::new(2);
         cl.init(2, global.len());
         let mut rng = StdRng::seed_from_u64(1);
@@ -254,8 +273,8 @@ mod tests {
         // Several alternating rounds so each specializes a cluster.
         for _ in 0..6 {
             cl.begin_round(&global, &mut rng);
-            train_and_commit(&mut cl, 0, &global, &a, &cfg, &mut model, &mut rng);
-            train_and_commit(&mut cl, 1, &global, &b, &cfg, &mut model, &mut rng);
+            train_and_commit(&mut cl, 0, &global, &a, &cfg, &mut scratch, &mut rng);
+            train_and_commit(&mut cl, 1, &global, &b, &cfg, &mut scratch, &mut rng);
         }
         let c0 = cl.assignment_of(0).unwrap();
         let c1 = cl.assignment_of(1).unwrap();
@@ -281,7 +300,8 @@ mod tests {
 
     #[test]
     fn state_survives_export_import() {
-        let (cfg, mut model, global) = setup();
+        let (cfg, model, global) = setup();
+        let mut scratch = ClientScratch::for_model(&model);
         let mut cl = Clustered::new(2);
         cl.init(2, global.len());
         let mut rng = StdRng::seed_from_u64(2);
@@ -292,7 +312,7 @@ mod tests {
             &global,
             &population_data(false),
             &cfg,
-            &mut model,
+            &mut scratch,
             &mut rng,
         );
         let state = cl.export_state();

@@ -8,10 +8,10 @@
 //! Table I.
 
 use super::{LocalOutcome, PersonalStore, Personalization, StateCommit};
-use crate::client::local_sgd_delta;
+use crate::client::local_sgd_delta_into;
 use crate::config::FlConfig;
+use crate::scratch::ClientScratch;
 use collapois_data::sample::Dataset;
-use collapois_nn::model::Sequential;
 use rand::rngs::StdRng;
 
 /// Ditto personalization strategy.
@@ -52,41 +52,51 @@ impl Personalization for Ditto {
         global: &[f32],
         data: &Dataset,
         cfg: &FlConfig,
-        model: &mut Sequential,
+        scratch: &mut ClientScratch,
         rng: &mut StdRng,
     ) -> LocalOutcome {
         // The update sent to the server: plain local SGD from the global.
-        let delta = local_sgd_delta(rng, model, global, data, cfg);
+        local_sgd_delta_into(rng, scratch, global, data, cfg);
+        let delta = std::mem::take(&mut scratch.delta);
         // The personal model: prox-regularized training starting from the
         // previous personal model (or the global on first participation).
-        let start: Vec<f32> = match self.personal.get(client_id) {
-            Some(p) => p.clone(),
-            None => global.to_vec(),
-        };
         // local_sgd_delta_prox starts from its `global` argument and pulls
         // toward it; for Ditto the pull must be toward the *server* model
         // while starting from the personal model, so run the prox step
-        // manually from `start` with reference `global`.
-        model.set_params(&start);
+        // manually from the personal start with reference `global`.
+        match self.personal.get(client_id) {
+            Some(p) => scratch.model.load_params_into(p),
+            None => scratch.model.load_params_into(global),
+        }
         let mut opt = collapois_nn::optim::Sgd::new(cfg.client_lr);
         for _ in 0..cfg.local_steps {
-            let (x, y) = data.minibatch(rng, cfg.batch_size);
-            model.train_batch(&x, &y, &mut opt);
+            data.minibatch_into(
+                rng,
+                cfg.batch_size,
+                &mut scratch.idx,
+                &mut scratch.x,
+                &mut scratch.y,
+            );
+            scratch
+                .model
+                .train_batch_ws(&scratch.x, &scratch.y, &mut opt, &mut scratch.ws);
             if self.lambda > 0.0 {
-                let mut params = model.params();
+                scratch.model.store_params_into(&mut scratch.params);
                 // Clamped at 1: huge λ pins the personal model to the
                 // global instead of oscillating.
                 let lr_l = (cfg.client_lr * self.lambda).min(1.0) as f32;
-                for (p, &g) in params.iter_mut().zip(global) {
+                for (p, &g) in scratch.params.iter_mut().zip(global) {
                     *p -= lr_l * (*p - g);
                 }
-                model.set_params(&params);
+                scratch.model.load_params_into(&scratch.params);
             }
         }
         LocalOutcome {
             delta,
             commit: StateCommit {
-                personal: Some(model.params()),
+                // Owned vector required: this outlives the arena in the
+                // personal store.
+                personal: Some(scratch.model.params()),
                 ..StateCommit::none()
             },
         }
@@ -138,10 +148,10 @@ mod tests {
         global: &[f32],
         data: &Dataset,
         cfg: &FlConfig,
-        model: &mut Sequential,
+        scratch: &mut ClientScratch,
         rng: &mut StdRng,
     ) -> Vec<f32> {
-        let out = d.local_train(cid, global, data, cfg, model, rng);
+        let out = d.local_train(cid, global, data, cfg, scratch, rng);
         d.commit(cid, out.commit);
         out.delta
     }
@@ -151,11 +161,20 @@ mod tests {
         let spec = ModelSpec::mlp(2, &[4], 2);
         let cfg = FlConfig::quick(spec.clone());
         let mut rng = StdRng::seed_from_u64(0);
-        let mut model = spec.build(&mut rng);
+        let model = spec.build(&mut rng);
         let global = model.params();
+        let mut scratch = ClientScratch::for_model(&model);
         let mut d = Ditto::new(0.1);
         d.init(1, global.len());
-        let delta = train_and_commit(&mut d, 0, &global, &toy_data(), &cfg, &mut model, &mut rng);
+        let delta = train_and_commit(
+            &mut d,
+            0,
+            &global,
+            &toy_data(),
+            &cfg,
+            &mut scratch,
+            &mut rng,
+        );
         assert!(delta.iter().any(|&v| v != 0.0));
         assert_ne!(d.eval_params(0, &global), global);
     }
@@ -167,12 +186,13 @@ mod tests {
         let data = toy_data();
         let run = |lambda: f64| {
             let mut rng = StdRng::seed_from_u64(1);
-            let mut model = spec.build(&mut rng);
+            let model = spec.build(&mut rng);
             let global = model.params();
+            let mut scratch = ClientScratch::for_model(&model);
             let mut d = Ditto::new(lambda);
             d.init(1, global.len());
             let mut rng2 = StdRng::seed_from_u64(2);
-            let _ = train_and_commit(&mut d, 0, &global, &data, &cfg, &mut model, &mut rng2);
+            let _ = train_and_commit(&mut d, 0, &global, &data, &cfg, &mut scratch, &mut rng2);
             l2_distance(&d.eval_params(0, &global), &global)
         };
         assert!(
@@ -186,11 +206,20 @@ mod tests {
         let spec = ModelSpec::mlp(2, &[4], 2);
         let cfg = FlConfig::quick(spec.clone());
         let mut rng = StdRng::seed_from_u64(3);
-        let mut model = spec.build(&mut rng);
+        let model = spec.build(&mut rng);
         let global = model.params();
+        let mut scratch = ClientScratch::for_model(&model);
         let mut d = Ditto::new(0.1);
         d.init(2, global.len());
-        let _ = train_and_commit(&mut d, 1, &global, &toy_data(), &cfg, &mut model, &mut rng);
+        let _ = train_and_commit(
+            &mut d,
+            1,
+            &global,
+            &toy_data(),
+            &cfg,
+            &mut scratch,
+            &mut rng,
+        );
         let state = d.export_state();
         let mut restored = Ditto::new(0.1);
         restored.init(2, global.len());
@@ -203,11 +232,12 @@ mod tests {
         let spec = ModelSpec::mlp(2, &[4], 2);
         let cfg = FlConfig::quick(spec.clone());
         let mut rng = StdRng::seed_from_u64(4);
-        let mut model = spec.build(&mut rng);
+        let model = spec.build(&mut rng);
         let global = model.params();
+        let mut scratch = ClientScratch::for_model(&model);
         let mut d = Ditto::new(0.1);
         d.init(1, global.len());
-        let _ = d.local_train(0, &global, &toy_data(), &cfg, &mut model, &mut rng);
+        let _ = d.local_train(0, &global, &toy_data(), &cfg, &mut scratch, &mut rng);
         // No commit: the strategy must still evaluate on the global model.
         assert_eq!(d.eval_params(0, &global), global);
     }

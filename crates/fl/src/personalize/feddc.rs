@@ -12,10 +12,10 @@
 //! (no per-minibatch drift schedule).
 
 use super::{LocalOutcome, PersonalStore, Personalization, StateCommit};
-use crate::client::local_sgd_delta_prox;
+use crate::client::local_sgd_delta_prox_into;
 use crate::config::FlConfig;
+use crate::scratch::ClientScratch;
 use collapois_data::sample::Dataset;
-use collapois_nn::model::Sequential;
 use rand::rngs::StdRng;
 
 /// FedDC personalization strategy.
@@ -65,10 +65,11 @@ impl Personalization for FedDc {
         global: &[f32],
         data: &Dataset,
         cfg: &FlConfig,
-        model: &mut Sequential,
+        scratch: &mut ClientScratch,
         rng: &mut StdRng,
     ) -> LocalOutcome {
-        let delta = local_sgd_delta_prox(rng, model, global, data, cfg, self.prox_mu);
+        local_sgd_delta_prox_into(rng, scratch, global, data, cfg, self.prox_mu);
+        let delta = std::mem::take(&mut scratch.delta);
         // Drift correction: h_i ← decay·h_i + (θ_i − θ).
         let decay = self.drift_decay as f32;
         let new_drift: Vec<f32> = match self.drift.get(client_id).and_then(Option::as_ref) {
@@ -152,10 +153,10 @@ mod tests {
         global: &[f32],
         data: &Dataset,
         cfg: &FlConfig,
-        model: &mut Sequential,
+        scratch: &mut ClientScratch,
         rng: &mut StdRng,
     ) -> Vec<f32> {
-        let out = fd.local_train(cid, global, data, cfg, model, rng);
+        let out = fd.local_train(cid, global, data, cfg, scratch, rng);
         fd.commit(cid, out.commit);
         out.delta
     }
@@ -165,12 +166,21 @@ mod tests {
         let spec = ModelSpec::mlp(2, &[4], 2);
         let cfg = FlConfig::quick(spec.clone());
         let mut rng = StdRng::seed_from_u64(0);
-        let mut model = spec.build(&mut rng);
+        let model = spec.build(&mut rng);
         let global = model.params();
+        let mut scratch = ClientScratch::for_model(&model);
         let mut fd = FedDc::new(1.0);
         fd.init(2, global.len());
         assert!(fd.drift_of(0).is_none());
-        let _ = train_and_commit(&mut fd, 0, &global, &toy_data(), &cfg, &mut model, &mut rng);
+        let _ = train_and_commit(
+            &mut fd,
+            0,
+            &global,
+            &toy_data(),
+            &cfg,
+            &mut scratch,
+            &mut rng,
+        );
         assert!(fd.drift_of(0).is_some());
         // Personalized model differs from the global.
         assert_ne!(fd.eval_params(0, &global), global);
@@ -183,13 +193,30 @@ mod tests {
         let spec = ModelSpec::mlp(2, &[4], 2);
         let cfg = FlConfig::quick(spec.clone());
         let mut rng = StdRng::seed_from_u64(1);
-        let mut model = spec.build(&mut rng);
+        let model = spec.build(&mut rng);
         let global = model.params();
+        let mut scratch = ClientScratch::for_model(&model);
         let mut fd = FedDc::new(1.0);
         fd.init(1, global.len());
-        let _ = train_and_commit(&mut fd, 0, &global, &toy_data(), &cfg, &mut model, &mut rng);
+        let _ = train_and_commit(
+            &mut fd,
+            0,
+            &global,
+            &toy_data(),
+            &cfg,
+            &mut scratch,
+            &mut rng,
+        );
         let d1 = fd.drift_of(0).unwrap().clone();
-        let _ = train_and_commit(&mut fd, 0, &global, &toy_data(), &cfg, &mut model, &mut rng);
+        let _ = train_and_commit(
+            &mut fd,
+            0,
+            &global,
+            &toy_data(),
+            &cfg,
+            &mut scratch,
+            &mut rng,
+        );
         let d2 = fd.drift_of(0).unwrap().clone();
         assert_ne!(d1, d2);
     }
@@ -199,11 +226,20 @@ mod tests {
         let spec = ModelSpec::mlp(2, &[4], 2);
         let cfg = FlConfig::quick(spec.clone());
         let mut rng = StdRng::seed_from_u64(2);
-        let mut model = spec.build(&mut rng);
+        let model = spec.build(&mut rng);
         let global = model.params();
+        let mut scratch = ClientScratch::for_model(&model);
         let mut fd = FedDc::new(1.0);
         fd.init(3, global.len());
-        let _ = train_and_commit(&mut fd, 2, &global, &toy_data(), &cfg, &mut model, &mut rng);
+        let _ = train_and_commit(
+            &mut fd,
+            2,
+            &global,
+            &toy_data(),
+            &cfg,
+            &mut scratch,
+            &mut rng,
+        );
         let state = fd.export_state();
         assert_eq!(state.len(), 6); // 3 drift + 3 personal slots
         let mut restored = FedDc::new(1.0);

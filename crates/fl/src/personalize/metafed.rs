@@ -12,8 +12,8 @@
 
 use super::{LocalOutcome, PersonalStore, Personalization, StateCommit};
 use crate::config::FlConfig;
+use crate::scratch::ClientScratch;
 use collapois_data::sample::Dataset;
-use collapois_nn::model::Sequential;
 use collapois_nn::optim::Sgd;
 use rand::rngs::StdRng;
 
@@ -57,38 +57,60 @@ impl Personalization for MetaFed {
         global: &[f32],
         data: &Dataset,
         cfg: &FlConfig,
-        model: &mut Sequential,
+        scratch: &mut ClientScratch,
         rng: &mut StdRng,
     ) -> LocalOutcome {
         assert!(!data.is_empty(), "client has no training data");
-        // Teacher: the circulating common model.
-        let mut teacher = model.clone();
-        teacher.set_params(global);
+        // Teacher: the circulating common model, hosted on the arena's
+        // lazily created auxiliary instance.
+        scratch.ensure_aux();
+        let teacher = scratch.aux.as_mut().expect("aux just ensured");
+        teacher.load_params_into(global);
 
         // Student: the client's persistent personal model (starts from the
         // common model on first participation).
-        let start: Vec<f32> = match self.personal.get(client_id) {
-            Some(p) => p.clone(),
-            None => global.to_vec(),
-        };
-        model.set_params(&start);
+        match self.personal.get(client_id) {
+            Some(p) => scratch.model.load_params_into(p),
+            None => scratch.model.load_params_into(global),
+        }
         let mut opt = Sgd::new(cfg.client_lr);
 
-        // Stage 1 — common-knowledge distillation.
+        // Stage 1 — common-knowledge distillation (the teacher's soft
+        // targets are allocated per step; distillation is off the
+        // steady-state FedAvg hot path).
         for _ in 0..self.distill_steps {
-            let (x, _) = data.minibatch(rng, cfg.batch_size);
-            let targets = teacher.predict_proba(&x);
-            model.distill_batch(&x, &targets, self.temperature, &mut opt);
+            data.minibatch_into(
+                rng,
+                cfg.batch_size,
+                &mut scratch.idx,
+                &mut scratch.x,
+                &mut scratch.y,
+            );
+            let targets = teacher.predict_proba(&scratch.x);
+            scratch
+                .model
+                .distill_batch(&scratch.x, &targets, self.temperature, &mut opt);
         }
         // Stage 2 — personalization on local data.
         for _ in 0..cfg.local_steps {
-            let (x, y) = data.minibatch(rng, cfg.batch_size);
-            model.train_batch(&x, &y, &mut opt);
+            data.minibatch_into(
+                rng,
+                cfg.batch_size,
+                &mut scratch.idx,
+                &mut scratch.x,
+                &mut scratch.y,
+            );
+            scratch
+                .model
+                .train_batch_ws(&scratch.x, &scratch.y, &mut opt, &mut scratch.ws);
         }
-        let personal = model.params();
-        let delta: Vec<f32> = personal.iter().zip(global).map(|(p, g)| p - g).collect();
+        let personal = scratch.model.params();
+        scratch.delta.clear();
+        scratch
+            .delta
+            .extend(personal.iter().zip(global).map(|(p, g)| p - g));
         LocalOutcome {
-            delta,
+            delta: std::mem::take(&mut scratch.delta),
             commit: StateCommit {
                 personal: Some(personal),
                 ..StateCommit::none()
@@ -139,16 +161,17 @@ mod tests {
         let spec = ModelSpec::mlp(2, &[4], 2);
         let cfg = FlConfig::quick(spec.clone());
         let mut rng = StdRng::seed_from_u64(0);
-        let mut model = spec.build(&mut rng);
+        let model = spec.build(&mut rng);
         let global = model.params();
+        let mut scratch = ClientScratch::for_model(&model);
         let mut mf = MetaFed::new(2.0, 2);
         mf.init(2, global.len());
-        let out = mf.local_train(0, &global, &toy_data(), &cfg, &mut model, &mut rng);
+        let out = mf.local_train(0, &global, &toy_data(), &cfg, &mut scratch, &mut rng);
         mf.commit(0, out.commit);
         let p1 = mf.eval_params(0, &global);
         assert_ne!(p1, global);
         // A second round starts from the stored personal model, not global.
-        let out = mf.local_train(0, &global, &toy_data(), &cfg, &mut model, &mut rng);
+        let out = mf.local_train(0, &global, &toy_data(), &cfg, &mut scratch, &mut rng);
         mf.commit(0, out.commit);
         let p2 = mf.eval_params(0, &global);
         assert_ne!(p2, p1);
@@ -165,10 +188,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let mut model = spec.build(&mut rng);
         let global = model.params();
+        let mut scratch = ClientScratch::for_model(&model);
         let mut mf = MetaFed::new(2.0, 2);
         mf.init(1, global.len());
         let data = toy_data();
-        let out = mf.local_train(0, &global, &data, &cfg, &mut model, &mut rng);
+        let out = mf.local_train(0, &global, &data, &cfg, &mut scratch, &mut rng);
         mf.commit(0, out.commit);
         model.set_params(&mf.eval_params(0, &global));
         let (x, y) = data.as_batch();

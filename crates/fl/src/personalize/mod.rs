@@ -35,10 +35,10 @@ pub use ditto::Ditto;
 pub use feddc::FedDc;
 pub use metafed::MetaFed;
 
-use crate::client::local_sgd_delta;
+use crate::client::local_sgd_delta_into;
 use crate::config::FlConfig;
+use crate::scratch::ClientScratch;
 use collapois_data::sample::Dataset;
-use collapois_nn::model::Sequential;
 use rand::rngs::StdRng;
 
 /// State mutations requested by one client's local training, applied by
@@ -98,13 +98,20 @@ pub trait Personalization: std::fmt::Debug + Send + Sync {
     /// Must not mutate strategy state (`&self`): it reads the state
     /// snapshot as of [`Personalization::begin_round`] and reports every
     /// intended mutation through the returned [`StateCommit`].
+    ///
+    /// `scratch` is a persistent per-worker arena
+    /// ([`crate::scratch::ClientScratch`]); implementations train on
+    /// `scratch.model` (reloading it from `global` or their personal state —
+    /// never relying on its previous contents) and conventionally build the
+    /// outgoing delta in `scratch.delta`, handing it off via `mem::take` so
+    /// the buffer is reclaimed by the round engine.
     fn local_train(
         &self,
         client_id: usize,
         global: &[f32],
         data: &Dataset,
         cfg: &FlConfig,
-        model: &mut Sequential,
+        scratch: &mut ClientScratch,
         rng: &mut StdRng,
     ) -> LocalOutcome;
 
@@ -154,10 +161,11 @@ impl Personalization for NoPersonalization {
         global: &[f32],
         data: &Dataset,
         cfg: &FlConfig,
-        model: &mut Sequential,
+        scratch: &mut ClientScratch,
         rng: &mut StdRng,
     ) -> LocalOutcome {
-        LocalOutcome::stateless(local_sgd_delta(rng, model, global, data, cfg))
+        local_sgd_delta_into(rng, scratch, global, data, cfg);
+        LocalOutcome::stateless(std::mem::take(&mut scratch.delta))
     }
 
     fn eval_params(&self, _client_id: usize, global: &[f32]) -> Vec<f32> {
@@ -225,11 +233,12 @@ mod tests {
         let spec = ModelSpec::mlp(2, &[4], 2);
         let cfg = FlConfig::quick(spec.clone());
         let mut rng = StdRng::seed_from_u64(0);
-        let mut model = spec.build(&mut rng);
+        let model = spec.build(&mut rng);
         let global = model.params();
+        let mut scratch = ClientScratch::for_model(&model);
         let mut p = NoPersonalization::new();
         p.init(1, global.len());
-        let out = p.local_train(0, &global, &toy_data(), &cfg, &mut model, &mut rng);
+        let out = p.local_train(0, &global, &toy_data(), &cfg, &mut scratch, &mut rng);
         assert_eq!(out.delta.len(), global.len());
         assert!(out.delta.iter().any(|&d| d != 0.0));
         assert_eq!(out.commit, StateCommit::none());

@@ -1,0 +1,61 @@
+//! Per-worker training arena: every heap buffer one worker needs to run a
+//! client's local training, owned persistently so the steady-state round
+//! loop performs no allocation.
+//!
+//! A [`ClientScratch`] is *stateless between jobs by contract*: every
+//! `local_train` starts by reloading the model from the current global
+//! parameters and fully overwrites each buffer it reads, so arena history
+//! can never leak between clients, rounds, or worker schedules — which is
+//! what keeps the pooled path bitwise identical to the historical
+//! clone-per-client path.
+
+use collapois_nn::model::Sequential;
+use collapois_nn::tensor::Tensor;
+use collapois_nn::workspace::Workspace;
+
+/// Reusable per-worker buffers for
+/// [`crate::personalize::Personalization::local_train`].
+#[derive(Debug, Clone, Default)]
+pub struct ClientScratch {
+    /// The reusable model instance. Reloaded from the global parameters at
+    /// the start of every job.
+    pub model: Sequential,
+    /// Lazily created second model instance for strategies that need one
+    /// (MetaFed's frozen teacher). Created by cloning `model` on first use.
+    pub aux: Option<Sequential>,
+    /// Forward/backward scratch tensors for `model` (and `aux`).
+    pub ws: Workspace,
+    /// Output delta buffer: strategies compute `θ_local − θ_global` here
+    /// and hand it off via `mem::take`.
+    pub delta: Vec<f32>,
+    /// Flat parameter scratch (trained local parameters, prox steps).
+    pub params: Vec<f32>,
+    /// Second flat parameter scratch for strategies juggling two vectors.
+    pub params2: Vec<f32>,
+    /// Minibatch index buffer for `Dataset::minibatch_into`.
+    pub idx: Vec<usize>,
+    /// Minibatch feature buffer.
+    pub x: Tensor,
+    /// Minibatch label buffer.
+    pub y: Vec<usize>,
+}
+
+impl ClientScratch {
+    /// Creates a scratch arena for the given model architecture (the model
+    /// is cloned once here — the last per-client clone in the system).
+    pub fn for_model(template: &Sequential) -> Self {
+        Self {
+            model: template.clone(),
+            ..Self::default()
+        }
+    }
+
+    /// Ensures the auxiliary model exists (cloned from `model` on first
+    /// call) without borrowing it, so callers can then split-borrow
+    /// `scratch.aux` and `scratch.model` simultaneously.
+    pub fn ensure_aux(&mut self) {
+        if self.aux.is_none() {
+            self.aux = Some(self.model.clone());
+        }
+    }
+}

@@ -24,11 +24,12 @@ use crate::aggregate::Aggregator;
 use crate::config::FlConfig;
 use crate::monitor::ShiftDetector;
 use crate::personalize::Personalization;
+use crate::scratch::ClientScratch;
 use crate::update::ClientUpdate;
 use collapois_data::federated::FederatedDataset;
 use collapois_nn::model::Sequential;
 use collapois_runtime::checkpoint::{self, CheckpointError, Snapshot};
-use collapois_runtime::pool::WorkerPool;
+use collapois_runtime::pool::{WorkerArenas, WorkerPool};
 use collapois_runtime::seed;
 use collapois_runtime::trace::{TraceEvent, TraceLog};
 use rand::rngs::StdRng;
@@ -147,6 +148,14 @@ pub struct FlServer {
     round: usize,
     collect_updates: bool,
     workers: WorkerPool,
+    /// Per-worker training arenas, alive across rounds (and checkpoints —
+    /// they are pure scratch and never serialized).
+    arenas: WorkerArenas<ClientScratch>,
+    /// Recycled delta buffers handed to benign training jobs and reclaimed
+    /// after aggregation (unless update collection keeps them).
+    update_pool: Vec<Vec<f32>>,
+    /// Reusable aggregation output buffer.
+    agg_buf: Vec<f32>,
     trace: TraceLog,
     monitor: Option<ShiftDetector>,
     checkpoint_dir: Option<PathBuf>,
@@ -185,6 +194,9 @@ impl FlServer {
             round: 0,
             collect_updates: false,
             workers: WorkerPool::new(1),
+            arenas: WorkerArenas::new(),
+            update_pool: Vec::new(),
+            agg_buf: Vec::new(),
             trace: TraceLog::in_memory(),
             monitor: None,
             checkpoint_dir: None,
@@ -391,12 +403,13 @@ impl FlServer {
                 .collect(),
             None => Vec::new(),
         };
-        let started = TraceEvent::RoundStarted {
+        // Single clone per vector: the event owns copies, the locals stay
+        // live for the round body and move into the returned record.
+        self.trace.push(TraceEvent::RoundStarted {
             round,
             sampled: sampled.clone(),
             compromised: compromised.clone(),
-        };
-        self.trace.push(started.clone());
+        });
 
         let mut setup_rng = seed::round_setup_rng(run_seed, round_u64);
         self.personalization
@@ -408,32 +421,36 @@ impl FlServer {
             None
         };
 
-        // Benign training jobs, fanned over the worker pool. The closure
-        // only holds shared borrows; all mutation is deferred to commits.
-        let benign: Vec<usize> = sampled
+        // Benign training jobs, fanned over the worker pool with one
+        // persistent arena per lane. Each job is paired with a recycled
+        // delta buffer it fills in place; the closure only holds shared
+        // borrows of the round snapshot, so all mutation is deferred to
+        // commits and determinism is independent of scheduling.
+        let fed = &self.fed;
+        let update_pool = &mut self.update_pool;
+        let benign: Vec<(usize, Vec<f32>)> = sampled
             .iter()
             .copied()
-            .filter(|cid| !compromised.contains(cid) && !self.fed.client(*cid).train.is_empty())
+            .filter(|cid| !compromised.contains(cid) && !fed.client(*cid).train.is_empty())
+            .map(|cid| (cid, update_pool.pop().unwrap_or_default()))
             .collect();
         let pool = self.workers;
         let pers: &dyn Personalization = self.personalization.as_ref();
-        let fed = &self.fed;
         let cfg = &self.cfg;
         let global = &self.global;
-        let scratch = &self.scratch;
-        let outcomes = pool.map(benign, move |_, cid| {
-            let mut model = scratch.clone();
-            let mut rng = seed::client_rng(run_seed, round_u64, cid);
-            let out = pers.local_train(
-                cid,
-                global,
-                &fed.client(cid).train,
-                cfg,
-                &mut model,
-                &mut rng,
-            );
-            (cid, out)
-        });
+        let template = &self.scratch;
+        let outcomes = pool.map_with_arena(
+            &mut self.arenas,
+            benign,
+            || ClientScratch::for_model(template),
+            move |_, (cid, buf), scratch| {
+                scratch.delta = buf;
+                let mut rng = seed::client_rng(run_seed, round_u64, cid);
+                let out =
+                    pers.local_train(cid, global, &fed.client(cid).train, cfg, scratch, &mut rng);
+                (cid, out)
+            },
+        );
 
         // Assemble updates in sampled order; personalization commits land
         // in the same order, independent of worker scheduling.
@@ -472,7 +489,10 @@ impl FlServer {
         let num_malicious = malicious_norms.len();
 
         let mut agg_rng = seed::aggregation_rng(run_seed, round_u64);
-        let agg = self.aggregator.aggregate(&updates, dim, &mut agg_rng);
+        let mut agg = std::mem::take(&mut self.agg_buf);
+        agg.resize(dim, 0.0);
+        self.aggregator
+            .aggregate_into(&updates, &mut agg, &mut agg_rng);
         let lr = self.cfg.server_lr as f32;
         let mut agg_sq = 0.0f64;
         for (g, &d) in self.global.iter_mut().zip(&agg) {
@@ -481,6 +501,7 @@ impl FlServer {
             *g += step;
         }
         let agg_delta_norm = agg_sq.sqrt();
+        self.agg_buf = agg;
         self.aggregator.post_process(&mut self.global, &mut agg_rng);
 
         if let Some(adv) = adversary.as_mut() {
@@ -498,25 +519,34 @@ impl FlServer {
             }
         }
 
-        let completed = TraceEvent::RoundCompleted {
+        self.trace.push(TraceEvent::RoundCompleted {
             round,
             aggregator: self.aggregator.name().to_string(),
             num_malicious,
-            benign_norms,
-            malicious_norms,
+            benign_norms: benign_norms.clone(),
+            malicious_norms: malicious_norms.clone(),
             agg_delta_norm,
             elapsed_ms: round_start.elapsed().as_secs_f64() * 1e3,
-        };
-        self.trace.push(completed.clone());
+        });
 
-        let mut record = RoundRecord::from_trace(&started, &completed)
-            .expect("start/complete events of the same round");
-        record.updates = if self.collect_updates {
+        // Reclaim the round's delta buffers unless the caller keeps them.
+        let kept_updates = if self.collect_updates {
             Some(updates)
         } else {
+            for u in updates {
+                self.update_pool.push(u.delta);
+            }
             None
         };
-        record.global_before = global_before;
+        let record = RoundRecord {
+            round,
+            sampled,
+            num_malicious,
+            benign_norms,
+            malicious_norms,
+            updates: kept_updates,
+            global_before,
+        };
 
         self.round += 1;
         self.rounds_executed += 1;

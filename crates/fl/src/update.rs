@@ -49,13 +49,31 @@ impl ClientUpdate {
 ///
 /// Panics if any update's dimension differs from `dim`.
 pub fn mean_delta(updates: &[ClientUpdate], dim: usize) -> Vec<f32> {
-    let mut acc = vec![0.0f64; dim];
+    let mut out = vec![0.0f32; dim];
+    let mut acc = Vec::new();
+    mean_delta_into(updates, &mut out, &mut acc);
+    out
+}
+
+/// In-place [`mean_delta`]: writes the mean into `out` (length `dim`) using
+/// `acc` as a reusable f64 accumulator. Bitwise identical to the allocating
+/// path — same accumulation order, same rounding.
+///
+/// # Panics
+///
+/// Panics if any update's dimension differs from `out.len()`.
+pub fn mean_delta_into(updates: &[ClientUpdate], out: &mut [f32], acc: &mut Vec<f64>) {
+    let dim = out.len();
+    acc.clear();
+    acc.resize(dim, 0.0);
     for u in updates {
         assert_eq!(u.delta.len(), dim, "update dimension mismatch");
-        kernels::acc_add(&mut acc, &u.delta);
+        kernels::acc_add(acc, &u.delta);
     }
     let n = updates.len().max(1) as f64;
-    acc.into_iter().map(|a| (a / n) as f32).collect()
+    for (o, &a) in out.iter_mut().zip(acc.iter()) {
+        *o = (a / n) as f32;
+    }
 }
 
 #[cfg(test)]
@@ -86,5 +104,18 @@ mod tests {
     fn mean_rejects_mismatch() {
         let u1 = ClientUpdate::new(0, vec![1.0], 1);
         let _ = mean_delta(&[u1], 2);
+    }
+
+    #[test]
+    fn mean_into_reuses_buffers() {
+        let u1 = ClientUpdate::new(0, vec![1.0, 2.0], 10);
+        let u2 = ClientUpdate::new(1, vec![3.0, 4.0], 20);
+        let mut out = vec![9.0f32; 2];
+        let mut acc = vec![7.0f64; 5]; // stale contents must not leak through
+        mean_delta_into(&[u1.clone(), u2], &mut out, &mut acc);
+        assert_eq!(out, vec![2.0, 3.0]);
+        // Second call with different updates reuses the same buffers.
+        mean_delta_into(&[u1], &mut out, &mut acc);
+        assert_eq!(out, vec![1.0, 2.0]);
     }
 }

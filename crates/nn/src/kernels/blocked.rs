@@ -6,9 +6,11 @@
 //! `B` operand is packed one `KC × NC` tile at a time into a contiguous
 //! thread-local scratch buffer (transposing on the fly for `matmul_transb`,
 //! whose `B` arrives as `[n, k]` — "transposed-B packing"), and the
-//! microkernel streams each packed row through an 8-wide unrolled axpy into
-//! the `C` row. `KC × NC × 4` bytes ≈ 128 KiB keeps the packed tile
-//! L2-resident while `C`/`A` rows stream through L1.
+//! microkernel streams the packed rows through a 4-deep fused axpy into the
+//! `C` row (four `k` steps per load/store of `C`, left-associated so the
+//! per-element order matches four sequential axpys exactly). `KC × NC × 4`
+//! bytes ≈ 128 KiB keeps the packed tile L2-resident while `C`/`A` rows
+//! stream through L1.
 //!
 //! # Reduction-order guarantees
 //!
@@ -38,6 +40,23 @@ const NC: usize = 256;
 thread_local! {
     /// Scratch buffer for packed `B` tiles (at most `KC * NC` floats).
     static PACK: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Fused 4-step axpy: `y = (((y + a0·x0) + a1·x1) + a2·x2) + a3·x3`,
+/// element-wise with that exact left-associated order — bitwise identical
+/// to four sequential [`axpy_unrolled`] calls, but with one load/store of
+/// `y` instead of four. Slices must share a length (private microkernel;
+/// callers guarantee it).
+#[inline(always)]
+fn axpy4_unrolled(y: &mut [f32], al: [f32; 4], x0: &[f32], x1: &[f32], x2: &[f32], x3: &[f32]) {
+    for ((((yv, &v0), &v1), &v2), &v3) in y.iter_mut().zip(x0).zip(x1).zip(x2).zip(x3) {
+        let mut s = *yv;
+        s += al[0] * v0;
+        s += al[1] * v1;
+        s += al[2] * v2;
+        s += al[3] * v3;
+        *yv = s;
+    }
 }
 
 /// 8-wide unrolled `y += alpha * x` over equal-length slices (no length
@@ -83,8 +102,28 @@ where
                 for i in 0..m {
                     let arow = &a[i * k + kc..i * k + kc + kcb];
                     let crow = &mut c[i * n + jc..i * n + jc + ncb];
-                    for (t, &av) in arow.iter().enumerate() {
-                        axpy_unrolled(crow, av, &pack[t * ncb..(t + 1) * ncb]);
+                    // Four packed rows per pass (`axpy4_unrolled` keeps the
+                    // per-element order of four sequential axpys), then the
+                    // `kcb % 4` stragglers one at a time.
+                    let mut t = 0;
+                    while t + 4 <= kcb {
+                        let rows = &pack[t * ncb..(t + 4) * ncb];
+                        let (x0, rest) = rows.split_at(ncb);
+                        let (x1, rest) = rest.split_at(ncb);
+                        let (x2, x3) = rest.split_at(ncb);
+                        axpy4_unrolled(
+                            crow,
+                            [arow[t], arow[t + 1], arow[t + 2], arow[t + 3]],
+                            x0,
+                            x1,
+                            x2,
+                            x3,
+                        );
+                        t += 4;
+                    }
+                    while t < kcb {
+                        axpy_unrolled(crow, arow[t], &pack[t * ncb..(t + 1) * ncb]);
+                        t += 1;
                     }
                 }
             }
@@ -148,12 +187,33 @@ pub fn matmul_transa_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, p: usize
     assert_eq!(c.len(), p * q, "matmul_transa_acc: C length");
     for qc in (0..q).step_by(NC) {
         let qcb = NC.min(q - qc);
-        for t in 0..m {
+        // Four batch rows per pass: each `C` element still accumulates its
+        // batch contributions in ascending order (`axpy4_unrolled` is
+        // bitwise identical to four sequential rank-1 updates).
+        let mut t = 0;
+        while t + 4 <= m {
+            let b0 = &b[t * q + qc..t * q + qc + qcb];
+            let b1 = &b[(t + 1) * q + qc..(t + 1) * q + qc + qcb];
+            let b2 = &b[(t + 2) * q + qc..(t + 2) * q + qc + qcb];
+            let b3 = &b[(t + 3) * q + qc..(t + 3) * q + qc + qcb];
+            for i in 0..p {
+                let al = [
+                    a[t * p + i],
+                    a[(t + 1) * p + i],
+                    a[(t + 2) * p + i],
+                    a[(t + 3) * p + i],
+                ];
+                axpy4_unrolled(&mut c[i * q + qc..i * q + qc + qcb], al, b0, b1, b2, b3);
+            }
+            t += 4;
+        }
+        while t < m {
             let brow = &b[t * q + qc..t * q + qc + qcb];
             for i in 0..p {
                 let av = a[t * p + i];
                 axpy_unrolled(&mut c[i * q + qc..i * q + qc + qcb], av, brow);
             }
+            t += 1;
         }
     }
 }

@@ -6,7 +6,10 @@ use crate::tensor::Tensor;
 /// Rectified linear unit: `max(0, x)` element-wise.
 #[derive(Debug, Clone, Default)]
 pub struct ReLU {
-    mask: Option<Vec<bool>>,
+    // Persistent mask buffer: `have_mask` gates validity so the heap
+    // allocation is reused across training minibatches.
+    mask: Vec<bool>,
+    have_mask: bool,
     shape: Vec<usize>,
 }
 
@@ -19,41 +22,52 @@ impl ReLU {
 
 impl Layer for ReLU {
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        let mut out = input.clone();
-        let mut mask = if train {
-            Vec::with_capacity(input.len())
-        } else {
-            Vec::new()
-        };
+        let mut out = Tensor::default();
+        self.forward_into(input, &mut out, train);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut grad_in = Tensor::default();
+        self.backward_into(grad_out, &mut grad_in);
+        grad_in
+    }
+
+    fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, train: bool) {
+        out.copy_from(input);
+        if train {
+            self.mask.clear();
+            self.shape.clear();
+            self.shape.extend_from_slice(input.shape());
+        }
         for v in out.data_mut() {
             let active = *v > 0.0;
             if !active {
                 *v = 0.0;
             }
             if train {
-                mask.push(active);
+                self.mask.push(active);
             }
         }
         if train {
-            self.mask = Some(mask);
-            self.shape = input.shape().to_vec();
+            self.have_mask = true;
         }
-        out
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let mask = self
-            .mask
-            .take()
-            .expect("relu backward called without a training forward");
-        assert_eq!(grad_out.len(), mask.len(), "relu grad shape mismatch");
-        let mut g = grad_out.clone().reshaped(&self.shape);
-        for (v, &active) in g.data_mut().iter_mut().zip(&mask) {
+    fn backward_into(&mut self, grad_out: &Tensor, grad_in: &mut Tensor) {
+        assert!(
+            self.have_mask,
+            "relu backward called without a training forward"
+        );
+        self.have_mask = false;
+        assert_eq!(grad_out.len(), self.mask.len(), "relu grad shape mismatch");
+        grad_in.resize_to(&self.shape);
+        grad_in.data_mut().copy_from_slice(grad_out.data());
+        for (v, &active) in grad_in.data_mut().iter_mut().zip(&self.mask) {
             if !active {
                 *v = 0.0;
             }
         }
-        g
     }
 
     fn clone_box(&self) -> Box<dyn Layer> {
@@ -64,7 +78,9 @@ impl Layer for ReLU {
 /// Hyperbolic tangent activation.
 #[derive(Debug, Clone, Default)]
 pub struct Tanh {
-    cached_output: Option<Tensor>,
+    // Persistent cache buffer, validity gated by `cached`.
+    cached_output: Tensor,
+    cached: bool,
 }
 
 impl Tanh {
@@ -76,27 +92,41 @@ impl Tanh {
 
 impl Layer for Tanh {
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        let mut out = input.clone();
-        for v in out.data_mut() {
-            *v = v.tanh();
-        }
-        if train {
-            self.cached_output = Some(out.clone());
-        }
+        let mut out = Tensor::default();
+        self.forward_into(input, &mut out, train);
         out
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let y = self
-            .cached_output
-            .take()
-            .expect("tanh backward called without a training forward");
+        let mut grad_in = Tensor::default();
+        self.backward_into(grad_out, &mut grad_in);
+        grad_in
+    }
+
+    fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, train: bool) {
+        out.copy_from(input);
+        for v in out.data_mut() {
+            *v = v.tanh();
+        }
+        if train {
+            self.cached_output.copy_from(out);
+            self.cached = true;
+        }
+    }
+
+    fn backward_into(&mut self, grad_out: &Tensor, grad_in: &mut Tensor) {
+        assert!(
+            self.cached,
+            "tanh backward called without a training forward"
+        );
+        self.cached = false;
+        let y = &self.cached_output;
         assert_eq!(grad_out.len(), y.len(), "tanh grad shape mismatch");
-        let mut g = grad_out.clone().reshaped(y.shape());
-        for (gv, &yv) in g.data_mut().iter_mut().zip(y.data()) {
+        grad_in.resize_to(y.shape());
+        grad_in.data_mut().copy_from_slice(grad_out.data());
+        for (gv, &yv) in grad_in.data_mut().iter_mut().zip(y.data()) {
             *gv *= 1.0 - yv * yv;
         }
-        g
     }
 
     fn clone_box(&self) -> Box<dyn Layer> {
@@ -135,5 +165,22 @@ mod tests {
     fn relu_has_no_params() {
         let relu = ReLU::new();
         assert_eq!(relu.param_count(), 0);
+    }
+
+    #[test]
+    fn relu_into_reuses_buffers_and_matches() {
+        let mut a = ReLU::new();
+        let mut b = ReLU::new();
+        let mut out = Tensor::default();
+        let mut gin = Tensor::default();
+        for scale in [1.0f32, -2.0, 0.5] {
+            let x = Tensor::from_vec(vec![-1.0 * scale, 0.0, 2.0 * scale], &[1, 3]);
+            a.forward_into(&x, &mut out, true);
+            let expect = b.forward(&x, true);
+            assert_eq!(out, expect);
+            let g = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]);
+            a.backward_into(&g, &mut gin);
+            assert_eq!(gin, b.backward(&g));
+        }
     }
 }

@@ -16,7 +16,10 @@ pub struct Dense {
     bias: Vec<f32>,   // [out]
     grad_weight: Vec<f32>,
     grad_bias: Vec<f32>,
-    cached_input: Option<Tensor>,
+    // Persistent cache buffer: `cached` gates validity so the heap
+    // allocation survives (and is reused by) every training forward.
+    cached_input: Tensor,
+    cached: bool,
 }
 
 impl Dense {
@@ -42,7 +45,8 @@ impl Dense {
             bias: vec![0.0; out_dim],
             grad_weight: vec![0.0; in_dim * out_dim],
             grad_bias: vec![0.0; out_dim],
-            cached_input: None,
+            cached_input: Tensor::default(),
+            cached: false,
         }
     }
 
@@ -59,6 +63,18 @@ impl Dense {
 
 impl Layer for Dense {
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut out = Tensor::default();
+        self.forward_into(input, &mut out, train);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut grad_in = Tensor::default();
+        self.backward_into(grad_out, &mut grad_in);
+        grad_in
+    }
+
+    fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, train: bool) {
         let n = input.batch();
         assert_eq!(
             input.len(),
@@ -68,25 +84,39 @@ impl Layer for Dense {
             input.shape()
         );
         let x = input.data();
-        // y = x Wᵀ, then add the bias per row.
-        let mut out = vec![0.0f32; n * self.out_dim];
-        kernels::matmul_transb(x, &self.weight, &mut out, n, self.in_dim, self.out_dim);
-        for oi in out.chunks_exact_mut(self.out_dim) {
+        // y = x Wᵀ, then add the bias per row. The matmul kernel fully
+        // overwrites `out`, so stale contents from a previous minibatch are
+        // harmless.
+        out.resize_to(&[n, self.out_dim]);
+        kernels::matmul_transb(
+            x,
+            &self.weight,
+            out.data_mut(),
+            n,
+            self.in_dim,
+            self.out_dim,
+        );
+        for oi in out.data_mut().chunks_exact_mut(self.out_dim) {
             for (o, b) in oi.iter_mut().zip(&self.bias) {
                 *o += b;
             }
         }
         if train {
-            self.cached_input = Some(input.clone().reshaped(&[n, self.in_dim]));
+            self.cached_input.resize_to(&[n, self.in_dim]);
+            self.cached_input.data_mut().copy_from_slice(x);
+            self.cached = true;
         }
-        Tensor::from_vec(out, &[n, self.out_dim])
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let input = self
-            .cached_input
-            .take()
-            .expect("dense backward called without a training forward");
+    fn backward_into(&mut self, grad_out: &Tensor, grad_in: &mut Tensor) {
+        assert!(
+            self.cached,
+            "dense backward called without a training forward"
+        );
+        self.cached = false;
+        // Move the cache out so its data can be read while parameter
+        // gradients are mutated; restored below to keep its buffer alive.
+        let input = std::mem::take(&mut self.cached_input);
         let n = input.batch();
         assert_eq!(
             grad_out.len(),
@@ -103,9 +133,43 @@ impl Layer for Dense {
             }
         }
         // dX = g W.
-        let mut grad_in = vec![0.0f32; n * self.in_dim];
-        kernels::matmul(g, &self.weight, &mut grad_in, n, self.out_dim, self.in_dim);
-        Tensor::from_vec(grad_in, &[n, self.in_dim])
+        grad_in.resize_to(&[n, self.in_dim]);
+        kernels::matmul(
+            g,
+            &self.weight,
+            grad_in.data_mut(),
+            n,
+            self.out_dim,
+            self.in_dim,
+        );
+        self.cached_input = input;
+    }
+
+    fn backward_head_into(&mut self, grad_out: &Tensor, _scratch: &mut Tensor) {
+        assert!(
+            self.cached,
+            "dense backward called without a training forward"
+        );
+        self.cached = false;
+        let input = std::mem::take(&mut self.cached_input);
+        let n = input.batch();
+        assert_eq!(
+            grad_out.len(),
+            n * self.out_dim,
+            "dense grad shape mismatch"
+        );
+        let x = input.data();
+        let g = grad_out.data();
+        // Parameter gradients only — identical ops to `backward_into`; the
+        // dX matmul (the single largest matmul of a first-layer backward)
+        // is skipped because nothing consumes it.
+        kernels::matmul_transa_acc(g, x, &mut self.grad_weight, n, self.out_dim, self.in_dim);
+        for gb in g.chunks_exact(self.out_dim) {
+            for (db, &go) in self.grad_bias.iter_mut().zip(gb) {
+                *db += go;
+            }
+        }
+        self.cached_input = input;
     }
 
     fn param_count(&self) -> usize {
@@ -137,7 +201,8 @@ impl Layer for Dense {
 
     fn clone_box(&self) -> Box<dyn Layer> {
         let mut c = self.clone();
-        c.cached_input = None;
+        c.cached_input = Tensor::default();
+        c.cached = false;
         Box::new(c)
     }
 }
@@ -237,6 +302,32 @@ mod tests {
         l.zero_grad();
         l.write_grads(&mut grads);
         assert!(grads.iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn head_backward_matches_full_backward_param_grads() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut full = Dense::new(&mut rng, 5, 3);
+        let mut head = full.clone();
+        let x = Tensor::from_vec((0..10).map(|i| 0.3 * i as f32 - 1.0).collect(), &[2, 5]);
+        let g = Tensor::from_vec((0..6).map(|i| 0.1 * i as f32 - 0.2).collect(), &[2, 3]);
+        let mut scratch = Tensor::default();
+
+        full.forward_into(&x, &mut scratch, true);
+        let mut grad_in = Tensor::default();
+        full.backward_into(&g, &mut grad_in);
+        head.forward_into(&x, &mut scratch, true);
+        head.backward_head_into(&g, &mut scratch);
+
+        let mut gf = vec![0.0; full.param_count()];
+        let mut gh = vec![0.0; head.param_count()];
+        full.write_grads(&mut gf);
+        head.write_grads(&mut gh);
+        assert_eq!(
+            gf.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            gh.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "head backward must accumulate bitwise-identical parameter grads"
+        );
     }
 
     #[test]

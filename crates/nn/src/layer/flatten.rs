@@ -18,20 +18,35 @@ impl Flatten {
 
 impl Layer for Flatten {
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        let n = input.batch();
-        let rest: usize = input.shape()[1..].iter().product();
-        if train {
-            self.in_shape = input.shape().to_vec();
-        }
-        input.clone().reshaped(&[n, rest])
+        let mut out = Tensor::default();
+        self.forward_into(input, &mut out, train);
+        out
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut grad_in = Tensor::default();
+        self.backward_into(grad_out, &mut grad_in);
+        grad_in
+    }
+
+    fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, train: bool) {
+        let n = input.batch();
+        let rest: usize = input.shape()[1..].iter().product();
+        if train {
+            self.in_shape.clear();
+            self.in_shape.extend_from_slice(input.shape());
+        }
+        out.resize_to(&[n, rest]);
+        out.data_mut().copy_from_slice(input.data());
+    }
+
+    fn backward_into(&mut self, grad_out: &Tensor, grad_in: &mut Tensor) {
         assert!(
             !self.in_shape.is_empty(),
             "flatten backward called without a training forward"
         );
-        grad_out.clone().reshaped(&self.in_shape.clone())
+        grad_in.resize_to(&self.in_shape);
+        grad_in.data_mut().copy_from_slice(grad_out.data());
     }
 
     fn clone_box(&self) -> Box<dyn Layer> {

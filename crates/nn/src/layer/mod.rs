@@ -35,6 +35,38 @@ pub trait Layer: std::fmt::Debug + Send + Sync {
     /// Implementations panic if called before a `forward(_, train=true)`.
     fn backward(&mut self, grad_out: &Tensor) -> Tensor;
 
+    /// In-place forward pass: writes the layer output into `out`, resizing
+    /// it as needed so its heap buffer is reused across minibatches.
+    ///
+    /// The default delegates to the allocating [`Layer::forward`]; layers on
+    /// the zero-allocation training path override it (and implement
+    /// `forward` in terms of it, so both entry points share one code path
+    /// and stay bitwise identical).
+    fn forward_into(&mut self, input: &Tensor, out: &mut Tensor, train: bool) {
+        *out = self.forward(input, train);
+    }
+
+    /// In-place backward pass: writes the gradient w.r.t. the forward input
+    /// into `grad_in`, resizing it as needed. Same caching contract and
+    /// panics as [`Layer::backward`], which the default delegates to.
+    fn backward_into(&mut self, grad_out: &Tensor, grad_in: &mut Tensor) {
+        *grad_in = self.backward(grad_out);
+    }
+
+    /// Backward pass for the bottom-most layer of a network: accumulates
+    /// this layer's parameter gradients exactly like
+    /// [`Layer::backward_into`] but is allowed to skip the input-gradient
+    /// computation, since no layer below exists to consume it. `scratch` is
+    /// working space; its contents after the call are unspecified.
+    ///
+    /// The default computes the input gradient anyway (into `scratch`);
+    /// layers whose input gradient is a significant cost (Dense) override
+    /// it. Parameter gradients are identical either way, so skipping is
+    /// invisible to training results.
+    fn backward_head_into(&mut self, grad_out: &Tensor, scratch: &mut Tensor) {
+        self.backward_into(grad_out, scratch);
+    }
+
     /// Number of trainable parameters.
     fn param_count(&self) -> usize {
         0

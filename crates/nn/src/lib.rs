@@ -18,6 +18,8 @@
 //!   paper act on this flat representation.
 //! * [`optim`] — plain/momentum SGD and a DP-SGD variant (gradient clipping
 //!   plus Gaussian noise).
+//! * [`workspace`] — persistent scratch buffers for the allocation-free
+//!   training path ([`model::Sequential::train_batch_ws`]).
 //! * [`zoo`] — the paper's model family: a LeNet-style CNN (2 conv + 2 FC)
 //!   and MLP heads (the Sentiment experiments train a small head over frozen
 //!   embeddings).
@@ -49,9 +51,11 @@ pub mod loss;
 pub mod model;
 pub mod optim;
 pub mod tensor;
+pub mod workspace;
 pub mod zoo;
 
 pub use model::Sequential;
 pub use optim::Sgd;
 pub use tensor::Tensor;
+pub use workspace::Workspace;
 pub use zoo::ModelSpec;

@@ -32,19 +32,37 @@ pub struct LossOutput {
 /// Panics if `labels.len()` differs from the batch size or any label is out
 /// of range.
 pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> LossOutput {
+    let mut grad = Tensor::zeros(&[0]);
+    let (loss, correct) = cross_entropy_into(logits, labels, &mut grad);
+    LossOutput {
+        loss,
+        grad,
+        correct,
+    }
+}
+
+/// In-place variant of [`cross_entropy`]: writes the logit gradient into
+/// `grad` (resized as needed, its buffer reused across minibatches) and
+/// returns `(mean_loss, correct)`.
+///
+/// `softmax_xent` fully overwrites every element of the gradient buffer, so
+/// no pre-zeroing is required and the result is bitwise identical to the
+/// allocating path.
+///
+/// # Panics
+///
+/// Panics if `labels.len()` differs from the batch size or any label is out
+/// of range.
+pub fn cross_entropy_into(logits: &Tensor, labels: &[usize], grad: &mut Tensor) -> (f64, usize) {
     let n = logits.batch();
     assert_eq!(labels.len(), n, "labels/batch mismatch");
     let k = logits.len() / n.max(1);
     // Single fused pass per row: the max-subtracted exponentials are
     // computed exactly once and normalized straight into the gradient
     // buffer (no intermediate probability tensor, no second batch sweep).
-    let mut grad = Tensor::zeros(&[n, k]);
+    grad.resize_to(&[n, k]);
     let (loss, correct) = kernels::softmax_xent(logits.data(), labels, n, k, grad.data_mut());
-    LossOutput {
-        loss: loss / n as f64,
-        grad,
-        correct,
-    }
+    (loss / n as f64, correct)
 }
 
 /// Distillation loss: cross-entropy of the student's temperature-softened

@@ -6,9 +6,10 @@
 //! returned by [`Sequential::params`].
 
 use crate::layer::Layer;
-use crate::loss::{argmax, cross_entropy, distillation, softmax, LossOutput};
+use crate::loss::{argmax, cross_entropy, cross_entropy_into, distillation, softmax, LossOutput};
 use crate::optim::Optimizer;
 use crate::tensor::Tensor;
+use crate::workspace::Workspace;
 
 /// A stack of layers applied in order.
 #[derive(Debug, Clone, Default)]
@@ -140,6 +141,137 @@ impl Sequential {
             offset += n;
         }
         out
+    }
+
+    /// Writes the flat parameter vector into `out` (resized as needed) —
+    /// the in-place counterpart of [`Sequential::params`], reusing `out`'s
+    /// heap buffer across calls.
+    pub fn store_params_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.resize(self.param_count(), 0.0);
+        let mut offset = 0;
+        for layer in &self.layers {
+            let n = layer.param_count();
+            layer.write_params(&mut out[offset..offset + n]);
+            offset += n;
+        }
+    }
+
+    /// Writes the flat accumulated-gradient vector into `out` (resized as
+    /// needed) — the in-place counterpart of [`Sequential::grads`].
+    pub fn store_grads_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.resize(self.param_count(), 0.0);
+        let mut offset = 0;
+        for layer in &self.layers {
+            let n = layer.param_count();
+            layer.write_grads(&mut out[offset..offset + n]);
+            offset += n;
+        }
+    }
+
+    /// Loads parameters from a borrowed flat slice. Identical to
+    /// [`Sequential::set_params`] (which is already in-place); named for
+    /// symmetry with [`Sequential::store_params_into`] on the
+    /// zero-allocation training path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len() != self.param_count()`.
+    pub fn load_params_into(&mut self, src: &[f32]) {
+        self.set_params(src);
+    }
+
+    /// Forward pass writing every layer activation into the workspace's
+    /// persistent buffers; returns the final output by reference.
+    ///
+    /// Shares the per-layer `forward_into` code path with
+    /// [`Sequential::forward`], so both produce bitwise-identical values.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty model.
+    pub fn forward_ws<'w>(
+        &mut self,
+        input: &Tensor,
+        ws: &'w mut Workspace,
+        train: bool,
+    ) -> &'w Tensor {
+        let depth = self.layers.len();
+        assert!(depth > 0, "forward_ws on an empty model");
+        if ws.acts.len() != depth {
+            ws.acts.resize_with(depth, Tensor::default);
+        }
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            if i == 0 {
+                layer.forward_into(input, &mut ws.acts[0], train);
+            } else {
+                let (prev, rest) = ws.acts.split_at_mut(i);
+                layer.forward_into(&prev[i - 1], &mut rest[0], train);
+            }
+        }
+        &ws.acts[depth - 1]
+    }
+
+    /// Mean cross-entropy loss and correct count on a labelled batch,
+    /// evaluated through the workspace (no allocation after warm-up, no
+    /// gradient accumulation). Bitwise identical to `forward` +
+    /// [`crate::loss::cross_entropy`].
+    pub fn loss_ws(&mut self, x: &Tensor, labels: &[usize], ws: &mut Workspace) -> (f64, usize) {
+        self.forward_ws(x, ws, false);
+        let depth = self.layers.len();
+        cross_entropy_into(&ws.acts[depth - 1], labels, &mut ws.loss_grad)
+    }
+
+    /// One SGD step on a labelled batch using the persistent workspace:
+    /// allocation-free after warm-up and bitwise identical to
+    /// [`Sequential::train_batch`] (same kernels in the same order — the
+    /// only difference is where the buffers live).
+    pub fn train_batch_ws(
+        &mut self,
+        x: &Tensor,
+        labels: &[usize],
+        optimizer: &mut dyn Optimizer,
+        ws: &mut Workspace,
+    ) -> BatchStats {
+        self.zero_grad();
+        self.forward_ws(x, ws, true);
+        let depth = self.layers.len();
+        let (loss, correct) = cross_entropy_into(&ws.acts[depth - 1], labels, &mut ws.loss_grad);
+        // Backward: ping-pong between the two persistent gradient buffers,
+        // starting from the loss gradient. The bottom layer uses the
+        // head variant, which may skip the (discarded) input gradient —
+        // parameter gradients are identical either way.
+        let mut src_is_a = false;
+        for i in (0..depth).rev() {
+            let layer = &mut self.layers[i];
+            if i == depth - 1 && i == 0 {
+                layer.backward_head_into(&ws.loss_grad, &mut ws.grad_a);
+            } else if i == depth - 1 {
+                layer.backward_into(&ws.loss_grad, &mut ws.grad_a);
+                src_is_a = true;
+            } else if i == 0 {
+                if src_is_a {
+                    layer.backward_head_into(&ws.grad_a, &mut ws.grad_b);
+                } else {
+                    layer.backward_head_into(&ws.grad_b, &mut ws.grad_a);
+                }
+            } else if src_is_a {
+                layer.backward_into(&ws.grad_a, &mut ws.grad_b);
+                src_is_a = false;
+            } else {
+                layer.backward_into(&ws.grad_b, &mut ws.grad_a);
+                src_is_a = true;
+            }
+        }
+        self.store_params_into(&mut ws.params);
+        self.store_grads_into(&mut ws.grads);
+        optimizer.step(&mut ws.params, &ws.grads);
+        self.set_params(&ws.params);
+        BatchStats {
+            loss,
+            accuracy: correct as f64 / labels.len().max(1) as f64,
+        }
     }
 
     /// One SGD step on a labelled batch: forward, cross-entropy backward,
@@ -350,6 +482,25 @@ mod tests {
         }
         assert!(last < first, "distillation loss did not decrease");
         assert!(student.evaluate(&x, &y) > 0.9);
+    }
+
+    #[test]
+    fn ws_path_matches_plain_path_bitwise() {
+        let mut a = tiny_model(10);
+        let mut b = a.clone();
+        let (x, y) = toy_data();
+        let mut oa = Sgd::new(0.5);
+        let mut ob = Sgd::new(0.5);
+        let mut ws = crate::workspace::Workspace::new();
+        for _ in 0..5 {
+            let sa = a.train_batch(&x, &y, &mut oa);
+            let sb = b.train_batch_ws(&x, &y, &mut ob, &mut ws);
+            assert_eq!(sa.loss.to_bits(), sb.loss.to_bits());
+            assert_eq!(sa.accuracy, sb.accuracy);
+        }
+        for (u, v) in a.params().iter().zip(&b.params()) {
+            assert_eq!(u.to_bits(), v.to_bits());
+        }
     }
 
     #[test]

@@ -76,6 +76,35 @@ impl Tensor {
         self.data
     }
 
+    /// Reshapes the tensor in place to `shape`, growing or shrinking the
+    /// data buffer as needed. Existing capacity is reused — after the first
+    /// call at a given size this never touches the allocator. Newly exposed
+    /// elements are zero; callers that fully overwrite the buffer (the
+    /// in-place layer kernels) pay nothing for them.
+    pub fn resize_to(&mut self, shape: &[usize]) {
+        let len: usize = shape.iter().product();
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
+        self.data.resize(len, 0.0);
+    }
+
+    /// Reshapes in place to `[n, sample_shape...]` (the minibatch layout)
+    /// without building an intermediate shape vector.
+    pub fn resize_batch(&mut self, n: usize, sample_shape: &[usize]) {
+        let per: usize = sample_shape.iter().product();
+        self.shape.clear();
+        self.shape.push(n);
+        self.shape.extend_from_slice(sample_shape);
+        self.data.resize(n * per, 0.0);
+    }
+
+    /// Makes `self` an exact copy of `other` (shape and data), reusing the
+    /// existing buffers.
+    pub fn copy_from(&mut self, other: &Tensor) {
+        self.resize_to(&other.shape);
+        self.data.copy_from_slice(&other.data);
+    }
+
     /// Returns a tensor with the same data and a new shape.
     ///
     /// # Panics

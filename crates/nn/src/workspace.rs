@@ -1,0 +1,43 @@
+//! Persistent training workspace for the allocation-free hot path.
+//!
+//! A [`Workspace`] owns every scratch buffer one SGD step needs — per-layer
+//! activations, the loss gradient, the two ping-pong backward buffers, and
+//! the flat parameter/gradient views handed to the optimizer. All buffers
+//! are grown on first use and reused verbatim afterwards, so
+//! [`crate::model::Sequential::train_batch_ws`] touches the allocator only
+//! during warm-up. One workspace serves one model at a time; it carries no
+//! model state between steps, so reusing it across models (as the federated
+//! per-worker arenas do) is safe.
+
+use crate::tensor::Tensor;
+
+/// Reusable scratch buffers for [`crate::model::Sequential::train_batch_ws`]
+/// and [`crate::model::Sequential::forward_ws`].
+#[derive(Debug, Clone, Default)]
+pub struct Workspace {
+    /// `acts[i]` holds the output of layer `i` from the latest forward.
+    pub(crate) acts: Vec<Tensor>,
+    /// Gradient of the loss w.r.t. the logits.
+    pub(crate) loss_grad: Tensor,
+    /// Backward ping-pong buffer A.
+    pub(crate) grad_a: Tensor,
+    /// Backward ping-pong buffer B.
+    pub(crate) grad_b: Tensor,
+    /// Flat parameter view passed to the optimizer.
+    pub(crate) params: Vec<f32>,
+    /// Flat gradient view passed to the optimizer.
+    pub(crate) grads: Vec<f32>,
+}
+
+impl Workspace {
+    /// Creates an empty workspace; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The model output of the most recent `forward_ws`/`train_batch_ws`
+    /// call, if one has happened.
+    pub fn last_output(&self) -> Option<&Tensor> {
+        self.acts.last()
+    }
+}

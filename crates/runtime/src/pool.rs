@@ -7,6 +7,51 @@
 //! sequentially over the returned, input-ordered results. This
 //! snapshot-compute / ordered-commit split is what makes `workers = N`
 //! bit-identical to `workers = 1`.
+//!
+//! [`WorkerArenas`] extends this with per-worker scratch state that lives
+//! *across* calls (and therefore across rounds): each lane owns one arena
+//! for the duration of a [`WorkerPool::map_with_arena`] call, so a job can
+//! reuse the previous round's buffers instead of allocating fresh ones.
+//! Arenas must be history-free — a job's output may depend only on its
+//! input, never on which arena served it or what ran in it before — which
+//! preserves the bitwise workers-N ≡ workers-1 equivalence.
+
+/// Per-worker scratch arenas that persist across [`WorkerPool::map_with_arena`]
+/// calls.
+///
+/// The pool hands lane `i` exclusive access to `arenas[i]` for the whole
+/// call; between calls the arenas (and their grown buffers) are retained, so
+/// steady-state rounds run allocation-free. Checkpoint/resume does not
+/// serialize arenas: they are pure scratch and must never carry state.
+#[derive(Debug, Default)]
+pub struct WorkerArenas<A> {
+    arenas: Vec<A>,
+}
+
+impl<A> WorkerArenas<A> {
+    /// Creates an empty arena set; arenas are built lazily by
+    /// [`WorkerPool::map_with_arena`] via its `init` closure.
+    pub fn new() -> Self {
+        Self { arenas: Vec::new() }
+    }
+
+    /// Number of arenas built so far.
+    pub fn len(&self) -> usize {
+        self.arenas.len()
+    }
+
+    /// Whether no arena has been built yet.
+    pub fn is_empty(&self) -> bool {
+        self.arenas.is_empty()
+    }
+
+    /// Grows the set to at least `n` arenas using `init`.
+    fn ensure_with<I: FnMut() -> A>(&mut self, n: usize, mut init: I) {
+        while self.arenas.len() < n {
+            self.arenas.push(init());
+        }
+    }
+}
 
 /// A fixed-width fan-out helper over scoped threads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,6 +145,84 @@ impl WorkerPool {
             .map(|slot| slot.expect("missing output slot"))
             .collect()
     }
+
+    /// Like [`WorkerPool::map`], but hands each lane a persistent scratch
+    /// arena from `arenas` (built on demand with `init`, reused verbatim on
+    /// subsequent calls). Outputs are returned in input order.
+    ///
+    /// Jobs must treat the arena as pure scratch: the output for an item
+    /// must not depend on which arena served it or on anything a previous
+    /// job left behind. Under that contract the result is bitwise identical
+    /// across worker counts and to the arena-free path.
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from `f`.
+    pub fn map_with_arena<A, T, U, F, I>(
+        &self,
+        arenas: &mut WorkerArenas<A>,
+        items: Vec<T>,
+        init: I,
+        f: F,
+    ) -> Vec<U>
+    where
+        A: Send,
+        T: Send,
+        U: Send,
+        F: Fn(usize, T, &mut A) -> U + Sync,
+        I: FnMut() -> A,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        if self.workers == 1 || n == 1 {
+            arenas.ensure_with(1, init);
+            let arena = &mut arenas.arenas[0];
+            return items
+                .into_iter()
+                .enumerate()
+                .map(|(i, item)| f(i, item, arena))
+                .collect();
+        }
+
+        let lanes = self.workers.min(n);
+        arenas.ensure_with(lanes, init);
+        let mut chunks: Vec<Vec<(usize, T)>> = (0..lanes).map(|_| Vec::new()).collect();
+        for (i, item) in items.into_iter().enumerate() {
+            chunks[i % lanes].push((i, item));
+        }
+
+        let f = &f;
+        let gathered: Vec<Vec<(usize, U)>> = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .zip(arenas.arenas.iter_mut())
+                .map(|(chunk, arena)| {
+                    s.spawn(move |_| {
+                        chunk
+                            .into_iter()
+                            .map(|(i, item)| (i, f(i, item, arena)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        })
+        .expect("worker pool scope failed");
+
+        let mut out: Vec<Option<U>> = (0..n).map(|_| None).collect();
+        for (i, value) in gathered.into_iter().flatten() {
+            debug_assert!(out[i].is_none(), "duplicate output for index {i}");
+            out[i] = Some(value);
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("missing output slot"))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -144,5 +267,50 @@ mod tests {
     #[test]
     fn auto_pool_has_at_least_one_worker() {
         assert!(WorkerPool::auto().workers() >= 1);
+    }
+
+    #[test]
+    fn arenas_are_built_lazily_and_reused() {
+        let pool = WorkerPool::new(3);
+        let mut arenas: WorkerArenas<Vec<u8>> = WorkerArenas::new();
+        assert!(arenas.is_empty());
+        let out = pool.map_with_arena(&mut arenas, (0..10usize).collect(), Vec::new, |i, x, a| {
+            a.push(1); // arenas accumulate across jobs within a call...
+            i + x
+        });
+        assert_eq!(out, (0..10).map(|x| 2 * x).collect::<Vec<_>>());
+        assert_eq!(arenas.len(), 3);
+        // ...and persist across calls: no new arenas, contents retained.
+        let total_before: usize = arenas.arenas.iter().map(Vec::len).sum();
+        assert_eq!(total_before, 10);
+        pool.map_with_arena(&mut arenas, vec![0usize; 4], Vec::new, |_, _, a| a.push(1));
+        assert_eq!(arenas.len(), 3);
+        let total_after: usize = arenas.arenas.iter().map(Vec::len).sum();
+        assert!(total_after > total_before);
+    }
+
+    #[test]
+    fn map_with_arena_matches_map_for_pure_jobs() {
+        let items: Vec<usize> = (0..23).collect();
+        let plain = WorkerPool::new(4).map(items.clone(), |i, x| i as u64 + x as u64);
+        for workers in [1, 2, 4] {
+            let mut arenas: WorkerArenas<()> = WorkerArenas::new();
+            let pooled = WorkerPool::new(workers).map_with_arena(
+                &mut arenas,
+                items.clone(),
+                || (),
+                |i, x, _| i as u64 + x as u64,
+            );
+            assert_eq!(pooled, plain);
+        }
+    }
+
+    #[test]
+    fn map_with_arena_empty_input_builds_nothing() {
+        let mut arenas: WorkerArenas<Vec<u8>> = WorkerArenas::new();
+        let out: Vec<u8> =
+            WorkerPool::new(4).map_with_arena(&mut arenas, Vec::<u8>::new(), Vec::new, |_, x, _| x);
+        assert!(out.is_empty());
+        assert!(arenas.is_empty());
     }
 }

@@ -1,0 +1,96 @@
+//! Proves the zero-allocation steady-state contract of the training inner
+//! loop: after one warm-up pass has grown the [`ClientScratch`] arena to its
+//! working size, further local-training passes perform **zero** heap
+//! allocations.
+//!
+//! The test installs a counting `#[global_allocator]` (the same mechanism as
+//! the `bench-alloc` feature of the `rounds_throughput` benchmark) and must
+//! live alone in its own test binary: any test running concurrently in the
+//! same process would pollute the counters. Keep this file single-test.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every allocation routed through the global allocator.
+struct CountingAlloc;
+
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+use collapois_data::sample::Dataset;
+use collapois_fl::client::local_sgd_delta_prox_into;
+use collapois_fl::config::FlConfig;
+use collapois_fl::ClientScratch;
+use collapois_nn::zoo::ModelSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn toy_data() -> Dataset {
+    let mut ds = Dataset::empty(&[8], 4);
+    for i in 0..64 {
+        let c = i % 4;
+        let mut row = [0.0f32; 8];
+        row[c] = 1.0;
+        row[c + 4] = 0.5;
+        ds.push(&row, c);
+    }
+    ds
+}
+
+#[test]
+fn training_inner_loop_allocates_nothing_after_warmup() {
+    let spec = ModelSpec::mlp(8, &[16, 8], 4);
+    let mut cfg = FlConfig::quick(spec.clone());
+    cfg.local_steps = 4;
+    cfg.batch_size = 16;
+    let mut rng = StdRng::seed_from_u64(7);
+    let model = spec.build(&mut rng);
+    let global = model.params();
+    let data = toy_data();
+    let mut scratch = ClientScratch::for_model(&model);
+
+    // Warm-up: grows every arena buffer (workspace activations, gradient
+    // ping-pong, parameter views, minibatch tensors, delta) to working size.
+    let mut train_rng = StdRng::seed_from_u64(11);
+    local_sgd_delta_prox_into(&mut train_rng, &mut scratch, &global, &data, &cfg, 0.01);
+
+    // Steady state: the arena is at size; repeated passes must not touch
+    // the allocator at all.
+    let count_before = ALLOC_COUNT.load(Ordering::SeqCst);
+    let bytes_before = ALLOC_BYTES.load(Ordering::SeqCst);
+    for round in 0..8u64 {
+        let mut train_rng = StdRng::seed_from_u64(100 + round);
+        local_sgd_delta_prox_into(&mut train_rng, &mut scratch, &global, &data, &cfg, 0.01);
+    }
+    let count_after = ALLOC_COUNT.load(Ordering::SeqCst);
+    let bytes_after = ALLOC_BYTES.load(Ordering::SeqCst);
+
+    assert_eq!(
+        count_after - count_before,
+        0,
+        "steady-state training performed {} allocations ({} bytes)",
+        count_after - count_before,
+        bytes_after - bytes_before,
+    );
+}

@@ -7,6 +7,14 @@
 //! determinism guarantee — and must not drift across refactors of the
 //! kernel layer, the aggregation rules, or the training loop.
 //!
+//! Since the round engine trains through persistent per-worker arenas
+//! (`WorkerArenas<ClientScratch>`) by default, the worker sweep below is
+//! also the pooled-vs-clone equivalence proof: the fixture hash was
+//! produced by the historical allocate-per-client path, so matching it at
+//! workers = 1, 2 and 4 shows the arena-reusing loop performs bitwise the
+//! same floating-point work regardless of how clients are distributed over
+//! lanes or which warm buffers they inherit.
+//!
 //! If a change *intentionally* alters the numerics (e.g. a new reduction
 //! order), regenerate the fixture by running this test and copying the
 //! `actual` hash from the failure message into the fixture file, and call
