@@ -1,10 +1,15 @@
 //! End-to-end round-loop throughput benchmark (`harness = false`).
 //!
-//! Runs the 64-client / 5%-compromise CollaPois scenario at worker counts
-//! 1/2/4, measures steady-state rounds/sec from the per-round `elapsed_ms`
-//! of the structured run trace (setup — data generation, Trojan training —
-//! is excluded by construction), and emits `BENCH_rounds.json` to seed the
-//! perf trajectory.
+//! Runs the CollaPois round loop at worker counts 1/2/4/8 over two
+//! scenarios — 64 clients (the paper's client-level sweep size) and 256
+//! clients (enough sampled clients per round that the parallel fan-out has
+//! real work) — measures steady-state rounds/sec from the per-round
+//! `elapsed_ms` of the structured run trace (setup — data generation,
+//! Trojan training — is excluded by construction), and emits
+//! `BENCH_rounds.json` to seed the perf trajectory. Each row carries its
+//! `scaling_efficiency` = (rps_w / rps_1) / w, and the file records the
+//! host's `available_parallelism` so flat scaling measured on a small
+//! machine is not mistaken for a regression.
 //!
 //! With the `bench-alloc` feature a counting `#[global_allocator]` is
 //! installed and the per-round heap traffic is derived from the marginal
@@ -18,9 +23,11 @@
 //!     [--rounds N] [--out PATH] [--check BASELINE.json]
 //! ```
 //!
-//! `--check` compares the workers=1 rounds/sec against a previously
-//! committed `BENCH_rounds.json` and exits non-zero on a >20% regression —
-//! the CI guard-rail once a baseline exists.
+//! `--check` compares the 64-client workers=1 rounds/sec against a
+//! previously committed `BENCH_rounds.json` and exits non-zero on a >20%
+//! regression; on hosts with at least 4 cores it additionally enforces a
+//! workers=4 scaling-efficiency floor on the fresh measurement — the CI
+//! guard-rails once a baseline exists.
 
 use collapois_core::scenario::{AttackKind, DefenseKind, RunOptions, Scenario, ScenarioConfig};
 use collapois_runtime::trace::{read_trace, TraceEvent};
@@ -61,12 +68,19 @@ mod counting_alloc {
     }
 }
 
-/// The benchmark scenario: 64 clients, 5% compromised, CollaPois attack,
-/// plain FedAvg — the steady-state configuration the paper's client-level
-/// sweeps (Figs. 10–13) spend their round budget on.
-fn bench_cfg(rounds: usize) -> ScenarioConfig {
+/// The worker counts every scenario sweeps.
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Minimum acceptable workers=4 scaling efficiency, enforced by `--check`
+/// on hosts that actually have 4 cores.
+const EFFICIENCY_FLOOR_W4: f64 = 0.5;
+
+/// One benchmark scenario: `clients` clients, 5% compromised, CollaPois
+/// attack, plain FedAvg — the steady-state configuration the paper's
+/// client-level sweeps (Figs. 10–13) spend their round budget on.
+fn bench_cfg(name: &'static str, clients: usize, rounds: usize) -> (&'static str, ScenarioConfig) {
     let mut cfg = ScenarioConfig::quick_image(1.0, 0.05);
-    cfg.num_clients = 64;
+    cfg.num_clients = clients;
     cfg.samples_per_client = 30;
     cfg.rounds = rounds;
     // Evaluate only once at the end: this benchmark times the round loop,
@@ -76,7 +90,7 @@ fn bench_cfg(rounds: usize) -> ScenarioConfig {
     cfg.attack = AttackKind::CollaPois;
     cfg.defense = DefenseKind::None;
     cfg.trojan.epochs = 4;
-    cfg
+    (name, cfg)
 }
 
 /// Per-round wall-clock samples of one scenario run, read back from the
@@ -124,37 +138,57 @@ struct WorkerResult {
     workers: usize,
     rounds_per_sec: f64,
     mean_round_ms: f64,
+    scaling_efficiency: f64,
     bytes_alloc_per_round: Option<u64>,
 }
 
-fn json_escape_free(s: &str) -> &str {
-    // Everything serialized here is numeric or a fixed keyword.
-    s
+struct ScenarioResult {
+    name: &'static str,
+    clients: usize,
+    results: Vec<WorkerResult>,
 }
 
-fn emit_json(rounds: usize, results: &[WorkerResult], out: &PathBuf) {
+fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn emit_json(rounds: usize, scenarios: &[ScenarioResult], out: &PathBuf) {
     let mut body = String::from("{\n");
     body.push_str("  \"bench\": \"rounds_throughput\",\n");
-    body.push_str(&format!(
-        "  \"scenario\": {{\"clients\": 64, \"compromised_frac\": 0.05, \"attack\": \"collapois\", \"defense\": \"none\", \"rounds\": {rounds}, \"sample_rate\": 0.25}},\n"
-    ));
     body.push_str(&format!(
         "  \"alloc_counted\": {},\n",
         cfg!(feature = "bench-alloc")
     ));
-    body.push_str("  \"results\": [\n");
-    for (i, r) in results.iter().enumerate() {
-        let bytes = match r.bytes_alloc_per_round {
-            Some(b) => b.to_string(),
-            None => "null".to_string(),
-        };
+    body.push_str(&format!(
+        "  \"host_parallelism\": {},\n",
+        host_parallelism()
+    ));
+    body.push_str("  \"scenarios\": [\n");
+    for (si, sc) in scenarios.iter().enumerate() {
         body.push_str(&format!(
-            "    {{\"workers\": {}, \"rounds_per_sec\": {:.3}, \"mean_round_ms\": {:.3}, \"bytes_alloc_per_round\": {}}}{}\n",
-            r.workers,
-            r.rounds_per_sec,
-            r.mean_round_ms,
-            json_escape_free(&bytes),
-            if i + 1 < results.len() { "," } else { "" }
+            "    {{\"name\": \"{}\", \"clients\": {}, \"compromised_frac\": 0.05, \"attack\": \"collapois\", \"defense\": \"none\", \"rounds\": {rounds}, \"sample_rate\": 0.25, \"results\": [\n",
+            sc.name, sc.clients
+        ));
+        for (i, r) in sc.results.iter().enumerate() {
+            let bytes = match r.bytes_alloc_per_round {
+                Some(b) => b.to_string(),
+                None => "null".to_string(),
+            };
+            body.push_str(&format!(
+                "      {{\"workers\": {}, \"rounds_per_sec\": {:.3}, \"mean_round_ms\": {:.3}, \"scaling_efficiency\": {:.3}, \"bytes_alloc_per_round\": {}}}{}\n",
+                r.workers,
+                r.rounds_per_sec,
+                r.mean_round_ms,
+                r.scaling_efficiency,
+                bytes,
+                if i + 1 < sc.results.len() { "," } else { "" }
+            ));
+        }
+        body.push_str(&format!(
+            "    ]}}{}\n",
+            if si + 1 < scenarios.len() { "," } else { "" }
         ));
     }
     body.push_str("  ]\n}\n");
@@ -162,9 +196,11 @@ fn emit_json(rounds: usize, results: &[WorkerResult], out: &PathBuf) {
     println!("wrote {}", out.display());
 }
 
-/// Extracts `"rounds_per_sec": <f64>` for `"workers": 1` from a previously
-/// emitted `BENCH_rounds.json` (hand-rolled: the workspace has no JSON
-/// dependency).
+/// Extracts the first `"rounds_per_sec": <f64>` on a `"workers": 1` line
+/// from a previously emitted `BENCH_rounds.json` — the first scenario's
+/// sequential throughput (hand-rolled: the workspace has no JSON
+/// dependency; works on both the flat legacy layout and the per-scenario
+/// layout).
 fn baseline_rounds_per_sec(path: &PathBuf) -> Option<f64> {
     let text = std::fs::read_to_string(path).ok()?;
     for line in text.lines() {
@@ -207,46 +243,61 @@ fn main() {
     }
     let rounds = rounds.max(2);
 
-    let cfg = bench_cfg(rounds);
     let trace_path = std::env::temp_dir().join(format!(
         "collapois-rounds-throughput-{}.jsonl",
         std::process::id()
     ));
 
-    let mut results = Vec::new();
-    for workers in [1usize, 2, 4] {
-        let times = round_times_ms(&cfg, workers, &trace_path);
-        assert_eq!(times.len(), rounds, "trace must hold one entry per round");
-        // Drop the first round: it pays one-off warm-up costs (arena
-        // growth, kernel scratch, lazily-sized buffers).
-        let steady = &times[1.min(times.len() - 1)..];
-        let mean_ms: f64 = steady.iter().sum::<f64>() / steady.len() as f64;
-        let rps = 1e3 / mean_ms;
-        #[cfg(feature = "bench-alloc")]
-        let bytes = Some(bytes_per_round(&cfg, workers));
-        #[cfg(not(feature = "bench-alloc"))]
-        let bytes = None;
-        println!(
-            "workers={workers}: {rps:.2} rounds/sec (mean {mean_ms:.2} ms/round{})",
-            match bytes {
-                Some(b) => format!(", {b} bytes allocated/round"),
-                None => String::new(),
-            }
-        );
-        results.push(WorkerResult {
-            workers,
-            rounds_per_sec: rps,
-            mean_round_ms: mean_ms,
-            bytes_alloc_per_round: bytes,
+    let mut scenarios = Vec::new();
+    for (name, cfg) in [
+        bench_cfg("clients64", 64, rounds),
+        bench_cfg("clients256", 256, rounds),
+    ] {
+        println!("scenario {name}: {} clients", cfg.num_clients);
+        let mut results: Vec<WorkerResult> = Vec::new();
+        for workers in WORKER_COUNTS {
+            let times = round_times_ms(&cfg, workers, &trace_path);
+            assert_eq!(times.len(), rounds, "trace must hold one entry per round");
+            // Drop the first round: it pays one-off warm-up costs (arena
+            // growth, kernel scratch, lazily-sized buffers).
+            let steady = &times[1.min(times.len() - 1)..];
+            let mean_ms: f64 = steady.iter().sum::<f64>() / steady.len() as f64;
+            let rps = 1e3 / mean_ms;
+            let rps_1 = results.first().map(|r| r.rounds_per_sec).unwrap_or(rps);
+            let efficiency = (rps / rps_1) / workers as f64;
+            #[cfg(feature = "bench-alloc")]
+            let bytes = Some(bytes_per_round(&cfg, workers));
+            #[cfg(not(feature = "bench-alloc"))]
+            let bytes = None;
+            println!(
+                "  workers={workers}: {rps:.2} rounds/sec (mean {mean_ms:.2} ms/round, \
+                 efficiency {efficiency:.2}{})",
+                match bytes {
+                    Some(b) => format!(", {b} bytes allocated/round"),
+                    None => String::new(),
+                }
+            );
+            results.push(WorkerResult {
+                workers,
+                rounds_per_sec: rps,
+                mean_round_ms: mean_ms,
+                scaling_efficiency: efficiency,
+                bytes_alloc_per_round: bytes,
+            });
+        }
+        scenarios.push(ScenarioResult {
+            name,
+            clients: cfg.num_clients,
+            results,
         });
     }
 
-    emit_json(rounds, &results, &out);
+    emit_json(rounds, &scenarios, &out);
 
     if let Some(baseline_path) = check {
         match baseline_rounds_per_sec(&baseline_path) {
             Some(base) => {
-                let now = results[0].rounds_per_sec;
+                let now = scenarios[0].results[0].rounds_per_sec;
                 let floor = 0.8 * base;
                 println!(
                     "baseline check: workers=1 {now:.2} rounds/sec vs committed {base:.2} (floor {floor:.2})"
@@ -261,6 +312,31 @@ fn main() {
                 "no baseline at {} — skipping regression check",
                 baseline_path.display()
             ),
+        }
+        let cores = host_parallelism();
+        if cores >= 4 {
+            for sc in &scenarios {
+                let w4 = sc
+                    .results
+                    .iter()
+                    .find(|r| r.workers == 4)
+                    .expect("workers=4 row");
+                println!(
+                    "scaling check ({}): workers=4 efficiency {:.2} (floor {EFFICIENCY_FLOOR_W4})",
+                    sc.name, w4.scaling_efficiency
+                );
+                assert!(
+                    w4.scaling_efficiency >= EFFICIENCY_FLOOR_W4,
+                    "{}: workers=4 scaling efficiency {:.2} below the {EFFICIENCY_FLOOR_W4} floor",
+                    sc.name,
+                    w4.scaling_efficiency
+                );
+            }
+        } else {
+            println!(
+                "scaling check skipped: host has {cores} core(s), need >= 4 for a \
+                 meaningful workers=4 efficiency"
+            );
         }
     }
 }

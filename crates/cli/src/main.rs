@@ -78,7 +78,8 @@ fn print_help() {
          \u{20}  --checkpoint-dir DIR   write periodic snapshots into DIR\n\
          \u{20}  --checkpoint-every E   snapshot cadence in rounds (default 5)\n\
          \u{20}  --resume true          resume from the newest snapshot in DIR\n\
-         \u{20}  --monitor true         emit shift-detector alerts into the trace"
+         \u{20}  --monitor true         emit shift-detector alerts into the trace\n\
+         \u{20}  --profile-rounds true  print the per-phase round-loop breakdown"
     );
 }
 
@@ -101,6 +102,7 @@ const RUN_KEYS: &[&str] = &[
     "checkpoint-every",
     "resume",
     "monitor",
+    "profile-rounds",
 ];
 
 fn parse_attack(s: &str) -> Result<AttackKind, String> {
@@ -173,6 +175,7 @@ fn build_run_options(args: &Args) -> Result<RunOptions, String> {
         checkpoint_every: args.get_or("checkpoint-every", 0).map_err(err)?,
         resume: args.get_or("resume", false).map_err(err)?,
         monitor: args.get_or("monitor", false).map_err(err)?,
+        profile_rounds: args.get_or("profile-rounds", false).map_err(err)?,
     })
 }
 
@@ -243,6 +246,12 @@ fn cmd_run(args: &Args) -> Result<(), String> {
                 100.0 * c.attack_sr
             );
         }
+    }
+    if opts.profile_rounds {
+        println!(
+            "\nper-round profile: {}",
+            report.profile.per_round_summary()
+        );
     }
     Ok(())
 }

@@ -23,13 +23,13 @@ use collapois_fl::aggregate::{
 };
 use collapois_fl::config::FlConfig;
 use collapois_fl::metrics::{
-    cluster_analysis, evaluate_clients, population, top_k_percent, ClientMetrics, ClusterReport,
-    PopulationMetrics,
+    cluster_analysis, population, top_k_percent, ClientMetrics, ClusterReport, PopulationMetrics,
 };
 use collapois_fl::monitor::ShiftDetector;
 use collapois_fl::personalize::{
     Clustered, Ditto, FedDc, MetaFed, NoPersonalization, Personalization,
 };
+use collapois_fl::profile::PhaseProfile;
 use collapois_fl::server::{Adversary, FlServer, RoundRecord};
 use collapois_nn::zoo::ModelSpec;
 use rand::rngs::StdRng;
@@ -388,6 +388,10 @@ pub struct RunOptions {
     pub resume: bool,
     /// Attach the round-to-round shift monitor; alerts land in the trace.
     pub monitor: bool,
+    /// Report the per-phase round-loop breakdown (the report's `profile`
+    /// field is always populated; this flag asks callers such as the CLI to
+    /// print it).
+    pub profile_rounds: bool,
 }
 
 impl RunOptions {
@@ -431,6 +435,8 @@ pub struct ScenarioReport {
     pub trojan: Option<TrojanedModel>,
     /// Final global model parameters.
     pub final_global: Vec<f32>,
+    /// Per-phase wall-clock breakdown of the run's round loop.
+    pub profile: PhaseProfile,
 }
 
 impl ScenarioReport {
@@ -640,7 +646,7 @@ impl Scenario {
             records.push(server.run_round(adv));
             let at_eval = (t + 1) % cfg.eval_every == 0 || t + 1 == cfg.rounds;
             if at_eval {
-                let metrics = self.evaluate(&server, trigger.as_ref(), &compromised);
+                let metrics = self.evaluate(&mut server, trigger.as_ref(), &compromised);
                 let pop = population(&metrics);
                 round_metrics.push(RoundMetrics {
                     round: t + 1,
@@ -656,7 +662,7 @@ impl Scenario {
         // still report one evaluation point so downstream consumers see
         // final metrics.
         if round_metrics.is_empty() {
-            let metrics = self.evaluate(&server, trigger.as_ref(), &compromised);
+            let metrics = self.evaluate(&mut server, trigger.as_ref(), &compromised);
             let pop = population(&metrics);
             round_metrics.push(RoundMetrics {
                 round: server.rounds_done(),
@@ -666,7 +672,7 @@ impl Scenario {
         }
 
         // 7. Final client-level metrics and cluster analysis.
-        let clients = self.evaluate(&server, trigger.as_ref(), &compromised);
+        let clients = self.evaluate(&mut server, trigger.as_ref(), &compromised);
         let clusters = if compromised.is_empty() {
             Vec::new()
         } else {
@@ -682,26 +688,18 @@ impl Scenario {
             records,
             trojan,
             final_global: server.global().to_vec(),
+            profile: server.take_profile(),
         }
     }
 
     fn evaluate(
         &self,
-        server: &FlServer,
+        server: &mut FlServer,
         trigger: &dyn Trigger,
         compromised: &[usize],
     ) -> Vec<ClientMetrics> {
         let spec = self.cfg.model_spec();
-        let global = server.global();
-        let pers = server.personalization();
-        evaluate_clients(
-            server.dataset(),
-            &spec,
-            |id| pers.eval_params(id, global),
-            trigger,
-            self.cfg.trojan.target_class,
-            compromised,
-        )
+        server.evaluate_clients(&spec, trigger, self.cfg.trojan.target_class, compromised)
     }
 
     fn build_personalization(&self) -> Box<dyn Personalization> {

@@ -8,8 +8,9 @@
 //! substantial drops in Benign AC").
 
 use super::Aggregator;
-use crate::update::{mean_delta, ClientUpdate};
+use crate::update::{tree_reduce_into, ClientUpdate, MEAN_CHUNK};
 use collapois_nn::kernels;
+use collapois_runtime::pool::{WorkerArenas, WorkerPool};
 use rand::rngs::StdRng;
 
 /// Krum / Multi-Krum aggregation.
@@ -51,11 +52,7 @@ impl Krum {
     /// exactly stable under client reordering.
     pub fn scores(&self, updates: &[ClientUpdate]) -> Vec<f64> {
         let n = updates.len();
-        // Number of neighbours: n − f − 2, at least 1.
-        let k = n
-            .saturating_sub(self.assumed_malicious + 2)
-            .max(1)
-            .min(n.saturating_sub(1));
+        let k = self.neighbours(n);
         let deltas: Vec<&[f32]> = updates.iter().map(|u| u.delta.as_slice()).collect();
         let d2 = kernels::pairwise_sq_distances(&deltas);
         let mut scores = Vec::with_capacity(n);
@@ -68,6 +65,75 @@ impl Krum {
         }
         scores
     }
+
+    /// Row-sharded [`Krum::scores`]: each score depends only on its own row
+    /// of the distance matrix, so rows fan out over `pool`'s lanes into
+    /// per-lane scratch. Bitwise identical to the serial path — the
+    /// distance kernel is exactly symmetric, so recomputing a row equals
+    /// mirroring the triangle.
+    pub fn scores_pooled(&self, updates: &[ClientUpdate], pool: &WorkerPool) -> Vec<f64> {
+        let n = updates.len();
+        let k = self.neighbours(n);
+        let deltas: Vec<&[f32]> = updates.iter().map(|u| u.delta.as_slice()).collect();
+        let deltas = deltas.as_slice();
+        let mut scores = vec![0.0f64; n];
+        let mut arenas: WorkerArenas<RowScratch> = WorkerArenas::new();
+        pool.for_chunks_mut_with_arena(
+            &mut arenas,
+            &mut scores,
+            1,
+            || RowScratch {
+                row: vec![0.0; n],
+                dists: Vec::with_capacity(n.saturating_sub(1)),
+            },
+            |i, slot, s| {
+                kernels::pairwise_sq_distances_row_into(deltas, i, &mut s.row);
+                s.dists.clear();
+                s.dists.extend(
+                    s.row
+                        .iter()
+                        .enumerate()
+                        .filter(|&(j, _)| j != i)
+                        .map(|(_, &d)| d),
+                );
+                s.dists
+                    .sort_by(|a, b| a.partial_cmp(b).expect("distances are finite"));
+                slot[0] = s.dists.iter().take(k).sum();
+            },
+        );
+        scores
+    }
+
+    /// Number of neighbours each score sums: `n − f − 2`, at least 1.
+    fn neighbours(&self, n: usize) -> usize {
+        n.saturating_sub(self.assumed_malicious + 2)
+            .max(1)
+            .min(n.saturating_sub(1))
+    }
+
+    /// Selection order (ascending score, stable) and the mean of the best
+    /// `select` updates via the fixed-shape reduction tree.
+    fn select_and_average(&self, updates: &[ClientUpdate], scores: &[f64], out: &mut [f32]) {
+        let mut order: Vec<usize> = (0..updates.len()).collect();
+        order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("finite scores"));
+        order.truncate(self.select.min(updates.len()));
+        let chosen = order.as_slice();
+        let mut acc = Vec::new();
+        tree_reduce_into(chosen.len(), out, &mut acc, |c, row| {
+            let lo = c * MEAN_CHUNK;
+            let hi = (lo + MEAN_CHUNK).min(chosen.len());
+            for &idx in &chosen[lo..hi] {
+                kernels::acc_add(row, &updates[idx].delta);
+            }
+        });
+    }
+}
+
+/// Per-lane scratch for [`Krum::scores_pooled`]: one distance row plus the
+/// sort buffer, reused across the lane's rows.
+struct RowScratch {
+    row: Vec<f64>,
+    dists: Vec<f64>,
 }
 
 impl Aggregator for Krum {
@@ -87,14 +153,28 @@ impl Aggregator for Krum {
             return updates[0].delta.clone();
         }
         let scores = self.scores(updates);
-        let mut order: Vec<usize> = (0..updates.len()).collect();
-        order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("finite scores"));
-        let chosen: Vec<ClientUpdate> = order
-            .into_iter()
-            .take(self.select.min(updates.len()))
-            .map(|i| updates[i].clone())
-            .collect();
-        mean_delta(&chosen, dim)
+        let mut out = vec![0.0f32; dim];
+        self.select_and_average(updates, &scores, &mut out);
+        out
+    }
+
+    fn aggregate_pooled(
+        &mut self,
+        updates: &[ClientUpdate],
+        out: &mut [f32],
+        _rng: &mut StdRng,
+        pool: &WorkerPool,
+    ) {
+        if updates.is_empty() {
+            out.fill(0.0);
+            return;
+        }
+        if updates.len() == 1 {
+            out.copy_from_slice(&updates[0].delta);
+            return;
+        }
+        let scores = self.scores_pooled(updates, pool);
+        self.select_and_average(updates, &scores, out);
     }
 }
 
@@ -151,6 +231,32 @@ mod tests {
         let us = updates(&[&[0.0, 0.0], &[1.0, 1.0], &[100.0, 100.0]]);
         let out = agg.aggregate(&us, 2, &mut rng);
         assert_eq!(out, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn pooled_scores_and_aggregate_match_serial_bitwise() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let us: Vec<ClientUpdate> = (0..13)
+            .map(|i| {
+                let delta: Vec<f32> = (0..9).map(|j| ((i * 17 + j * 5) as f32).sin()).collect();
+                ClientUpdate::new(i, delta, 10)
+            })
+            .collect();
+        let mut agg = Krum::multi(2, 3);
+        let serial_scores = agg.scores(&us);
+        let serial = agg.aggregate(&us, 9, &mut rng);
+        for workers in [1, 2, 4, 8] {
+            let pool = WorkerPool::new(workers);
+            let pooled_scores = agg.scores_pooled(&us, &pool);
+            let s: Vec<u64> = serial_scores.iter().map(|v| v.to_bits()).collect();
+            let p: Vec<u64> = pooled_scores.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(s, p, "scores diverge at workers={workers}");
+            let mut out = vec![0.0f32; 9];
+            agg.aggregate_pooled(&us, &mut out, &mut rng, &pool);
+            let a: Vec<u32> = serial.iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u32> = out.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a, b, "aggregate diverges at workers={workers}");
+        }
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! Coordinate-wise median [Yin et al., ICML 2018].
 
-use super::{fill_coordinate, Aggregator};
+use super::{coordinate_shard, fill_coordinate, Aggregator, COORD_SHARD};
 use crate::update::ClientUpdate;
 use collapois_nn::kernels;
+use collapois_runtime::pool::{WorkerArenas, WorkerPool};
 use rand::rngs::StdRng;
 
 /// Element-wise median of the round's deltas.
@@ -10,10 +11,14 @@ use rand::rngs::StdRng;
 /// Each coordinate is gathered into a reusable scratch buffer and reduced
 /// by [`kernels::median_inplace`] (partial select instead of a full sort;
 /// even lengths interpolate the two middle order statistics in `f64`,
-/// matching `collapois_stats::descriptive::median`).
-#[derive(Debug, Clone, Default)]
+/// matching `collapois_stats::descriptive::median`). The pooled path
+/// shards the coordinate loop into fixed-width column blocks with per-lane
+/// gather buffers — bitwise exact because coordinates are independent.
+#[derive(Debug, Default)]
 pub struct CoordinateMedian {
     scratch: Vec<f32>,
+    /// Per-lane gather buffers for the sharded path.
+    arenas: WorkerArenas<Vec<f32>>,
 }
 
 impl CoordinateMedian {
@@ -28,16 +33,45 @@ impl Aggregator for CoordinateMedian {
         "median"
     }
 
-    fn aggregate(&mut self, updates: &[ClientUpdate], dim: usize, _rng: &mut StdRng) -> Vec<f32> {
+    fn aggregate(&mut self, updates: &[ClientUpdate], dim: usize, rng: &mut StdRng) -> Vec<f32> {
+        let mut out = vec![0.0f32; dim];
+        self.aggregate_into(updates, &mut out, rng);
+        out
+    }
+
+    fn aggregate_into(&mut self, updates: &[ClientUpdate], out: &mut [f32], _rng: &mut StdRng) {
         if updates.is_empty() {
-            return vec![0.0; dim];
+            out.fill(0.0);
+            return;
         }
-        (0..dim)
-            .map(|c| {
-                fill_coordinate(updates, c, &mut self.scratch);
-                kernels::median_inplace(&mut self.scratch)
-            })
-            .collect()
+        for (c, slot) in out.iter_mut().enumerate() {
+            fill_coordinate(updates, c, &mut self.scratch);
+            *slot = kernels::median_inplace(&mut self.scratch);
+        }
+    }
+
+    fn aggregate_pooled(
+        &mut self,
+        updates: &[ClientUpdate],
+        out: &mut [f32],
+        _rng: &mut StdRng,
+        pool: &WorkerPool,
+    ) {
+        if updates.is_empty() {
+            out.fill(0.0);
+            return;
+        }
+        pool.for_chunks_mut_with_arena(
+            &mut self.arenas,
+            out,
+            COORD_SHARD,
+            Vec::new,
+            |shard, chunk, scratch| {
+                coordinate_shard(updates, shard, chunk, scratch, |buf| {
+                    kernels::median_inplace(buf)
+                });
+            },
+        );
     }
 }
 
@@ -78,5 +112,27 @@ mod tests {
         let mut agg = CoordinateMedian::new();
         let mut rng = StdRng::seed_from_u64(0);
         assert_eq!(agg.aggregate(&[], 2, &mut rng), vec![0.0; 2]);
+    }
+
+    #[test]
+    fn pooled_shards_match_serial_bitwise() {
+        let dim = 520;
+        let us: Vec<ClientUpdate> = (0..9)
+            .map(|i| {
+                let delta: Vec<f32> = (0..dim).map(|j| ((i * 7 + j) as f32).cos()).collect();
+                ClientUpdate::new(i, delta, 10)
+            })
+            .collect();
+        let mut agg = CoordinateMedian::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let serial = agg.aggregate(&us, dim, &mut rng);
+        for workers in [1, 2, 4, 8] {
+            let pool = WorkerPool::new(workers);
+            let mut out = vec![0.0f32; dim];
+            agg.aggregate_pooled(&us, &mut out, &mut rng, &pool);
+            let a: Vec<u32> = serial.iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u32> = out.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a, b, "workers={workers}");
+        }
     }
 }

@@ -32,6 +32,7 @@ pub use trimmed_mean::TrimmedMean;
 pub use user_dp::UserLevelDp;
 
 use crate::update::ClientUpdate;
+use collapois_runtime::pool::WorkerPool;
 use rand::rngs::StdRng;
 
 /// A server-side aggregation rule.
@@ -54,6 +55,23 @@ pub trait Aggregator: std::fmt::Debug + Send {
         out.copy_from_slice(&v);
     }
 
+    /// Parallel [`Aggregator::aggregate_into`]: rules with shardable inner
+    /// loops (FedAvg's reduction tree, NormBound's clip-average, Krum's
+    /// distance rows, trimmed-mean/median's coordinate shards) fan them out
+    /// over `pool`. Implementations must keep shard boundaries a function
+    /// of the update count and dimension only — never the worker count — so
+    /// the result stays **bitwise identical** to the serial path. The
+    /// default ignores the pool and runs serially.
+    fn aggregate_pooled(
+        &mut self,
+        updates: &[ClientUpdate],
+        out: &mut [f32],
+        rng: &mut StdRng,
+        _pool: &WorkerPool,
+    ) {
+        self.aggregate_into(updates, out, rng);
+    }
+
     /// Optional transformation of the global model after the delta has been
     /// applied (e.g. CRFL's parameter clipping + noising).
     fn post_process(&mut self, _global: &mut [f32], _rng: &mut StdRng) {}
@@ -65,6 +83,32 @@ pub trait Aggregator: std::fmt::Debug + Send {
 pub(crate) fn fill_coordinate(updates: &[ClientUpdate], coord: usize, out: &mut Vec<f32>) {
     out.clear();
     out.extend(updates.iter().map(|u| u.delta[coord]));
+}
+
+/// Coordinates per column shard for the per-coordinate aggregators
+/// (trimmed-mean / median). A fixed width keeps shard boundaries a function
+/// of the dimension only — per-coordinate reductions are independent, so
+/// any sharding is bitwise exact; the constant just bounds dispatch
+/// granularity.
+pub(crate) const COORD_SHARD: usize = 256;
+
+/// Reduces one column shard: `chunk` is the output slice for coordinates
+/// `shard·COORD_SHARD ..`, each gathered into `scratch` and collapsed by
+/// `reduce`.
+pub(crate) fn coordinate_shard<R>(
+    updates: &[ClientUpdate],
+    shard: usize,
+    chunk: &mut [f32],
+    scratch: &mut Vec<f32>,
+    reduce: R,
+) where
+    R: Fn(&mut [f32]) -> f32,
+{
+    let base = shard * COORD_SHARD;
+    for (k, slot) in chunk.iter_mut().enumerate() {
+        fill_coordinate(updates, base + k, scratch);
+        *slot = reduce(scratch);
+    }
 }
 
 #[cfg(test)]

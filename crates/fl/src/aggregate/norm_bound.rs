@@ -2,16 +2,24 @@
 //! optionally add Gaussian noise.
 
 use super::Aggregator;
-use crate::update::ClientUpdate;
+use crate::update::{tree_reduce_into, tree_reduce_pooled_into, ClientUpdate, MEAN_CHUNK};
 use collapois_nn::kernels;
+use collapois_runtime::pool::WorkerPool;
 use collapois_stats::distribution::standard_normal;
 use rand::rngs::StdRng;
 
 /// NormBound defense: per-update l2 clipping plus optional noise.
-#[derive(Debug, Clone, Copy)]
+///
+/// The clip-average runs through the same fixed-shape reduction tree as
+/// FedAvg (each leaf chunk clips and accumulates its own updates), so the
+/// serial and pooled paths are bitwise identical — and with a bound no
+/// update exceeds, NormBound degenerates to exactly FedAvg's sum.
+#[derive(Debug, Clone)]
 pub struct NormBound {
     bound: f64,
     noise_std: f64,
+    /// Reusable partial-accumulator matrix for the reduction tree.
+    acc: Vec<f64>,
 }
 
 impl NormBound {
@@ -25,6 +33,7 @@ impl NormBound {
         Self {
             bound,
             noise_std: 0.0,
+            acc: Vec::new(),
         }
     }
 
@@ -45,34 +54,73 @@ impl NormBound {
     }
 }
 
+/// Clips and accumulates leaf chunk `c`'s updates into `row` — one leaf of
+/// the reduction tree. Updates within the bound accumulate directly; the
+/// rest accumulate their `f32`-rounded rescaled coordinates (exactly what
+/// averaging an explicitly clipped copy would have summed). No clipped
+/// copies are materialized.
+fn clip_leaf(updates: &[ClientUpdate], bound: f64, c: usize, row: &mut [f64]) {
+    let dim = row.len();
+    let lo = c * MEAN_CHUNK;
+    let hi = (lo + MEAN_CHUNK).min(updates.len());
+    for u in &updates[lo..hi] {
+        assert_eq!(u.delta.len(), dim, "update dimension mismatch");
+        let norm = kernels::sq_l2_norm(&u.delta).sqrt();
+        if norm > bound {
+            kernels::acc_scaled_f32(row, &u.delta, (bound / norm) as f32);
+        } else {
+            kernels::acc_add(row, &u.delta);
+        }
+    }
+}
+
+impl NormBound {
+    /// Adds the optional Gaussian perturbation (serial — the noise stream
+    /// must consume `rng` in coordinate order regardless of worker count).
+    fn add_noise(&self, out: &mut [f32], rng: &mut StdRng) {
+        if self.noise_std > 0.0 {
+            for v in out.iter_mut() {
+                *v += (self.noise_std * standard_normal(rng)) as f32;
+            }
+        }
+    }
+}
+
 impl Aggregator for NormBound {
     fn name(&self) -> &'static str {
         "norm-bound"
     }
 
     fn aggregate(&mut self, updates: &[ClientUpdate], dim: usize, rng: &mut StdRng) -> Vec<f32> {
-        // Clip-then-average without materializing clipped copies: updates
-        // within the bound accumulate directly; the rest accumulate their
-        // `f32`-rounded rescaled coordinates (exactly what averaging an
-        // explicitly clipped copy would have summed).
-        let mut acc = vec![0.0f64; dim];
-        for u in updates {
-            assert_eq!(u.delta.len(), dim, "update dimension mismatch");
-            let norm = kernels::sq_l2_norm(&u.delta).sqrt();
-            if norm > self.bound {
-                kernels::acc_scaled_f32(&mut acc, &u.delta, (self.bound / norm) as f32);
-            } else {
-                kernels::acc_add(&mut acc, &u.delta);
-            }
-        }
-        let n = updates.len().max(1) as f64;
-        let mut agg: Vec<f32> = acc.into_iter().map(|a| (a / n) as f32).collect();
-        if self.noise_std > 0.0 {
-            for v in &mut agg {
-                *v += (self.noise_std * standard_normal(rng)) as f32;
-            }
-        }
-        agg
+        let mut out = vec![0.0f32; dim];
+        self.aggregate_into(updates, &mut out, rng);
+        out
+    }
+
+    fn aggregate_into(&mut self, updates: &[ClientUpdate], out: &mut [f32], rng: &mut StdRng) {
+        let bound = self.bound;
+        let mut acc = std::mem::take(&mut self.acc);
+        tree_reduce_into(updates.len(), out, &mut acc, |c, row| {
+            clip_leaf(updates, bound, c, row);
+        });
+        self.acc = acc;
+        self.add_noise(out, rng);
+    }
+
+    fn aggregate_pooled(
+        &mut self,
+        updates: &[ClientUpdate],
+        out: &mut [f32],
+        rng: &mut StdRng,
+        pool: &WorkerPool,
+    ) {
+        let bound = self.bound;
+        let mut acc = std::mem::take(&mut self.acc);
+        tree_reduce_pooled_into(updates.len(), out, &mut acc, pool, |c, row| {
+            clip_leaf(updates, bound, c, row);
+        });
+        self.acc = acc;
+        self.add_noise(out, rng);
     }
 }
 
@@ -107,6 +155,32 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let us = updates(&[&[1.0, 2.0], &[3.0, 4.0]]);
         assert_eq!(agg.aggregate(&us, 2, &mut rng), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn pooled_clip_average_matches_serial_bitwise() {
+        // Mix of clipped and unclipped updates across several tree leaves.
+        let us: Vec<ClientUpdate> = (0..21)
+            .map(|i| {
+                let scale = if i % 3 == 0 { 10.0 } else { 0.1 };
+                let delta: Vec<f32> = (0..7)
+                    .map(|j| ((i * 11 + j * 3) as f32).sin() * scale)
+                    .collect();
+                ClientUpdate::new(i, delta, 10)
+            })
+            .collect();
+        let mut agg = NormBound::new(1.5);
+        let mut rng = StdRng::seed_from_u64(0);
+        let serial = agg.aggregate(&us, 7, &mut rng);
+        for workers in [1, 2, 4, 8] {
+            let pool = WorkerPool::new(workers);
+            let mut out = vec![0.0f32; 7];
+            let mut rng = StdRng::seed_from_u64(0);
+            agg.aggregate_pooled(&us, &mut out, &mut rng, &pool);
+            let a: Vec<u32> = serial.iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u32> = out.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a, b, "workers={workers}");
+        }
     }
 
     #[test]

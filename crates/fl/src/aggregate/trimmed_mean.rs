@@ -1,8 +1,9 @@
 //! α-trimmed mean [Yin et al., ICML 2018].
 
-use super::{fill_coordinate, Aggregator};
+use super::{coordinate_shard, fill_coordinate, Aggregator, COORD_SHARD};
 use crate::update::ClientUpdate;
 use collapois_nn::kernels;
+use collapois_runtime::pool::{WorkerArenas, WorkerPool};
 use rand::rngs::StdRng;
 
 /// Per-coordinate trimmed mean: drop the top and bottom `beta` fraction of
@@ -11,11 +12,16 @@ use rand::rngs::StdRng;
 /// Each coordinate is gathered into a reusable scratch buffer and reduced
 /// by [`kernels::trimmed_mean_inplace`], which partial-selects the trim
 /// boundaries instead of fully sorting and sums the kept middle in
-/// ascending order — so the result is independent of client order.
-#[derive(Debug, Clone)]
+/// ascending order — so the result is independent of client order. The
+/// pooled path shards the coordinate loop into fixed-width column blocks
+/// (coordinates are independent, so any sharding is bitwise exact), each
+/// lane gathering into its own persistent scratch buffer.
+#[derive(Debug)]
 pub struct TrimmedMean {
     beta: f64,
     scratch: Vec<f32>,
+    /// Per-lane gather buffers for the sharded path.
+    arenas: WorkerArenas<Vec<f32>>,
 }
 
 impl TrimmedMean {
@@ -29,7 +35,13 @@ impl TrimmedMean {
         Self {
             beta,
             scratch: Vec::new(),
+            arenas: WorkerArenas::new(),
         }
+    }
+
+    /// Values trimmed from each end for `n` updates.
+    fn trim(&self, n: usize) -> usize {
+        (((n as f64) * self.beta).floor() as usize).min(n / 2)
     }
 }
 
@@ -38,18 +50,47 @@ impl Aggregator for TrimmedMean {
         "trimmed-mean"
     }
 
-    fn aggregate(&mut self, updates: &[ClientUpdate], dim: usize, _rng: &mut StdRng) -> Vec<f32> {
+    fn aggregate(&mut self, updates: &[ClientUpdate], dim: usize, rng: &mut StdRng) -> Vec<f32> {
+        let mut out = vec![0.0f32; dim];
+        self.aggregate_into(updates, &mut out, rng);
+        out
+    }
+
+    fn aggregate_into(&mut self, updates: &[ClientUpdate], out: &mut [f32], _rng: &mut StdRng) {
         if updates.is_empty() {
-            return vec![0.0; dim];
+            out.fill(0.0);
+            return;
         }
-        let n = updates.len();
-        let trim = (((n as f64) * self.beta).floor() as usize).min(n / 2);
-        (0..dim)
-            .map(|c| {
-                fill_coordinate(updates, c, &mut self.scratch);
-                kernels::trimmed_mean_inplace(&mut self.scratch, trim)
-            })
-            .collect()
+        let trim = self.trim(updates.len());
+        for (c, slot) in out.iter_mut().enumerate() {
+            fill_coordinate(updates, c, &mut self.scratch);
+            *slot = kernels::trimmed_mean_inplace(&mut self.scratch, trim);
+        }
+    }
+
+    fn aggregate_pooled(
+        &mut self,
+        updates: &[ClientUpdate],
+        out: &mut [f32],
+        _rng: &mut StdRng,
+        pool: &WorkerPool,
+    ) {
+        if updates.is_empty() {
+            out.fill(0.0);
+            return;
+        }
+        let trim = self.trim(updates.len());
+        pool.for_chunks_mut_with_arena(
+            &mut self.arenas,
+            out,
+            COORD_SHARD,
+            Vec::new,
+            |shard, chunk, scratch| {
+                coordinate_shard(updates, shard, chunk, scratch, |buf| {
+                    kernels::trimmed_mean_inplace(buf, trim)
+                });
+            },
+        );
     }
 }
 
@@ -102,5 +143,28 @@ mod tests {
         let mut agg = TrimmedMean::new(0.1);
         let mut rng = StdRng::seed_from_u64(0);
         assert_eq!(agg.aggregate(&[], 4, &mut rng), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn pooled_shards_match_serial_bitwise() {
+        // Dimension far beyond one COORD_SHARD so several shards exist.
+        let dim = 600;
+        let us: Vec<ClientUpdate> = (0..11)
+            .map(|i| {
+                let delta: Vec<f32> = (0..dim).map(|j| ((i * 13 + j) as f32).sin()).collect();
+                ClientUpdate::new(i, delta, 10)
+            })
+            .collect();
+        let mut agg = TrimmedMean::new(0.2);
+        let mut rng = StdRng::seed_from_u64(0);
+        let serial = agg.aggregate(&us, dim, &mut rng);
+        for workers in [1, 2, 4, 8] {
+            let pool = WorkerPool::new(workers);
+            let mut out = vec![0.0f32; dim];
+            agg.aggregate_pooled(&us, &mut out, &mut rng, &pool);
+            let a: Vec<u32> = serial.iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u32> = out.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a, b, "workers={workers}");
+        }
     }
 }

@@ -32,6 +32,7 @@ pub mod config;
 pub mod metrics;
 pub mod monitor;
 pub mod personalize;
+pub mod profile;
 pub mod scratch;
 pub mod server;
 pub mod update;
@@ -39,6 +40,7 @@ pub mod update;
 pub use aggregate::Aggregator;
 pub use config::FlConfig;
 pub use personalize::{LocalOutcome, Personalization, StateCommit};
+pub use profile::PhaseProfile;
 pub use scratch::ClientScratch;
 pub use server::{round_records_from_events, Adversary, FlServer, RoundRecord};
 pub use update::ClientUpdate;

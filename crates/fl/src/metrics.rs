@@ -15,7 +15,9 @@ use collapois_data::labels::cumulative_label_cosine;
 use collapois_data::poison::stamp_only;
 use collapois_data::sample::Dataset;
 use collapois_data::trigger::Trigger;
+use collapois_nn::model::Sequential;
 use collapois_nn::zoo::ModelSpec;
+use collapois_runtime::pool::{WorkerArenas, WorkerPool};
 
 /// Per-client evaluation outcome.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -64,7 +66,9 @@ pub fn population(metrics: &[ClientMetrics]) -> PopulationMetrics {
 /// `eval_params(client_id)` (the personalized model). Clients in
 /// `excluded` (the compromised set) are skipped.
 ///
-/// Evaluation runs in parallel across clients with crossbeam scoped threads.
+/// Convenience wrapper around [`evaluate_clients_pooled`] that builds a
+/// machine-sized pool and throwaway scratch models per call; round loops
+/// should use the pooled entry point with persistent arenas instead.
 pub fn evaluate_clients<F>(
     fed: &FederatedDataset,
     model_spec: &ModelSpec,
@@ -76,64 +80,77 @@ pub fn evaluate_clients<F>(
 where
     F: Fn(usize) -> Vec<f32> + Sync,
 {
+    let pool = WorkerPool::auto();
+    let mut arenas = WorkerArenas::new();
+    evaluate_clients_pooled(
+        fed,
+        model_spec,
+        eval_params,
+        trigger,
+        target_class,
+        excluded,
+        &pool,
+        &mut arenas,
+    )
+}
+
+/// [`evaluate_clients`] over a caller-owned [`WorkerPool`] with lane-pinned
+/// scratch models that persist across calls (so a round loop's periodic
+/// evaluation reuses the same buffers every pass instead of respawning
+/// threads and rebuilding models). Results are in ascending client order at
+/// any worker count — each client's metrics are a pure function of its id.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_clients_pooled<F>(
+    fed: &FederatedDataset,
+    model_spec: &ModelSpec,
+    eval_params: F,
+    trigger: &dyn Trigger,
+    target_class: usize,
+    excluded: &[usize],
+    pool: &WorkerPool,
+    arenas: &mut WorkerArenas<Sequential>,
+) -> Vec<ClientMetrics>
+where
+    F: Fn(usize) -> Vec<f32> + Sync,
+{
     let ids: Vec<usize> = (0..fed.num_clients())
         .filter(|id| !excluded.contains(id))
         .collect();
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
-    let chunk = ids.len().div_ceil(threads.max(1)).max(1);
-    let mut results: Vec<Vec<ClientMetrics>> = Vec::new();
-    crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = ids
-            .chunks(chunk)
-            .map(|chunk_ids| {
-                let eval_params = &eval_params;
-                s.spawn(move |_| {
-                    // Per-thread scratch model (seed irrelevant: params are
-                    // always overwritten before use).
-                    use rand::SeedableRng;
-                    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
-                    let mut model = model_spec.build(&mut rng);
-                    chunk_ids
-                        .iter()
-                        .map(|&id| {
-                            let params = eval_params(id);
-                            model.set_params(&params);
-                            let test = &fed.client(id).test;
-                            let benign_ac = if test.is_empty() {
-                                0.0
-                            } else {
-                                let (x, y) = test.as_batch();
-                                model.evaluate(&x, &y)
-                            };
-                            let attack_sr = if test.is_empty() {
-                                0.0
-                            } else {
-                                let stamped = stamp_only(test, trigger);
-                                let (x, _) = stamped.as_batch();
-                                let preds = model.predict(&x);
-                                preds.iter().filter(|&&p| p == target_class).count() as f64
-                                    / preds.len() as f64
-                            };
-                            ClientMetrics {
-                                client_id: id,
-                                benign_ac,
-                                attack_sr,
-                            }
-                        })
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        for h in handles {
-            results.push(h.join().expect("evaluation thread panicked"));
-        }
-    })
-    .expect("crossbeam scope failed");
-    let mut flat: Vec<ClientMetrics> = results.into_iter().flatten().collect();
-    flat.sort_by_key(|m| m.client_id);
-    flat
+    pool.map_with_arena(
+        arenas,
+        ids,
+        || {
+            // Lane scratch model (seed irrelevant: params are always
+            // overwritten before use).
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+            model_spec.build(&mut rng)
+        },
+        |_, id, model| {
+            let params = eval_params(id);
+            model.set_params(&params);
+            let test = &fed.client(id).test;
+            let benign_ac = if test.is_empty() {
+                0.0
+            } else {
+                let (x, y) = test.as_batch();
+                model.evaluate(&x, &y)
+            };
+            let attack_sr = if test.is_empty() {
+                0.0
+            } else {
+                let stamped = stamp_only(test, trigger);
+                let (x, _) = stamped.as_batch();
+                let preds = model.predict(&x);
+                preds.iter().filter(|&&p| p == target_class).count() as f64 / preds.len() as f64
+            };
+            ClientMetrics {
+                client_id: id,
+                benign_ac,
+                attack_sr,
+            }
+        },
+    )
 }
 
 /// The top `k` percent of clients by Eq. 8 score, descending.
@@ -275,6 +292,48 @@ mod tests {
                 r.label,
                 r.label_cosine
             );
+        }
+    }
+
+    #[test]
+    fn pooled_evaluation_is_worker_count_invariant() {
+        let f = fed();
+        let spec = ModelSpec::mlp(64, &[16], 4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let params = spec.build(&mut rng).params();
+        let trigger = PatchTrigger::badnets(8);
+        let serial = {
+            let pool = WorkerPool::new(1);
+            let mut arenas = WorkerArenas::new();
+            evaluate_clients_pooled(
+                &f,
+                &spec,
+                |_| params.clone(),
+                &trigger,
+                0,
+                &[],
+                &pool,
+                &mut arenas,
+            )
+        };
+        for workers in [2, 4, 8] {
+            let pool = WorkerPool::new(workers);
+            let mut arenas = WorkerArenas::new();
+            // Two passes through the same arenas: results must not depend
+            // on reuse.
+            for pass in 0..2 {
+                let pooled = evaluate_clients_pooled(
+                    &f,
+                    &spec,
+                    |_| params.clone(),
+                    &trigger,
+                    0,
+                    &[],
+                    &pool,
+                    &mut arenas,
+                );
+                assert_eq!(pooled, serial, "workers={workers} pass={pass}");
+            }
         }
     }
 

@@ -22,12 +22,16 @@
 
 use crate::aggregate::Aggregator;
 use crate::config::FlConfig;
+use crate::metrics::{self, ClientMetrics};
 use crate::monitor::ShiftDetector;
-use crate::personalize::Personalization;
+use crate::personalize::{LocalOutcome, Personalization};
+use crate::profile::PhaseProfile;
 use crate::scratch::ClientScratch;
 use crate::update::ClientUpdate;
 use collapois_data::federated::FederatedDataset;
+use collapois_data::trigger::Trigger;
 use collapois_nn::model::Sequential;
+use collapois_nn::zoo::ModelSpec;
 use collapois_runtime::checkpoint::{self, CheckpointError, Snapshot};
 use collapois_runtime::pool::{WorkerArenas, WorkerPool};
 use collapois_runtime::seed;
@@ -156,6 +160,18 @@ pub struct FlServer {
     update_pool: Vec<Vec<f32>>,
     /// Reusable aggregation output buffer.
     agg_buf: Vec<f32>,
+    /// Reusable benign-job input buffer for the training fan-out.
+    job_buf: Vec<(usize, Vec<f32>)>,
+    /// Reusable fan-out output buffer (one outcome per benign job).
+    outcome_buf: Vec<(usize, LocalOutcome)>,
+    /// Reusable round-update assembly buffer (recycled unless update
+    /// collection keeps the round's updates).
+    updates_buf: Vec<ClientUpdate>,
+    /// Lane-pinned scratch models for pooled client evaluation.
+    eval_arenas: WorkerArenas<Sequential>,
+    /// Cumulative per-phase wall-clock, drained by
+    /// [`FlServer::take_profile`].
+    profile: PhaseProfile,
     trace: TraceLog,
     monitor: Option<ShiftDetector>,
     checkpoint_dir: Option<PathBuf>,
@@ -197,6 +213,11 @@ impl FlServer {
             arenas: WorkerArenas::new(),
             update_pool: Vec::new(),
             agg_buf: Vec::new(),
+            job_buf: Vec::new(),
+            outcome_buf: Vec::new(),
+            updates_buf: Vec::new(),
+            eval_arenas: WorkerArenas::new(),
+            profile: PhaseProfile::default(),
             trace: TraceLog::in_memory(),
             monitor: None,
             checkpoint_dir: None,
@@ -223,6 +244,43 @@ impl FlServer {
     /// Current worker-thread count.
     pub fn workers(&self) -> usize {
         self.workers.workers()
+    }
+
+    /// Evaluates every benign client (Benign AC + Attack SR) on the
+    /// persistent worker pool, reusing lane-pinned scratch models across
+    /// calls so periodic evaluation allocates nothing in steady state.
+    /// Wall-clock is accounted to the profile's `eval` phase.
+    pub fn evaluate_clients(
+        &mut self,
+        model_spec: &ModelSpec,
+        trigger: &dyn Trigger,
+        target_class: usize,
+        excluded: &[usize],
+    ) -> Vec<ClientMetrics> {
+        let eval_start = Instant::now();
+        let pers: &dyn Personalization = self.personalization.as_ref();
+        let global = &self.global;
+        let out = metrics::evaluate_clients_pooled(
+            &self.fed,
+            model_spec,
+            |id| pers.eval_params(id, global),
+            trigger,
+            target_class,
+            excluded,
+            &self.workers,
+            &mut self.eval_arenas,
+        );
+        self.profile.eval_ms += eval_start.elapsed().as_secs_f64() * 1e3;
+        let (wait_ns, dispatch_ns) = self.workers.take_sync_ns();
+        self.profile.barrier_ms += wait_ns as f64 * 1e-6;
+        self.profile.dispatch_ms += dispatch_ns as f64 * 1e-6;
+        out
+    }
+
+    /// Drains the per-phase wall-clock profile accumulated since the last
+    /// call (or since construction).
+    pub fn take_profile(&mut self) -> PhaseProfile {
+        std::mem::take(&mut self.profile)
     }
 
     /// Mirrors the run trace to a JSONL file (truncating it). Call before
@@ -425,23 +483,30 @@ impl FlServer {
         // persistent arena per lane. Each job is paired with a recycled
         // delta buffer it fills in place; the closure only holds shared
         // borrows of the round snapshot, so all mutation is deferred to
-        // commits and determinism is independent of scheduling.
+        // commits and determinism is independent of scheduling. Job and
+        // outcome buffers persist across rounds so the steady-state fan-out
+        // allocates nothing.
         let fed = &self.fed;
         let update_pool = &mut self.update_pool;
-        let benign: Vec<(usize, Vec<f32>)> = sampled
-            .iter()
-            .copied()
-            .filter(|cid| !compromised.contains(cid) && !fed.client(*cid).train.is_empty())
-            .map(|cid| (cid, update_pool.pop().unwrap_or_default()))
-            .collect();
-        let pool = self.workers;
+        let mut jobs = std::mem::take(&mut self.job_buf);
+        jobs.clear();
+        jobs.extend(
+            sampled
+                .iter()
+                .copied()
+                .filter(|cid| !compromised.contains(cid) && !fed.client(*cid).train.is_empty())
+                .map(|cid| (cid, update_pool.pop().unwrap_or_default())),
+        );
+        let mut outcomes = std::mem::take(&mut self.outcome_buf);
         let pers: &dyn Personalization = self.personalization.as_ref();
         let cfg = &self.cfg;
         let global = &self.global;
         let template = &self.scratch;
-        let outcomes = pool.map_with_arena(
+        let train_start = Instant::now();
+        self.workers.map_with_arena_into(
             &mut self.arenas,
-            benign,
+            &mut jobs,
+            &mut outcomes,
             || ClientScratch::for_model(template),
             move |_, (cid, buf), scratch| {
                 scratch.delta = buf;
@@ -451,13 +516,17 @@ impl FlServer {
                 (cid, out)
             },
         );
+        self.profile.train_ms += train_start.elapsed().as_secs_f64() * 1e3;
+        self.job_buf = jobs;
 
         // Assemble updates in sampled order; personalization commits land
         // in the same order, independent of worker scheduling.
-        let mut updates: Vec<ClientUpdate> = Vec::with_capacity(sampled.len());
+        let commit_start = Instant::now();
+        let mut updates = std::mem::take(&mut self.updates_buf);
+        updates.clear();
         let mut benign_norms = Vec::new();
         let mut malicious_norms = Vec::new();
-        let mut outcome_iter = outcomes.into_iter().peekable();
+        let mut outcome_iter = outcomes.drain(..).peekable();
         for &cid in &sampled {
             if compromised.contains(&cid) {
                 let adv = adversary.as_mut().expect("compromised implies adversary");
@@ -487,12 +556,16 @@ impl FlServer {
             // nothing this round.
         }
         let num_malicious = malicious_norms.len();
+        drop(outcome_iter);
+        self.outcome_buf = outcomes;
+        self.profile.commit_ms += commit_start.elapsed().as_secs_f64() * 1e3;
 
+        let agg_start = Instant::now();
         let mut agg_rng = seed::aggregation_rng(run_seed, round_u64);
         let mut agg = std::mem::take(&mut self.agg_buf);
         agg.resize(dim, 0.0);
         self.aggregator
-            .aggregate_into(&updates, &mut agg, &mut agg_rng);
+            .aggregate_pooled(&updates, &mut agg, &mut agg_rng, &self.workers);
         let lr = self.cfg.server_lr as f32;
         let mut agg_sq = 0.0f64;
         for (g, &d) in self.global.iter_mut().zip(&agg) {
@@ -503,6 +576,7 @@ impl FlServer {
         let agg_delta_norm = agg_sq.sqrt();
         self.agg_buf = agg;
         self.aggregator.post_process(&mut self.global, &mut agg_rng);
+        self.profile.aggregate_ms += agg_start.elapsed().as_secs_f64() * 1e3;
 
         if let Some(adv) = adversary.as_mut() {
             adv.observe_global(&self.global, round);
@@ -533,11 +607,16 @@ impl FlServer {
         let kept_updates = if self.collect_updates {
             Some(updates)
         } else {
-            for u in updates {
+            for u in updates.drain(..) {
                 self.update_pool.push(u.delta);
             }
+            self.updates_buf = updates;
             None
         };
+        let (wait_ns, dispatch_ns) = self.workers.take_sync_ns();
+        self.profile.barrier_ms += wait_ns as f64 * 1e-6;
+        self.profile.dispatch_ms += dispatch_ns as f64 * 1e-6;
+        self.profile.rounds += 1;
         let record = RoundRecord {
             round,
             sampled,

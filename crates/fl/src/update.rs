@@ -7,7 +7,18 @@
 //! the Trojaned model X.
 
 use collapois_nn::kernels;
+use collapois_runtime::pool::WorkerPool;
 use collapois_stats::geometry::l2_norm;
+
+/// Updates per leaf of the fixed-shape reduction tree (DESIGN.md §9).
+///
+/// Aggregation sums are reassociated into per-chunk partial accumulators so
+/// the chunks can run on different lanes; the chunk width is a constant, so
+/// the tree's shape — and therefore every rounding step — depends only on
+/// the number of updates, never on the worker count. With `n ≤ MEAN_CHUNK`
+/// updates there is a single leaf and the sum order degenerates to the
+/// plain serial accumulation.
+pub(crate) const MEAN_CHUNK: usize = 8;
 
 /// One client's contribution to a training round.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,22 +68,116 @@ pub fn mean_delta(updates: &[ClientUpdate], dim: usize) -> Vec<f32> {
 
 /// In-place [`mean_delta`]: writes the mean into `out` (length `dim`) using
 /// `acc` as a reusable f64 accumulator. Bitwise identical to the allocating
-/// path — same accumulation order, same rounding.
+/// path and to [`mean_delta_pooled_into`] at any worker count — all three
+/// share the fixed-shape reduction tree.
 ///
 /// # Panics
 ///
 /// Panics if any update's dimension differs from `out.len()`.
 pub fn mean_delta_into(updates: &[ClientUpdate], out: &mut [f32], acc: &mut Vec<f64>) {
-    let dim = out.len();
-    acc.clear();
-    acc.resize(dim, 0.0);
-    for u in updates {
+    tree_reduce_into(updates.len(), out, acc, |c, row| {
+        mean_leaf(updates, c, row);
+    });
+}
+
+/// Parallel [`mean_delta_into`]: leaf chunks of the reduction tree fan out
+/// over `pool`'s lanes. The tree shape is fixed by the update count (see
+/// [`MEAN_CHUNK`]), so the result is bitwise identical to the serial path
+/// at every worker count.
+///
+/// # Panics
+///
+/// Panics if any update's dimension differs from `out.len()`.
+pub fn mean_delta_pooled_into(
+    updates: &[ClientUpdate],
+    out: &mut [f32],
+    acc: &mut Vec<f64>,
+    pool: &WorkerPool,
+) {
+    tree_reduce_pooled_into(updates.len(), out, acc, pool, |c, row| {
+        mean_leaf(updates, c, row);
+    });
+}
+
+/// Accumulates leaf chunk `c`'s updates into `row` (one tree leaf).
+fn mean_leaf(updates: &[ClientUpdate], c: usize, row: &mut [f64]) {
+    let dim = row.len();
+    let lo = c * MEAN_CHUNK;
+    let hi = (lo + MEAN_CHUNK).min(updates.len());
+    for u in &updates[lo..hi] {
         assert_eq!(u.delta.len(), dim, "update dimension mismatch");
-        kernels::acc_add(acc, &u.delta);
+        kernels::acc_add(row, &u.delta);
     }
-    let n = updates.len().max(1) as f64;
+}
+
+/// Serial fixed-shape tree reduction: `leaf(c, row)` accumulates leaf chunk
+/// `c` (update indices `c·MEAN_CHUNK ..`) into its borrowed `dim`-length
+/// partial-accumulator row; the rows are then merged by a deterministic
+/// pairwise (stride-doubling) tree and scaled by `1/n` into `out`.
+///
+/// The leaf must write a function of `(c, n)` only — never of which thread
+/// runs it — which together with the worker-count-independent chunking
+/// makes [`tree_reduce_pooled_into`] bitwise identical to this path.
+pub(crate) fn tree_reduce_into<L>(n: usize, out: &mut [f32], acc: &mut Vec<f64>, leaf: L)
+where
+    L: Fn(usize, &mut [f64]),
+{
+    let dim = out.len();
+    if dim == 0 {
+        return;
+    }
+    let nchunks = n.div_ceil(MEAN_CHUNK).max(1);
+    acc.clear();
+    acc.resize(nchunks * dim, 0.0);
+    for (c, row) in acc.chunks_mut(dim).enumerate() {
+        leaf(c, row);
+    }
+    merge_and_scale(acc, nchunks, dim, n, out);
+}
+
+/// [`tree_reduce_into`] with the leaf chunks fanned out over `pool`.
+pub(crate) fn tree_reduce_pooled_into<L>(
+    n: usize,
+    out: &mut [f32],
+    acc: &mut Vec<f64>,
+    pool: &WorkerPool,
+    leaf: L,
+) where
+    L: Fn(usize, &mut [f64]) + Sync,
+{
+    let dim = out.len();
+    if dim == 0 {
+        return;
+    }
+    let nchunks = n.div_ceil(MEAN_CHUNK).max(1);
+    acc.clear();
+    acc.resize(nchunks * dim, 0.0);
+    pool.for_chunks_mut(acc, dim, |c, row| leaf(c, row));
+    merge_and_scale(acc, nchunks, dim, n, out);
+}
+
+/// Pairwise stride-doubling merge of the `nchunks` partial rows in `acc`
+/// (row 0 absorbs the root), then `out = (root / max(n, 1)) as f32`. Runs
+/// on the dispatching thread in both the serial and pooled paths, so the
+/// merge order is one fixed tree.
+fn merge_and_scale(acc: &mut [f64], nchunks: usize, dim: usize, n: usize, out: &mut [f32]) {
+    let mut stride = 1usize;
+    while stride < nchunks {
+        let mut base = 0usize;
+        while base + stride < nchunks {
+            let (lo, hi) = acc.split_at_mut((base + stride) * dim);
+            let dst = &mut lo[base * dim..base * dim + dim];
+            let src = &hi[..dim];
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d += s;
+            }
+            base += 2 * stride;
+        }
+        stride *= 2;
+    }
+    let nf = n.max(1) as f64;
     for (o, &a) in out.iter_mut().zip(acc.iter()) {
-        *o = (a / n) as f32;
+        *o = (a / nf) as f32;
     }
 }
 
@@ -104,6 +209,49 @@ mod tests {
     fn mean_rejects_mismatch() {
         let u1 = ClientUpdate::new(0, vec![1.0], 1);
         let _ = mean_delta(&[u1], 2);
+    }
+
+    #[test]
+    fn pooled_mean_is_bitwise_identical_to_serial() {
+        // 37 updates spans several tree leaves plus a ragged tail; the
+        // pooled path must reproduce the serial tree exactly at every
+        // worker count.
+        let dim = 19;
+        let updates: Vec<ClientUpdate> = (0..37)
+            .map(|i| {
+                let delta: Vec<f32> = (0..dim)
+                    .map(|j| ((i * 31 + j * 7) as f32).sin() * 3.0)
+                    .collect();
+                ClientUpdate::new(i, delta, 10)
+            })
+            .collect();
+        let mut serial = vec![0.0f32; dim];
+        let mut acc = Vec::new();
+        mean_delta_into(&updates, &mut serial, &mut acc);
+        for workers in [1, 2, 4, 8] {
+            let pool = WorkerPool::new(workers);
+            let mut pooled = vec![0.0f32; dim];
+            let mut acc2 = Vec::new();
+            mean_delta_pooled_into(&updates, &mut pooled, &mut acc2, &pool);
+            let a: Vec<u32> = serial.iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u32> = pooled.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a, b, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn tree_mean_matches_plain_mean_within_reassociation() {
+        // The fixed-shape tree reassociates the sum; the result must stay
+        // within a few ulps of the naive left-to-right mean.
+        let updates: Vec<ClientUpdate> = (0..29)
+            .map(|i| ClientUpdate::new(i, vec![(i as f32).cos(); 5], 1))
+            .collect();
+        let got = mean_delta(&updates, 5);
+        let naive: f64 =
+            updates.iter().map(|u| u.delta[0] as f64).sum::<f64>() / updates.len() as f64;
+        for &g in &got {
+            assert!((g as f64 - naive).abs() < 1e-6, "{g} vs {naive}");
+        }
     }
 
     #[test]

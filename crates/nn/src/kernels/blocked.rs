@@ -399,6 +399,28 @@ pub fn pairwise_sq_distances(vectors: &[&[f32]]) -> Vec<f64> {
     out
 }
 
+/// One row of [`pairwise_sq_distances`] written into `row` (length `n`):
+/// `row[j] = ‖v_i − v_j‖²`, diagonal zero. This is the sharded entry point
+/// for parallel Krum: each row recomputes its distances directly instead of
+/// mirroring the triangle, which is bitwise identical because
+/// [`sq_l2_distance`] is exactly symmetric.
+///
+/// # Panics
+///
+/// Panics if `row.len() != vectors.len()` or the vectors have different
+/// lengths.
+pub fn pairwise_sq_distances_row_into(vectors: &[&[f32]], i: usize, row: &mut [f64]) {
+    let n = vectors.len();
+    assert_eq!(row.len(), n, "pairwise row: length mismatch");
+    for (j, slot) in row.iter_mut().enumerate() {
+        *slot = if i == j {
+            0.0
+        } else {
+            sq_l2_distance(vectors[i], vectors[j])
+        };
+    }
+}
+
 // `#[inline(always)]`: passed by value into `sort_unstable_by` /
 // `select_nth_unstable_by`; without the hint the fn item can land in a
 // different codegen unit and every comparison becomes an indirect call

@@ -106,6 +106,13 @@ pub fn pairwise_sq_distances(vectors: &[&[f32]]) -> Vec<f64> {
     imp::pairwise_sq_distances(vectors)
 }
 
+/// One row of [`pairwise_sq_distances`] written into a borrowed buffer —
+/// the shard-friendly entry point (each row is independent and bitwise
+/// identical to the full matrix's row).
+pub fn pairwise_sq_distances_row_into(vectors: &[&[f32]], i: usize, row: &mut [f64]) {
+    imp::pairwise_sq_distances_row_into(vectors, i, row)
+}
+
 /// α-trimmed mean of a scratch buffer (reordered in place): drop the
 /// `trim` lowest and highest values, average the rest.
 pub fn trimmed_mean_inplace(buf: &mut [f32], trim: usize) -> f32 {

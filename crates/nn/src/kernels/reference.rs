@@ -189,6 +189,27 @@ pub fn pairwise_sq_distances(vectors: &[&[f32]]) -> Vec<f64> {
     out
 }
 
+/// One row of [`pairwise_sq_distances`] written into `row` (length `n`):
+/// `row[j] = ‖v_i − v_j‖²`, diagonal zero. Because the distance kernel is
+/// exactly symmetric, computing rows independently (in any sharding) yields
+/// the same matrix as the full kernel, bitwise.
+///
+/// # Panics
+///
+/// Panics if `row.len() != vectors.len()` or the vectors have different
+/// lengths.
+pub fn pairwise_sq_distances_row_into(vectors: &[&[f32]], i: usize, row: &mut [f64]) {
+    let n = vectors.len();
+    assert_eq!(row.len(), n, "pairwise row: length mismatch");
+    for (j, slot) in row.iter_mut().enumerate() {
+        *slot = if i == j {
+            0.0
+        } else {
+            sq_l2_distance(vectors[i], vectors[j])
+        };
+    }
+}
+
 /// α-trimmed mean of `buf`: full sort, drop the lowest and highest `trim`
 /// values, average the middle with an ascending-order `f64` sum.
 ///

@@ -1,4 +1,4 @@
-//! Deterministic scoped worker pool.
+//! Deterministic persistent worker pool with a low-overhead round barrier.
 //!
 //! [`WorkerPool::map`] fans independent jobs over up to `workers` threads
 //! and returns results **in input order**. Jobs must be independent (the
@@ -8,16 +8,46 @@
 //! snapshot-compute / ordered-commit split is what makes `workers = N`
 //! bit-identical to `workers = 1`.
 //!
+//! # Persistent threads and the spin-then-park barrier
+//!
+//! Worker threads are spawned once when the pool is built and live until it
+//! is dropped. A dispatch publishes a type-erased job pointer and bumps an
+//! epoch counter (release ordering); workers observe the new epoch (acquire
+//! ordering), run their lanes, and decrement a completion counter the
+//! dispatching thread spins on. Between dispatches workers **spin briefly
+//! and then park** on a condvar: round loops with back-to-back dispatches
+//! (train → aggregate → eval) never pay a futex wake-up, while idle phases
+//! (setup, checkpointing) cost no CPU. When the pool is oversubscribed
+//! (more workers than hardware threads) the spin phase is skipped entirely
+//! — spinning would only steal cycles from the lanes doing real work.
+//!
+//! Lane assignment is **strided**: lane `l` of `W` processes item indices
+//! `l, l+W, l+2W, …`. Outputs land in the slot of their input index, so the
+//! result is independent of scheduling, worker count, and lane assignment.
+//!
+//! The dispatching thread itself runs lane 0, so a `workers = W` pool holds
+//! `W − 1` helper threads and `workers = 1` never synchronizes at all.
+//!
 //! [`WorkerArenas`] extends this with per-worker scratch state that lives
 //! *across* calls (and therefore across rounds): each lane owns one arena
-//! for the duration of a [`WorkerPool::map_with_arena`] call, so a job can
-//! reuse the previous round's buffers instead of allocating fresh ones.
-//! Arenas must be history-free — a job's output may depend only on its
-//! input, never on which arena served it or what ran in it before — which
-//! preserves the bitwise workers-N ≡ workers-1 equivalence.
+//! for the duration of a call, so a job can reuse the previous round's
+//! buffers instead of allocating fresh ones. Arenas must be history-free —
+//! a job's output may depend only on its input, never on which arena served
+//! it or what ran in it before — which preserves the bitwise
+//! workers-N ≡ workers-1 equivalence.
+//!
+//! The zero-allocation entry points ([`WorkerPool::map_with_arena_into`],
+//! [`WorkerPool::for_chunks_mut`], [`WorkerPool::for_chunks_mut_with_arena`])
+//! reuse caller-owned input/output buffers, so a steady-state dispatch
+//! touches the allocator exactly zero times at any worker count.
 
-/// Per-worker scratch arenas that persist across [`WorkerPool::map_with_arena`]
-/// calls.
+use std::cell::UnsafeCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Per-worker scratch arenas that persist across pooled calls.
 ///
 /// The pool hands lane `i` exclusive access to `arenas[i]` for the whole
 /// call; between calls the arenas (and their grown buffers) are retained, so
@@ -29,8 +59,8 @@ pub struct WorkerArenas<A> {
 }
 
 impl<A> WorkerArenas<A> {
-    /// Creates an empty arena set; arenas are built lazily by
-    /// [`WorkerPool::map_with_arena`] via its `init` closure.
+    /// Creates an empty arena set; arenas are built lazily by the pooled
+    /// calls via their `init` closure.
     pub fn new() -> Self {
         Self { arenas: Vec::new() }
     }
@@ -53,18 +83,267 @@ impl<A> WorkerArenas<A> {
     }
 }
 
-/// A fixed-width fan-out helper over scoped threads.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// The job a dispatch publishes to the helper threads: called once per
+/// helper lane. The `'static` lifetime is a lie confined to [`Shared`] —
+/// the dispatching thread blocks until every helper has finished before the
+/// underlying closure goes out of scope.
+type Job = &'static (dyn Fn(usize) + Sync);
+
+/// State shared between the dispatching thread and the helper threads.
+struct Shared {
+    /// Bumped (release) once per dispatch; helpers wait for it to move.
+    epoch: AtomicU64,
+    /// The published job; valid for epochs `> 0` until `remaining` hits 0.
+    job: UnsafeCell<Option<Job>>,
+    /// Helpers still running the current job; the dispatcher spins on 0.
+    remaining: AtomicUsize,
+    /// Helpers currently parked on `cvar` (only mutated under `lock`).
+    sleepers: AtomicUsize,
+    /// Pool is shutting down; helpers observing this after an epoch bump exit.
+    shutdown: AtomicBool,
+    /// First panic payload captured from a helper lane this dispatch.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Park/wake for the spin-then-park barrier.
+    lock: Mutex<()>,
+    cvar: Condvar,
+    /// Nanoseconds the dispatcher spent waiting on helpers after finishing
+    /// its own lane (the barrier cost), accumulated until drained.
+    wait_ns: AtomicU64,
+    /// Nanoseconds spent publishing jobs (handoff cost), accumulated.
+    dispatch_ns: AtomicU64,
+    /// Spin iterations before a helper parks; 0 when oversubscribed.
+    spin_limit: u32,
+}
+
+// SAFETY: `job` is only written by the dispatching thread while no helper
+// is between epoch-observation and its `remaining` decrement; the
+// release/acquire pair on `epoch` orders the write before any read.
+unsafe impl Sync for Shared {}
+unsafe impl Send for Shared {}
+
+/// Spin iterations before the *dispatcher* yields while waiting on helpers.
+const DISPATCH_SPIN: u32 = 1 << 10;
+/// Spin iterations before an idle *helper* parks on the condvar.
+const HELPER_SPIN: u32 = 1 << 14;
+
+fn helper_loop(shared: Arc<Shared>, lane: usize) {
+    // The baseline is the epoch at spawn time (0), NOT a fresh load: a
+    // dispatch can land before this thread first runs, and reading the
+    // already-bumped epoch here would make the helper skip that job —
+    // leaving the dispatcher spinning on a count that never drains.
+    let mut seen = 0u64;
+    loop {
+        // Wait for the next epoch: spin briefly, then park.
+        let mut spins = 0u32;
+        let current = loop {
+            let e = shared.epoch.load(Ordering::Acquire);
+            if e != seen {
+                break e;
+            }
+            if spins < shared.spin_limit {
+                spins += 1;
+                std::hint::spin_loop();
+            } else {
+                let mut guard = shared.lock.lock().expect("pool lock poisoned");
+                shared.sleepers.fetch_add(1, Ordering::Relaxed);
+                loop {
+                    let e = shared.epoch.load(Ordering::Acquire);
+                    if e != seen {
+                        shared.sleepers.fetch_sub(1, Ordering::Relaxed);
+                        drop(guard);
+                        break;
+                    }
+                    guard = shared.cvar.wait(guard).expect("pool lock poisoned");
+                }
+                break shared.epoch.load(Ordering::Acquire);
+            }
+        };
+        seen = current;
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        // SAFETY: the epoch acquire pairs with the dispatcher's release
+        // store, ordering the job write before this read.
+        let job = unsafe { (*shared.job.get()).expect("dispatch published no job") };
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| job(lane))) {
+            let mut slot = shared.panic.lock().expect("panic slot poisoned");
+            slot.get_or_insert(payload);
+        }
+        shared.remaining.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// The spawned helper threads plus shared barrier state; dropped (and
+/// joined) when the last [`WorkerPool`] clone goes away.
+struct PoolCore {
+    shared: Arc<Shared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    /// Serializes dispatches: jobs must never dispatch on their own pool.
+    dispatching: AtomicBool,
+}
+
+impl PoolCore {
+    fn new(workers: usize) -> Self {
+        let hardware = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let shared = Arc::new(Shared {
+            epoch: AtomicU64::new(0),
+            job: UnsafeCell::new(None),
+            remaining: AtomicUsize::new(0),
+            sleepers: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            panic: Mutex::new(None),
+            lock: Mutex::new(()),
+            cvar: Condvar::new(),
+            wait_ns: AtomicU64::new(0),
+            dispatch_ns: AtomicU64::new(0),
+            // Oversubscribed helpers park immediately: spinning on a lane
+            // that shares a hardware thread with working lanes only delays
+            // the barrier.
+            spin_limit: if workers > hardware { 0 } else { HELPER_SPIN },
+        });
+        let threads = (1..workers)
+            .map(|lane| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("collapois-worker-{lane}"))
+                    .spawn(move || helper_loop(shared, lane))
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        Self {
+            shared,
+            threads,
+            dispatching: AtomicBool::new(false),
+        }
+    }
+
+    /// Publishes `f` to every lane (helpers run lanes `1..workers`, the
+    /// calling thread runs lane 0) and blocks until all lanes finish.
+    /// Propagates the first panic from any lane.
+    fn run(&self, f: &(dyn Fn(usize) + Sync)) {
+        assert!(
+            !self.dispatching.swap(true, Ordering::Acquire),
+            "nested dispatch on the same WorkerPool (jobs must not dispatch)"
+        );
+        let start = Instant::now();
+        let helpers = self.threads.len();
+        // SAFETY: helpers only dereference the job between the epoch bump
+        // below and their `remaining` decrement, and this thread blocks on
+        // `remaining == 0` before `f` leaves scope — the 'static is never
+        // outlived in practice.
+        let job: Job = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(f)
+        };
+        unsafe { *self.shared.job.get() = Some(job) };
+        self.shared.remaining.store(helpers, Ordering::Relaxed);
+        self.shared.epoch.fetch_add(1, Ordering::Release);
+        // Wake parked helpers. Checking `sleepers` under the lock pairs
+        // with helpers re-checking the epoch under the same lock before
+        // waiting, so no wake-up can be lost.
+        {
+            let _guard = self.shared.lock.lock().expect("pool lock poisoned");
+            if self.shared.sleepers.load(Ordering::Relaxed) > 0 {
+                self.shared.cvar.notify_all();
+            }
+        }
+        self.shared
+            .dispatch_ns
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+
+        // Lane 0 on the calling thread.
+        let local = catch_unwind(AssertUnwindSafe(|| f(0)));
+
+        // Barrier: wait for the helper lanes.
+        let wait_start = Instant::now();
+        let mut spins = 0u32;
+        while self.shared.remaining.load(Ordering::Acquire) != 0 {
+            if spins < DISPATCH_SPIN {
+                spins += 1;
+                std::hint::spin_loop();
+            } else {
+                spins = 0;
+                std::thread::yield_now();
+            }
+        }
+        self.shared
+            .wait_ns
+            .fetch_add(wait_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        unsafe { *self.shared.job.get() = None };
+        self.dispatching.store(false, Ordering::Release);
+
+        if let Err(payload) = local {
+            resume_unwind(payload);
+        }
+        let helper_panic = self
+            .shared
+            .panic
+            .lock()
+            .expect("panic slot poisoned")
+            .take();
+        if let Some(payload) = helper_panic {
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for PoolCore {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.epoch.fetch_add(1, Ordering::Release);
+        {
+            let _guard = self.shared.lock.lock().expect("pool lock poisoned");
+            self.shared.cvar.notify_all();
+        }
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A fixed-width fan-out helper over persistent worker threads.
+///
+/// Cloning is cheap and shares the underlying threads; the threads are
+/// joined when the last clone is dropped. A `workers = 1` pool holds no
+/// threads and runs everything inline.
+#[derive(Clone)]
 pub struct WorkerPool {
     workers: usize,
+    core: Option<Arc<PoolCore>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers)
+            .finish()
+    }
+}
+
+/// Raw-pointer capsule so job closures can index disjoint slots of a
+/// caller-owned buffer from multiple lanes.
+struct SyncPtr<T>(*mut T);
+unsafe impl<T> Sync for SyncPtr<T> {}
+unsafe impl<T> Send for SyncPtr<T> {}
+
+impl<T> SyncPtr<T> {
+    /// Accessor (rather than field access) so closures capture the whole
+    /// `Sync` wrapper, not the bare pointer.
+    fn get(&self) -> *mut T {
+        self.0
+    }
 }
 
 impl WorkerPool {
     /// Creates a pool running at most `workers` jobs concurrently.
-    /// `workers = 0` is treated as 1 (fully sequential).
+    /// `workers = 0` is treated as 1 (fully sequential). Spawns
+    /// `workers − 1` persistent helper threads.
     pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
         Self {
-            workers: workers.max(1),
+            workers,
+            core: (workers > 1).then(|| Arc::new(PoolCore::new(workers))),
         }
     }
 
@@ -82,16 +361,41 @@ impl WorkerPool {
         self.workers
     }
 
+    /// Drains the accumulated barrier cost: nanoseconds the dispatching
+    /// thread spent waiting for helper lanes after finishing its own lane,
+    /// plus nanoseconds spent publishing jobs, since the last drain.
+    /// Always `(0, 0)` for a sequential pool.
+    pub fn take_sync_ns(&self) -> (u64, u64) {
+        match &self.core {
+            Some(core) => (
+                core.shared.wait_ns.swap(0, Ordering::Relaxed),
+                core.shared.dispatch_ns.swap(0, Ordering::Relaxed),
+            ),
+            None => (0, 0),
+        }
+    }
+
+    /// Runs `f(lane)` for every lane `0..workers`, lane 0 on the calling
+    /// thread. Inline (no synchronization) for sequential pools.
+    fn run_lanes(&self, f: &(dyn Fn(usize) + Sync)) {
+        match &self.core {
+            Some(core) => core.run(f),
+            None => f(0),
+        }
+    }
+
     /// Applies `f` to every item, returning outputs in input order.
     ///
     /// `f` receives `(input_index, item)`. With one worker (or one item)
-    /// this runs inline on the caller's thread; otherwise items are dealt
-    /// round-robin to worker threads. Because each output lands in the slot
-    /// of its input index, the result is independent of scheduling.
+    /// this runs inline on the caller's thread; otherwise lane `l`
+    /// processes indices `l, l+W, l+2W, …`. Because each output lands in
+    /// the slot of its input index, the result is independent of
+    /// scheduling.
     ///
     /// # Panics
     ///
-    /// Propagates panics from `f`.
+    /// Propagates panics from `f`. Unprocessed items leak (they are never
+    /// dropped) if a lane panics.
     pub fn map<T, U, F>(&self, items: Vec<T>, f: F) -> Vec<U>
     where
         T: Send,
@@ -106,44 +410,28 @@ impl WorkerPool {
                 .map(|(i, item)| f(i, item))
                 .collect();
         }
-
-        let lanes = self.workers.min(n);
-        // Deal items round-robin into one lane per worker. Static
-        // assignment (rather than work stealing) keeps the structure
-        // simple; determinism comes from index-keyed scatter either way.
-        let mut chunks: Vec<Vec<(usize, T)>> = (0..lanes).map(|_| Vec::new()).collect();
-        for (i, item) in items.into_iter().enumerate() {
-            chunks[i % lanes].push((i, item));
-        }
-
-        let f = &f;
-        let gathered: Vec<Vec<(usize, U)>> = crossbeam::thread::scope(|s| {
-            let handles: Vec<_> = chunks
-                .into_iter()
-                .map(|chunk| {
-                    s.spawn(move |_| {
-                        chunk
-                            .into_iter()
-                            .map(|(i, item)| (i, f(i, item)))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect()
-        })
-        .expect("worker pool scope failed");
-
-        let mut out: Vec<Option<U>> = (0..n).map(|_| None).collect();
-        for (i, value) in gathered.into_iter().flatten() {
-            debug_assert!(out[i].is_none(), "duplicate output for index {i}");
-            out[i] = Some(value);
-        }
-        out.into_iter()
-            .map(|slot| slot.expect("missing output slot"))
-            .collect()
+        let mut items = items;
+        let mut out: Vec<U> = Vec::with_capacity(n);
+        let items_ptr = SyncPtr(items.as_mut_ptr());
+        let out_ptr = SyncPtr(out.as_mut_ptr());
+        let workers = self.workers;
+        // Elements are moved out through raw reads below; drop the vec's
+        // claim on them first so a panicking lane cannot double-drop.
+        unsafe { items.set_len(0) };
+        self.run_lanes(&|lane| {
+            let mut i = lane;
+            while i < n {
+                // SAFETY: each index is read/written by exactly one lane
+                // (strided partition) and both buffers hold >= n slots.
+                let item = unsafe { std::ptr::read(items_ptr.get().add(i)) };
+                let value = f(i, item);
+                unsafe { std::ptr::write(out_ptr.get().add(i), value) };
+                i += workers;
+            }
+        });
+        // SAFETY: every slot 0..n was written by exactly one lane.
+        unsafe { out.set_len(n) };
+        out
     }
 
     /// Like [`WorkerPool::map`], but hands each lane a persistent scratch
@@ -172,56 +460,172 @@ impl WorkerPool {
         F: Fn(usize, T, &mut A) -> U + Sync,
         I: FnMut() -> A,
     {
+        let mut items = items;
+        let mut out = Vec::new();
+        self.map_with_arena_into(arenas, &mut items, &mut out, init, f);
+        out
+    }
+
+    /// Zero-allocation [`WorkerPool::map_with_arena`]: drains `items` and
+    /// writes one output per item into `out` (cleared first), reusing both
+    /// buffers' capacity. In steady state — once `out` has grown to the
+    /// high-water item count and every arena exists — a call performs no
+    /// heap allocation at any worker count.
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from `f`; `items` is left empty (unprocessed
+    /// elements leak) and `out` empty in that case.
+    pub fn map_with_arena_into<A, T, U, F, I>(
+        &self,
+        arenas: &mut WorkerArenas<A>,
+        items: &mut Vec<T>,
+        out: &mut Vec<U>,
+        init: I,
+        f: F,
+    ) where
+        A: Send,
+        T: Send,
+        U: Send,
+        F: Fn(usize, T, &mut A) -> U + Sync,
+        I: FnMut() -> A,
+    {
         let n = items.len();
+        out.clear();
         if n == 0 {
-            return Vec::new();
+            return;
         }
         if self.workers == 1 || n == 1 {
             arenas.ensure_with(1, init);
             let arena = &mut arenas.arenas[0];
-            return items
-                .into_iter()
-                .enumerate()
-                .map(|(i, item)| f(i, item, arena))
-                .collect();
+            out.reserve(n);
+            for (i, item) in items.drain(..).enumerate() {
+                out.push(f(i, item, arena));
+            }
+            return;
         }
+        arenas.ensure_with(self.workers, init);
+        out.reserve(n);
+        let items_ptr = SyncPtr(items.as_mut_ptr());
+        let out_ptr = SyncPtr(out.as_mut_ptr());
+        let arenas_ptr = SyncPtr(arenas.arenas.as_mut_ptr());
+        let workers = self.workers;
+        unsafe { items.set_len(0) };
+        self.run_lanes(&|lane| {
+            // SAFETY: each lane touches only its own arena slot.
+            let arena = unsafe { &mut *arenas_ptr.get().add(lane) };
+            let mut i = lane;
+            while i < n {
+                // SAFETY: strided partition — exactly one lane per index.
+                let item = unsafe { std::ptr::read(items_ptr.get().add(i)) };
+                let value = f(i, item, arena);
+                unsafe { std::ptr::write(out_ptr.get().add(i), value) };
+                i += workers;
+            }
+        });
+        // SAFETY: every slot 0..n was written by exactly one lane.
+        unsafe { out.set_len(n) };
+    }
 
-        let lanes = self.workers.min(n);
-        arenas.ensure_with(lanes, init);
-        let mut chunks: Vec<Vec<(usize, T)>> = (0..lanes).map(|_| Vec::new()).collect();
-        for (i, item) in items.into_iter().enumerate() {
-            chunks[i % lanes].push((i, item));
+    /// Splits `data` into fixed-length chunks (`chunk_len` elements, last
+    /// one shorter) and runs `f(chunk_index, chunk)` for every chunk in
+    /// parallel, mutating the chunks in place. Chunk boundaries depend only
+    /// on `data.len()` and `chunk_len` — never on the worker count — which
+    /// is the shard-boundary determinism rule: any per-chunk computation is
+    /// bitwise identical at every worker count.
+    ///
+    /// Allocation-free at any worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_len == 0`; propagates panics from `f`.
+    pub fn for_chunks_mut<U, F>(&self, data: &mut [U], chunk_len: usize, f: F)
+    where
+        U: Send,
+        F: Fn(usize, &mut [U]) + Sync,
+    {
+        assert!(chunk_len > 0, "chunk_len must be positive");
+        let n = data.len();
+        if n == 0 {
+            return;
         }
-
-        let f = &f;
-        let gathered: Vec<Vec<(usize, U)>> = crossbeam::thread::scope(|s| {
-            let handles: Vec<_> = chunks
-                .into_iter()
-                .zip(arenas.arenas.iter_mut())
-                .map(|(chunk, arena)| {
-                    s.spawn(move |_| {
-                        chunk
-                            .into_iter()
-                            .map(|(i, item)| (i, f(i, item, arena)))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect()
-        })
-        .expect("worker pool scope failed");
-
-        let mut out: Vec<Option<U>> = (0..n).map(|_| None).collect();
-        for (i, value) in gathered.into_iter().flatten() {
-            debug_assert!(out[i].is_none(), "duplicate output for index {i}");
-            out[i] = Some(value);
+        let nchunks = n.div_ceil(chunk_len);
+        if self.workers == 1 || nchunks == 1 {
+            for (c, chunk) in data.chunks_mut(chunk_len).enumerate() {
+                f(c, chunk);
+            }
+            return;
         }
-        out.into_iter()
-            .map(|slot| slot.expect("missing output slot"))
-            .collect()
+        let base = SyncPtr(data.as_mut_ptr());
+        let workers = self.workers;
+        self.run_lanes(&|lane| {
+            let mut c = lane;
+            while c < nchunks {
+                let start = c * chunk_len;
+                let end = (start + chunk_len).min(n);
+                // SAFETY: chunks are disjoint and within bounds; exactly
+                // one lane owns each chunk (strided partition).
+                let chunk =
+                    unsafe { std::slice::from_raw_parts_mut(base.get().add(start), end - start) };
+                f(c, chunk);
+                c += workers;
+            }
+        });
+    }
+
+    /// [`WorkerPool::for_chunks_mut`] with a persistent per-lane scratch
+    /// arena (same contract as [`WorkerPool::map_with_arena`]: outputs must
+    /// not depend on which arena served a chunk).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_len == 0`; propagates panics from `f`.
+    pub fn for_chunks_mut_with_arena<A, U, F, I>(
+        &self,
+        arenas: &mut WorkerArenas<A>,
+        data: &mut [U],
+        chunk_len: usize,
+        init: I,
+        f: F,
+    ) where
+        A: Send,
+        U: Send,
+        F: Fn(usize, &mut [U], &mut A) + Sync,
+        I: FnMut() -> A,
+    {
+        assert!(chunk_len > 0, "chunk_len must be positive");
+        let n = data.len();
+        if n == 0 {
+            return;
+        }
+        let nchunks = n.div_ceil(chunk_len);
+        if self.workers == 1 || nchunks == 1 {
+            arenas.ensure_with(1, init);
+            let arena = &mut arenas.arenas[0];
+            for (c, chunk) in data.chunks_mut(chunk_len).enumerate() {
+                f(c, chunk, arena);
+            }
+            return;
+        }
+        arenas.ensure_with(self.workers, init);
+        let base = SyncPtr(data.as_mut_ptr());
+        let arenas_ptr = SyncPtr(arenas.arenas.as_mut_ptr());
+        let workers = self.workers;
+        self.run_lanes(&|lane| {
+            // SAFETY: each lane touches only its own arena slot.
+            let arena = unsafe { &mut *arenas_ptr.get().add(lane) };
+            let mut c = lane;
+            while c < nchunks {
+                let start = c * chunk_len;
+                let end = (start + chunk_len).min(n);
+                // SAFETY: chunks are disjoint and within bounds; exactly
+                // one lane owns each chunk (strided partition).
+                let chunk =
+                    unsafe { std::slice::from_raw_parts_mut(base.get().add(start), end - start) };
+                f(c, chunk, arena);
+                c += workers;
+            }
+        });
     }
 }
 
@@ -270,6 +674,56 @@ mod tests {
     }
 
     #[test]
+    fn pool_survives_many_dispatches() {
+        // The persistent barrier must hand off thousands of jobs without
+        // wedging (regression test for lost wake-ups in spin-then-park).
+        let pool = WorkerPool::new(4);
+        for round in 0..2000usize {
+            let out = pool.map(vec![1u64; 16], |i, x| x + (i + round) as u64);
+            assert_eq!(out.len(), 16);
+            assert_eq!(out[0], 1 + round as u64);
+        }
+    }
+
+    #[test]
+    fn owned_items_are_dropped_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Tracked(#[allow(dead_code)] usize);
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let pool = WorkerPool::new(3);
+        let items: Vec<Tracked> = (0..50).map(Tracked).collect();
+        let out = pool.map(items, |i, t| {
+            let v = t.0 + i;
+            drop(t);
+            v
+        });
+        assert_eq!(out.len(), 50);
+        assert_eq!(DROPS.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn panic_in_lane_propagates() {
+        let pool = WorkerPool::new(4);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.map((0..32usize).collect::<Vec<_>>(), |i, x| {
+                if i == 17 {
+                    panic!("lane boom");
+                }
+                x
+            })
+        }));
+        assert!(result.is_err());
+        // The pool must stay usable after a propagated panic.
+        let out = pool.map(vec![1u32, 2, 3], |_, x| x * 2);
+        assert_eq!(out, vec![2, 4, 6]);
+    }
+
+    #[test]
     fn arenas_are_built_lazily_and_reused() {
         let pool = WorkerPool::new(3);
         let mut arenas: WorkerArenas<Vec<u8>> = WorkerArenas::new();
@@ -312,5 +766,75 @@ mod tests {
             WorkerPool::new(4).map_with_arena(&mut arenas, Vec::<u8>::new(), Vec::new, |_, x, _| x);
         assert!(out.is_empty());
         assert!(arenas.is_empty());
+    }
+
+    #[test]
+    fn map_with_arena_into_reuses_buffers() {
+        let pool = WorkerPool::new(4);
+        let mut arenas: WorkerArenas<()> = WorkerArenas::new();
+        let mut items: Vec<usize> = (0..40).collect();
+        let mut out: Vec<usize> = Vec::new();
+        pool.map_with_arena_into(&mut arenas, &mut items, &mut out, || (), |i, x, _| i * x);
+        assert!(items.is_empty());
+        assert_eq!(out, (0..40).map(|x| x * x).collect::<Vec<_>>());
+        let cap_items = items.capacity();
+        let cap_out = out.capacity();
+        // Refill and re-run: capacities must be reused, outputs replaced.
+        items.extend(0..40);
+        pool.map_with_arena_into(&mut arenas, &mut items, &mut out, || (), |i, x, _| i + x);
+        assert_eq!(out, (0..40).map(|x| 2 * x).collect::<Vec<_>>());
+        assert_eq!(items.capacity(), cap_items);
+        assert_eq!(out.capacity(), cap_out);
+    }
+
+    #[test]
+    fn for_chunks_mut_is_worker_count_invariant() {
+        let reference: Vec<u64> = {
+            let mut data: Vec<u64> = (0..103).collect();
+            WorkerPool::new(1).for_chunks_mut(&mut data, 8, |c, chunk| {
+                for v in chunk.iter_mut() {
+                    *v = v.wrapping_mul(31).wrapping_add(c as u64);
+                }
+            });
+            data
+        };
+        for workers in [2, 3, 4, 8] {
+            let mut data: Vec<u64> = (0..103).collect();
+            WorkerPool::new(workers).for_chunks_mut(&mut data, 8, |c, chunk| {
+                for v in chunk.iter_mut() {
+                    *v = v.wrapping_mul(31).wrapping_add(c as u64);
+                }
+            });
+            assert_eq!(data, reference, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn for_chunks_mut_with_arena_covers_all_chunks() {
+        let pool = WorkerPool::new(4);
+        let mut arenas: WorkerArenas<Vec<usize>> = WorkerArenas::new();
+        let mut data = vec![0u8; 57];
+        pool.for_chunks_mut_with_arena(&mut arenas, &mut data, 10, Vec::new, |c, chunk, seen| {
+            seen.push(c);
+            for v in chunk.iter_mut() {
+                *v += 1;
+            }
+        });
+        assert!(data.iter().all(|&v| v == 1), "every element visited once");
+        let mut all: Vec<usize> = arenas.arenas.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..6).collect::<Vec<_>>(), "chunks 0..6 each ran once");
+    }
+
+    #[test]
+    fn sync_counters_accumulate_and_drain() {
+        let pool = WorkerPool::new(2);
+        let _ = pool.take_sync_ns();
+        pool.map((0..64usize).collect::<Vec<_>>(), |_, x| x + 1);
+        let (_wait, dispatch) = pool.take_sync_ns();
+        assert!(dispatch > 0, "dispatch cost must be recorded");
+        assert_eq!(pool.take_sync_ns(), (0, 0), "drained");
+        // Sequential pools never synchronize.
+        assert_eq!(WorkerPool::new(1).take_sync_ns(), (0, 0));
     }
 }

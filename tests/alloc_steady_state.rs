@@ -1,12 +1,16 @@
-//! Proves the zero-allocation steady-state contract of the training inner
-//! loop: after one warm-up pass has grown the [`ClientScratch`] arena to its
-//! working size, further local-training passes perform **zero** heap
-//! allocations.
+//! Proves the zero-allocation steady-state contract of the training hot
+//! paths: after warm-up has grown every arena to its working size, further
+//! passes perform **zero** heap allocations — both for a single client's
+//! local-training inner loop and for the pooled multi-worker fan-out the
+//! server's round loop uses.
 //!
 //! The test installs a counting `#[global_allocator]` (the same mechanism as
-//! the `bench-alloc` feature of the `rounds_throughput` benchmark) and must
-//! live alone in its own test binary: any test running concurrently in the
-//! same process would pollute the counters. Keep this file single-test.
+//! the `bench-alloc` feature of the `rounds_throughput` benchmark) and runs
+//! with `harness = false`: the libtest harness spawns worker threads whose
+//! own bookkeeping allocations would pollute the process-global counters and
+//! make the zero assertion flaky. With no harness, the only threads are the
+//! ones the worker pool owns — and those must not allocate in steady state
+//! either, which is exactly the contract under test.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -43,6 +47,7 @@ use collapois_fl::client::local_sgd_delta_prox_into;
 use collapois_fl::config::FlConfig;
 use collapois_fl::ClientScratch;
 use collapois_nn::zoo::ModelSpec;
+use collapois_runtime::pool::{WorkerArenas, WorkerPool};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -58,8 +63,28 @@ fn toy_data() -> Dataset {
     ds
 }
 
-#[test]
-fn training_inner_loop_allocates_nothing_after_warmup() {
+fn assert_zero(label: &str, counts: (u64, u64)) {
+    let (count, bytes) = counts;
+    assert_eq!(
+        count, 0,
+        "steady-state {label} performed {count} allocations ({bytes} bytes)"
+    );
+    println!("alloc_steady_state: {label} ok");
+}
+
+/// Runs `f` and returns (allocations, bytes) it performed.
+fn counting<F: FnMut()>(mut f: F) -> (u64, u64) {
+    let count_before = ALLOC_COUNT.load(Ordering::SeqCst);
+    let bytes_before = ALLOC_BYTES.load(Ordering::SeqCst);
+    f();
+    let count_after = ALLOC_COUNT.load(Ordering::SeqCst);
+    let bytes_after = ALLOC_BYTES.load(Ordering::SeqCst);
+    (count_after - count_before, bytes_after - bytes_before)
+}
+
+/// One client's local-training inner loop: after one warm-up pass has grown
+/// the [`ClientScratch`] arena, repeated passes must not touch the allocator.
+fn serial_training_inner_loop() {
     let spec = ModelSpec::mlp(8, &[16, 8], 4);
     let mut cfg = FlConfig::quick(spec.clone());
     cfg.local_steps = 4;
@@ -75,22 +100,69 @@ fn training_inner_loop_allocates_nothing_after_warmup() {
     let mut train_rng = StdRng::seed_from_u64(11);
     local_sgd_delta_prox_into(&mut train_rng, &mut scratch, &global, &data, &cfg, 0.01);
 
-    // Steady state: the arena is at size; repeated passes must not touch
-    // the allocator at all.
-    let count_before = ALLOC_COUNT.load(Ordering::SeqCst);
-    let bytes_before = ALLOC_BYTES.load(Ordering::SeqCst);
-    for round in 0..8u64 {
-        let mut train_rng = StdRng::seed_from_u64(100 + round);
-        local_sgd_delta_prox_into(&mut train_rng, &mut scratch, &global, &data, &cfg, 0.01);
-    }
-    let count_after = ALLOC_COUNT.load(Ordering::SeqCst);
-    let bytes_after = ALLOC_BYTES.load(Ordering::SeqCst);
+    let counts = counting(|| {
+        for round in 0..8u64 {
+            let mut train_rng = StdRng::seed_from_u64(100 + round);
+            local_sgd_delta_prox_into(&mut train_rng, &mut scratch, &global, &data, &cfg, 0.01);
+        }
+    });
+    assert_zero("serial training", counts);
+}
 
-    assert_eq!(
-        count_after - count_before,
-        0,
-        "steady-state training performed {} allocations ({} bytes)",
-        count_after - count_before,
-        bytes_after - bytes_before,
-    );
+/// The server's multi-worker fan-out shape at `workers = 4`: recycled
+/// `(client, delta)` jobs dispatched through `map_with_arena_into` with one
+/// persistent [`ClientScratch`] per lane. Once the job/outcome buffers and
+/// every lane arena are at size, whole dispatch-train-barrier passes must
+/// perform zero allocations on *any* thread — dispatcher or helper lane.
+fn pooled_fanout_at_four_workers() {
+    const CLIENTS: usize = 12;
+    let spec = ModelSpec::mlp(8, &[16, 8], 4);
+    let mut cfg = FlConfig::quick(spec.clone());
+    cfg.local_steps = 2;
+    cfg.batch_size = 16;
+    let mut rng = StdRng::seed_from_u64(7);
+    let model = spec.build(&mut rng);
+    let global = model.params();
+    let data = toy_data();
+
+    let pool = WorkerPool::new(4);
+    let mut arenas: WorkerArenas<ClientScratch> = WorkerArenas::new();
+    let mut jobs: Vec<(usize, Vec<f32>)> = (0..CLIENTS).map(|cid| (cid, Vec::new())).collect();
+    let mut out: Vec<(usize, Vec<f32>)> = Vec::new();
+
+    let mut pass = |jobs: &mut Vec<(usize, Vec<f32>)>, out: &mut Vec<(usize, Vec<f32>)>| {
+        pool.map_with_arena_into(
+            &mut arenas,
+            jobs,
+            out,
+            || ClientScratch::for_model(&model),
+            |_, (cid, buf), scratch| {
+                scratch.delta = buf;
+                let mut train_rng = StdRng::seed_from_u64(200 + cid as u64);
+                local_sgd_delta_prox_into(&mut train_rng, scratch, &global, &data, &cfg, 0.01);
+                (cid, std::mem::take(&mut scratch.delta))
+            },
+        );
+        // Outputs carry the delta buffers; swapping hands them back as the
+        // next pass's jobs, so capacity is recycled end to end.
+        std::mem::swap(jobs, out);
+    };
+
+    // Warm-up: lane arenas are built on first dispatch, delta buffers grow
+    // to model size, and the outcome vector reaches its high-water mark.
+    // A second pass settles any lazily-grown per-lane state.
+    pass(&mut jobs, &mut out);
+    pass(&mut jobs, &mut out);
+
+    let counts = counting(|| {
+        for _ in 0..8 {
+            pass(&mut jobs, &mut out);
+        }
+    });
+    assert_zero("workers=4 fan-out", counts);
+}
+
+fn main() {
+    serial_training_inner_loop();
+    pooled_fanout_at_four_workers();
 }

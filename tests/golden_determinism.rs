@@ -34,7 +34,7 @@ fn fnv1a_params(params: &[f32]) -> u64 {
     h
 }
 
-fn golden_cfg() -> ScenarioConfig {
+fn golden_cfg(defense: DefenseKind) -> ScenarioConfig {
     let mut cfg = ScenarioConfig::quick_image(1.0, 0.05);
     cfg.num_clients = 10;
     cfg.samples_per_client = 20;
@@ -43,25 +43,23 @@ fn golden_cfg() -> ScenarioConfig {
     cfg.sample_rate = 0.5;
     cfg.trojan.epochs = 8;
     cfg.attack = AttackKind::CollaPois;
-    // Krum routes the round through the pairwise-distance kernels on top
-    // of the dense/loss kernels every client step already exercises.
-    cfg.defense = DefenseKind::Krum;
+    cfg.defense = defense;
     cfg
 }
 
-#[test]
-fn five_round_scenario_matches_committed_fixture_at_every_worker_count() {
-    let fixture_path = concat!(
-        env!("CARGO_MANIFEST_DIR"),
-        "/tests/fixtures/golden_final_params.hash"
-    );
-    let expected = std::fs::read_to_string(fixture_path)
-        .expect("fixture missing: tests/fixtures/golden_final_params.hash")
+/// Runs the golden scenario under `defense` at workers 1, 2, 4 and 8 and
+/// asserts every run hashes to the committed fixture. The worker sweep
+/// crosses every parallel path: the training fan-out, the sharded defense
+/// kernels, the tree-reduced average and the pooled evaluation.
+fn assert_matches_fixture(defense: DefenseKind, fixture: &str) {
+    let fixture_path = format!("{}/tests/fixtures/{fixture}", env!("CARGO_MANIFEST_DIR"));
+    let expected = std::fs::read_to_string(&fixture_path)
+        .unwrap_or_else(|_| panic!("fixture missing: {fixture_path}"))
         .trim()
         .to_string();
 
-    let cfg = golden_cfg();
-    for workers in [1usize, 2, 4] {
+    let cfg = golden_cfg(defense);
+    for workers in [1usize, 2, 4, 8] {
         let report = Scenario::new(cfg.clone()).run_with(&RunOptions {
             workers,
             ..RunOptions::default()
@@ -70,8 +68,27 @@ fn five_round_scenario_matches_committed_fixture_at_every_worker_count() {
         assert_eq!(
             actual, expected,
             "final global params diverged from the golden fixture at \
-             workers={workers} (actual {actual}, expected {expected}); \
-             see the module docs for when/how to regenerate"
+             workers={workers} defense={defense:?} (actual {actual}, \
+             expected {expected}); see the module docs for when/how to \
+             regenerate"
         );
     }
+}
+
+#[test]
+fn five_round_krum_scenario_matches_committed_fixture_at_every_worker_count() {
+    // Krum routes the round through the (row-sharded) pairwise-distance
+    // kernels on top of the dense/loss kernels every client step already
+    // exercises.
+    assert_matches_fixture(DefenseKind::Krum, "golden_final_params.hash");
+}
+
+#[test]
+fn five_round_trimmed_mean_scenario_matches_committed_fixture_at_every_worker_count() {
+    // Trimmed mean routes aggregation through the column-sharded
+    // per-coordinate kernels — the other sharding axis.
+    assert_matches_fixture(
+        DefenseKind::TrimmedMean,
+        "golden_final_params_trimmed_mean.hash",
+    );
 }

@@ -247,4 +247,34 @@ proptest! {
             }
         }
     }
+
+    /// Single-row distance kernel (the row-sharded Krum path): each row
+    /// must be bitwise identical to the corresponding row of the full
+    /// matrix, in both implementations — the kernel-layer statement of the
+    /// shard-boundary determinism rule.
+    #[test]
+    fn pairwise_row_matches_full_matrix_bitwise(seed in 0u64..10_000, n in 1usize..8, dim in 1usize..80) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let vs: Vec<Vec<f32>> = (0..n).map(|_| fill(&mut rng, dim)).collect();
+        let refs: Vec<&[f32]> = vs.iter().map(|v| v.as_slice()).collect();
+        let mut row = vec![0.0f64; n];
+        for (imp, full) in [
+            ("blocked", blocked::pairwise_sq_distances(&refs)),
+            ("reference", reference::pairwise_sq_distances(&refs)),
+        ] {
+            for i in 0..n {
+                match imp {
+                    "blocked" => blocked::pairwise_sq_distances_row_into(&refs, i, &mut row),
+                    _ => reference::pairwise_sq_distances_row_into(&refs, i, &mut row),
+                }
+                for j in 0..n {
+                    prop_assert_eq!(
+                        row[j].to_bits(),
+                        full[i * n + j].to_bits(),
+                        "{} row {} col {}", imp, i, j
+                    );
+                }
+            }
+        }
+    }
 }
