@@ -1,9 +1,12 @@
 //! End-to-end round-loop throughput benchmark (`harness = false`).
 //!
-//! Runs the CollaPois round loop at worker counts 1/2/4/8 over two
-//! scenarios — 64 clients (the paper's client-level sweep size) and 256
+//! Runs the CollaPois round loop at worker counts 1/2/4/8 over three
+//! scenarios — 64 clients (the paper's client-level sweep size), 256
 //! clients (enough sampled clients per round that the parallel fan-out has
-//! real work) — measures steady-state rounds/sec from the per-round
+//! real work), and a faulted 64-client cohort (20% dropout plus straggler
+//! shedding and in-flight corruption, exercising the degradation paths the
+//! fault plan adds to the round loop) — measures steady-state rounds/sec
+//! from the per-round
 //! `elapsed_ms` of the structured run trace (setup — data generation,
 //! Trojan training — is excluded by construction), and emits
 //! `BENCH_rounds.json` to seed the perf trajectory. Each row carries its
@@ -30,6 +33,7 @@
 //! guard-rails once a baseline exists.
 
 use collapois_core::scenario::{AttackKind, DefenseKind, RunOptions, Scenario, ScenarioConfig};
+use collapois_runtime::fault::FaultPlan;
 use collapois_runtime::trace::{read_trace, TraceEvent};
 use std::path::PathBuf;
 
@@ -93,13 +97,33 @@ fn bench_cfg(name: &'static str, clients: usize, rounds: usize) -> (&'static str
     (name, cfg)
 }
 
+/// The faulted scenario's plan: the acceptance dropout rate plus straggler
+/// shedding and a little in-flight corruption, so every client-level
+/// degradation path is on the measured hot path.
+fn faulted_plan() -> FaultPlan {
+    FaultPlan {
+        dropout: 0.2,
+        straggler: 0.1,
+        straggler_mean_ms: 5.0,
+        deadline_ms: 10.0,
+        corrupt: 0.05,
+        ..FaultPlan::none()
+    }
+}
+
 /// Per-round wall-clock samples of one scenario run, read back from the
 /// structured trace (ms per completed round, in round order).
-fn round_times_ms(cfg: &ScenarioConfig, workers: usize, trace_path: &PathBuf) -> Vec<f64> {
+fn round_times_ms(
+    cfg: &ScenarioConfig,
+    fault: FaultPlan,
+    workers: usize,
+    trace_path: &PathBuf,
+) -> Vec<f64> {
     let _ = std::fs::remove_file(trace_path);
     Scenario::new(cfg.clone()).run_with(&RunOptions {
         workers,
         trace_path: Some(trace_path.clone()),
+        fault,
         ..RunOptions::default()
     });
     let events = read_trace(trace_path).expect("trace readable");
@@ -116,7 +140,7 @@ fn round_times_ms(cfg: &ScenarioConfig, workers: usize, trace_path: &PathBuf) ->
 /// Marginal heap bytes per round: run the identical scenario at `r` and
 /// `2r` rounds and divide the byte-count difference by the extra rounds.
 #[cfg(feature = "bench-alloc")]
-fn bytes_per_round(cfg: &ScenarioConfig, workers: usize) -> u64 {
+fn bytes_per_round(cfg: &ScenarioConfig, fault: FaultPlan, workers: usize) -> u64 {
     let run = |rounds: usize| -> u64 {
         let mut c = cfg.clone();
         c.rounds = rounds;
@@ -124,6 +148,7 @@ fn bytes_per_round(cfg: &ScenarioConfig, workers: usize) -> u64 {
         let before = counting_alloc::bytes_now();
         Scenario::new(c).run_with(&RunOptions {
             workers,
+            fault,
             ..RunOptions::default()
         });
         counting_alloc::bytes_now() - before
@@ -145,6 +170,8 @@ struct WorkerResult {
 struct ScenarioResult {
     name: &'static str,
     clients: usize,
+    /// Human-readable fault-plan summary (`"none"` for clean scenarios).
+    faults: &'static str,
     results: Vec<WorkerResult>,
 }
 
@@ -168,8 +195,8 @@ fn emit_json(rounds: usize, scenarios: &[ScenarioResult], out: &PathBuf) {
     body.push_str("  \"scenarios\": [\n");
     for (si, sc) in scenarios.iter().enumerate() {
         body.push_str(&format!(
-            "    {{\"name\": \"{}\", \"clients\": {}, \"compromised_frac\": 0.05, \"attack\": \"collapois\", \"defense\": \"none\", \"rounds\": {rounds}, \"sample_rate\": 0.25, \"results\": [\n",
-            sc.name, sc.clients
+            "    {{\"name\": \"{}\", \"clients\": {}, \"compromised_frac\": 0.05, \"attack\": \"collapois\", \"defense\": \"none\", \"faults\": \"{}\", \"rounds\": {rounds}, \"sample_rate\": 0.25, \"results\": [\n",
+            sc.name, sc.clients, sc.faults
         ));
         for (i, r) in sc.results.iter().enumerate() {
             let bytes = match r.bytes_alloc_per_round {
@@ -249,14 +276,28 @@ fn main() {
     ));
 
     let mut scenarios = Vec::new();
-    for (name, cfg) in [
-        bench_cfg("clients64", 64, rounds),
-        bench_cfg("clients256", 256, rounds),
+    // The clean 64-client scenario must stay first: `--check` reads the
+    // first workers=1 row of the committed baseline.
+    let (c64, cfg64) = bench_cfg("clients64", 64, rounds);
+    let (c256, cfg256) = bench_cfg("clients256", 256, rounds);
+    let (c64f, cfg64f) = bench_cfg("clients64-faulted", 64, rounds);
+    for (name, cfg, fault, faults) in [
+        (c64, cfg64, FaultPlan::none(), "none"),
+        (c256, cfg256, FaultPlan::none(), "none"),
+        (
+            c64f,
+            cfg64f,
+            faulted_plan(),
+            "dropout=0.2 straggler=0.1@5ms/10ms corrupt=0.05",
+        ),
     ] {
-        println!("scenario {name}: {} clients", cfg.num_clients);
+        println!(
+            "scenario {name}: {} clients (faults: {faults})",
+            cfg.num_clients
+        );
         let mut results: Vec<WorkerResult> = Vec::new();
         for workers in WORKER_COUNTS {
-            let times = round_times_ms(&cfg, workers, &trace_path);
+            let times = round_times_ms(&cfg, fault, workers, &trace_path);
             assert_eq!(times.len(), rounds, "trace must hold one entry per round");
             // Drop the first round: it pays one-off warm-up costs (arena
             // growth, kernel scratch, lazily-sized buffers).
@@ -266,7 +307,7 @@ fn main() {
             let rps_1 = results.first().map(|r| r.rounds_per_sec).unwrap_or(rps);
             let efficiency = (rps / rps_1) / workers as f64;
             #[cfg(feature = "bench-alloc")]
-            let bytes = Some(bytes_per_round(&cfg, workers));
+            let bytes = Some(bytes_per_round(&cfg, fault, workers));
             #[cfg(not(feature = "bench-alloc"))]
             let bytes = None;
             println!(
@@ -288,6 +329,7 @@ fn main() {
         scenarios.push(ScenarioResult {
             name,
             clients: cfg.num_clients,
+            faults,
             results,
         });
     }

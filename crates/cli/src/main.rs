@@ -25,6 +25,7 @@ use collapois_core::scenario::{
 };
 use collapois_core::theory::theorem1_bound;
 use collapois_fl::server::round_records_from_events;
+use collapois_runtime::fault::FaultPlan;
 use collapois_runtime::trace::{read_trace, TraceEvent};
 use std::path::{Path, PathBuf};
 
@@ -77,9 +78,16 @@ fn print_help() {
          \u{20}  --trace FILE           write a JSONL run trace\n\
          \u{20}  --checkpoint-dir DIR   write periodic snapshots into DIR\n\
          \u{20}  --checkpoint-every E   snapshot cadence in rounds (default 5)\n\
-         \u{20}  --resume true          resume from the newest snapshot in DIR\n\
+         \u{20}  --resume true          resume from the newest intact snapshot in DIR\n\
          \u{20}  --monitor true         emit shift-detector alerts into the trace\n\
-         \u{20}  --profile-rounds true  print the per-phase round-loop breakdown"
+         \u{20}  --profile-rounds true  print the per-phase round-loop breakdown\n\n\
+         fault injection (deterministic per seed; faults land in the trace):\n\
+         \u{20}  --fault-dropout P        per-client per-round dropout probability\n\
+         \u{20}  --fault-straggler P      per-client straggler probability\n\
+         \u{20}  --fault-delay-ms M       mean straggler delay (exponential), ms\n\
+         \u{20}  --fault-deadline-ms D    round deadline shedding stragglers (0 = none)\n\
+         \u{20}  --fault-corrupt P        per-client in-flight corruption probability\n\
+         \u{20}  --fault-checkpoint P     per-attempt checkpoint-write failure probability"
     );
 }
 
@@ -103,6 +111,12 @@ const RUN_KEYS: &[&str] = &[
     "resume",
     "monitor",
     "profile-rounds",
+    "fault-dropout",
+    "fault-straggler",
+    "fault-delay-ms",
+    "fault-deadline-ms",
+    "fault-corrupt",
+    "fault-checkpoint",
 ];
 
 fn parse_attack(s: &str) -> Result<AttackKind, String> {
@@ -166,6 +180,29 @@ fn build_config(args: &Args) -> Result<ScenarioConfig, String> {
     Ok(cfg)
 }
 
+fn build_fault_plan(args: &Args) -> Result<FaultPlan, String> {
+    let err = |e: ArgError| e.to_string();
+    let none = FaultPlan::none();
+    let plan = FaultPlan {
+        dropout: args.get_or("fault-dropout", none.dropout).map_err(err)?,
+        straggler: args
+            .get_or("fault-straggler", none.straggler)
+            .map_err(err)?,
+        straggler_mean_ms: args
+            .get_or("fault-delay-ms", none.straggler_mean_ms)
+            .map_err(err)?,
+        deadline_ms: args
+            .get_or("fault-deadline-ms", none.deadline_ms)
+            .map_err(err)?,
+        corrupt: args.get_or("fault-corrupt", none.corrupt).map_err(err)?,
+        checkpoint_fail: args
+            .get_or("fault-checkpoint", none.checkpoint_fail)
+            .map_err(err)?,
+    };
+    plan.validate()?;
+    Ok(plan)
+}
+
 fn build_run_options(args: &Args) -> Result<RunOptions, String> {
     let err = |e: ArgError| e.to_string();
     Ok(RunOptions {
@@ -176,6 +213,7 @@ fn build_run_options(args: &Args) -> Result<RunOptions, String> {
         resume: args.get_or("resume", false).map_err(err)?,
         monitor: args.get_or("monitor", false).map_err(err)?,
         profile_rounds: args.get_or("profile-rounds", false).map_err(err)?,
+        fault: build_fault_plan(args)?,
     })
 }
 
@@ -369,6 +407,39 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
             TraceEvent::CheckpointSaved { round, path } => {
                 println!("  * checkpoint for round {round}: {path}");
             }
+            TraceEvent::ClientDropped {
+                round,
+                client,
+                cause,
+                delay_ms,
+            } => {
+                if cause == "straggler" {
+                    println!(
+                        "  - round {round}: client {client} shed as straggler \
+                         ({delay_ms:.1} ms past deadline budget)"
+                    );
+                } else {
+                    println!("  - round {round}: client {client} dropped ({cause})");
+                }
+            }
+            TraceEvent::UpdateRejected {
+                round,
+                client,
+                reason,
+            } => {
+                println!("  - round {round}: update from client {client} rejected ({reason})");
+            }
+            TraceEvent::CheckpointWriteFailed {
+                round,
+                attempt,
+                error,
+                gave_up,
+            } => {
+                println!(
+                    "  ! checkpoint write for round {round} failed on attempt {attempt}{}: {error}",
+                    if *gave_up { " (gave up)" } else { "" }
+                );
+            }
             TraceEvent::RunCompleted {
                 rounds_executed,
                 elapsed_ms,
@@ -481,6 +552,40 @@ mod tests {
                 ..RunOptions::default()
             }
         );
+    }
+
+    #[test]
+    fn fault_flags_parse_and_validate() {
+        let args = Args::parse([
+            "run",
+            "--fault-dropout",
+            "0.2",
+            "--fault-straggler",
+            "0.1",
+            "--fault-delay-ms",
+            "40",
+            "--fault-deadline-ms",
+            "25",
+            "--fault-corrupt",
+            "0.05",
+            "--fault-checkpoint",
+            "0.5",
+        ])
+        .unwrap();
+        let opts = build_run_options(&args).unwrap();
+        assert_eq!(opts.fault.dropout, 0.2);
+        assert_eq!(opts.fault.straggler, 0.1);
+        assert_eq!(opts.fault.straggler_mean_ms, 40.0);
+        assert_eq!(opts.fault.deadline_ms, 25.0);
+        assert_eq!(opts.fault.corrupt, 0.05);
+        assert_eq!(opts.fault.checkpoint_fail, 0.5);
+        assert!(opts.fault.is_active());
+        // Default: no faults.
+        let defaults = build_run_options(&Args::parse(["run"]).unwrap()).unwrap();
+        assert!(!defaults.fault.is_active());
+        // Out-of-range probability is rejected before any run starts.
+        let bad = Args::parse(["run", "--fault-dropout", "1.5"]).unwrap();
+        assert!(build_run_options(&bad).is_err());
     }
 
     #[test]

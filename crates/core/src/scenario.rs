@@ -32,6 +32,7 @@ use collapois_fl::personalize::{
 use collapois_fl::profile::PhaseProfile;
 use collapois_fl::server::{Adversary, FlServer, RoundRecord};
 use collapois_nn::zoo::ModelSpec;
+use collapois_runtime::fault::FaultPlan;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -368,10 +369,13 @@ pub const TEXT_DIM: usize = 32;
 /// Class count of the Sentiment-sim scenario.
 pub const TEXT_CLASSES: usize = 2;
 
-/// Execution-engine options for a scenario run (`collapois-runtime` knobs);
-/// none of them change the numerical result — `workers = N` is bit-identical
-/// to `workers = 1`, and a resumed run converges to the same final model as
-/// an uninterrupted one.
+/// Execution-engine options for a scenario run (`collapois-runtime` knobs).
+/// The engine knobs never change the numerical result — `workers = N` is
+/// bit-identical to `workers = 1`, and a resumed run converges to the same
+/// final model as an uninterrupted one. The one deliberate exception is
+/// `fault`: an active fault plan changes *which clients contribute* each
+/// round (that is its purpose), but the faulted run itself is still fully
+/// deterministic and worker-count-invariant.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunOptions {
     /// Worker threads for benign-client training fan-out (`0`/`1` =
@@ -392,6 +396,10 @@ pub struct RunOptions {
     /// field is always populated; this flag asks callers such as the CLI to
     /// print it).
     pub profile_rounds: bool,
+    /// Deterministic fault-injection plan (dropout, stragglers, corrupted
+    /// updates, checkpoint-write failures). The default plan injects
+    /// nothing.
+    pub fault: FaultPlan,
 }
 
 impl RunOptions {
@@ -627,6 +635,9 @@ impl Scenario {
         if opts.monitor {
             server.enable_monitor(ShiftDetector::default_paper());
         }
+        // The fault plan participates in the config hash, so it must be
+        // installed before any resume attempt.
+        server.set_fault_plan(opts.fault);
         if let Some(dir) = &opts.checkpoint_dir {
             server.enable_checkpoints(dir, opts.effective_checkpoint_every());
             if opts.resume {

@@ -10,8 +10,17 @@
 //! (median/MAD) trailing baseline — robust, because an attacker jolting the
 //! model *every* round would otherwise normalize its own jolts into a
 //! mean/std baseline.
+//!
+//! The detector only ever consults the trailing `window` of each series, so
+//! it stores exactly that much: displacements and utility deltas live in
+//! fixed-capacity ring buffers, the previous global model is copied into a
+//! reused buffer, and the median/MAD computation sorts inside a persistent
+//! scratch vector. After warm-up, `observe` performs no heap allocation
+//! (alerts are the one exception — each alert pushes onto the alert log,
+//! and alerts are by construction rare events), which keeps the monitor
+//! inside the round loop's zero-allocation steady-state budget
+//! (`tests/alloc_steady_state.rs`).
 
-use collapois_stats::descriptive::median;
 use collapois_stats::geometry::l2_distance;
 
 /// A flagged round.
@@ -27,14 +36,52 @@ pub struct ShiftAlert {
     pub z_score: f64,
 }
 
+/// Fixed-capacity ring over the trailing `cap` observations of a series.
+///
+/// Values are retrieved only for order-independent statistics (median, MAD,
+/// min/max), so no effort is made to expose them in arrival order.
+#[derive(Debug, Clone)]
+struct Trailing {
+    buf: Vec<f64>,
+    head: usize,
+    cap: usize,
+}
+
+impl Trailing {
+    fn new(cap: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(cap),
+            head: 0,
+            cap,
+        }
+    }
+
+    fn push(&mut self, v: f64) {
+        if self.buf.len() < self.cap {
+            self.buf.push(v);
+        } else {
+            self.buf[self.head] = v;
+            self.head = (self.head + 1) % self.cap;
+        }
+    }
+
+    fn values(&self) -> &[f64] {
+        &self.buf
+    }
+}
+
 /// Detects abrupt round-to-round changes in model displacement and utility.
 #[derive(Debug, Clone)]
 pub struct ShiftDetector {
     window: usize,
     z_threshold: f64,
     last_global: Option<Vec<f32>>,
-    displacements: Vec<f64>,
-    utilities: Vec<f64>,
+    displacements: Trailing,
+    last_utility: Option<f64>,
+    utility_deltas: Trailing,
+    /// Sort scratch for the median/MAD pass; capacity `window`, reused
+    /// across rounds.
+    scratch: Vec<f64>,
     alerts: Vec<ShiftAlert>,
     round: usize,
 }
@@ -53,8 +100,10 @@ impl ShiftDetector {
             window,
             z_threshold,
             last_global: None,
-            displacements: Vec::new(),
-            utilities: Vec::new(),
+            displacements: Trailing::new(window),
+            last_utility: None,
+            utility_deltas: Trailing::new(window),
+            scratch: Vec::with_capacity(window),
             alerts: Vec::new(),
             round: 0,
         }
@@ -72,29 +121,44 @@ impl ShiftDetector {
     pub fn observe(&mut self, global: Option<&[f32]>, utility: Option<f64>) -> Option<ShiftAlert> {
         let mut alert: Option<ShiftAlert> = None;
         if let Some(global) = global {
-            if let Some(last) = &self.last_global {
-                let disp = l2_distance(last, global);
-                alert = self.check(&self.displacements.clone(), disp);
-                self.displacements.push(disp);
+            match &mut self.last_global {
+                Some(last) => {
+                    let disp = l2_distance(last, global);
+                    alert = robust_check(
+                        self.displacements.values(),
+                        disp,
+                        self.window,
+                        self.z_threshold,
+                        self.round,
+                        &mut self.scratch,
+                    );
+                    self.displacements.push(disp);
+                    // Reuse the buffer; the model dimension never changes
+                    // mid-run.
+                    last.copy_from_slice(global);
+                }
+                None => self.last_global = Some(global.to_vec()),
             }
-            self.last_global = Some(global.to_vec());
         }
         if let Some(u) = utility {
-            if self.utilities.last().is_some() {
-                let deltas: Vec<f64> = self
-                    .utilities
-                    .windows(2)
-                    .map(|w| (w[1] - w[0]).abs())
-                    .collect();
-                let delta = (u - *self.utilities.last().expect("non-empty")).abs();
-                if let Some(a) = self.check(&deltas, delta) {
+            if let Some(last) = self.last_utility {
+                let delta = (u - last).abs();
+                if let Some(a) = robust_check(
+                    self.utility_deltas.values(),
+                    delta,
+                    self.window,
+                    self.z_threshold,
+                    self.round,
+                    &mut self.scratch,
+                ) {
                     alert = Some(match alert {
                         Some(prev) if prev.z_score >= a.z_score => prev,
                         _ => a,
                     });
                 }
+                self.utility_deltas.push(delta);
             }
-            self.utilities.push(u);
+            self.last_utility = Some(u);
         }
         if let Some(a) = alert {
             self.alerts.push(a);
@@ -103,47 +167,72 @@ impl ShiftDetector {
         alert
     }
 
-    /// Robust outlier check of `observed` against the trailing window of
-    /// `history` (median ± z·1.4826·MAD).
-    fn check(&self, history: &[f64], observed: f64) -> Option<ShiftAlert> {
-        if history.len() < self.window {
-            return None;
-        }
-        let tail = &history[history.len() - self.window..];
-        let med = median(tail);
-        let deviations: Vec<f64> = tail.iter().map(|v| (v - med).abs()).collect();
-        let mad = median(&deviations);
-        let range = tail.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
-            - tail.iter().cloned().fold(f64::INFINITY, f64::min);
-        // Spread floor: a fully converged (near-constant) window must not
-        // make microscopic jitter look like a billion-sigma event. The
-        // 5e-3·(1+|med|) term sets the minimum jump size considered
-        // meaningful at this window's scale.
-        let spread = (1.4826 * mad)
-            .max(0.1 * range)
-            .max(5e-3 * (1.0 + med.abs()));
-        let z = (observed - med) / spread;
-        if z > self.z_threshold {
-            Some(ShiftAlert {
-                round: self.round,
-                observed,
-                baseline_median: med,
-                z_score: z,
-            })
-        } else {
-            None
-        }
-    }
-
     /// All alerts so far.
     pub fn alerts(&self) -> &[ShiftAlert] {
         &self.alerts
     }
 
-    /// Recorded per-round displacements.
+    /// The trailing window of recorded displacements (at most `window`
+    /// values, unordered).
     pub fn displacements(&self) -> &[f64] {
-        &self.displacements
+        self.displacements.values()
     }
+}
+
+/// Robust outlier check of `observed` against the trailing `history`
+/// (median ± z·1.4826·MAD), sorting inside `scratch` instead of allocating.
+fn robust_check(
+    history: &[f64],
+    observed: f64,
+    window: usize,
+    z_threshold: f64,
+    round: usize,
+    scratch: &mut Vec<f64>,
+) -> Option<ShiftAlert> {
+    if history.len() < window {
+        return None;
+    }
+    scratch.clear();
+    scratch.extend_from_slice(history);
+    scratch.sort_unstable_by(|a, b| a.partial_cmp(b).expect("non-NaN monitor series"));
+    let med = median_of_sorted(scratch);
+    let range = scratch[scratch.len() - 1] - scratch[0];
+    // Second pass: absolute deviations from the median, in place.
+    for v in scratch.iter_mut() {
+        *v = (*v - med).abs();
+    }
+    scratch.sort_unstable_by(|a, b| a.partial_cmp(b).expect("non-NaN deviations"));
+    let mad = median_of_sorted(scratch);
+    // Spread floor: a fully converged (near-constant) window must not
+    // make microscopic jitter look like a billion-sigma event. The
+    // 5e-3·(1+|med|) term sets the minimum jump size considered
+    // meaningful at this window's scale.
+    let spread = (1.4826 * mad)
+        .max(0.1 * range)
+        .max(5e-3 * (1.0 + med.abs()));
+    let z = (observed - med) / spread;
+    if z > z_threshold {
+        Some(ShiftAlert {
+            round,
+            observed,
+            baseline_median: med,
+            z_score: z,
+        })
+    } else {
+        None
+    }
+}
+
+/// Median of an already-sorted slice, with the same linear interpolation as
+/// `collapois_stats::descriptive::median` (so alert numerics match the
+/// historical implementation).
+fn median_of_sorted(sorted: &[f64]) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let pos = 0.5 * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
 }
 
 #[cfg(test)]
@@ -216,5 +305,42 @@ mod tests {
     #[should_panic(expected = "window must be")]
     fn rejects_tiny_window() {
         let _ = ShiftDetector::new(2, 4.0);
+    }
+
+    #[test]
+    fn history_stays_bounded_by_window() {
+        let mut det = ShiftDetector::default_paper();
+        feed_smooth(&mut det, 50);
+        assert_eq!(det.displacements().len(), 6);
+    }
+
+    #[test]
+    fn bounded_history_matches_full_history_check() {
+        // The ring keeps exactly the values the old full-history
+        // implementation's trailing-window slice would have used, so alert
+        // decisions are identical. Reconstruct the old behavior directly.
+        let series: Vec<f64> = (0..40)
+            .map(|t| 1.0 + 0.1 * ((t * 7) % 5) as f64 + if t == 33 { 25.0 } else { 0.0 })
+            .collect();
+        let window = 6;
+        let mut det = ShiftDetector::new(window, 6.0);
+        let mut full: Vec<f64> = Vec::new();
+        let mut scratch = Vec::new();
+        let mut expected_rounds = Vec::new();
+        for (t, &u) in series.iter().enumerate() {
+            if t > 0 {
+                let delta = (u - series[t - 1]).abs();
+                let tail_start = full.len().saturating_sub(window);
+                if robust_check(&full[tail_start..], delta, window, 6.0, t, &mut scratch).is_some()
+                {
+                    expected_rounds.push(t);
+                }
+                full.push(delta);
+            }
+            det.observe(None, Some(u));
+        }
+        let got: Vec<usize> = det.alerts().iter().map(|a| a.round).collect();
+        assert_eq!(got, expected_rounds);
+        assert!(!got.is_empty(), "the spike at t=33 should alert");
     }
 }

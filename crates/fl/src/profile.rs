@@ -34,6 +34,16 @@ pub struct PhaseProfile {
     /// Dispatcher time spent waiting on helper lanes after finishing its
     /// own lane (the barrier cost), all dispatches.
     pub barrier_ms: f64,
+    /// Sampled clients removed by the fault plan before training (injected
+    /// dropout).
+    pub dropped_clients: usize,
+    /// Stragglers shed because their virtual delay exceeded the round
+    /// deadline.
+    pub shed_stragglers: usize,
+    /// Updates rejected before aggregation for non-finite content.
+    pub rejected_updates: usize,
+    /// Checkpoint-write attempts that failed (injected or real I/O).
+    pub checkpoint_write_failures: usize,
 }
 
 impl PhaseProfile {
@@ -46,12 +56,26 @@ impl PhaseProfile {
         self.eval_ms += other.eval_ms;
         self.dispatch_ms += other.dispatch_ms;
         self.barrier_ms += other.barrier_ms;
+        self.dropped_clients += other.dropped_clients;
+        self.shed_stragglers += other.shed_stragglers;
+        self.rejected_updates += other.rejected_updates;
+        self.checkpoint_write_failures += other.checkpoint_write_failures;
     }
 
-    /// Per-round means as a one-line human-readable breakdown.
+    /// Whether any fault counter is nonzero.
+    pub fn has_faults(&self) -> bool {
+        self.dropped_clients > 0
+            || self.shed_stragglers > 0
+            || self.rejected_updates > 0
+            || self.checkpoint_write_failures > 0
+    }
+
+    /// Per-round means as a one-line human-readable breakdown. A fault
+    /// section is appended only when some fault counter fired, so fault-free
+    /// runs keep the historical format.
     pub fn per_round_summary(&self) -> String {
         let n = self.rounds.max(1) as f64;
-        format!(
+        let mut s = format!(
             "train {:.3} ms | commit {:.3} ms | aggregate {:.3} ms | eval {:.3} ms \
              | dispatch {:.4} ms | barrier {:.4} ms  ({} rounds)",
             self.train_ms / n,
@@ -61,7 +85,17 @@ impl PhaseProfile {
             self.dispatch_ms / n,
             self.barrier_ms / n,
             self.rounds,
-        )
+        );
+        if self.has_faults() {
+            s.push_str(&format!(
+                "  [faults: dropped {} | shed {} | rejected {} | ckpt-fail {}]",
+                self.dropped_clients,
+                self.shed_stragglers,
+                self.rejected_updates,
+                self.checkpoint_write_failures,
+            ));
+        }
+        s
     }
 }
 
@@ -79,12 +113,38 @@ mod tests {
             eval_ms: 4.0,
             dispatch_ms: 0.01,
             barrier_ms: 0.02,
+            dropped_clients: 3,
+            shed_stragglers: 1,
+            rejected_updates: 2,
+            checkpoint_write_failures: 1,
         };
         let b = a;
         a.accumulate(&b);
         assert_eq!(a.rounds, 4);
         assert_eq!(a.train_ms, 2.0);
         assert_eq!(a.barrier_ms, 0.04);
+        assert_eq!(a.dropped_clients, 6);
+        assert_eq!(a.shed_stragglers, 2);
+        assert_eq!(a.rejected_updates, 4);
+        assert_eq!(a.checkpoint_write_failures, 2);
+    }
+
+    #[test]
+    fn fault_section_appears_only_when_faults_fired() {
+        let clean = PhaseProfile {
+            rounds: 3,
+            ..Default::default()
+        };
+        assert!(!clean.has_faults());
+        assert!(!clean.per_round_summary().contains("faults"));
+        let faulted = PhaseProfile {
+            rounds: 3,
+            dropped_clients: 2,
+            ..Default::default()
+        };
+        assert!(faulted.has_faults());
+        let s = faulted.per_round_summary();
+        assert!(s.contains("[faults: dropped 2"), "{s}");
     }
 
     #[test]

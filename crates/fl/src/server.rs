@@ -33,13 +33,21 @@ use collapois_data::trigger::Trigger;
 use collapois_nn::model::Sequential;
 use collapois_nn::zoo::ModelSpec;
 use collapois_runtime::checkpoint::{self, CheckpointError, Snapshot};
+use collapois_runtime::fault::{ClientFault, FaultPlan};
 use collapois_runtime::pool::{WorkerArenas, WorkerPool};
 use collapois_runtime::seed;
 use collapois_runtime::trace::{TraceEvent, TraceLog};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::path::{Path, PathBuf};
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Bounded attempts for one checkpoint write before giving up on the
+/// snapshot (a skipped snapshot only widens the resume gap — it must not
+/// kill the run).
+const CHECKPOINT_WRITE_ATTEMPTS: usize = 3;
+/// Base backoff between checkpoint-write attempts, doubled per retry.
+const CHECKPOINT_RETRY_BACKOFF_MS: u64 = 2;
 
 /// An attacker controlling a fixed set of compromised clients.
 ///
@@ -87,6 +95,9 @@ pub struct RoundRecord {
     /// The global parameters the round started from (kept only when update
     /// collection is enabled).
     pub global_before: Option<Vec<f32>>,
+    /// Sampled clients the fault plan removed before training (dropouts and
+    /// deadline-shed stragglers), in sampled order.
+    pub dropped: Vec<usize>,
 }
 
 impl RoundRecord {
@@ -112,6 +123,7 @@ impl RoundRecord {
                 malicious_norms: malicious_norms.clone(),
                 updates: None,
                 global_before: None,
+                dropped: Vec::new(),
             }),
             _ => None,
         }
@@ -124,12 +136,18 @@ impl RoundRecord {
 pub fn round_records_from_events(events: &[TraceEvent]) -> Vec<RoundRecord> {
     let mut records = Vec::new();
     let mut pending: Option<&TraceEvent> = None;
+    let mut dropped: Vec<usize> = Vec::new();
     for event in events {
         match event {
-            TraceEvent::RoundStarted { .. } => pending = Some(event),
+            TraceEvent::RoundStarted { .. } => {
+                pending = Some(event);
+                dropped.clear();
+            }
+            TraceEvent::ClientDropped { client, .. } => dropped.push(*client),
             TraceEvent::RoundCompleted { .. } => {
                 if let Some(started) = pending.take() {
-                    if let Some(record) = RoundRecord::from_trace(started, event) {
+                    if let Some(mut record) = RoundRecord::from_trace(started, event) {
+                        record.dropped = std::mem::take(&mut dropped);
                         records.push(record);
                     }
                 }
@@ -138,6 +156,15 @@ pub fn round_records_from_events(events: &[TraceEvent]) -> Vec<RoundRecord> {
         }
     }
     records
+}
+
+/// Simulates in-flight corruption of a transmitted update. Touching only
+/// the first element keeps the injection O(1); the server-side finite
+/// check scans the whole norm regardless of where the damage lands.
+fn poison_delta(delta: &mut [f32]) {
+    if let Some(v) = delta.first_mut() {
+        *v = f32::NAN;
+    }
 }
 
 /// The federated server simulation.
@@ -174,6 +201,9 @@ pub struct FlServer {
     profile: PhaseProfile,
     trace: TraceLog,
     monitor: Option<ShiftDetector>,
+    /// Deterministic fault-injection plan applied to every round (the
+    /// default [`FaultPlan::none`] plan leaves the round loop untouched).
+    fault_plan: FaultPlan,
     checkpoint_dir: Option<PathBuf>,
     checkpoint_every: usize,
     run_started: bool,
@@ -220,6 +250,7 @@ impl FlServer {
             profile: PhaseProfile::default(),
             trace: TraceLog::in_memory(),
             monitor: None,
+            fault_plan: FaultPlan::none(),
             checkpoint_dir: None,
             checkpoint_every: 0,
             run_started: false,
@@ -307,6 +338,26 @@ impl FlServer {
         self.checkpoint_every = every;
     }
 
+    /// Installs the deterministic fault plan applied from the next round on.
+    ///
+    /// The plan participates in [`FlServer::config_hash`], so checkpoints
+    /// taken under one fault regime refuse to resume under another — set the
+    /// plan *before* [`FlServer::resume_latest`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan is invalid (see [`FaultPlan::validate`]).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        plan.validate()
+            .unwrap_or_else(|e| panic!("invalid FaultPlan: {e}"));
+        self.fault_plan = plan;
+    }
+
+    /// The active fault plan.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault_plan
+    }
+
     /// Current global parameters.
     pub fn global(&self) -> &[f32] {
         self.global.as_slice()
@@ -342,10 +393,11 @@ impl FlServer {
         self.round
     }
 
-    /// FNV-1a hash of the configuration's debug representation; stored in
-    /// snapshots so a checkpoint cannot silently resume a different run.
+    /// FNV-1a hash of the configuration's debug representation (including
+    /// the fault plan); stored in snapshots so a checkpoint cannot silently
+    /// resume a different run or a different fault regime.
     pub fn config_hash(&self) -> u64 {
-        checkpoint::config_hash(&format!("{:?}", self.cfg))
+        checkpoint::config_hash(&format!("{:?}|fault={:?}", self.cfg, self.fault_plan))
     }
 
     /// Captures the mutable run state (global model, round cursor,
@@ -379,15 +431,28 @@ impl FlServer {
         Ok(())
     }
 
-    /// Restores from the highest-round checkpoint in `dir`, if any.
+    /// Restores from the newest *intact* checkpoint in `dir`, if any.
     /// Returns the round the run will resume from.
+    ///
+    /// A torn or corrupt newest file (e.g. a crash mid-write on a
+    /// filesystem without atomic rename) is skipped and the next-newest
+    /// checkpoint is tried, so a damaged tail never strands an otherwise
+    /// resumable run. Only when *every* checkpoint is damaged does the last
+    /// decode error surface. A config-hash mismatch is a refusal, not
+    /// damage, and is returned immediately.
     pub fn resume_latest(&mut self, dir: &Path) -> Result<Option<u32>, CheckpointError> {
-        match checkpoint::latest_checkpoint(dir) {
-            Some(path) => {
-                let snap = Snapshot::load(&path)?;
-                self.restore(&snap)?;
-                Ok(Some(snap.round))
+        let mut last_err: Option<CheckpointError> = None;
+        for (_, path) in checkpoint::checkpoints_by_round(dir).into_iter().rev() {
+            match Snapshot::load(&path) {
+                Ok(snap) => {
+                    self.restore(&snap)?;
+                    return Ok(Some(snap.round));
+                }
+                Err(e) => last_err = Some(e),
             }
+        }
+        match last_err {
+            Some(e) => Err(e),
             None => Ok(None),
         }
     }
@@ -439,20 +504,87 @@ impl FlServer {
     }
 
     /// Runs one federated round, optionally under attack.
-    pub fn run_round(&mut self, mut adversary: Option<&mut (dyn Adversary + '_)>) -> RoundRecord {
+    ///
+    /// When a fault plan is active, sampled clients may be dropped (crash
+    /// dropout, or stragglers whose virtual delay exceeds the round
+    /// deadline) or have their transmitted update corrupted in flight.
+    /// Every fault verdict is drawn on this thread from a per-(round,
+    /// client) derived stream, so the schedule is reproducible and
+    /// invariant to worker count.
+    pub fn run_round(&mut self, adversary: Option<&mut (dyn Adversary + '_)>) -> RoundRecord {
         self.ensure_run_started();
-        let round_start = Instant::now();
-        let round = self.round;
-        let round_u64 = round as u64;
+        let round_u64 = self.round as u64;
         let run_seed = self.cfg.seed;
-        let dim = self.global.len();
-
         let mut sampling_rng = seed::sampling_rng(run_seed, round_u64);
         let sampled = Self::sample_clients(
             &mut sampling_rng,
             self.fed.num_clients(),
             self.cfg.sample_rate,
         );
+
+        let plan = self.fault_plan;
+        if plan.dropout <= 0.0 && plan.straggler <= 0.0 && plan.corrupt <= 0.0 {
+            return self.execute_round(sampled, None, Vec::new(), Vec::new(), adversary);
+        }
+        let mut cohort = Vec::with_capacity(sampled.len());
+        let mut dropped = Vec::new();
+        let mut corrupt = Vec::new();
+        for &cid in &sampled {
+            match plan.client_fault(run_seed, round_u64, cid) {
+                ClientFault::None => cohort.push(cid),
+                ClientFault::Dropout => dropped.push((cid, "dropout", 0.0)),
+                ClientFault::Straggler { delay_ms, shed } => {
+                    if shed {
+                        dropped.push((cid, "straggler", delay_ms));
+                    } else {
+                        cohort.push(cid);
+                    }
+                }
+                ClientFault::Corrupt => {
+                    corrupt.push(cid);
+                    cohort.push(cid);
+                }
+            }
+        }
+        self.execute_round(sampled, Some(cohort), dropped, corrupt, adversary)
+    }
+
+    /// Runs one round over an explicit participant set, bypassing both
+    /// client sampling and the fault plan. This exposes the degradation
+    /// policy's core invariant for testing: a faulted round is bit-identical
+    /// to a fault-free round over the surviving cohort, because client
+    /// training streams are keyed by `(round, client)` and never by cohort
+    /// shape.
+    pub fn run_round_with_cohort(
+        &mut self,
+        cohort: &[usize],
+        adversary: Option<&mut (dyn Adversary + '_)>,
+    ) -> RoundRecord {
+        self.ensure_run_started();
+        self.execute_round(cohort.to_vec(), None, Vec::new(), Vec::new(), adversary)
+    }
+
+    /// The round body shared by [`FlServer::run_round`] and
+    /// [`FlServer::run_round_with_cohort`]. `cohort` is the subset of
+    /// `sampled` that actually participates (`None` means everyone);
+    /// `dropped` carries `(client, cause, delay_ms)` fault verdicts for the
+    /// trace; `corrupt` lists cohort members whose transmitted update is
+    /// poisoned in flight.
+    fn execute_round(
+        &mut self,
+        sampled: Vec<usize>,
+        cohort: Option<Vec<usize>>,
+        dropped: Vec<(usize, &'static str, f64)>,
+        corrupt: Vec<usize>,
+        mut adversary: Option<&mut (dyn Adversary + '_)>,
+    ) -> RoundRecord {
+        let round_start = Instant::now();
+        let round = self.round;
+        let round_u64 = round as u64;
+        let run_seed = self.cfg.seed;
+        let dim = self.global.len();
+        let participants: &[usize] = cohort.as_deref().unwrap_or(&sampled);
+
         let compromised: Vec<usize> = match adversary.as_ref() {
             Some(adv) => sampled
                 .iter()
@@ -468,6 +600,20 @@ impl FlServer {
             sampled: sampled.clone(),
             compromised: compromised.clone(),
         });
+        let mut dropped_ids = Vec::with_capacity(dropped.len());
+        for (client, cause, delay_ms) in dropped {
+            match cause {
+                "dropout" => self.profile.dropped_clients += 1,
+                _ => self.profile.shed_stragglers += 1,
+            }
+            self.trace.push(TraceEvent::ClientDropped {
+                round,
+                client,
+                cause: cause.to_string(),
+                delay_ms,
+            });
+            dropped_ids.push(client);
+        }
 
         let mut setup_rng = seed::round_setup_rng(run_seed, round_u64);
         self.personalization
@@ -491,7 +637,7 @@ impl FlServer {
         let mut jobs = std::mem::take(&mut self.job_buf);
         jobs.clear();
         jobs.extend(
-            sampled
+            participants
                 .iter()
                 .copied()
                 .filter(|cid| !compromised.contains(cid) && !fed.client(*cid).train.is_empty())
@@ -527,30 +673,52 @@ impl FlServer {
         let mut benign_norms = Vec::new();
         let mut malicious_norms = Vec::new();
         let mut outcome_iter = outcomes.drain(..).peekable();
-        for &cid in &sampled {
+        for &cid in participants {
             if compromised.contains(&cid) {
                 let adv = adversary.as_mut().expect("compromised implies adversary");
                 let mut rng = seed::adversary_rng(run_seed, round_u64, cid);
-                let delta = adv.craft_update(cid, &self.global, round, &mut rng);
+                let mut delta = adv.craft_update(cid, &self.global, round, &mut rng);
                 assert_eq!(
                     delta.len(),
                     dim,
                     "client {cid} produced a wrong-sized update"
                 );
+                if corrupt.contains(&cid) {
+                    poison_delta(&mut delta);
+                }
                 let update = ClientUpdate::new(cid, delta, self.fed.client(cid).train.len());
-                malicious_norms.push(update.norm());
-                updates.push(update);
+                let norm = update.norm();
+                if norm.is_finite() {
+                    malicious_norms.push(norm);
+                    updates.push(update);
+                } else {
+                    self.reject_update(round, cid, corrupt.contains(&cid));
+                    self.update_pool.push(update.delta);
+                }
             } else if outcome_iter.peek().map(|(c, _)| *c) == Some(cid) {
                 let (_, out) = outcome_iter.next().expect("peeked");
-                self.personalization.commit(cid, out.commit);
                 assert_eq!(
                     out.delta.len(),
                     dim,
                     "client {cid} produced a wrong-sized update"
                 );
-                let update = ClientUpdate::new(cid, out.delta, self.fed.client(cid).train.len());
-                benign_norms.push(update.norm());
-                updates.push(update);
+                let mut delta = out.delta;
+                if corrupt.contains(&cid) {
+                    poison_delta(&mut delta);
+                }
+                let update = ClientUpdate::new(cid, delta, self.fed.client(cid).train.len());
+                let norm = update.norm();
+                if norm.is_finite() {
+                    // Client-local state is committed only for accepted
+                    // updates: a rejected client is treated exactly as if
+                    // it had dropped this round.
+                    self.personalization.commit(cid, out.commit);
+                    benign_norms.push(norm);
+                    updates.push(update);
+                } else {
+                    self.reject_update(round, cid, corrupt.contains(&cid));
+                    self.update_pool.push(update.delta);
+                }
             }
             // else: a benign client without training data — contributes
             // nothing this round.
@@ -561,21 +729,28 @@ impl FlServer {
         self.profile.commit_ms += commit_start.elapsed().as_secs_f64() * 1e3;
 
         let agg_start = Instant::now();
-        let mut agg_rng = seed::aggregation_rng(run_seed, round_u64);
         let mut agg = std::mem::take(&mut self.agg_buf);
         agg.resize(dim, 0.0);
-        self.aggregator
-            .aggregate_pooled(&updates, &mut agg, &mut agg_rng, &self.workers);
-        let lr = self.cfg.server_lr as f32;
-        let mut agg_sq = 0.0f64;
-        for (g, &d) in self.global.iter_mut().zip(&agg) {
-            let step = lr * d;
-            agg_sq += f64::from(step) * f64::from(step);
-            *g += step;
-        }
-        let agg_delta_norm = agg_sq.sqrt();
+        let agg_delta_norm = if updates.is_empty() {
+            // Degradation policy: every participant was lost to faults (or
+            // rejected before aggregation), so the round applies no update —
+            // aggregation rules assume a non-empty cohort.
+            0.0
+        } else {
+            let mut agg_rng = seed::aggregation_rng(run_seed, round_u64);
+            self.aggregator
+                .aggregate_pooled(&updates, &mut agg, &mut agg_rng, &self.workers);
+            let lr = self.cfg.server_lr as f32;
+            let mut agg_sq = 0.0f64;
+            for (g, &d) in self.global.iter_mut().zip(&agg) {
+                let step = lr * d;
+                agg_sq += f64::from(step) * f64::from(step);
+                *g += step;
+            }
+            self.aggregator.post_process(&mut self.global, &mut agg_rng);
+            agg_sq.sqrt()
+        };
         self.agg_buf = agg;
-        self.aggregator.post_process(&mut self.global, &mut agg_rng);
         self.profile.aggregate_ms += agg_start.elapsed().as_secs_f64() * 1e3;
 
         if let Some(adv) = adversary.as_mut() {
@@ -625,6 +800,7 @@ impl FlServer {
             malicious_norms,
             updates: kept_updates,
             global_before,
+            dropped: dropped_ids,
         };
 
         self.round += 1;
@@ -633,17 +809,78 @@ impl FlServer {
         if self.checkpoint_every > 0 && self.round % self.checkpoint_every == 0 {
             if let Some(dir) = self.checkpoint_dir.clone() {
                 let path = checkpoint::checkpoint_path(&dir, self.round as u32);
-                self.snapshot()
-                    .save(&path)
-                    .unwrap_or_else(|e| panic!("failed to write checkpoint {path:?}: {e}"));
-                self.trace.push(TraceEvent::CheckpointSaved {
-                    round: self.round,
-                    path: path.display().to_string(),
-                });
+                self.write_checkpoint_with_retry(&path);
             }
         }
 
         record
+    }
+
+    /// Logs a pre-aggregation rejection of a non-finite update.
+    fn reject_update(&mut self, round: usize, client: usize, injected: bool) {
+        self.profile.rejected_updates += 1;
+        let reason = if injected {
+            "injected_corruption"
+        } else {
+            "non_finite"
+        };
+        self.trace.push(TraceEvent::UpdateRejected {
+            round,
+            client,
+            reason: reason.to_string(),
+        });
+    }
+
+    /// Writes a snapshot of the current run state to `path`, surfacing any
+    /// failure as a typed result instead of panicking.
+    pub fn write_checkpoint(&self, path: &Path) -> Result<(), CheckpointError> {
+        self.snapshot().save(path)
+    }
+
+    /// Scheduled checkpoint write with bounded retry and exponential
+    /// backoff. Failures (injected by the fault plan or real I/O errors)
+    /// are traced and counted; exhausting every attempt skips this
+    /// snapshot — it never kills the run, it only widens the resume gap.
+    fn write_checkpoint_with_retry(&mut self, path: &Path) {
+        let snap = self.snapshot();
+        let round = self.round;
+        for attempt in 1..=CHECKPOINT_WRITE_ATTEMPTS {
+            let result =
+                if self
+                    .fault_plan
+                    .checkpoint_attempt_fails(self.cfg.seed, round as u64, attempt)
+                {
+                    Err(CheckpointError::Io(std::io::Error::other(
+                        "injected checkpoint-write fault",
+                    )))
+                } else {
+                    snap.save(path)
+                };
+            match result {
+                Ok(()) => {
+                    self.trace.push(TraceEvent::CheckpointSaved {
+                        round,
+                        path: path.display().to_string(),
+                    });
+                    return;
+                }
+                Err(e) => {
+                    self.profile.checkpoint_write_failures += 1;
+                    let gave_up = attempt == CHECKPOINT_WRITE_ATTEMPTS;
+                    self.trace.push(TraceEvent::CheckpointWriteFailed {
+                        round,
+                        attempt,
+                        error: e.to_string(),
+                        gave_up,
+                    });
+                    if !gave_up {
+                        std::thread::sleep(Duration::from_millis(
+                            CHECKPOINT_RETRY_BACKOFF_MS << (attempt - 1),
+                        ));
+                    }
+                }
+            }
+        }
     }
 
     /// Runs `n` rounds, returning each round's record.
@@ -887,5 +1124,175 @@ mod tests {
         server.collect_updates(true);
         let r = server.run_round(None);
         assert!(r.updates.is_some());
+    }
+
+    #[test]
+    fn fault_dropout_is_deterministic_and_traced() {
+        let plan = FaultPlan {
+            dropout: 0.4,
+            ..FaultPlan::none()
+        };
+        let mut a = quick_server();
+        a.set_fault_plan(plan);
+        let mut b = quick_server();
+        b.set_fault_plan(plan);
+        let ra = a.run_rounds(5, None);
+        let rb = b.run_rounds(5, None);
+        assert_eq!(ra, rb);
+        assert_eq!(a.global(), b.global());
+        let total_dropped: usize = ra.iter().map(|r| r.dropped.len()).sum();
+        assert!(total_dropped > 0, "p=0.4 over 5 rounds must drop someone");
+        for r in &ra {
+            for d in &r.dropped {
+                assert!(r.sampled.contains(d));
+            }
+        }
+        // Trace events carry the same verdicts the records do.
+        let traced: usize = a
+            .trace_events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::ClientDropped { .. }))
+            .count();
+        assert_eq!(traced, total_dropped);
+        assert_eq!(a.take_profile().dropped_clients, total_dropped);
+    }
+
+    #[test]
+    fn faulted_run_matches_fault_free_run_over_survivors() {
+        // The degradation policy's core invariant: dropping clients is
+        // bit-identical to never sampling them, because every client's
+        // training stream is keyed by (round, client).
+        let mut faulted = quick_server_with(Box::new(Ditto::new(0.1)));
+        faulted.set_fault_plan(FaultPlan {
+            dropout: 0.3,
+            ..FaultPlan::none()
+        });
+        let records = faulted.run_rounds(4, None);
+        assert!(records.iter().any(|r| !r.dropped.is_empty()));
+
+        let mut replay = quick_server_with(Box::new(Ditto::new(0.1)));
+        for r in &records {
+            let survivors: Vec<usize> = r
+                .sampled
+                .iter()
+                .copied()
+                .filter(|c| !r.dropped.contains(c))
+                .collect();
+            replay.run_round_with_cohort(&survivors, None);
+        }
+        assert_eq!(faulted.global(), replay.global());
+        for cid in 0..faulted.dataset().num_clients() {
+            assert_eq!(
+                faulted.personalization().eval_params(cid, faulted.global()),
+                replay.personalization().eval_params(cid, replay.global()),
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_updates_are_rejected_before_aggregation() {
+        let mut server = quick_server();
+        server.set_fault_plan(FaultPlan {
+            corrupt: 1.0,
+            ..FaultPlan::none()
+        });
+        let g0 = server.global().to_vec();
+        let r = server.run_round(None);
+        // Every transmitted update was poisoned, so every one is rejected
+        // and the round leaves the global model untouched.
+        assert_eq!(server.global(), g0.as_slice());
+        assert!(r.benign_norms.is_empty());
+        let rejected: Vec<_> = server
+            .trace_events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::UpdateRejected { client, reason, .. } => {
+                    Some((*client, reason.clone()))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(rejected.len(), r.sampled.len());
+        assert!(rejected
+            .iter()
+            .all(|(_, reason)| reason == "injected_corruption"));
+        assert_eq!(server.take_profile().rejected_updates, r.sampled.len());
+    }
+
+    #[test]
+    fn checkpoint_write_failure_is_survivable() {
+        let dir =
+            std::env::temp_dir().join(format!("collapois-server-ckpt-fail-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut server = quick_server();
+        server.set_fault_plan(FaultPlan {
+            checkpoint_fail: 1.0,
+            ..FaultPlan::none()
+        });
+        server.enable_checkpoints(&dir, 1);
+        server.run_rounds(2, None); // must not panic
+        assert_eq!(server.rounds_done(), 2);
+        assert!(checkpoint::latest_checkpoint(&dir).is_none());
+        let failures: Vec<_> = server
+            .trace_events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::CheckpointWriteFailed {
+                    attempt, gave_up, ..
+                } => Some((*attempt, *gave_up)),
+                _ => None,
+            })
+            .collect();
+        // Every scheduled write burns all attempts, giving up on the last.
+        assert_eq!(failures.len(), 2 * CHECKPOINT_WRITE_ATTEMPTS);
+        assert!(failures
+            .iter()
+            .all(|&(attempt, gave_up)| gave_up == (attempt == CHECKPOINT_WRITE_ATTEMPTS)));
+        assert_eq!(
+            server.take_profile().checkpoint_write_failures,
+            2 * CHECKPOINT_WRITE_ATTEMPTS
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_skips_torn_newest_checkpoint() {
+        let dir =
+            std::env::temp_dir().join(format!("collapois-server-torn-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut server = quick_server_with(Box::new(Clustered::new(2)));
+        server.enable_checkpoints(&dir, 2);
+        server.run_rounds(4, None); // checkpoints at rounds 2 and 4
+        drop(server);
+
+        // Tear the newest file as a crash mid-write would on a filesystem
+        // without atomic rename.
+        let newest = checkpoint::checkpoint_path(&dir, 4);
+        let bytes = std::fs::read(&newest).expect("checkpoint exists");
+        std::fs::write(&newest, &bytes[..bytes.len() / 2]).expect("truncate");
+
+        let mut resumed = quick_server_with(Box::new(Clustered::new(2)));
+        let round = resumed.resume_latest(&dir).expect("fallback succeeds");
+        assert_eq!(round, Some(2));
+        assert_eq!(resumed.rounds_done(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fault_plan_changes_config_hash() {
+        let clean = quick_server();
+        let mut faulted = quick_server();
+        faulted.set_fault_plan(FaultPlan {
+            dropout: 0.2,
+            ..FaultPlan::none()
+        });
+        assert_ne!(clean.config_hash(), faulted.config_hash());
+        // A checkpoint from a fault-free run refuses to resume under a
+        // different fault regime.
+        let snap = clean.snapshot();
+        assert!(matches!(
+            faulted.restore(&snap),
+            Err(CheckpointError::ConfigMismatch { .. })
+        ));
     }
 }

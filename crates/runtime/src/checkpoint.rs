@@ -243,13 +243,16 @@ impl Snapshot {
         })
     }
 
-    /// Writes the snapshot atomically (temp file + rename) so an
-    /// interrupted save never leaves a half-written checkpoint behind.
+    /// Writes the snapshot atomically: encode to a `.ckpt.tmp` sibling,
+    /// fsync it, rename over the final name, then fsync the directory so
+    /// the rename itself survives a crash. An interrupted save can only
+    /// leave a stray temp file behind — which the `round-NNNNNN.ckpt`
+    /// naming filters ignore — never a torn checkpoint under the real
+    /// name.
     pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
-        if let Some(parent) = path.parent() {
-            if !parent.as_os_str().is_empty() {
-                fs::create_dir_all(parent)?;
-            }
+        let parent = path.parent().filter(|p| !p.as_os_str().is_empty());
+        if let Some(parent) = parent {
+            fs::create_dir_all(parent)?;
         }
         let tmp = path.with_extension("ckpt.tmp");
         {
@@ -258,6 +261,14 @@ impl Snapshot {
             f.sync_all()?;
         }
         fs::rename(&tmp, path)?;
+        if let Some(parent) = parent {
+            // Persist the rename's directory entry. Opening a directory
+            // read-only works on the unix targets we run on; elsewhere the
+            // data fsync above is the best available guarantee.
+            if let Ok(d) = fs::File::open(parent) {
+                d.sync_all()?;
+            }
+        }
         Ok(())
     }
 
@@ -291,13 +302,17 @@ pub fn checkpoint_path(dir: &Path, round: u32) -> PathBuf {
     dir.join(format!("round-{round:06}.ckpt"))
 }
 
-/// Finds the checkpoint for the highest round in `dir`, if any.
+/// Lists every checkpoint in `dir` as `(round, path)`, ascending by round.
 ///
 /// Only files matching the `round-NNNNNN.ckpt` naming convention are
-/// considered; unreadable directories yield `None`.
-pub fn latest_checkpoint(dir: &Path) -> Option<PathBuf> {
-    let entries = fs::read_dir(dir).ok()?;
-    let mut best: Option<(u32, PathBuf)> = None;
+/// considered — in particular, stray `.ckpt.tmp` files from an interrupted
+/// atomic save are ignored. An unreadable directory yields an empty list.
+pub fn checkpoints_by_round(dir: &Path) -> Vec<(u32, PathBuf)> {
+    let mut found: Vec<(u32, PathBuf)> = Vec::new();
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return found,
+    };
     for entry in entries.flatten() {
         let path = entry.path();
         let name = match path.file_name().and_then(|n| n.to_str()) {
@@ -312,11 +327,15 @@ pub fn latest_checkpoint(dir: &Path) -> Option<PathBuf> {
             Some(r) => r,
             None => continue,
         };
-        if best.as_ref().is_none_or(|(b, _)| round > *b) {
-            best = Some((round, path));
-        }
+        found.push((round, path));
     }
-    best.map(|(_, p)| p)
+    found.sort_by_key(|(round, _)| *round);
+    found
+}
+
+/// Finds the checkpoint for the highest round in `dir`, if any.
+pub fn latest_checkpoint(dir: &Path) -> Option<PathBuf> {
+    checkpoints_by_round(dir).pop().map(|(_, p)| p)
 }
 
 #[cfg(test)]
@@ -417,5 +436,28 @@ mod tests {
     #[test]
     fn latest_on_missing_dir_is_none() {
         assert!(latest_checkpoint(Path::new("/nonexistent/collapois")).is_none());
+        assert!(checkpoints_by_round(Path::new("/nonexistent/collapois")).is_empty());
+    }
+
+    #[test]
+    fn listing_is_round_ordered_and_ignores_stray_temp_files() {
+        let dir = std::env::temp_dir().join(format!("collapois-ckpt-list-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut snap = sample();
+        for round in [8u32, 2, 4] {
+            snap.round = round;
+            snap.save(&checkpoint_path(&dir, round)).unwrap();
+        }
+        // A leftover temp file from a crashed atomic save, plus unrelated
+        // noise, must both be invisible to the listing.
+        fs::write(dir.join("round-000009.ckpt.tmp"), b"torn write").unwrap();
+        fs::write(dir.join("notes.txt"), b"not a checkpoint").unwrap();
+        let listed = checkpoints_by_round(&dir);
+        let rounds: Vec<u32> = listed.iter().map(|(r, _)| *r).collect();
+        assert_eq!(rounds, vec![2, 4, 8]);
+        assert!(latest_checkpoint(&dir)
+            .unwrap()
+            .ends_with("round-000008.ckpt"));
+        fs::remove_dir_all(&dir).unwrap();
     }
 }

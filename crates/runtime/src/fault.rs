@@ -1,0 +1,353 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] describes the failure regime of a run — client dropout,
+//! straggler delays, corrupted updates, checkpoint-write failures — as a
+//! set of probabilities. Every individual fault decision is a pure
+//! function of `(run_seed, round, unit)` through the [`crate::seed`]
+//! derivation (domain [`crate::seed::Domain::Fault`]), so the fault
+//! *schedule* is fully reproducible: the same plan under the same seed
+//! drops the same clients at the same rounds regardless of worker count,
+//! and a resumed run replays exactly the faults the interrupted run would
+//! have seen.
+//!
+//! Straggler delays are *virtual*: a delay in milliseconds is drawn from an
+//! exponential distribution and compared against the plan's deadline, and
+//! clients whose virtual delay exceeds the deadline are shed from the
+//! cohort. No wall-clock sleeping is involved, so the decision is
+//! deterministic and free.
+//!
+//! The per-client uniform draws happen in a fixed order (dropout,
+//! straggler, delay, corruption) and are always all consumed, so the
+//! dropout schedule produced by `{ dropout: 0.2 }` is identical to the
+//! dropout sub-schedule of `{ dropout: 0.2, corrupt: 0.1 }` under the same
+//! seed — knobs can be toggled independently without reshuffling the
+//! others' schedules.
+
+use crate::seed;
+use rand::Rng;
+
+/// Sentinel unit id carrying the round-global checkpoint-failure stream.
+///
+/// Client ids are dataset indices (tiny by comparison), so the sentinel can
+/// never collide with a real client's fault stream.
+pub const CHECKPOINT_UNIT: u64 = u64::MAX;
+
+/// Probabilistic description of a run's failure regime.
+///
+/// The default plan injects nothing; [`FaultPlan::is_active`] lets hot
+/// paths skip fault bookkeeping entirely in that case.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Per-(round, client) probability that a sampled client drops out and
+    /// delivers no update.
+    pub dropout: f64,
+    /// Per-(round, client) probability that a client straggles, drawing a
+    /// virtual delay from `Exp(straggler_mean_ms)`.
+    pub straggler: f64,
+    /// Mean of the exponential virtual-delay distribution, in ms.
+    pub straggler_mean_ms: f64,
+    /// Round deadline in ms; stragglers whose virtual delay exceeds it are
+    /// shed from the cohort. `0` means no deadline (stragglers always make
+    /// it and only show up in the trace/profile accounting).
+    pub deadline_ms: f64,
+    /// Per-(round, client) probability that a delivered update is
+    /// corrupted in flight (non-finite values injected), exercising the
+    /// server's reject-before-aggregation path.
+    pub corrupt: f64,
+    /// Per-attempt probability that a checkpoint write fails, exercising
+    /// the bounded-retry path.
+    pub checkpoint_fail: f64,
+}
+
+/// The fault-plan verdict for one `(round, client)` pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClientFault {
+    /// The client participates normally.
+    None,
+    /// The client drops out and delivers nothing.
+    Dropout,
+    /// The client straggles with the given virtual delay; `shed` is true
+    /// when the delay exceeds the plan's deadline and the server excludes
+    /// the client from the round.
+    Straggler {
+        /// Virtual delay drawn from `Exp(straggler_mean_ms)`, in ms.
+        delay_ms: f64,
+        /// Whether the delay exceeded `deadline_ms`.
+        shed: bool,
+    },
+    /// The client's update arrives corrupted (non-finite values).
+    Corrupt,
+}
+
+impl FaultPlan {
+    /// A plan that injects no faults (same as `Default`).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether any fault kind can fire under this plan.
+    pub fn is_active(&self) -> bool {
+        self.dropout > 0.0
+            || self.straggler > 0.0
+            || self.corrupt > 0.0
+            || self.checkpoint_fail > 0.0
+    }
+
+    /// Validates parameter ranges: probabilities in `[0, 1]`, delays and
+    /// deadlines finite and non-negative.
+    pub fn validate(&self) -> Result<(), String> {
+        let probs = [
+            ("dropout", self.dropout),
+            ("straggler", self.straggler),
+            ("corrupt", self.corrupt),
+            ("checkpoint_fail", self.checkpoint_fail),
+        ];
+        for (name, p) in probs {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("fault {name} probability {p} outside [0, 1]"));
+            }
+        }
+        for (name, v) in [
+            ("straggler_mean_ms", self.straggler_mean_ms),
+            ("deadline_ms", self.deadline_ms),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("fault {name} must be finite and >= 0, got {v}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// The deterministic fault verdict for `client_id` at `round`.
+    ///
+    /// Fault kinds are mutually exclusive with precedence
+    /// dropout > straggler > corruption; all four uniforms are drawn
+    /// unconditionally so each knob's schedule is independent of the
+    /// others' settings.
+    pub fn client_fault(&self, run_seed: u64, round: u64, client_id: usize) -> ClientFault {
+        if self.dropout <= 0.0 && self.straggler <= 0.0 && self.corrupt <= 0.0 {
+            return ClientFault::None;
+        }
+        let mut rng = seed::fault_rng(run_seed, round, client_id as u64);
+        let u_drop: f64 = rng.gen_range(0.0..1.0);
+        let u_straggle: f64 = rng.gen_range(0.0..1.0);
+        let u_delay: f64 = rng.gen_range(0.0..1.0);
+        let u_corrupt: f64 = rng.gen_range(0.0..1.0);
+        if u_drop < self.dropout {
+            return ClientFault::Dropout;
+        }
+        if u_straggle < self.straggler {
+            // Exponential inverse-CDF; 1 - u is in (0, 1] so ln never sees 0.
+            let delay_ms = -self.straggler_mean_ms * (1.0 - u_delay).ln();
+            let shed = self.deadline_ms > 0.0 && delay_ms > self.deadline_ms;
+            return ClientFault::Straggler { delay_ms, shed };
+        }
+        if u_corrupt < self.corrupt {
+            return ClientFault::Corrupt;
+        }
+        ClientFault::None
+    }
+
+    /// Whether checkpoint-write `attempt` (1-based) at `round` is injected
+    /// to fail. Each attempt draws independently, so a failed first write
+    /// can still succeed on retry.
+    pub fn checkpoint_attempt_fails(&self, run_seed: u64, round: u64, attempt: usize) -> bool {
+        if self.checkpoint_fail <= 0.0 {
+            return false;
+        }
+        let mut rng = seed::fault_rng(run_seed, round, CHECKPOINT_UNIT);
+        let mut u: f64 = 0.0;
+        for _ in 0..attempt.max(1) {
+            u = rng.gen_range(0.0..1.0);
+        }
+        u < self.checkpoint_fail
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_plan() -> FaultPlan {
+        FaultPlan {
+            dropout: 0.2,
+            straggler: 0.3,
+            straggler_mean_ms: 10.0,
+            deadline_ms: 15.0,
+            corrupt: 0.1,
+            checkpoint_fail: 0.5,
+        }
+    }
+
+    #[test]
+    fn inactive_plan_injects_nothing() {
+        let plan = FaultPlan::none();
+        assert!(!plan.is_active());
+        for round in 0..10 {
+            for client in 0..20 {
+                assert_eq!(plan.client_fault(7, round, client), ClientFault::None);
+            }
+            assert!(!plan.checkpoint_attempt_fails(7, round, 1));
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let plan = full_plan();
+        for round in 0..20 {
+            for client in 0..32 {
+                assert_eq!(
+                    plan.client_fault(42, round, client),
+                    plan.client_fault(42, round, client)
+                );
+            }
+            for attempt in 1..=3 {
+                assert_eq!(
+                    plan.checkpoint_attempt_fails(42, round, attempt),
+                    plan.checkpoint_attempt_fails(42, round, attempt)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_depends_on_seed_round_and_client() {
+        let plan = FaultPlan {
+            dropout: 0.5,
+            ..FaultPlan::none()
+        };
+        let base: Vec<_> = (0..64).map(|c| plan.client_fault(1, 0, c)).collect();
+        let other_seed: Vec<_> = (0..64).map(|c| plan.client_fault(2, 0, c)).collect();
+        let other_round: Vec<_> = (0..64).map(|c| plan.client_fault(1, 1, c)).collect();
+        assert_ne!(base, other_seed);
+        assert_ne!(base, other_round);
+    }
+
+    #[test]
+    fn dropout_rate_is_roughly_honored() {
+        let plan = FaultPlan {
+            dropout: 0.2,
+            ..FaultPlan::none()
+        };
+        let mut drops = 0usize;
+        let total = 50 * 100;
+        for round in 0..50 {
+            for client in 0..100 {
+                if plan.client_fault(9, round, client) == ClientFault::Dropout {
+                    drops += 1;
+                }
+            }
+        }
+        let rate = drops as f64 / total as f64;
+        assert!((rate - 0.2).abs() < 0.03, "empirical dropout rate {rate}");
+    }
+
+    #[test]
+    fn dropout_schedule_is_independent_of_other_knobs() {
+        // Adding corruption/straggling must not reshuffle which clients
+        // drop: all uniforms are drawn in fixed order regardless of knobs.
+        let drop_only = FaultPlan {
+            dropout: 0.2,
+            ..FaultPlan::none()
+        };
+        let combined = FaultPlan {
+            dropout: 0.2,
+            straggler: 0.4,
+            straggler_mean_ms: 5.0,
+            deadline_ms: 4.0,
+            corrupt: 0.3,
+            checkpoint_fail: 0.9,
+        };
+        for round in 0..20 {
+            for client in 0..64 {
+                let a = drop_only.client_fault(3, round, client) == ClientFault::Dropout;
+                let b = combined.client_fault(3, round, client) == ClientFault::Dropout;
+                assert_eq!(a, b, "round {round} client {client}");
+            }
+        }
+    }
+
+    #[test]
+    fn straggler_delays_are_positive_and_shed_by_deadline() {
+        let plan = FaultPlan {
+            straggler: 1.0,
+            straggler_mean_ms: 10.0,
+            deadline_ms: 10.0,
+            ..FaultPlan::none()
+        };
+        let mut shed = 0usize;
+        let mut kept = 0usize;
+        for client in 0..200 {
+            match plan.client_fault(5, 0, client) {
+                ClientFault::Straggler { delay_ms, shed: s } => {
+                    assert!(delay_ms >= 0.0 && delay_ms.is_finite());
+                    assert_eq!(s, delay_ms > 10.0);
+                    if s {
+                        shed += 1;
+                    } else {
+                        kept += 1;
+                    }
+                }
+                other => panic!("expected straggler, got {other:?}"),
+            }
+        }
+        // With mean == deadline, P(shed) = 1/e ≈ 0.37: both sides occur.
+        assert!(shed > 20 && kept > 20, "shed {shed} kept {kept}");
+    }
+
+    #[test]
+    fn zero_deadline_never_sheds() {
+        let plan = FaultPlan {
+            straggler: 1.0,
+            straggler_mean_ms: 50.0,
+            deadline_ms: 0.0,
+            ..FaultPlan::none()
+        };
+        for client in 0..100 {
+            match plan.client_fault(5, 3, client) {
+                ClientFault::Straggler { shed, .. } => assert!(!shed),
+                other => panic!("expected straggler, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_attempts_draw_independently() {
+        let plan = FaultPlan {
+            checkpoint_fail: 0.5,
+            ..FaultPlan::none()
+        };
+        // Over many rounds, some first attempts fail while a retry
+        // succeeds — i.e. attempts are not all-or-nothing per round.
+        let mut first_fails_retry_succeeds = 0;
+        for round in 0..100 {
+            if plan.checkpoint_attempt_fails(11, round, 1)
+                && !plan.checkpoint_attempt_fails(11, round, 2)
+            {
+                first_fails_retry_succeeds += 1;
+            }
+        }
+        assert!(first_fails_retry_succeeds > 5);
+    }
+
+    #[test]
+    fn validate_rejects_bad_parameters() {
+        assert!(FaultPlan::none().validate().is_ok());
+        assert!(full_plan().validate().is_ok());
+        let bad_prob = FaultPlan {
+            dropout: 1.5,
+            ..FaultPlan::none()
+        };
+        assert!(bad_prob.validate().is_err());
+        let neg = FaultPlan {
+            straggler_mean_ms: -1.0,
+            ..FaultPlan::none()
+        };
+        assert!(neg.validate().is_err());
+        let nan = FaultPlan {
+            deadline_ms: f64::NAN,
+            ..FaultPlan::none()
+        };
+        assert!(nan.validate().is_err());
+    }
+}

@@ -12,8 +12,12 @@
 //!   kill-and-resume semantics.
 //! - [`trace`]: structured JSONL run traces (one event per line) that both
 //!   humans and downstream tooling consume.
+//! - [`fault`]: deterministic fault injection (dropout, stragglers, update
+//!   corruption, checkpoint-write failures) whose schedules derive from the
+//!   same seed machinery and are therefore worker-count-invariant.
 
 pub mod checkpoint;
+pub mod fault;
 pub mod pool;
 pub mod seed;
 pub mod trace;

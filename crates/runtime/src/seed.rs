@@ -32,6 +32,11 @@ pub enum Domain {
     /// Round-level personalization setup (e.g. cluster initialization),
     /// consumed by `begin_round` hooks (unit = 0).
     RoundSetup = 6,
+    /// Fault-injection decisions (client dropout, straggler delays, update
+    /// corruption, checkpoint-write failures). Appended after the original
+    /// six domains so enabling fault injection never shifts any previously
+    /// derived stream.
+    Fault = 7,
 }
 
 const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
@@ -85,6 +90,16 @@ pub fn eval_rng(run_seed: u64, round: u64) -> StdRng {
 /// Round-level RNG for sequential personalization setup (`begin_round`).
 pub fn round_setup_rng(run_seed: u64, round: u64) -> StdRng {
     StdRng::seed_from_u64(mix(run_seed, Domain::RoundSetup, round, 0))
+}
+
+/// RNG stream for fault-injection decisions about `unit` at `round`.
+///
+/// `unit` is a client id for per-client faults; reserved sentinel values
+/// (see `fault::CHECKPOINT_UNIT`) carry round-global fault streams such as
+/// checkpoint-write failures. Taking the unit directly as `u64` keeps the
+/// sentinel space disjoint from any realistic client id.
+pub fn fault_rng(run_seed: u64, round: u64, unit: u64) -> StdRng {
+    StdRng::seed_from_u64(mix(run_seed, Domain::Fault, round, unit))
 }
 
 #[cfg(test)]

@@ -84,6 +84,40 @@ pub enum TraceEvent {
         /// Path the snapshot was written to.
         path: String,
     },
+    /// A fault-plan decision removed a sampled client from the round's
+    /// cohort (injected dropout, or a straggler shed by the deadline).
+    ClientDropped {
+        /// Round index.
+        round: usize,
+        /// The client removed from the cohort.
+        client: usize,
+        /// `"dropout"` or `"straggler"`.
+        cause: String,
+        /// Deterministic virtual delay for stragglers, in ms (0 for
+        /// dropouts).
+        delay_ms: f64,
+    },
+    /// The server rejected a client's update before aggregation
+    /// (non-finite values — injected corruption or divergent training).
+    UpdateRejected {
+        /// Round index.
+        round: usize,
+        /// The client whose update was rejected.
+        client: usize,
+        /// `"injected_corruption"` or `"non_finite"`.
+        reason: String,
+    },
+    /// A checkpoint-write attempt failed (injected or a real I/O error).
+    CheckpointWriteFailed {
+        /// Round the snapshot was for.
+        round: usize,
+        /// 1-based attempt number.
+        attempt: usize,
+        /// The error the attempt surfaced.
+        error: String,
+        /// Whether this was the final attempt (the snapshot was skipped).
+        gave_up: bool,
+    },
     /// Emitted once when the round loop finishes.
     RunCompleted {
         /// Rounds executed by this process (excludes resumed-over rounds).
@@ -102,6 +136,9 @@ impl TraceEvent {
             Self::RoundCompleted { .. } => "round_completed",
             Self::ShiftAlert { .. } => "shift_alert",
             Self::CheckpointSaved { .. } => "checkpoint_saved",
+            Self::ClientDropped { .. } => "client_dropped",
+            Self::UpdateRejected { .. } => "update_rejected",
+            Self::CheckpointWriteFailed { .. } => "checkpoint_write_failed",
             Self::RunCompleted { .. } => "run_completed",
         }
     }
@@ -186,6 +223,37 @@ impl TraceEvent {
                 push_usize_field(&mut s, "round", *round);
                 push_str_field(&mut s, "path", path);
             }
+            Self::ClientDropped {
+                round,
+                client,
+                cause,
+                delay_ms,
+            } => {
+                push_usize_field(&mut s, "round", *round);
+                push_usize_field(&mut s, "client", *client);
+                push_str_field(&mut s, "cause", cause);
+                push_num_field(&mut s, "delay_ms", *delay_ms);
+            }
+            Self::UpdateRejected {
+                round,
+                client,
+                reason,
+            } => {
+                push_usize_field(&mut s, "round", *round);
+                push_usize_field(&mut s, "client", *client);
+                push_str_field(&mut s, "reason", reason);
+            }
+            Self::CheckpointWriteFailed {
+                round,
+                attempt,
+                error,
+                gave_up,
+            } => {
+                push_usize_field(&mut s, "round", *round);
+                push_usize_field(&mut s, "attempt", *attempt);
+                push_str_field(&mut s, "error", error);
+                push_bool_field(&mut s, "gave_up", *gave_up);
+            }
             Self::RunCompleted {
                 rounds_executed,
                 elapsed_ms,
@@ -246,6 +314,23 @@ impl TraceEvent {
             "checkpoint_saved" => Ok(Self::CheckpointSaved {
                 round: get_usize(obj, "round")?,
                 path: get_str(obj, "path")?.to_string(),
+            }),
+            "client_dropped" => Ok(Self::ClientDropped {
+                round: get_usize(obj, "round")?,
+                client: get_usize(obj, "client")?,
+                cause: get_str(obj, "cause")?.to_string(),
+                delay_ms: get_f64(obj, "delay_ms")?,
+            }),
+            "update_rejected" => Ok(Self::UpdateRejected {
+                round: get_usize(obj, "round")?,
+                client: get_usize(obj, "client")?,
+                reason: get_str(obj, "reason")?.to_string(),
+            }),
+            "checkpoint_write_failed" => Ok(Self::CheckpointWriteFailed {
+                round: get_usize(obj, "round")?,
+                attempt: get_usize(obj, "attempt")?,
+                error: get_str(obj, "error")?.to_string(),
+                gave_up: get_bool(obj, "gave_up")?,
             }),
             "run_completed" => Ok(Self::RunCompleted {
                 rounds_executed: get_usize(obj, "rounds_executed")?,
@@ -412,6 +497,10 @@ fn push_null_field(s: &mut String, key: &str) {
     let _ = write!(s, "\"{key}\":null,");
 }
 
+fn push_bool_field(s: &mut String, key: &str, value: bool) {
+    let _ = write!(s, "\"{key}\":{value},");
+}
+
 fn push_num_field(s: &mut String, key: &str, value: f64) {
     let _ = write!(s, "\"{key}\":{},", fmt_num(value));
 }
@@ -512,6 +601,13 @@ fn get_f64(obj: &[(String, Value)], key: &str) -> Result<f64, TraceError> {
     lookup(obj, key)?
         .as_f64()
         .ok_or_else(|| err(&format!("field {key:?} must be a number")))
+}
+
+fn get_bool(obj: &[(String, Value)], key: &str) -> Result<bool, TraceError> {
+    match lookup(obj, key)? {
+        Value::Bool(b) => Ok(*b),
+        _ => Err(err(&format!("field {key:?} must be a boolean"))),
+    }
 }
 
 fn get_usize_array(obj: &[(String, Value)], key: &str) -> Result<Vec<usize>, TraceError> {
@@ -773,6 +869,35 @@ mod tests {
                 round: 4,
                 path: "/tmp/weird \"dir\"\\round-000004.ckpt".into(),
             },
+            TraceEvent::ClientDropped {
+                round: 2,
+                client: 9,
+                cause: "straggler".into(),
+                delay_ms: 17.25,
+            },
+            TraceEvent::ClientDropped {
+                round: 2,
+                client: 4,
+                cause: "dropout".into(),
+                delay_ms: 0.0,
+            },
+            TraceEvent::UpdateRejected {
+                round: 3,
+                client: 1,
+                reason: "injected_corruption".into(),
+            },
+            TraceEvent::CheckpointWriteFailed {
+                round: 4,
+                attempt: 2,
+                error: "injected checkpoint-write fault".into(),
+                gave_up: false,
+            },
+            TraceEvent::CheckpointWriteFailed {
+                round: 4,
+                attempt: 3,
+                error: "disk on fire".into(),
+                gave_up: true,
+            },
             TraceEvent::RunCompleted {
                 rounds_executed: 5,
                 elapsed_ms: 88.125,
@@ -838,6 +963,9 @@ mod tests {
             "{\"event\":\"round_completed\",\"round\":0,\"aggregator\":3}",
             "not json at all",
             "{\"event\":\"run_completed\",\"rounds_executed\":1,\"elapsed_ms\":\"x\"}",
+            "{\"event\":\"client_dropped\",\"round\":0,\"client\":1,\"cause\":7,\"delay_ms\":0.0}",
+            "{\"event\":\"update_rejected\",\"round\":0,\"reason\":\"non_finite\"}",
+            "{\"event\":\"checkpoint_write_failed\",\"round\":0,\"attempt\":1,\"error\":\"e\",\"gave_up\":\"yes\"}",
         ] {
             assert!(TraceEvent::from_json(bad).is_err(), "accepted {bad:?}");
         }

@@ -96,10 +96,17 @@ pub fn t_test_welch(a: &[f64], b: &[f64]) -> Result<TestResult, TestError> {
         } else {
             0.0
         };
+        // The Welch–Satterthwaite ratio is 0/0 here; report its limit as
+        // both variances shrink to the same s² → 0, which depends only on
+        // the sample sizes. Unlike the pooled Student df `na + nb - 2` (to
+        // which it reduces only when na == nb), this stays consistent with
+        // the unequal-variance formula used on the normal path.
+        let inv = 1.0 / na + 1.0 / nb;
+        let df = inv * inv / (1.0 / (na * na * (na - 1.0)) + 1.0 / (nb * nb * (nb - 1.0)));
         return Ok(TestResult {
             statistic: 0.0,
             p_value: p,
-            df: na + nb - 2.0,
+            df,
         });
     }
     let t = (ma - mb) / se2.sqrt();
@@ -243,9 +250,21 @@ pub fn ks_two_sample(a: &[f64], b: &[f64]) -> Result<TestResult, TestError> {
 ///
 /// Returns the indices *into `candidates`* that would be flagged when judged
 /// against the background sample's moments.
+///
+/// A background with fewer than two observations has no defined spread
+/// (`variance` reports 0.0, which would flag every candidate not exactly
+/// equal to the mean — and an empty background would judge against mean
+/// 0.0). The rule **fails open** in that case and flags nothing, as it also
+/// does when the background moments are non-finite.
 pub fn three_sigma_outliers(background: &[f64], candidates: &[f64]) -> Vec<usize> {
+    if background.len() < 2 {
+        return Vec::new();
+    }
     let m = mean(background);
     let s = variance(background).sqrt();
+    if !m.is_finite() || !s.is_finite() {
+        return Vec::new();
+    }
     candidates
         .iter()
         .enumerate()
@@ -309,6 +328,52 @@ mod tests {
     }
 
     #[test]
+    fn welch_constant_sample_df_follows_satterthwaite_limit() {
+        // Regression: the zero-variance early return used to report the
+        // pooled Student df `na + nb - 2`, inconsistent with the
+        // Welch–Satterthwaite formula the normal path uses. For equal
+        // variances the W–S limit is
+        //   (1/na + 1/nb)² / (1/(na²(na-1)) + 1/(nb²(nb-1)))
+        // which equals na + nb - 2 only when na == nb.
+        let a = [2.0; 3];
+        let b = [3.0; 5];
+        let r = t_test_welch(&a, &b).unwrap();
+        let expected = {
+            let (na, nb) = (3.0f64, 5.0f64);
+            let inv = 1.0 / na + 1.0 / nb;
+            inv * inv / (1.0 / (na * na * (na - 1.0)) + 1.0 / (nb * nb * (nb - 1.0)))
+        };
+        assert!((r.df - expected).abs() < 1e-12, "df={}", r.df);
+        assert!((r.df - 4.338_983_050_847_458).abs() < 1e-9, "df={}", r.df);
+        // In particular NOT the Student value 3 + 5 - 2 = 6.
+        assert!((r.df - 6.0).abs() > 1.0);
+
+        // Equal sizes: the limit coincides with the pooled value.
+        let r = t_test_welch(&[2.0; 4], &[9.0; 4]).unwrap();
+        assert!((r.df - 6.0).abs() < 1e-12, "df={}", r.df);
+        assert_eq!(r.p_value, 0.0);
+    }
+
+    #[test]
+    fn welch_constant_df_is_continuous_with_vanishing_variance() {
+        // The degenerate branch must agree with the normal path's df as the
+        // common variance shrinks toward zero.
+        // Both samples get the *same* sample variance eps² (the limit is
+        // taken along va == vb → 0).
+        let eps = 1e-6;
+        let a = [2.0 - eps, 2.0, 2.0 + eps];
+        let b = [3.0 - eps, 3.0 - eps, 3.0, 3.0 + eps, 3.0 + eps];
+        let near = t_test_welch(&a, &b).unwrap();
+        let degenerate = t_test_welch(&[2.0; 3], &[3.0; 5]).unwrap();
+        assert!(
+            (near.df - degenerate.df).abs() < 0.5,
+            "near {} vs limit {}",
+            near.df,
+            degenerate.df
+        );
+    }
+
+    #[test]
     fn levene_detects_variance_difference() {
         let a = draws(0.0, 1.0, 400, 7);
         let b = draws(0.0, 3.0, 400, 8);
@@ -347,6 +412,25 @@ mod tests {
         let b = draws(0.0, 1.0, 400, 15);
         let r = ks_two_sample(&a, &b).unwrap();
         assert!(r.p_value > 0.01, "p={}", r.p_value);
+    }
+
+    #[test]
+    fn three_sigma_fails_open_on_tiny_background() {
+        // Regression: a single-observation background has variance 0.0, so
+        // every candidate off the mean used to be flagged (even by 1e-7);
+        // an empty background judged candidates against mean 0.0. Both now
+        // flag nothing.
+        assert!(three_sigma_outliers(&[], &[0.0, 100.0, -5.0]).is_empty());
+        assert!(three_sigma_outliers(&[5.0], &[5.0000001, 100.0]).is_empty());
+        // Two observations is the minimum for a defined spread.
+        let out = three_sigma_outliers(&[0.0, 1.0], &[0.5, 100.0]);
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn three_sigma_fails_open_on_nonfinite_background() {
+        assert!(three_sigma_outliers(&[0.0, f64::NAN, 1.0], &[100.0]).is_empty());
+        assert!(three_sigma_outliers(&[0.0, f64::INFINITY], &[100.0]).is_empty());
     }
 
     #[test]

@@ -45,6 +45,7 @@ static GLOBAL: CountingAlloc = CountingAlloc;
 use collapois_data::sample::Dataset;
 use collapois_fl::client::local_sgd_delta_prox_into;
 use collapois_fl::config::FlConfig;
+use collapois_fl::monitor::ShiftDetector;
 use collapois_fl::ClientScratch;
 use collapois_nn::zoo::ModelSpec;
 use collapois_runtime::pool::{WorkerArenas, WorkerPool};
@@ -162,7 +163,38 @@ fn pooled_fanout_at_four_workers() {
     assert_zero("workers=4 fan-out", counts);
 }
 
+/// The shift detector's `observe` call, which runs inside the round loop
+/// when monitoring is enabled: once the ring buffers, the previous-model
+/// copy and the median/MAD sort scratch are at size, alert-free rounds must
+/// not touch the allocator.
+fn monitor_observe_steady_state() {
+    const DIM: usize = 512;
+    let mut det = ShiftDetector::default_paper();
+    let mut global = vec![0.0f32; DIM];
+
+    // Warm-up: first observation clones the model, later ones fill the
+    // displacement/utility rings past the window and size the sort scratch.
+    for t in 0..10u32 {
+        for (i, g) in global.iter_mut().enumerate() {
+            *g = 1.0 / (t as f32 + 1.0) + 0.003 * ((i % 5) as f32);
+        }
+        det.observe(Some(&global), Some(0.5 + 0.01 * t as f64));
+    }
+
+    let counts = counting(|| {
+        for t in 10..40u32 {
+            for (i, g) in global.iter_mut().enumerate() {
+                *g = 1.0 / (t as f32 + 1.0) + 0.003 * ((i % 5) as f32);
+            }
+            let alert = det.observe(Some(&global), Some(0.5 + 0.01 * t as f64));
+            assert!(alert.is_none(), "smooth series must not alert");
+        }
+    });
+    assert_zero("monitor observe", counts);
+}
+
 fn main() {
     serial_training_inner_loop();
     pooled_fanout_at_four_workers();
+    monitor_observe_steady_state();
 }
