@@ -30,7 +30,14 @@
 //! previously committed `BENCH_rounds.json` and exits non-zero on a >20%
 //! regression; on hosts with at least 4 cores it additionally enforces a
 //! workers=4 scaling-efficiency floor on the fresh measurement — the CI
-//! guard-rails once a baseline exists.
+//! guard-rails once a baseline exists. Skip messages always state the
+//! host's parallelism so a skipped check is attributable to the machine it
+//! ran on.
+//!
+//! Baselines are host-shaped: the emitted file records `host_parallelism`,
+//! and a run on a single-core host refuses to overwrite a baseline
+//! measured on a multi-core host (its scaling rows would silently degrade
+//! to noise). Pass `--force` to overwrite anyway.
 
 use collapois_core::scenario::{AttackKind, DefenseKind, RunOptions, Scenario, ScenarioConfig};
 use collapois_runtime::fault::FaultPlan;
@@ -242,11 +249,23 @@ fn baseline_rounds_per_sec(path: &PathBuf) -> Option<f64> {
     None
 }
 
+/// The `host_parallelism` a previously emitted `BENCH_rounds.json` was
+/// measured under (absent in the legacy layout, which predates the field).
+fn baseline_host_parallelism(path: &PathBuf) -> Option<usize> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let key = "\"host_parallelism\": ";
+    let start = text.find(key)? + key.len();
+    let rest = &text[start..];
+    let end = rest.find([',', '\n']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut rounds = 20usize;
     let mut out = PathBuf::from("BENCH_rounds.json");
     let mut check: Option<PathBuf> = None;
+    let mut force = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -262,6 +281,7 @@ fn main() {
                 i += 1;
                 check = Some(PathBuf::from(&args[i]));
             }
+            "--force" => force = true,
             // `cargo bench` passes --bench through to the target.
             "--bench" => {}
             other => panic!("unknown argument {other:?}"),
@@ -269,6 +289,23 @@ fn main() {
         i += 1;
     }
     let rounds = rounds.max(2);
+
+    // A single-core run must not clobber a baseline measured with real
+    // parallelism: its scaling rows would replace signal with noise.
+    if !force {
+        if let Some(prev_cores) = baseline_host_parallelism(&out) {
+            let cores = host_parallelism();
+            if prev_cores > 1 && cores == 1 {
+                eprintln!(
+                    "refusing to overwrite {}: committed baseline was measured with \
+                     host_parallelism={prev_cores}, this host has {cores} core(s). \
+                     Re-run on a comparable machine or pass --force.",
+                    out.display()
+                );
+                std::process::exit(1);
+            }
+        }
+    }
 
     let trace_path = std::env::temp_dir().join(format!(
         "collapois-rounds-throughput-{}.jsonl",
@@ -351,8 +388,9 @@ fn main() {
                 );
             }
             None => println!(
-                "no baseline at {} — skipping regression check",
-                baseline_path.display()
+                "no baseline at {} — skipping regression check (host_parallelism={})",
+                baseline_path.display(),
+                host_parallelism()
             ),
         }
         let cores = host_parallelism();
@@ -376,7 +414,7 @@ fn main() {
             }
         } else {
             println!(
-                "scaling check skipped: host has {cores} core(s), need >= 4 for a \
+                "scaling check skipped: host_parallelism={cores}, need >= 4 for a \
                  meaningful workers=4 efficiency"
             );
         }

@@ -10,6 +10,9 @@
 //!                 [--rounds T] [--clients N] [--seed S] [--topk K]
 //!                 [--workers W] [--trace FILE] [--checkpoint-dir DIR]
 //!                 [--checkpoint-every E] [--resume true] [--monitor true]
+//!                 [--sim true] [--sim-arrival-ms A] [--sim-train-ms T]
+//!                 [--sim-buffer K] [--sim-deadline-ms D] [--sim-decay P]
+//!                 [--sim-up-ms U] [--sim-down-ms D] [--sim-concurrency C]
 //! collapois sweep [--attack ...] [--defense ...] [--algo ...] — alpha sweep
 //! collapois bound [--a 0.9] [--b 1.0] [--clients N] — Theorem 1 table
 //! collapois trace --file RUN.jsonl — inspect a structured run trace
@@ -21,7 +24,7 @@ mod args;
 use args::{ArgError, Args};
 use collapois_core::scenario::{
     AttackKind, DatasetKind, DefenseKind, FlAlgo, RunOptions, Scenario, ScenarioConfig,
-    ScenarioModel,
+    ScenarioModel, SimKnobs,
 };
 use collapois_core::theory::theorem1_bound;
 use collapois_fl::server::round_records_from_events;
@@ -87,7 +90,18 @@ fn print_help() {
          \u{20}  --fault-delay-ms M       mean straggler delay (exponential), ms\n\
          \u{20}  --fault-deadline-ms D    round deadline shedding stragglers (0 = none)\n\
          \u{20}  --fault-corrupt P        per-client in-flight corruption probability\n\
-         \u{20}  --fault-checkpoint P     per-attempt checkpoint-write failure probability"
+         \u{20}  --fault-checkpoint P     per-attempt checkpoint-write failure probability\n\n\
+         buffered-async simulation (discrete-event, deterministic per seed;\n\
+         any --sim-* flag implies --sim true; --rounds sets the flush target):\n\
+         \u{20}  --sim true             run FedBuff on the virtual-time simulator\n\
+         \u{20}  --sim-arrival-ms A     mean Poisson inter-arrival gap per client, ms\n\
+         \u{20}  --sim-train-ms T       mean virtual training duration, ms\n\
+         \u{20}  --sim-buffer K         flush after K buffered completions\n\
+         \u{20}  --sim-deadline-ms D    virtual flush deadline (0 = none)\n\
+         \u{20}  --sim-decay P          staleness weight exponent (1+s)^-P\n\
+         \u{20}  --sim-up-ms U          mean available stretch for churn (0 = no churn)\n\
+         \u{20}  --sim-down-ms D        mean offline stretch for churn\n\
+         \u{20}  --sim-concurrency C    max clients training at once"
     );
 }
 
@@ -117,6 +131,27 @@ const RUN_KEYS: &[&str] = &[
     "fault-deadline-ms",
     "fault-corrupt",
     "fault-checkpoint",
+    "sim",
+    "sim-arrival-ms",
+    "sim-train-ms",
+    "sim-buffer",
+    "sim-deadline-ms",
+    "sim-decay",
+    "sim-up-ms",
+    "sim-down-ms",
+    "sim-concurrency",
+];
+
+/// The `--sim-*` knob keys: presence of any implies `--sim true`.
+const SIM_KNOB_KEYS: &[&str] = &[
+    "sim-arrival-ms",
+    "sim-train-ms",
+    "sim-buffer",
+    "sim-deadline-ms",
+    "sim-decay",
+    "sim-up-ms",
+    "sim-down-ms",
+    "sim-concurrency",
 ];
 
 fn parse_attack(s: &str) -> Result<AttackKind, String> {
@@ -203,6 +238,32 @@ fn build_fault_plan(args: &Args) -> Result<FaultPlan, String> {
     Ok(plan)
 }
 
+fn build_sim_knobs(args: &Args) -> Result<Option<SimKnobs>, String> {
+    let err = |e: ArgError| e.to_string();
+    let enabled = args.get_or("sim", false).map_err(err)?
+        || SIM_KNOB_KEYS.iter().any(|k| args.get(k).is_some());
+    if !enabled {
+        return Ok(None);
+    }
+    let d = SimKnobs::default();
+    Ok(Some(SimKnobs {
+        arrival_mean_ms: args
+            .get_or("sim-arrival-ms", d.arrival_mean_ms)
+            .map_err(err)?,
+        train_mean_ms: args.get_or("sim-train-ms", d.train_mean_ms).map_err(err)?,
+        buffer_k: args.get_or("sim-buffer", d.buffer_k).map_err(err)?,
+        flush_deadline_ms: args
+            .get_or("sim-deadline-ms", d.flush_deadline_ms)
+            .map_err(err)?,
+        staleness_decay: args.get_or("sim-decay", d.staleness_decay).map_err(err)?,
+        churn_up_ms: args.get_or("sim-up-ms", d.churn_up_ms).map_err(err)?,
+        churn_down_ms: args.get_or("sim-down-ms", d.churn_down_ms).map_err(err)?,
+        max_concurrency: args
+            .get_or("sim-concurrency", d.max_concurrency)
+            .map_err(err)?,
+    }))
+}
+
 fn build_run_options(args: &Args) -> Result<RunOptions, String> {
     let err = |e: ArgError| e.to_string();
     Ok(RunOptions {
@@ -214,6 +275,7 @@ fn build_run_options(args: &Args) -> Result<RunOptions, String> {
         monitor: args.get_or("monitor", false).map_err(err)?,
         profile_rounds: args.get_or("profile-rounds", false).map_err(err)?,
         fault: build_fault_plan(args)?,
+        sim: build_sim_knobs(args)?,
     })
 }
 
@@ -247,6 +309,22 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         cfg.num_clients,
         cfg.rounds
     );
+    if let Some(knobs) = &opts.sim {
+        println!(
+            "mode: buffered-async sim | arrival {} ms, train {} ms, K={}, deadline {}, \
+             decay {}, concurrency {}",
+            knobs.arrival_mean_ms,
+            knobs.train_mean_ms,
+            knobs.buffer_k,
+            if knobs.flush_deadline_ms > 0.0 {
+                format!("{} ms", knobs.flush_deadline_ms)
+            } else {
+                "none".to_string()
+            },
+            knobs.staleness_decay,
+            knobs.max_concurrency
+        );
+    }
     let report = Scenario::new(cfg).run_with(&opts);
     if let Some(x) = &report.trojan {
         println!(
@@ -449,6 +527,39 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
                     elapsed_ms / 1e3
                 );
             }
+            TraceEvent::ClientArrived {
+                vtime_us,
+                client,
+                version,
+            } => {
+                println!(
+                    "  > t={:.1}ms: client {client} arrived, fetched model v{version}",
+                    *vtime_us as f64 / 1e3
+                );
+            }
+            TraceEvent::ClientUnavailable {
+                vtime_us,
+                client,
+                reason,
+            } => {
+                println!(
+                    "  . t={:.1}ms: client {client} turned away ({reason})",
+                    *vtime_us as f64 / 1e3
+                );
+            }
+            TraceEvent::BufferFlushed {
+                vtime_us,
+                flush,
+                size,
+                mean_staleness,
+                cause,
+            } => {
+                println!(
+                    "  # t={:.1}ms: flush {flush} merged {size} updates \
+                     (mean staleness {mean_staleness:.2}, {cause})",
+                    *vtime_us as f64 / 1e3
+                );
+            }
             TraceEvent::RoundStarted { .. } => {}
         }
     }
@@ -586,6 +697,38 @@ mod tests {
         // Out-of-range probability is rejected before any run starts.
         let bad = Args::parse(["run", "--fault-dropout", "1.5"]).unwrap();
         assert!(build_run_options(&bad).is_err());
+    }
+
+    #[test]
+    fn sim_flags_parse_and_imply_sim_mode() {
+        // Off by default.
+        let defaults = build_run_options(&Args::parse(["run"]).unwrap()).unwrap();
+        assert!(defaults.sim.is_none());
+        // --sim true alone enables the defaults.
+        let opts = build_run_options(&Args::parse(["run", "--sim", "true"]).unwrap()).unwrap();
+        assert_eq!(opts.sim, Some(SimKnobs::default()));
+        // Any knob implies sim mode and overrides its default.
+        let args = Args::parse([
+            "run",
+            "--sim-arrival-ms",
+            "25",
+            "--sim-buffer",
+            "32",
+            "--sim-deadline-ms",
+            "120",
+            "--sim-up-ms",
+            "400",
+            "--sim-down-ms",
+            "100",
+        ])
+        .unwrap();
+        let knobs = build_run_options(&args).unwrap().sim.expect("implied");
+        assert_eq!(knobs.arrival_mean_ms, 25.0);
+        assert_eq!(knobs.buffer_k, 32);
+        assert_eq!(knobs.flush_deadline_ms, 120.0);
+        assert_eq!(knobs.churn_up_ms, 400.0);
+        assert_eq!(knobs.churn_down_ms, 100.0);
+        assert_eq!(knobs.train_mean_ms, SimKnobs::default().train_mean_ms);
     }
 
     #[test]

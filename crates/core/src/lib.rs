@@ -38,5 +38,5 @@ pub mod theory;
 pub mod trojan;
 
 pub use collapois::{CollaPois, CollaPoisConfig};
-pub use scenario::{RunOptions, Scenario, ScenarioConfig, ScenarioReport};
+pub use scenario::{RunOptions, Scenario, ScenarioConfig, ScenarioReport, SimKnobs};
 pub use trojan::TrojanConfig;

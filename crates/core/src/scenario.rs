@@ -30,9 +30,11 @@ use collapois_fl::personalize::{
     Clustered, Ditto, FedDc, MetaFed, NoPersonalization, Personalization,
 };
 use collapois_fl::profile::PhaseProfile;
+use collapois_fl::server::round_records_from_events;
 use collapois_fl::server::{Adversary, FlServer, RoundRecord};
 use collapois_nn::zoo::ModelSpec;
 use collapois_runtime::fault::FaultPlan;
+use collapois_runtime::sim::{ArrivalProcess, ChurnPlan, SimPlan};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -400,6 +402,82 @@ pub struct RunOptions {
     /// updates, checkpoint-write failures). The default plan injects
     /// nothing.
     pub fault: FaultPlan,
+    /// Run the buffered-async discrete-event simulator instead of the
+    /// synchronous round loop (`None` = synchronous). Each buffer flush
+    /// plays a round; the scenario's `rounds` becomes the flush target.
+    /// Checkpointing is disabled in sim mode — the same-seed bitwise
+    /// replay is its resume story.
+    pub sim: Option<SimKnobs>,
+}
+
+/// Discrete-event simulator knobs for a scenario run (the `--sim-*` CLI
+/// flags). These parameterize [`SimPlan`]; the population comes from the
+/// scenario config.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimKnobs {
+    /// Mean virtual inter-arrival gap per client in ms (Poisson).
+    pub arrival_mean_ms: f64,
+    /// Mean virtual training duration in ms.
+    pub train_mean_ms: f64,
+    /// Buffer size `K`: aggregate after this many buffered completions.
+    pub buffer_k: usize,
+    /// Virtual flush deadline in ms (`0` = no deadline: flush only on a
+    /// full buffer).
+    pub flush_deadline_ms: f64,
+    /// FedBuff staleness exponent: weight `(1+s)^-decay`.
+    pub staleness_decay: f64,
+    /// Mean virtual up-time in ms for availability churn (`0` disables
+    /// churn: clients are always available).
+    pub churn_up_ms: f64,
+    /// Mean virtual down-time in ms for availability churn.
+    pub churn_down_ms: f64,
+    /// Max clients training concurrently (bounds live model snapshots).
+    pub max_concurrency: usize,
+}
+
+impl Default for SimKnobs {
+    fn default() -> Self {
+        let d = SimPlan::default();
+        Self {
+            arrival_mean_ms: match d.arrival {
+                ArrivalProcess::Poisson { mean_ms } => mean_ms,
+                ArrivalProcess::Trace(_) => 50.0,
+            },
+            train_mean_ms: d.train_mean_ms,
+            buffer_k: d.buffer_k,
+            flush_deadline_ms: d.flush_deadline_ms,
+            staleness_decay: d.staleness_decay,
+            churn_up_ms: 0.0,
+            churn_down_ms: 0.0,
+            max_concurrency: d.max_concurrency,
+        }
+    }
+}
+
+impl SimKnobs {
+    /// The driver plan for a `num_clients` population.
+    pub fn to_plan(&self, num_clients: usize) -> SimPlan {
+        SimPlan {
+            num_clients,
+            arrival: ArrivalProcess::Poisson {
+                mean_ms: self.arrival_mean_ms,
+            },
+            train_mean_ms: self.train_mean_ms,
+            buffer_k: self.buffer_k,
+            flush_deadline_ms: self.flush_deadline_ms,
+            staleness_decay: self.staleness_decay,
+            churn: if self.churn_up_ms > 0.0 && self.churn_down_ms > 0.0 {
+                Some(ChurnPlan {
+                    mean_up_ms: self.churn_up_ms,
+                    mean_down_ms: self.churn_down_ms,
+                })
+            } else {
+                None
+            },
+            max_concurrency: self.max_concurrency,
+            ..SimPlan::default()
+        }
+    }
 }
 
 impl RunOptions {
@@ -639,31 +717,48 @@ impl Scenario {
         // installed before any resume attempt.
         server.set_fault_plan(opts.fault);
         if let Some(dir) = &opts.checkpoint_dir {
-            server.enable_checkpoints(dir, opts.effective_checkpoint_every());
-            if opts.resume {
-                server
-                    .resume_latest(dir)
-                    .unwrap_or_else(|e| panic!("cannot resume from {dir:?}: {e}"));
+            if opts.sim.is_none() {
+                server.enable_checkpoints(dir, opts.effective_checkpoint_every());
+                if opts.resume {
+                    server
+                        .resume_latest(dir)
+                        .unwrap_or_else(|e| panic!("cannot resume from {dir:?}: {e}"));
+                }
             }
         }
 
         // 6. Round loop with periodic evaluation (starting past any
-        // checkpointed rounds when resuming).
+        // checkpointed rounds when resuming), or the buffered-async
+        // simulator with one final evaluation point.
         let start_round = server.rounds_done();
         let mut records = Vec::with_capacity(cfg.rounds.saturating_sub(start_round));
         let mut round_metrics = Vec::new();
-        for t in start_round..cfg.rounds {
+        if let Some(knobs) = &opts.sim {
+            let plan = knobs.to_plan(cfg.num_clients);
             let adv = adversary.as_deref_mut();
-            records.push(server.run_round(adv));
-            let at_eval = (t + 1) % cfg.eval_every == 0 || t + 1 == cfg.rounds;
-            if at_eval {
-                let metrics = self.evaluate(&mut server, trigger.as_ref(), &compromised);
-                let pop = population(&metrics);
-                round_metrics.push(RoundMetrics {
-                    round: t + 1,
-                    benign_accuracy: pop.benign_ac,
-                    attack_success_rate: pop.attack_sr,
-                });
+            server.run_sim(&plan, cfg.rounds, adv);
+            records = round_records_from_events(server.trace_events());
+            let metrics = self.evaluate(&mut server, trigger.as_ref(), &compromised);
+            let pop = population(&metrics);
+            round_metrics.push(RoundMetrics {
+                round: server.rounds_done(),
+                benign_accuracy: pop.benign_ac,
+                attack_success_rate: pop.attack_sr,
+            });
+        } else {
+            for t in start_round..cfg.rounds {
+                let adv = adversary.as_deref_mut();
+                records.push(server.run_round(adv));
+                let at_eval = (t + 1) % cfg.eval_every == 0 || t + 1 == cfg.rounds;
+                if at_eval {
+                    let metrics = self.evaluate(&mut server, trigger.as_ref(), &compromised);
+                    let pop = population(&metrics);
+                    round_metrics.push(RoundMetrics {
+                        round: t + 1,
+                        benign_accuracy: pop.benign_ac,
+                        attack_success_rate: pop.attack_sr,
+                    });
+                }
             }
         }
 
@@ -983,6 +1078,28 @@ mod tests {
         assert!(rep.benign_ac_std >= 0.0 && rep.attack_sr_std >= 0.0);
         // Distinct seeds: the runs differ.
         assert_ne!(rep.runs[0].final_global, rep.runs[1].final_global);
+    }
+
+    #[test]
+    fn sim_mode_runs_and_is_deterministic() {
+        let mut cfg = tiny(AttackKind::CollaPois, DefenseKind::None, FlAlgo::FedAvg);
+        cfg.rounds = 4; // flush target in sim mode
+        let opts = RunOptions {
+            sim: Some(SimKnobs {
+                arrival_mean_ms: 20.0,
+                train_mean_ms: 30.0,
+                buffer_k: 4,
+                max_concurrency: 8,
+                ..SimKnobs::default()
+            }),
+            ..RunOptions::default()
+        };
+        let a = Scenario::new(cfg.clone()).run_with(&opts);
+        assert_eq!(a.records.len(), 4, "each flush plays a round");
+        assert!(a.final_global.iter().all(|v| v.is_finite()));
+        assert_eq!(a.rounds.len(), 1, "sim mode evaluates once, at the end");
+        let b = Scenario::new(cfg).run_with(&opts);
+        assert_eq!(a.final_global, b.final_global);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 mod crfl;
 mod dp;
 mod fedavg;
+mod fedbuff;
 mod flare;
 mod krum;
 mod median;
@@ -21,6 +22,7 @@ mod user_dp;
 pub use crfl::Crfl;
 pub use dp::DpAggregator;
 pub use fedavg::FedAvg;
+pub use fedbuff::{staleness_weight, FedBuff, DEFAULT_STALENESS_DECAY};
 pub use flare::Flare;
 pub use krum::Krum;
 pub use median::CoordinateMedian;

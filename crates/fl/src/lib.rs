@@ -22,6 +22,9 @@
 //!   clusters and the Eq. 9 cumulative-label cosine.
 //! * [`monitor`] — the round-to-round shift detector (§II-B: MRepl's abrupt
 //!   performance shifts are detectable; CollaPois avoids them).
+//! * [`sim`] — buffered-async (FedBuff) execution on the discrete-event
+//!   simulator: refcounted model-version snapshots and a dataset-free
+//!   synthetic executor for 100k+-virtual-client scale runs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,6 +38,7 @@ pub mod personalize;
 pub mod profile;
 pub mod scratch;
 pub mod server;
+pub mod sim;
 pub mod update;
 
 pub use aggregate::Aggregator;

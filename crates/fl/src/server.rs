@@ -20,13 +20,14 @@
 //! * [`FlServer::snapshot`]/[`FlServer::restore`] round-trip the mutable
 //!   run state through the versioned checkpoint codec for kill/resume.
 
-use crate::aggregate::Aggregator;
+use crate::aggregate::{Aggregator, FedBuff};
 use crate::config::FlConfig;
 use crate::metrics::{self, ClientMetrics};
 use crate::monitor::ShiftDetector;
 use crate::personalize::{LocalOutcome, Personalization};
 use crate::profile::PhaseProfile;
 use crate::scratch::ClientScratch;
+use crate::sim::VersionStore;
 use crate::update::ClientUpdate;
 use collapois_data::federated::FederatedDataset;
 use collapois_data::trigger::Trigger;
@@ -36,6 +37,7 @@ use collapois_runtime::checkpoint::{self, CheckpointError, Snapshot};
 use collapois_runtime::fault::{ClientFault, FaultPlan};
 use collapois_runtime::pool::{WorkerArenas, WorkerPool};
 use collapois_runtime::seed;
+use collapois_runtime::sim::{Completion, SimDriver, SimHandler, SimPlan, SimSummary, Ticks};
 use collapois_runtime::trace::{TraceEvent, TraceLog};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -896,6 +898,326 @@ impl FlServer {
         }
         records
     }
+
+    /// Runs the buffered-async (FedBuff) execution mode on the
+    /// discrete-event simulator, as an alternative to the synchronous
+    /// round loop.
+    ///
+    /// Clients arrive per `plan` (Poisson or trace-driven, filtered by
+    /// availability churn and the concurrency cap), fetch the current
+    /// global version, train against that exact snapshot for a virtual
+    /// duration, and land in a buffer; the buffer flushes into the model
+    /// when it holds `buffer_k` completions or the virtual deadline
+    /// passes, using the staleness-weighted [`FedBuff`] merge (decay from
+    /// `plan.staleness_decay`) and the configured `server_lr`.
+    ///
+    /// Each flush plays the role of a round: it emits
+    /// `RoundStarted`/`RoundCompleted` trace events (participants in
+    /// completion order) around the driver's `buffer_flushed` event and
+    /// advances [`FlServer::rounds_done`], so downstream trace tooling
+    /// works unchanged. Benign training streams are keyed by `(arrival
+    /// index, client)` — a pure function of the virtual schedule — and
+    /// flush work fans out over the worker pool through fixed-shape
+    /// kernels, so two same-seed runs are bitwise identical at any worker
+    /// count. The active [`FaultPlan`] composes: dropout, stragglers
+    /// (extra virtual delay; the flush deadline, not the synchronous round
+    /// deadline, governs shedding) and in-flight corruption all apply per
+    /// arrival. Sim runs do not write checkpoints — the same-seed replay
+    /// *is* the resume story.
+    ///
+    /// Returns the driver's event-level summary; stops after
+    /// `target_flushes` flushes (or earlier if the plan's event source
+    /// drains or its event cap trips).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan is invalid or its population does not match the
+    /// dataset.
+    pub fn run_sim(
+        &mut self,
+        plan: &SimPlan,
+        target_flushes: usize,
+        adversary: Option<&mut (dyn Adversary + '_)>,
+    ) -> SimSummary {
+        assert_eq!(
+            plan.num_clients,
+            self.fed.num_clients(),
+            "sim population must match the federated dataset"
+        );
+        self.ensure_run_started();
+        let compromised = adversary
+            .as_ref()
+            .map(|a| a.compromised().to_vec())
+            .unwrap_or_default();
+        let mut driver = SimDriver::new(plan.clone(), self.cfg.seed, self.fault_plan)
+            .unwrap_or_else(|e| panic!("invalid SimPlan: {e}"));
+        // The driver needs the trace sink while the handler borrows the
+        // server's engine pieces, so the log steps out of `self` for the
+        // duration of the run.
+        let mut trace = std::mem::take(&mut self.trace);
+        let summary = {
+            let mut handler = ServerSimHandler {
+                run_seed: self.cfg.seed,
+                base_round: self.round,
+                cfg: &self.cfg,
+                fed: &self.fed,
+                personalization: &mut self.personalization,
+                global: &mut self.global,
+                template: &self.scratch,
+                workers: &self.workers,
+                arenas: &mut self.arenas,
+                update_pool: &mut self.update_pool,
+                profile: &mut self.profile,
+                adversary,
+                compromised,
+                versions: VersionStore::new(),
+                fedbuff: FedBuff::new(plan.staleness_decay),
+                jobs: Vec::new(),
+                outcomes: Vec::new(),
+                updates: Vec::new(),
+                staleness: Vec::new(),
+                agg: Vec::new(),
+            };
+            driver.run(&mut handler, &mut trace, target_flushes as u64)
+        };
+        self.trace = trace;
+        let flushes = summary.flushes as usize;
+        self.round += flushes;
+        self.rounds_executed += flushes;
+        summary
+    }
+}
+
+/// Flush-time state for [`FlServer::run_sim`]: borrows the server's engine
+/// pieces for one simulation run and implements the driver's
+/// [`SimHandler`]. Each flush mirrors the synchronous round body — benign
+/// fan-out with per-lane arenas, commit in deterministic (completion)
+/// order, staleness-weighted merge, `θ ← θ + λ·Δ` — against the *fetched*
+/// snapshots rather than one shared round global.
+struct ServerSimHandler<'a, 'b> {
+    run_seed: u64,
+    /// Rounds the server had completed before this sim run (flush `i`
+    /// becomes round `base_round + i` in trace events and RNG keys).
+    base_round: usize,
+    cfg: &'a FlConfig,
+    fed: &'a FederatedDataset,
+    personalization: &'a mut Box<dyn Personalization>,
+    global: &'a mut Vec<f32>,
+    template: &'a Sequential,
+    workers: &'a WorkerPool,
+    arenas: &'a mut WorkerArenas<ClientScratch>,
+    update_pool: &'a mut Vec<Vec<f32>>,
+    profile: &'a mut PhaseProfile,
+    adversary: Option<&'a mut (dyn Adversary + 'b)>,
+    compromised: Vec<usize>,
+    versions: VersionStore,
+    fedbuff: FedBuff,
+    /// `(client, arrival_index, fetched_version, delta buffer)` benign
+    /// training jobs, rebuilt per flush (buffers recycled).
+    jobs: Vec<(usize, u64, u64, Vec<f32>)>,
+    outcomes: Vec<(usize, LocalOutcome)>,
+    updates: Vec<ClientUpdate>,
+    staleness: Vec<u64>,
+    agg: Vec<f32>,
+}
+
+impl SimHandler for ServerSimHandler<'_, '_> {
+    fn on_fetch(&mut self, _client: usize, version: u64) {
+        self.versions.retain(version, self.global);
+    }
+
+    fn flush(
+        &mut self,
+        flush_index: u64,
+        _now: Ticks,
+        buffer: &[Completion],
+        trace: &mut TraceLog,
+    ) {
+        let flush_start = Instant::now();
+        let round = self.base_round + flush_index as usize;
+        let round_u64 = round as u64;
+        let run_seed = self.run_seed;
+        let dim = self.global.len();
+
+        let sampled: Vec<usize> = buffer.iter().map(|c| c.client).collect();
+        let compromised_here: Vec<usize> = sampled
+            .iter()
+            .copied()
+            .filter(|c| self.compromised.contains(c))
+            .collect();
+        trace.push(TraceEvent::RoundStarted {
+            round,
+            sampled,
+            compromised: compromised_here,
+        });
+
+        let mut setup_rng = seed::round_setup_rng(run_seed, round_u64);
+        self.personalization
+            .begin_round(self.global, &mut setup_rng);
+
+        // Benign training jobs in completion order, each against the
+        // snapshot its client fetched. The snapshot set is frozen before
+        // the fan-out, so parallel lanes only share immutable borrows and
+        // determinism is independent of scheduling.
+        let fed = self.fed;
+        let cfg = self.cfg;
+        self.jobs.clear();
+        for c in buffer {
+            if self.compromised.contains(&c.client) || fed.client(c.client).train.is_empty() {
+                continue;
+            }
+            self.jobs.push((
+                c.client,
+                c.arrival_index,
+                c.fetched_version,
+                self.update_pool.pop().unwrap_or_default(),
+            ));
+        }
+        let pers: &dyn Personalization = self.personalization.as_ref();
+        let versions = &self.versions;
+        let template = self.template;
+        let train_start = Instant::now();
+        self.workers.map_with_arena_into(
+            self.arenas,
+            &mut self.jobs,
+            &mut self.outcomes,
+            || ClientScratch::for_model(template),
+            move |_, (cid, arrival_index, version, buf), scratch| {
+                scratch.delta = buf;
+                let snapshot = versions.get(version);
+                let mut rng = seed::client_rng(run_seed, arrival_index, cid);
+                let out = pers.local_train(
+                    cid,
+                    snapshot,
+                    &fed.client(cid).train,
+                    cfg,
+                    scratch,
+                    &mut rng,
+                );
+                (cid, out)
+            },
+        );
+        self.profile.train_ms += train_start.elapsed().as_secs_f64() * 1e3;
+
+        // Assemble updates in completion order; commits land in the same
+        // order, independent of worker scheduling.
+        let commit_start = Instant::now();
+        self.updates.clear();
+        self.staleness.clear();
+        let mut benign_norms = Vec::new();
+        let mut malicious_norms = Vec::new();
+        let mut outcomes = std::mem::take(&mut self.outcomes);
+        let mut outcome_iter = outcomes.drain(..);
+        for c in buffer {
+            let cid = c.client;
+            let delta = if self.compromised.contains(&cid) {
+                let adv = self
+                    .adversary
+                    .as_mut()
+                    .expect("compromised implies adversary");
+                let snapshot = self.versions.get(c.fetched_version);
+                let mut rng = seed::adversary_rng(run_seed, c.arrival_index, cid);
+                Some((adv.craft_update(cid, snapshot, round, &mut rng), true, None))
+            } else if !fed.client(cid).train.is_empty() {
+                let (ocid, out) = outcome_iter.next().expect("one outcome per benign job");
+                debug_assert_eq!(ocid, cid, "outcomes must follow job order");
+                Some((out.delta, false, Some(out.commit)))
+            } else {
+                // A benign client without training data contributes
+                // nothing (it still held a snapshot reference).
+                None
+            };
+            let Some((mut delta, malicious, commit)) = delta else {
+                continue;
+            };
+            assert_eq!(
+                delta.len(),
+                dim,
+                "client {cid} produced a wrong-sized update"
+            );
+            if c.corrupt {
+                poison_delta(&mut delta);
+            }
+            let update = ClientUpdate::new(cid, delta, fed.client(cid).train.len());
+            let norm = update.norm();
+            if norm.is_finite() {
+                if malicious {
+                    malicious_norms.push(norm);
+                } else {
+                    // Client-local state is committed only for accepted
+                    // updates, exactly as in the synchronous loop.
+                    self.personalization
+                        .commit(cid, commit.expect("benign outcome has a commit"));
+                    benign_norms.push(norm);
+                }
+                self.staleness.push(c.staleness);
+                self.updates.push(update);
+            } else {
+                self.profile.rejected_updates += 1;
+                let reason = if c.corrupt {
+                    "injected_corruption"
+                } else {
+                    "non_finite"
+                };
+                trace.push(TraceEvent::UpdateRejected {
+                    round,
+                    client: cid,
+                    reason: reason.to_string(),
+                });
+                self.update_pool.push(update.delta);
+            }
+        }
+        drop(outcome_iter);
+        self.outcomes = outcomes;
+        self.profile.commit_ms += commit_start.elapsed().as_secs_f64() * 1e3;
+
+        let agg_start = Instant::now();
+        self.agg.resize(dim, 0.0);
+        let agg_delta_norm = if self.updates.is_empty() {
+            // Every buffered update was rejected: the flush applies
+            // nothing (mirrors the synchronous degradation policy).
+            0.0
+        } else {
+            self.fedbuff
+                .merge_pooled(&self.updates, &self.staleness, &mut self.agg, self.workers);
+            let lr = self.cfg.server_lr as f32;
+            let mut agg_sq = 0.0f64;
+            for (g, &d) in self.global.iter_mut().zip(&self.agg) {
+                let step = lr * d;
+                agg_sq += f64::from(step) * f64::from(step);
+                *g += step;
+            }
+            agg_sq.sqrt()
+        };
+        self.profile.aggregate_ms += agg_start.elapsed().as_secs_f64() * 1e3;
+
+        if let Some(adv) = self.adversary.as_mut() {
+            adv.observe_global(self.global, round);
+        }
+
+        trace.push(TraceEvent::RoundCompleted {
+            round,
+            aggregator: self.fedbuff.name().to_string(),
+            num_malicious: malicious_norms.len(),
+            benign_norms,
+            malicious_norms,
+            agg_delta_norm,
+            elapsed_ms: flush_start.elapsed().as_secs_f64() * 1e3,
+        });
+
+        // Reclaim delta buffers and snapshot references: every buffered
+        // completion fetched exactly once.
+        for u in self.updates.drain(..) {
+            self.update_pool.push(u.delta);
+        }
+        for c in buffer {
+            self.versions.release(c.fetched_version);
+        }
+        let (wait_ns, dispatch_ns) = self.workers.take_sync_ns();
+        self.profile.barrier_ms += wait_ns as f64 * 1e-6;
+        self.profile.dispatch_ms += dispatch_ns as f64 * 1e-6;
+        self.profile.rounds += 1;
+    }
 }
 
 #[cfg(test)]
@@ -1294,5 +1616,187 @@ mod tests {
             faulted.restore(&snap),
             Err(CheckpointError::ConfigMismatch { .. })
         ));
+    }
+
+    use collapois_runtime::sim::ArrivalProcess;
+
+    /// A small buffered-async plan matched to the 10-client quick fixture.
+    fn quick_sim_plan() -> SimPlan {
+        SimPlan {
+            num_clients: 10,
+            arrival: ArrivalProcess::Poisson { mean_ms: 20.0 },
+            train_mean_ms: 30.0,
+            buffer_k: 4,
+            max_concurrency: 8,
+            ..SimPlan::default()
+        }
+    }
+
+    /// Copies `events` with wall-clock and host-shape fields zeroed,
+    /// leaving only the deterministic payload (virtual time is part of
+    /// that payload).
+    fn normalized(events: &[TraceEvent]) -> Vec<TraceEvent> {
+        events
+            .iter()
+            .map(|e| match e {
+                TraceEvent::RunStarted {
+                    run_seed,
+                    config_hash,
+                    num_clients,
+                    rounds,
+                    aggregator,
+                    resumed_from,
+                    ..
+                } => TraceEvent::RunStarted {
+                    run_seed: *run_seed,
+                    config_hash: *config_hash,
+                    num_clients: *num_clients,
+                    rounds: *rounds,
+                    workers: 0,
+                    aggregator: aggregator.clone(),
+                    resumed_from: *resumed_from,
+                },
+                TraceEvent::RoundCompleted {
+                    round,
+                    aggregator,
+                    num_malicious,
+                    benign_norms,
+                    malicious_norms,
+                    agg_delta_norm,
+                    ..
+                } => TraceEvent::RoundCompleted {
+                    round: *round,
+                    aggregator: aggregator.clone(),
+                    num_malicious: *num_malicious,
+                    benign_norms: benign_norms.clone(),
+                    malicious_norms: malicious_norms.clone(),
+                    agg_delta_norm: *agg_delta_norm,
+                    elapsed_ms: 0.0,
+                },
+                other => other.clone(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sim_run_is_worker_count_invariant() {
+        let mut reference: Option<(Vec<u32>, Vec<TraceEvent>)> = None;
+        for workers in [1usize, 2, 4, 8] {
+            let mut server = quick_server_with(Box::new(Ditto::new(0.1)));
+            server.set_workers(workers);
+            let summary = server.run_sim(&quick_sim_plan(), 6, None);
+            assert!(summary.reached_target, "plan must reach 6 flushes");
+            assert_eq!(summary.flushes, 6);
+            let bits: Vec<u32> = server.global().iter().map(|v| v.to_bits()).collect();
+            let events = normalized(server.trace_events());
+            match &reference {
+                None => reference = Some((bits, events)),
+                Some((rb, re)) => {
+                    assert_eq!(rb, &bits, "global diverged at workers={workers}");
+                    assert_eq!(re, &events, "trace diverged at workers={workers}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sim_flushes_advance_rounds_and_emit_round_events() {
+        let mut server = quick_server();
+        let summary = server.run_sim(&quick_sim_plan(), 5, None);
+        assert_eq!(summary.flushes, 5);
+        assert_eq!(server.rounds_done(), 5);
+        assert!(summary.arrivals >= summary.completions);
+        let events = server.trace_events();
+        let flushed: Vec<(u64, usize)> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::BufferFlushed { flush, size, .. } => Some((*flush, *size)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(flushed.len(), 5);
+        assert!(flushed.iter().all(|&(_, size)| size > 0));
+        // Each flush plays a round: the rebuilt records line up 1:1.
+        let rebuilt = round_records_from_events(events);
+        assert_eq!(rebuilt.len(), 5);
+        for (i, r) in rebuilt.iter().enumerate() {
+            assert_eq!(r.round, i);
+            assert!(!r.sampled.is_empty());
+        }
+        // Mixing modes keeps the round counter coherent.
+        let rec = server.run_round(None);
+        assert_eq!(rec.round, 5);
+    }
+
+    #[test]
+    fn sim_adversary_updates_are_merged() {
+        let mut adv = ConstAdversary {
+            ids: vec![0, 1, 2],
+            value: 0.25,
+        };
+        let mut server = quick_server();
+        let summary = server.run_sim(&quick_sim_plan(), 6, Some(&mut adv));
+        assert!(summary.reached_target);
+        let rebuilt = round_records_from_events(server.trace_events());
+        let malicious: usize = rebuilt.iter().map(|r| r.num_malicious).sum();
+        assert!(
+            malicious > 0,
+            "compromised clients must arrive in 6 flushes"
+        );
+        for r in &rebuilt {
+            assert_eq!(
+                r.num_malicious,
+                r.sampled.iter().filter(|c| adv.ids.contains(c)).count()
+            );
+        }
+    }
+
+    #[test]
+    fn sim_faults_compose_with_buffered_async() {
+        let plan = quick_sim_plan();
+        let fault = FaultPlan {
+            corrupt: 1.0,
+            ..FaultPlan::none()
+        };
+        let mut server = quick_server();
+        server.set_fault_plan(fault);
+        let g0 = server.global().to_vec();
+        let summary = server.run_sim(&plan, 3, None);
+        assert!(summary.reached_target);
+        // Every buffered update was poisoned in flight: all rejected, the
+        // model never moves.
+        assert_eq!(server.global(), g0.as_slice());
+        assert_eq!(
+            server.take_profile().rejected_updates as u64,
+            summary.completions
+        );
+    }
+
+    #[test]
+    fn zero_round_deadline_never_sheds_stragglers() {
+        // Regression for the synchronous-round deadline semantics: a
+        // straggler-heavy plan with `deadline_ms = 0` must mean "no
+        // deadline" — every straggler is waited for, none is shed.
+        let mut server = quick_server();
+        server.set_fault_plan(FaultPlan {
+            straggler: 1.0,
+            straggler_mean_ms: 10_000.0,
+            deadline_ms: 0.0,
+            ..FaultPlan::none()
+        });
+        let records = server.run_rounds(4, None);
+        for r in &records {
+            assert!(
+                r.dropped.is_empty(),
+                "round {}: no deadline ⇒ no shed stragglers",
+                r.round
+            );
+            assert_eq!(r.benign_norms.len(), r.sampled.len());
+        }
+        assert!(!server
+            .trace_events()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::ClientDropped { .. })));
+        assert_eq!(server.take_profile().shed_stragglers, 0);
     }
 }

@@ -110,6 +110,82 @@ fn mean_leaf(updates: &[ClientUpdate], c: usize, row: &mut [f64]) {
     }
 }
 
+/// Weighted element-wise mean `Σ wᵢ·Δθᵢ / Σ wᵢ` through the same
+/// fixed-shape reduction tree as [`mean_delta_pooled_into`] (staleness
+/// weighting for buffered-async FedBuff merges). Leaves accumulate
+/// `wᵢ·Δθᵢ` in update order and the root is scaled by `1/Σ wᵢ`, so the
+/// result is bitwise identical at every worker count. With all weights
+/// equal to 1 this reduces exactly to the uniform mean. Writes zeros when
+/// `updates` is empty or the weight sum is zero.
+///
+/// # Panics
+///
+/// Panics if `weights.len() != updates.len()` or any update's dimension
+/// differs from `out.len()`.
+pub fn weighted_mean_delta_pooled_into(
+    updates: &[ClientUpdate],
+    weights: &[f64],
+    out: &mut [f32],
+    acc: &mut Vec<f64>,
+    pool: &WorkerPool,
+) {
+    assert_eq!(
+        weights.len(),
+        updates.len(),
+        "one weight per update required"
+    );
+    let wsum: f64 = weights.iter().sum();
+    let denom = if wsum > 0.0 { wsum } else { 1.0 };
+    tree_reduce_scaled_pooled_into(updates.len(), out, acc, pool, denom, |c, row| {
+        weighted_leaf(updates, weights, c, row);
+    });
+}
+
+/// Serial [`weighted_mean_delta_pooled_into`] (same tree, same bits).
+///
+/// # Panics
+///
+/// Panics if `weights.len() != updates.len()` or any update's dimension
+/// differs from `out.len()`.
+pub fn weighted_mean_delta_into(
+    updates: &[ClientUpdate],
+    weights: &[f64],
+    out: &mut [f32],
+    acc: &mut Vec<f64>,
+) {
+    assert_eq!(
+        weights.len(),
+        updates.len(),
+        "one weight per update required"
+    );
+    let wsum: f64 = weights.iter().sum();
+    let denom = if wsum > 0.0 { wsum } else { 1.0 };
+    let dim = out.len();
+    if dim == 0 {
+        return;
+    }
+    let nchunks = updates.len().div_ceil(MEAN_CHUNK).max(1);
+    acc.clear();
+    acc.resize(nchunks * dim, 0.0);
+    for (c, row) in acc.chunks_mut(dim).enumerate() {
+        weighted_leaf(updates, weights, c, row);
+    }
+    merge_and_scale(acc, nchunks, dim, denom, out);
+}
+
+/// Accumulates leaf chunk `c`'s weighted updates into `row`.
+fn weighted_leaf(updates: &[ClientUpdate], weights: &[f64], c: usize, row: &mut [f64]) {
+    let dim = row.len();
+    let lo = c * MEAN_CHUNK;
+    let hi = (lo + MEAN_CHUNK).min(updates.len());
+    for (u, &w) in updates[lo..hi].iter().zip(&weights[lo..hi]) {
+        assert_eq!(u.delta.len(), dim, "update dimension mismatch");
+        for (r, &d) in row.iter_mut().zip(&u.delta) {
+            *r += w * d as f64;
+        }
+    }
+}
+
 /// Serial fixed-shape tree reduction: `leaf(c, row)` accumulates leaf chunk
 /// `c` (update indices `c·MEAN_CHUNK ..`) into its borrowed `dim`-length
 /// partial-accumulator row; the rows are then merged by a deterministic
@@ -132,7 +208,7 @@ where
     for (c, row) in acc.chunks_mut(dim).enumerate() {
         leaf(c, row);
     }
-    merge_and_scale(acc, nchunks, dim, n, out);
+    merge_and_scale(acc, nchunks, dim, n.max(1) as f64, out);
 }
 
 /// [`tree_reduce_into`] with the leaf chunks fanned out over `pool`.
@@ -145,6 +221,22 @@ pub(crate) fn tree_reduce_pooled_into<L>(
 ) where
     L: Fn(usize, &mut [f64]) + Sync,
 {
+    tree_reduce_scaled_pooled_into(n, out, acc, pool, n.max(1) as f64, leaf);
+}
+
+/// [`tree_reduce_pooled_into`] with an arbitrary positive denominator:
+/// `out = root / denom`. The uniform mean is the `denom = max(n, 1)`
+/// special case; weighted means pass `Σ wᵢ`.
+pub(crate) fn tree_reduce_scaled_pooled_into<L>(
+    n: usize,
+    out: &mut [f32],
+    acc: &mut Vec<f64>,
+    pool: &WorkerPool,
+    denom: f64,
+    leaf: L,
+) where
+    L: Fn(usize, &mut [f64]) + Sync,
+{
     let dim = out.len();
     if dim == 0 {
         return;
@@ -153,14 +245,14 @@ pub(crate) fn tree_reduce_pooled_into<L>(
     acc.clear();
     acc.resize(nchunks * dim, 0.0);
     pool.for_chunks_mut(acc, dim, |c, row| leaf(c, row));
-    merge_and_scale(acc, nchunks, dim, n, out);
+    merge_and_scale(acc, nchunks, dim, denom, out);
 }
 
 /// Pairwise stride-doubling merge of the `nchunks` partial rows in `acc`
-/// (row 0 absorbs the root), then `out = (root / max(n, 1)) as f32`. Runs
+/// (row 0 absorbs the root), then `out = (root / denom) as f32`. Runs
 /// on the dispatching thread in both the serial and pooled paths, so the
 /// merge order is one fixed tree.
-fn merge_and_scale(acc: &mut [f64], nchunks: usize, dim: usize, n: usize, out: &mut [f32]) {
+fn merge_and_scale(acc: &mut [f64], nchunks: usize, dim: usize, denom: f64, out: &mut [f32]) {
     let mut stride = 1usize;
     while stride < nchunks {
         let mut base = 0usize;
@@ -175,9 +267,8 @@ fn merge_and_scale(acc: &mut [f64], nchunks: usize, dim: usize, n: usize, out: &
         }
         stride *= 2;
     }
-    let nf = n.max(1) as f64;
     for (o, &a) in out.iter_mut().zip(acc.iter()) {
-        *o = (a / nf) as f32;
+        *o = (a / denom) as f32;
     }
 }
 
@@ -252,6 +343,78 @@ mod tests {
         for &g in &got {
             assert!((g as f64 - naive).abs() < 1e-6, "{g} vs {naive}");
         }
+    }
+
+    #[test]
+    fn weighted_mean_with_unit_weights_matches_uniform_mean_bitwise() {
+        let dim = 17;
+        let updates: Vec<ClientUpdate> = (0..23)
+            .map(|i| {
+                let delta: Vec<f32> = (0..dim)
+                    .map(|j| ((i * 13 + j * 5) as f32).cos() * 2.0)
+                    .collect();
+                ClientUpdate::new(i, delta, 1)
+            })
+            .collect();
+        let weights = vec![1.0f64; updates.len()];
+        let mut uniform = vec![0.0f32; dim];
+        let mut acc = Vec::new();
+        mean_delta_into(&updates, &mut uniform, &mut acc);
+        let mut weighted = vec![0.0f32; dim];
+        let mut acc2 = Vec::new();
+        weighted_mean_delta_into(&updates, &weights, &mut weighted, &mut acc2);
+        let a: Vec<u32> = uniform.iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u32> = weighted.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(a, b, "unit weights must degenerate to the uniform mean");
+    }
+
+    #[test]
+    fn pooled_weighted_mean_is_bitwise_identical_to_serial() {
+        let dim = 11;
+        let updates: Vec<ClientUpdate> = (0..37)
+            .map(|i| {
+                let delta: Vec<f32> = (0..dim).map(|j| ((i * 7 + j * 3) as f32).sin()).collect();
+                ClientUpdate::new(i, delta, 1)
+            })
+            .collect();
+        let weights: Vec<f64> = (0..updates.len())
+            .map(|i| 1.0 / (1.0 + i as f64).sqrt())
+            .collect();
+        let mut serial = vec![0.0f32; dim];
+        let mut acc = Vec::new();
+        weighted_mean_delta_into(&updates, &weights, &mut serial, &mut acc);
+        for workers in [1, 2, 4, 8] {
+            let pool = WorkerPool::new(workers);
+            let mut pooled = vec![0.0f32; dim];
+            let mut acc2 = Vec::new();
+            weighted_mean_delta_pooled_into(&updates, &weights, &mut pooled, &mut acc2, &pool);
+            let a: Vec<u32> = serial.iter().map(|v| v.to_bits()).collect();
+            let b: Vec<u32> = pooled.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(a, b, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn weighted_mean_weights_the_updates() {
+        let u1 = ClientUpdate::new(0, vec![1.0, 0.0], 1);
+        let u2 = ClientUpdate::new(1, vec![0.0, 1.0], 1);
+        let mut out = vec![0.0f32; 2];
+        let mut acc = Vec::new();
+        weighted_mean_delta_into(&[u1, u2], &[3.0, 1.0], &mut out, &mut acc);
+        assert!((out[0] - 0.75).abs() < 1e-7);
+        assert!((out[1] - 0.25).abs() < 1e-7);
+    }
+
+    #[test]
+    fn weighted_mean_of_empty_or_zero_weight_is_zero() {
+        let mut out = vec![5.0f32; 2];
+        let mut acc = Vec::new();
+        weighted_mean_delta_into(&[], &[], &mut out, &mut acc);
+        assert_eq!(out, vec![0.0, 0.0]);
+        let u = ClientUpdate::new(0, vec![1.0, 2.0], 1);
+        let mut out2 = vec![5.0f32; 2];
+        weighted_mean_delta_into(&[u], &[0.0], &mut out2, &mut acc);
+        assert_eq!(out2, vec![0.0, 0.0]);
     }
 
     #[test]

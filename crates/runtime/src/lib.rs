@@ -15,9 +15,15 @@
 //! - [`fault`]: deterministic fault injection (dropout, stragglers, update
 //!   corruption, checkpoint-write failures) whose schedules derive from the
 //!   same seed machinery and are therefore worker-count-invariant.
+//! - [`sim`]: a deterministic discrete-event simulator — virtual clock,
+//!   priority event queue with `(time, seq)` tie-breaking, Poisson or
+//!   trace-driven arrivals, availability churn — where each virtual client
+//!   is an event, not a thread, enabling million-client schedules with
+//!   bitwise-stable replays.
 
 pub mod checkpoint;
 pub mod fault;
 pub mod pool;
 pub mod seed;
+pub mod sim;
 pub mod trace;

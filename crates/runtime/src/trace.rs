@@ -125,6 +125,39 @@ pub enum TraceEvent {
         /// Total wall-clock time, milliseconds.
         elapsed_ms: f64,
     },
+    /// Sim mode: a virtual client fetched the global model and started
+    /// training.
+    ClientArrived {
+        /// Virtual time, integer microseconds (bitwise replay-stable).
+        vtime_us: u64,
+        /// Virtual client id.
+        client: usize,
+        /// Global model version the client fetched.
+        version: u64,
+    },
+    /// Sim mode: an arrival was turned away without training.
+    ClientUnavailable {
+        /// Virtual time, integer microseconds.
+        vtime_us: u64,
+        /// Virtual client id.
+        client: usize,
+        /// `"offline"` (churn), `"busy"` (still training) or
+        /// `"capacity"` (concurrency cap).
+        reason: String,
+    },
+    /// Sim mode: the buffered-async aggregator merged its buffer.
+    BufferFlushed {
+        /// Virtual time, integer microseconds.
+        vtime_us: u64,
+        /// 0-based flush index (the sim analogue of a round).
+        flush: u64,
+        /// Completions merged.
+        size: usize,
+        /// Mean staleness (flushes elapsed since fetch) over the buffer.
+        mean_staleness: f64,
+        /// `"buffer_full"` (K reached) or `"deadline"`.
+        cause: String,
+    },
 }
 
 impl TraceEvent {
@@ -140,6 +173,9 @@ impl TraceEvent {
             Self::UpdateRejected { .. } => "update_rejected",
             Self::CheckpointWriteFailed { .. } => "checkpoint_write_failed",
             Self::RunCompleted { .. } => "run_completed",
+            Self::ClientArrived { .. } => "client_arrived",
+            Self::ClientUnavailable { .. } => "client_unavailable",
+            Self::BufferFlushed { .. } => "buffer_flushed",
         }
     }
 
@@ -261,6 +297,37 @@ impl TraceEvent {
                 push_usize_field(&mut s, "rounds_executed", *rounds_executed);
                 push_num_field(&mut s, "elapsed_ms", *elapsed_ms);
             }
+            Self::ClientArrived {
+                vtime_us,
+                client,
+                version,
+            } => {
+                push_u64_field(&mut s, "vtime_us", *vtime_us);
+                push_usize_field(&mut s, "client", *client);
+                push_u64_field(&mut s, "version", *version);
+            }
+            Self::ClientUnavailable {
+                vtime_us,
+                client,
+                reason,
+            } => {
+                push_u64_field(&mut s, "vtime_us", *vtime_us);
+                push_usize_field(&mut s, "client", *client);
+                push_str_field(&mut s, "reason", reason);
+            }
+            Self::BufferFlushed {
+                vtime_us,
+                flush,
+                size,
+                mean_staleness,
+                cause,
+            } => {
+                push_u64_field(&mut s, "vtime_us", *vtime_us);
+                push_u64_field(&mut s, "flush", *flush);
+                push_usize_field(&mut s, "size", *size);
+                push_num_field(&mut s, "mean_staleness", *mean_staleness);
+                push_str_field(&mut s, "cause", cause);
+            }
         }
         s.pop(); // trailing comma
         s.push('}');
@@ -336,6 +403,23 @@ impl TraceEvent {
                 rounds_executed: get_usize(obj, "rounds_executed")?,
                 elapsed_ms: get_f64(obj, "elapsed_ms")?,
             }),
+            "client_arrived" => Ok(Self::ClientArrived {
+                vtime_us: get_u64(obj, "vtime_us")?,
+                client: get_usize(obj, "client")?,
+                version: get_u64(obj, "version")?,
+            }),
+            "client_unavailable" => Ok(Self::ClientUnavailable {
+                vtime_us: get_u64(obj, "vtime_us")?,
+                client: get_usize(obj, "client")?,
+                reason: get_str(obj, "reason")?.to_string(),
+            }),
+            "buffer_flushed" => Ok(Self::BufferFlushed {
+                vtime_us: get_u64(obj, "vtime_us")?,
+                flush: get_u64(obj, "flush")?,
+                size: get_usize(obj, "size")?,
+                mean_staleness: get_f64(obj, "mean_staleness")?,
+                cause: get_str(obj, "cause")?.to_string(),
+            }),
             other => Err(err(&format!("unknown event kind {other:?}"))),
         }
     }
@@ -346,10 +430,41 @@ impl TraceEvent {
 /// Events are always retained in memory (so round summaries can be rebuilt
 /// from the trace without re-reading the file); when a sink path is set,
 /// each event is additionally appended to the file as it is pushed.
+///
+/// The exception is [`TraceLog::hashing`] mode, built for million-event
+/// simulation runs: instead of retaining events it folds each one's
+/// *normalized* JSON line into a running FNV-1a hash, so a whole event
+/// sequence can be pinned against a golden fixture in O(1) memory.
 #[derive(Debug, Default)]
 pub struct TraceLog {
     events: Vec<TraceEvent>,
     writer: Option<BufWriter<fs::File>>,
+    hasher: Option<EventHasher>,
+}
+
+/// Running FNV-1a over normalized event JSON lines (one `\n` terminator
+/// per line, matching a hash over the equivalent JSONL file).
+#[derive(Debug, Clone, Copy)]
+struct EventHasher {
+    state: u64,
+    count: u64,
+}
+
+impl EventHasher {
+    fn new() -> Self {
+        Self {
+            state: 0xcbf2_9ce4_8422_2325,
+            count: 0,
+        }
+    }
+
+    fn fold(&mut self, line: &str) {
+        for b in line.as_bytes().iter().chain(std::iter::once(&b'\n')) {
+            self.state ^= *b as u64;
+            self.state = self.state.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.count += 1;
+    }
 }
 
 impl TraceLog {
@@ -368,11 +483,30 @@ impl TraceLog {
         Ok(Self {
             events: Vec::new(),
             writer: Some(BufWriter::new(fs::File::create(path)?)),
+            hasher: None,
         })
+    }
+
+    /// A hash-only trace: events are normalized (wall-clock fields
+    /// zeroed), serialized, folded into a running FNV-1a and then
+    /// discarded. [`TraceLog::events`] stays empty; read the digest with
+    /// [`TraceLog::event_hash`]. This is the constructor for
+    /// million-event simulations, where retaining the trace would defeat
+    /// the bounded-memory guarantee.
+    pub fn hashing() -> Self {
+        Self {
+            events: Vec::new(),
+            writer: None,
+            hasher: Some(EventHasher::new()),
+        }
     }
 
     /// Appends an event (and writes it through to the file sink, if any).
     pub fn push(&mut self, event: TraceEvent) {
+        if let Some(h) = &mut self.hasher {
+            h.fold(&event.normalized().to_json());
+            return;
+        }
         if let Some(w) = &mut self.writer {
             // Trace output is advisory; a full disk should not kill the
             // run, so sink errors drop the mirror and keep the memory log.
@@ -384,9 +518,15 @@ impl TraceLog {
         self.events.push(event);
     }
 
-    /// All events pushed so far.
+    /// All events pushed so far (always empty in hashing mode).
     pub fn events(&self) -> &[TraceEvent] {
         &self.events
+    }
+
+    /// `(fnv1a hash, event count)` of the normalized event sequence.
+    /// `None` unless this log was built with [`TraceLog::hashing`].
+    pub fn event_hash(&self) -> Option<(u64, u64)> {
+        self.hasher.map(|h| (h.state, h.count))
     }
 
     /// Flushes the file sink (no-op for memory-only traces).
@@ -395,6 +535,17 @@ impl TraceLog {
             let _ = w.flush();
         }
     }
+}
+
+/// FNV-1a of an event sequence exactly as [`TraceLog::hashing`] computes
+/// it — normalize, serialize, fold with a `\n` terminator per line — so
+/// retained traces and hash-only traces can be cross-checked.
+pub fn hash_events(events: &[TraceEvent]) -> (u64, u64) {
+    let mut h = EventHasher::new();
+    for e in events {
+        h.fold(&e.normalized().to_json());
+    }
+    (h.state, h.count)
 }
 
 impl Drop for TraceLog {
@@ -834,6 +985,23 @@ impl Parser<'_> {
 mod tests {
     use super::*;
 
+    #[test]
+    fn hashing_log_matches_hash_of_retained_events() {
+        let events = sample_events();
+        let mut retained = TraceLog::in_memory();
+        let mut hashed = TraceLog::hashing();
+        for e in &events {
+            retained.push(e.clone());
+            hashed.push(e.clone());
+        }
+        assert!(hashed.events().is_empty(), "hashing mode retains nothing");
+        assert_eq!(hashed.event_hash(), Some(hash_events(retained.events())));
+        assert_eq!(retained.event_hash(), None);
+        let (h, n) = hashed.event_hash().unwrap();
+        assert_eq!(n, events.len() as u64);
+        assert_ne!(h, EventHasher::new().state, "events must perturb the hash");
+    }
+
     fn sample_events() -> Vec<TraceEvent> {
         vec![
             TraceEvent::RunStarted {
@@ -897,6 +1065,23 @@ mod tests {
                 attempt: 3,
                 error: "disk on fire".into(),
                 gave_up: true,
+            },
+            TraceEvent::ClientArrived {
+                vtime_us: 1_250_500,
+                client: 7,
+                version: 3,
+            },
+            TraceEvent::ClientUnavailable {
+                vtime_us: 1_251_000,
+                client: 8,
+                reason: "capacity".into(),
+            },
+            TraceEvent::BufferFlushed {
+                vtime_us: 2_000_750,
+                flush: 4,
+                size: 16,
+                mean_staleness: 1.5,
+                cause: "buffer_full".into(),
             },
             TraceEvent::RunCompleted {
                 rounds_executed: 5,
