@@ -3,11 +3,13 @@
 
 use std::collections::BTreeMap;
 
-/// Parsed command line: a subcommand plus `--key value` options.
+/// Parsed command line: a subcommand, positional operands, and
+/// `--key value` options.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Args {
     /// The subcommand (first non-flag token).
     pub command: Option<String>,
+    positionals: Vec<String>,
     options: BTreeMap<String, String>,
 }
 
@@ -48,12 +50,13 @@ impl std::fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 impl Args {
-    /// Parses `tokens` (without the program name).
+    /// Parses `tokens` (without the program name). Non-flag tokens after
+    /// the subcommand are collected as positionals; commands that take
+    /// none reject them via [`expect_no_positionals`](Self::expect_no_positionals).
     ///
     /// # Errors
     ///
-    /// Returns [`ArgError`] on dangling flags or stray positional arguments
-    /// after the subcommand.
+    /// Returns [`ArgError`] on dangling flags.
     pub fn parse<I, S>(tokens: I) -> Result<Self, ArgError>
     where
         I: IntoIterator<Item = S>,
@@ -72,10 +75,39 @@ impl Args {
             } else if args.command.is_none() {
                 args.command = Some(tok.to_string());
             } else {
-                return Err(ArgError::UnexpectedToken(tok.to_string()));
+                args.positionals.push(tok.to_string());
             }
         }
         Ok(args)
+    }
+
+    /// The `i`-th positional operand after the subcommand.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positionals.get(i).map(String::as_str)
+    }
+
+    /// Errors on the first positional operand, for commands that take none.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgError::UnexpectedToken`] naming the stray operand.
+    pub fn expect_no_positionals(&self) -> Result<(), ArgError> {
+        match self.positionals.first() {
+            None => Ok(()),
+            Some(p) => Err(ArgError::UnexpectedToken(p.clone())),
+        }
+    }
+
+    /// Errors on positionals beyond the first `n`.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgError::UnexpectedToken`] naming the first excess operand.
+    pub fn expect_at_most_positionals(&self, n: usize) -> Result<(), ArgError> {
+        match self.positionals.get(n) {
+            None => Ok(()),
+            Some(p) => Err(ArgError::UnexpectedToken(p.clone())),
+        }
     }
 
     /// Raw string option.
@@ -130,8 +162,19 @@ mod tests {
     }
 
     #[test]
-    fn rejects_stray_positional() {
-        let e = Args::parse(["run", "extra"]).unwrap_err();
+    fn collects_positionals_and_guards_commands_that_take_none() {
+        let a = Args::parse(["grid", "scenarios/smoke.toml", "--workers", "2"]).unwrap();
+        assert_eq!(a.positional(0), Some("scenarios/smoke.toml"));
+        assert_eq!(a.positional(1), None);
+        assert!(a.expect_at_most_positionals(1).is_ok());
+        assert!(matches!(
+            a.expect_no_positionals().unwrap_err(),
+            ArgError::UnexpectedToken(_)
+        ));
+        let e = Args::parse(["run", "extra"])
+            .unwrap()
+            .expect_no_positionals()
+            .unwrap_err();
         assert!(matches!(e, ArgError::UnexpectedToken(_)));
     }
 

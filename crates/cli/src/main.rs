@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! collapois run   [--dataset image|text] [--alpha A] [--frac F]
-//!                 [--attack collapois|dpois|mrepl|dba|none]
+//!                 [--attack collapois|dpois|mrepl|dba|label-flip|none]
 //!                 [--defense none|dp|norm-bound|krum|rlr|median|trimmed-mean|
 //!                            signsgd|flare|crfl|stat-filter|user-dp]
 //!                 [--algo fedavg|feddc|metafed|ditto|clustered]
@@ -14,6 +14,8 @@
 //!                 [--sim-buffer K] [--sim-deadline-ms D] [--sim-decay P]
 //!                 [--sim-up-ms U] [--sim-down-ms D] [--sim-concurrency C]
 //! collapois sweep [--attack ...] [--defense ...] [--algo ...] — alpha sweep
+//! collapois grid  SCENARIOS.toml [--out REPORT.jsonl] [--workers W]
+//!                 [--fresh true] [--limit N] [--list true] — scenario matrix
 //! collapois bound [--a 0.9] [--b 1.0] [--clients N] — Theorem 1 table
 //! collapois trace --file RUN.jsonl — inspect a structured run trace
 //! collapois help
@@ -28,6 +30,8 @@ use collapois_core::scenario::{
 };
 use collapois_core::theory::theorem1_bound;
 use collapois_fl::server::round_records_from_events;
+use collapois_grid::runner::{run_grid, CellStatus, GridRunOptions};
+use collapois_grid::schema::GridSpec;
 use collapois_runtime::fault::FaultPlan;
 use collapois_runtime::trace::{read_trace, TraceEvent};
 use std::path::{Path, PathBuf};
@@ -46,9 +50,15 @@ fn main() {
 
 fn run(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(argv.iter().map(String::as_str)).map_err(|e| e.to_string())?;
+    // `grid` takes the scenario file as a positional; every other command
+    // takes none.
+    if args.command.as_deref() != Some("grid") {
+        args.expect_no_positionals().map_err(|e| e.to_string())?;
+    }
     match args.command.as_deref() {
         Some("run") => cmd_run(&args),
         Some("sweep") => cmd_sweep(&args),
+        Some("grid") => cmd_grid(&args),
         Some("bound") => cmd_bound(&args),
         Some("trace") => cmd_trace(&args),
         Some("help") | None => {
@@ -65,12 +75,21 @@ fn print_help() {
          commands:\n\
          \u{20}  run    run one scenario (attack x defense x FL algorithm)\n\
          \u{20}  sweep  sweep the Dirichlet alpha for a fixed configuration\n\
+         \u{20}  grid   run a declarative scenario matrix from a TOML file\n\
          \u{20}  bound  print Theorem 1's |C| lower-bound table\n\
          \u{20}  trace  inspect a structured run trace (--file RUN.jsonl)\n\
          \u{20}  help   this message\n\n\
+         grid (collapois grid SCENARIOS.toml; cells run deterministically and\n\
+         resume by skipping rows already present in the report):\n\
+         \u{20}  --out REPORT.jsonl   report path (default: <scenarios>.report.jsonl)\n\
+         \u{20}  --workers W          worker threads per cell (default: the file's\n\
+         \u{20}                       [run] workers; results are W-invariant)\n\
+         \u{20}  --fresh true         ignore an existing report and rerun every cell\n\
+         \u{20}  --limit N            execute at most N cells this invocation\n\
+         \u{20}  --list true          print the expanded cells without running\n\n\
          common options:\n\
          \u{20}  --dataset image|text   --alpha A      --frac F       --seed S\n\
-         \u{20}  --attack collapois|dpois|mrepl|dba|none\n\
+         \u{20}  --attack collapois|dpois|mrepl|dba|label-flip|none\n\
          \u{20}  --defense none|dp|norm-bound|krum|rlr|median|trimmed-mean|signsgd|\n\
          \u{20}            flare|crfl|stat-filter|user-dp\n\
          \u{20}  --algo fedavg|feddc|metafed|ditto|clustered\n\
@@ -160,6 +179,7 @@ fn parse_attack(s: &str) -> Result<AttackKind, String> {
         "dpois" => AttackKind::DPois,
         "mrepl" => AttackKind::MRepl,
         "dba" => AttackKind::Dba,
+        "label-flip" | "lflip" => AttackKind::LabelFlip,
         "none" | "clean" => AttackKind::None,
         other => return Err(format!("unknown attack '{other}'")),
     })
@@ -400,6 +420,87 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+const GRID_KEYS: &[&str] = &["out", "workers", "fresh", "limit", "list"];
+
+fn cmd_grid(args: &Args) -> Result<(), String> {
+    if let Some(k) = args.unknown_key(GRID_KEYS) {
+        return Err(format!("unknown option --{k}"));
+    }
+    args.expect_at_most_positionals(1)
+        .map_err(|e| e.to_string())?;
+    let scenario_path = args
+        .positional(0)
+        .ok_or("grid requires a scenario file: collapois grid SCENARIOS.toml")?;
+    let err = |e: ArgError| e.to_string();
+    let text = std::fs::read_to_string(scenario_path)
+        .map_err(|e| format!("cannot read {scenario_path}: {e}"))?;
+    let spec = GridSpec::parse(&text).map_err(|e| format!("{scenario_path}: {e}"))?;
+    let cells = spec
+        .cells()
+        .expect("GridSpec::parse validated the expansion");
+
+    let axes: Vec<String> = spec
+        .axis_summary()
+        .iter()
+        .map(|(k, n)| format!("{k}({n})"))
+        .collect();
+    println!(
+        "grid '{}': {} cells [{}]",
+        spec.name,
+        cells.len(),
+        axes.join(" x ")
+    );
+    if args.get_or("list", false).map_err(err)? {
+        for cell in &cells {
+            println!(
+                "{:>4}  {}  config=0x{:016x}",
+                cell.index, cell.id, cell.config_hash
+            );
+        }
+        return Ok(());
+    }
+
+    let out = args
+        .get("out")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| default_report_path(scenario_path));
+    let opts = GridRunOptions {
+        workers: args.get_or("workers", 0).map_err(err)?,
+        fresh: args.get_or("fresh", false).map_err(err)?,
+        limit: args.get_or("limit", 0).map_err(err)?,
+    };
+    let total = cells.len();
+    let outcome = run_grid(&spec, &out, &opts, |cell, status| {
+        let tag = match status {
+            CellStatus::Skipped => "skip",
+            CellStatus::Executed => "done",
+        };
+        println!("[{:>3}/{total}] {tag}  {}", cell.index + 1, cell.id);
+    })
+    .map_err(|e| format!("grid report {}: {e}", out.display()))?;
+    println!(
+        "{} executed, {} skipped, {} remaining -> {}",
+        outcome.executed,
+        outcome.skipped,
+        outcome.remaining,
+        outcome.report_path.display()
+    );
+    if !outcome.complete() {
+        println!("rerun the same command to continue (completed cells are skipped)");
+    }
+    Ok(())
+}
+
+/// `scenarios/smoke.toml` → `scenarios/smoke.report.jsonl`.
+fn default_report_path(scenario_path: &str) -> PathBuf {
+    let p = Path::new(scenario_path);
+    let stem = p
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "grid".to_string());
+    p.with_file_name(format!("{stem}.report.jsonl"))
 }
 
 fn cmd_bound(args: &Args) -> Result<(), String> {
@@ -763,6 +864,8 @@ mod tests {
         }
         for (s, a) in [
             ("collapois", AttackKind::CollaPois),
+            ("label-flip", AttackKind::LabelFlip),
+            ("lflip", AttackKind::LabelFlip),
             ("none", AttackKind::None),
         ] {
             assert_eq!(parse_attack(s).unwrap(), a);
@@ -770,5 +873,71 @@ mod tests {
         for s in ["fedavg", "feddc", "metafed", "ditto", "clustered"] {
             assert!(parse_algo(s).is_ok());
         }
+    }
+
+    #[test]
+    fn grid_command_validates_input() {
+        let e = run(&["grid".to_string()]).unwrap_err();
+        assert!(e.contains("scenario file"), "{e}");
+        let e = run(&["grid".to_string(), "/nonexistent/grid.toml".to_string()]).unwrap_err();
+        assert!(e.contains("cannot read"), "{e}");
+        let e = run(&[
+            "grid".to_string(),
+            "a.toml".to_string(),
+            "b.toml".to_string(),
+        ])
+        .unwrap_err();
+        assert!(e.contains("b.toml"), "{e}");
+        let e = run(&[
+            "grid".to_string(),
+            "a.toml".to_string(),
+            "--frobnicate".to_string(),
+            "1".to_string(),
+        ])
+        .unwrap_err();
+        assert!(e.contains("--frobnicate"), "{e}");
+        // A schema error is reported with the file it came from.
+        let dir = std::env::temp_dir().join("collapois-cli-grid-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.toml");
+        std::fs::write(
+            &bad,
+            "schema_version = 1\nname = \"x\"\n[base]\nalpha = -1.0\n",
+        )
+        .unwrap();
+        let e = run(&["grid".to_string(), bad.to_string_lossy().into_owned()]).unwrap_err();
+        assert!(e.contains("bad.toml") && e.contains("alpha"), "{e}");
+    }
+
+    #[test]
+    fn grid_list_expands_without_running() {
+        let dir = std::env::temp_dir().join("collapois-cli-grid-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("list.toml");
+        std::fs::write(
+            &path,
+            "schema_version = 1\nname = \"list\"\n[base]\nrounds = 2\neval_every = 2\n\
+             [axes]\ndefense = [\"none\", \"krum\"]\n",
+        )
+        .unwrap();
+        let argv = vec![
+            "grid".to_string(),
+            path.to_string_lossy().into_owned(),
+            "--list".to_string(),
+            "true".to_string(),
+        ];
+        assert!(run(&argv).is_ok());
+    }
+
+    #[test]
+    fn default_report_path_is_derived_from_the_scenario_stem() {
+        assert_eq!(
+            default_report_path("scenarios/smoke.toml"),
+            PathBuf::from("scenarios/smoke.report.jsonl")
+        );
+        assert_eq!(
+            default_report_path("paper.toml"),
+            PathBuf::from("paper.report.jsonl")
+        );
     }
 }

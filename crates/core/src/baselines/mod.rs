@@ -2,10 +2,12 @@
 
 mod dba;
 mod dpois;
+mod lflip;
 mod mrepl;
 
 pub use dba::DbaAttack;
 pub use dpois::DPois;
+pub use lflip::LabelFlip;
 pub use mrepl::MRepl;
 
 use collapois_data::sample::Dataset;

@@ -8,7 +8,7 @@
 //! chosen defense/personalization, and reports population-, cluster- and
 //! client-level metrics.
 
-use crate::baselines::{DPois, DbaAttack, LocalTrainConfig, MRepl};
+use crate::baselines::{DPois, DbaAttack, LabelFlip, LocalTrainConfig, MRepl};
 use crate::collapois::{CollaPois, CollaPoisConfig};
 use crate::trojan::{train_trojan, TrojanConfig, TrojanedModel};
 use collapois_data::federated::FederatedDataset;
@@ -35,6 +35,7 @@ use collapois_fl::server::{Adversary, FlServer, RoundRecord};
 use collapois_nn::zoo::ModelSpec;
 use collapois_runtime::fault::FaultPlan;
 use collapois_runtime::sim::{ArrivalProcess, ChurnPlan, SimPlan};
+use collapois_runtime::trace::hash_canonical_events;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -62,6 +63,9 @@ pub enum AttackKind {
     MRepl,
     /// Distributed backdoor attack.
     Dba,
+    /// Untargeted label flipping (classic Byzantine baseline; no trigger,
+    /// so Attack SR stays at chance — the signal is Benign AC damage).
+    LabelFlip,
 }
 
 impl AttackKind {
@@ -73,6 +77,7 @@ impl AttackKind {
             Self::DPois => "dpois",
             Self::MRepl => "mrepl",
             Self::Dba => "dba",
+            Self::LabelFlip => "label-flip",
         }
     }
 }
@@ -523,6 +528,12 @@ pub struct ScenarioReport {
     pub final_global: Vec<f32>,
     /// Per-phase wall-clock breakdown of the run's round loop.
     pub profile: PhaseProfile,
+    /// FNV-1a over the run's canonical (wall-clock- and worker-count-
+    /// invariant) trace-event JSON lines — the digest the grid
+    /// conformance harness pins against golden fixtures.
+    pub event_hash: u64,
+    /// Number of trace events folded into `event_hash`.
+    pub event_count: u64,
 }
 
 impl ScenarioReport {
@@ -785,6 +796,7 @@ impl Scenario {
             cluster_analysis(server.dataset(), &clients, &aux)
         };
 
+        let (event_hash, event_count) = hash_canonical_events(server.trace_events());
         ScenarioReport {
             config: cfg.clone(),
             compromised,
@@ -795,6 +807,8 @@ impl Scenario {
             trojan,
             final_global: server.global().to_vec(),
             profile: server.take_profile(),
+            event_hash,
+            event_count,
         }
     }
 
@@ -883,6 +897,13 @@ impl Scenario {
                 spec,
                 local_cfg,
                 cfg.seed ^ 0xD901,
+            ))),
+            AttackKind::LabelFlip => Some(Box::new(LabelFlip::new(
+                compromised.to_vec(),
+                &local_data,
+                spec,
+                local_cfg,
+                cfg.seed ^ 0x1F11,
             ))),
             AttackKind::MRepl => {
                 let expected_cohort = (cfg.num_clients as f64 * cfg.sample_rate).round().max(1.0);
@@ -1013,6 +1034,8 @@ mod tests {
         let b = Scenario::new(cfg).run();
         assert_eq!(a.final_global, b.final_global);
         assert_eq!(a.compromised, b.compromised);
+        assert_eq!((a.event_hash, a.event_count), (b.event_hash, b.event_count));
+        assert!(a.event_count > 0, "trace must carry events");
     }
 
     #[test]
@@ -1030,7 +1053,12 @@ mod tests {
 
     #[test]
     fn baseline_attacks_run() {
-        for attack in [AttackKind::DPois, AttackKind::MRepl, AttackKind::Dba] {
+        for attack in [
+            AttackKind::DPois,
+            AttackKind::MRepl,
+            AttackKind::Dba,
+            AttackKind::LabelFlip,
+        ] {
             let report = Scenario::new(tiny(attack, DefenseKind::None, FlAlgo::FedAvg)).run();
             assert!(!report.compromised.is_empty(), "{:?}", attack);
             assert!(report.trojan.is_none());

@@ -57,6 +57,19 @@ pub fn with_poisoned_fraction<R: Rng + ?Sized>(
     out
 }
 
+/// Returns a copy with every label `y` flipped to `classes − 1 − y` — the
+/// classic untargeted label-flipping Byzantine attack (no trigger, features
+/// untouched). With two classes this is a full label inversion; with more
+/// it is the `0→9, 1→8, …` permutation of the standard formulation.
+pub fn flip_labels(ds: &Dataset) -> Dataset {
+    let mut out = ds.clone();
+    let classes = out.num_classes();
+    for i in 0..out.len() {
+        out.set_label(i, classes - 1 - out.label_of(i));
+    }
+    out
+}
+
 /// Stamps the trigger onto every sample of a copy of `ds` **without**
 /// relabelling — the inference-time transformation used to measure Attack
 /// SR (`x + T` in the paper's metric), keeping the true labels for
@@ -119,6 +132,21 @@ mod tests {
         for i in 0..ds.len() {
             assert_eq!(stamped.label_of(i), ds.label_of(i));
             assert!(stamped.features_of(i).contains(&1.0));
+        }
+    }
+
+    #[test]
+    fn flip_labels_is_an_involution() {
+        let ds = toy();
+        let flipped = flip_labels(&ds);
+        assert_eq!(flipped.len(), ds.len());
+        for i in 0..ds.len() {
+            assert_eq!(flipped.label_of(i), 2 - ds.label_of(i));
+            assert_eq!(flipped.features_of(i), ds.features_of(i));
+        }
+        let back = flip_labels(&flipped);
+        for i in 0..ds.len() {
+            assert_eq!(back.label_of(i), ds.label_of(i));
         }
     }
 

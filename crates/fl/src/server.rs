@@ -808,7 +808,7 @@ impl FlServer {
         self.round += 1;
         self.rounds_executed += 1;
 
-        if self.checkpoint_every > 0 && self.round % self.checkpoint_every == 0 {
+        if self.checkpoint_every > 0 && self.round.is_multiple_of(self.checkpoint_every) {
             if let Some(dir) = self.checkpoint_dir.clone() {
                 let path = checkpoint::checkpoint_path(&dir, self.round as u32);
                 self.write_checkpoint_with_retry(&path);

@@ -1,0 +1,351 @@
+//! Comparable per-cell JSONL reports.
+//!
+//! Every executed cell emits exactly one JSON line with a *fixed* key set
+//! in a *fixed* order, regardless of attack/defense/variant — so any two
+//! cells of any grid can be diffed, joined or aggregated without schema
+//! sniffing. Hash-valued fields (`config_hash`, `event_hash`) are hex
+//! *strings*: a raw u64 above 2^53 would silently lose precision through
+//! any float-based JSON reader.
+//!
+//! The writer is hand-rolled (same policy as the runtime's trace codec —
+//! the workspace carries no serde) and deliberately canonical: a report
+//! line is byte-reproducible for a deterministic run, which is what lets
+//! the grid runner resume by verbatim-prefix comparison and lets CI pin
+//! golden fixtures.
+
+use crate::schema::GridCell;
+use crate::toml::fmt_float;
+use collapois_core::scenario::ScenarioReport;
+use std::fmt::Write as _;
+
+/// One cell's result row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellReport {
+    /// Cell id (`attack=…+defense=…+variant=…`).
+    pub cell: String,
+    /// Position in expansion order.
+    pub index: usize,
+    /// Schema revision that produced this row.
+    pub schema_version: i64,
+    /// [`CellSpec::config_hash`](crate::schema::CellSpec::config_hash).
+    pub config_hash: u64,
+    /// Dataset name.
+    pub dataset: String,
+    /// Attack name.
+    pub attack: String,
+    /// Defense name.
+    pub defense: String,
+    /// FL-algorithm name.
+    pub algo: String,
+    /// Dirichlet α.
+    pub alpha: f64,
+    /// Client count.
+    pub clients: usize,
+    /// Compromised-client count (after floor/cap).
+    pub compromised: usize,
+    /// Rounds executed (flush target in sim mode).
+    pub rounds: usize,
+    /// Whether the cell ran under the discrete-event simulator.
+    pub sim: bool,
+    /// Final mean Benign AC over benign clients.
+    pub benign_ac: f64,
+    /// Final mean Attack SR over benign clients.
+    pub attack_sr: f64,
+    /// Benign AC over the top-25% most affected clients (Eq. 8 ranking).
+    pub top25_benign_ac: f64,
+    /// Attack SR over the top-25% most affected clients.
+    pub top25_attack_sr: f64,
+    /// Per-client final metrics `(client_id, benign_ac, attack_sr)`.
+    pub client_metrics: Vec<(usize, f64, f64)>,
+    /// Fault-plan dropouts injected.
+    pub dropped_clients: usize,
+    /// Stragglers shed past the round deadline.
+    pub shed_stragglers: usize,
+    /// Updates rejected before aggregation.
+    pub rejected_updates: usize,
+    /// Checkpoint-write failures.
+    pub checkpoint_failures: usize,
+    /// Canonical trace-event digest (worker-count-invariant).
+    pub event_hash: u64,
+    /// Events folded into `event_hash`.
+    pub event_count: u64,
+}
+
+impl CellReport {
+    /// Assembles the row for one executed cell.
+    pub fn from_run(cell: &GridCell, report: &ScenarioReport) -> Self {
+        let last = report.final_round();
+        let top = report.top_k(25.0);
+        Self {
+            cell: cell.id.clone(),
+            index: cell.index,
+            schema_version: crate::schema::SCHEMA_VERSION,
+            config_hash: cell.config_hash,
+            dataset: match report.config.dataset {
+                collapois_core::scenario::DatasetKind::Image => "image".to_string(),
+                collapois_core::scenario::DatasetKind::Text => "text".to_string(),
+            },
+            attack: report.config.attack.name().to_string(),
+            defense: report.config.defense.name().to_string(),
+            algo: report.config.algo.name().to_string(),
+            alpha: report.config.alpha,
+            clients: report.config.num_clients,
+            compromised: report.compromised.len(),
+            rounds: last.round,
+            sim: cell.spec.sim_enabled,
+            benign_ac: last.benign_accuracy,
+            attack_sr: last.attack_success_rate,
+            top25_benign_ac: top.benign_ac,
+            top25_attack_sr: top.attack_sr,
+            client_metrics: report
+                .clients
+                .iter()
+                .map(|m| (m.client_id, m.benign_ac, m.attack_sr))
+                .collect(),
+            dropped_clients: report.profile.dropped_clients,
+            shed_stragglers: report.profile.shed_stragglers,
+            rejected_updates: report.profile.rejected_updates,
+            checkpoint_failures: report.profile.checkpoint_write_failures,
+            event_hash: report.event_hash,
+            event_count: report.event_count,
+        }
+    }
+
+    /// Serializes to the canonical single-line JSON form.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256 + 48 * self.client_metrics.len());
+        s.push('{');
+        let _ = write!(s, "\"cell\":\"{}\",", escape(&self.cell));
+        let _ = write!(s, "\"index\":{},", self.index);
+        let _ = write!(s, "\"schema_version\":{},", self.schema_version);
+        let _ = write!(s, "\"config_hash\":\"{:#018x}\",", self.config_hash);
+        let _ = write!(s, "\"dataset\":\"{}\",", escape(&self.dataset));
+        let _ = write!(s, "\"attack\":\"{}\",", escape(&self.attack));
+        let _ = write!(s, "\"defense\":\"{}\",", escape(&self.defense));
+        let _ = write!(s, "\"algo\":\"{}\",", escape(&self.algo));
+        let _ = write!(s, "\"alpha\":{},", fmt_float(self.alpha));
+        let _ = write!(s, "\"clients\":{},", self.clients);
+        let _ = write!(s, "\"compromised\":{},", self.compromised);
+        let _ = write!(s, "\"rounds\":{},", self.rounds);
+        let _ = write!(s, "\"sim\":{},", self.sim);
+        let _ = write!(s, "\"benign_ac\":{},", fmt_float(self.benign_ac));
+        let _ = write!(s, "\"attack_sr\":{},", fmt_float(self.attack_sr));
+        let _ = write!(
+            s,
+            "\"top25_benign_ac\":{},",
+            fmt_float(self.top25_benign_ac)
+        );
+        let _ = write!(
+            s,
+            "\"top25_attack_sr\":{},",
+            fmt_float(self.top25_attack_sr)
+        );
+        s.push_str("\"client_metrics\":[");
+        for (i, (id, ac, sr)) in self.client_metrics.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"id\":{id},\"benign_ac\":{},\"attack_sr\":{}}}",
+                fmt_float(*ac),
+                fmt_float(*sr)
+            );
+        }
+        s.push_str("],");
+        let _ = write!(s, "\"dropped_clients\":{},", self.dropped_clients);
+        let _ = write!(s, "\"shed_stragglers\":{},", self.shed_stragglers);
+        let _ = write!(s, "\"rejected_updates\":{},", self.rejected_updates);
+        let _ = write!(s, "\"checkpoint_failures\":{},", self.checkpoint_failures);
+        let _ = write!(s, "\"event_hash\":\"{:#018x}\",", self.event_hash);
+        let _ = write!(s, "\"event_count\":{}", self.event_count);
+        s.push('}');
+        s
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Extracts the string value of a top-level `"key":"…"` field from a
+/// canonical report line (writer-format-specific; enough for resume
+/// identity checks and tests — not a general JSON parser).
+pub fn extract_str_field(line: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":\"");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                other => out.push(other),
+            },
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// Extracts a top-level unquoted field (number/boolean) as raw text.
+pub fn extract_raw_field(line: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    if rest.starts_with('"') || rest.starts_with('[') || rest.starts_with('{') {
+        return None;
+    }
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].to_string())
+}
+
+/// Lists the top-level keys of a report line in order (for the
+/// comparability contract: every cell row exposes the identical key set).
+pub fn top_level_keys(line: &str) -> Vec<String> {
+    let mut keys = Vec::new();
+    let bytes = line.as_bytes();
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut escaped = false;
+    let mut current = String::new();
+    let mut capturing = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if in_str {
+            if escaped {
+                escaped = false;
+                if capturing {
+                    current.push(c);
+                }
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            } else if capturing {
+                current.push(c);
+            }
+            i += 1;
+            continue;
+        }
+        match c {
+            '{' | '[' => depth += 1,
+            '}' | ']' => depth -= 1,
+            '"' => {
+                in_str = true;
+                // A string at depth 1 right after `{` or `,` is a key.
+                capturing = depth == 1;
+                if capturing {
+                    current.clear();
+                }
+            }
+            ':' if depth == 1 && !current.is_empty() => {
+                keys.push(std::mem::take(&mut current));
+            }
+            ',' => current.clear(),
+            _ => {}
+        }
+        i += 1;
+    }
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CellReport {
+        CellReport {
+            cell: "attack=collapois+defense=krum+variant=plain".to_string(),
+            index: 3,
+            schema_version: 1,
+            config_hash: 0xfff0_1234_5678_9abc, // above 2^53: must survive
+            dataset: "image".to_string(),
+            attack: "collapois".to_string(),
+            defense: "krum".to_string(),
+            algo: "fedavg".to_string(),
+            alpha: 1.0,
+            clients: 12,
+            compromised: 4,
+            rounds: 4,
+            sim: false,
+            benign_ac: 0.75,
+            attack_sr: 0.5,
+            top25_benign_ac: 0.7,
+            top25_attack_sr: 0.9,
+            client_metrics: vec![(0, 0.8, 0.4), (5, 0.7, 0.6)],
+            dropped_clients: 2,
+            shed_stragglers: 1,
+            rejected_updates: 0,
+            checkpoint_failures: 0,
+            event_hash: 0xcbf2_9ce4_8422_2325,
+            event_count: 99,
+        }
+    }
+
+    #[test]
+    fn hashes_serialize_as_full_precision_hex() {
+        let line = sample().to_json();
+        assert!(line.contains("\"config_hash\":\"0xfff0123456789abc\""));
+        assert!(line.contains("\"event_hash\":\"0xcbf29ce484222325\""));
+        assert_eq!(
+            extract_str_field(&line, "config_hash").unwrap(),
+            "0xfff0123456789abc"
+        );
+    }
+
+    #[test]
+    fn field_extraction_reads_the_writer_format() {
+        let line = sample().to_json();
+        assert_eq!(
+            extract_str_field(&line, "cell").unwrap(),
+            "attack=collapois+defense=krum+variant=plain"
+        );
+        assert_eq!(extract_raw_field(&line, "index").unwrap(), "3");
+        assert_eq!(extract_raw_field(&line, "sim").unwrap(), "false");
+        assert_eq!(extract_raw_field(&line, "benign_ac").unwrap(), "0.75");
+        assert_eq!(extract_raw_field(&line, "event_count").unwrap(), "99");
+        assert_eq!(extract_str_field(&line, "no_such_key"), None);
+    }
+
+    #[test]
+    fn key_set_is_fixed_and_ordered() {
+        let a = sample().to_json();
+        let mut other = sample();
+        other.defense = "none".to_string();
+        other.client_metrics.clear();
+        other.sim = true;
+        let b = other.to_json();
+        let keys_a = top_level_keys(&a);
+        let keys_b = top_level_keys(&b);
+        assert_eq!(keys_a, keys_b, "rows must stay schema-identical");
+        assert_eq!(keys_a.first().map(String::as_str), Some("cell"));
+        assert_eq!(keys_a.last().map(String::as_str), Some("event_count"));
+        assert!(keys_a.contains(&"client_metrics".to_string()));
+        assert!(keys_a.contains(&"dropped_clients".to_string()));
+        // Nested object keys must NOT leak into the top level.
+        assert!(!keys_a.contains(&"id".to_string()));
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let mut r = sample();
+        r.cell = "we\"ird\\cell".to_string();
+        let line = r.to_json();
+        assert_eq!(extract_str_field(&line, "cell").unwrap(), "we\"ird\\cell");
+    }
+}

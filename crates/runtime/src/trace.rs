@@ -192,6 +192,20 @@ impl TraceEvent {
         e
     }
 
+    /// A copy with wall-clock *and* host-shape fields zeroed: everything
+    /// [`TraceEvent::normalized`] removes plus the `workers` count in
+    /// `RunStarted`. What remains is the deterministic payload of the run —
+    /// identical for any worker count — so canonical digests can pin a
+    /// run's event sequence across host shapes (the grid conformance
+    /// harness compares these across workers).
+    pub fn canonical(&self) -> Self {
+        let mut e = self.normalized();
+        if let Self::RunStarted { workers, .. } = &mut e {
+            *workers = 0;
+        }
+        e
+    }
+
     /// Serializes to a single JSON line (no trailing newline).
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(128);
@@ -544,6 +558,18 @@ pub fn hash_events(events: &[TraceEvent]) -> (u64, u64) {
     let mut h = EventHasher::new();
     for e in events {
         h.fold(&e.normalized().to_json());
+    }
+    (h.state, h.count)
+}
+
+/// `(fnv1a hash, event count)` over [`TraceEvent::canonical`] JSON lines:
+/// the worker-count-invariant digest of a run's event sequence. Two runs
+/// of the same configuration at any worker counts must produce the same
+/// canonical hash; the grid harness pins these against golden fixtures.
+pub fn hash_canonical_events(events: &[TraceEvent]) -> (u64, u64) {
+    let mut h = EventHasher::new();
+    for e in events {
+        h.fold(&e.canonical().to_json());
     }
     (h.state, h.count)
 }
@@ -1134,6 +1160,29 @@ mod tests {
                 _ => assert_eq!(&n, e),
             }
         }
+    }
+
+    #[test]
+    fn canonical_zeroes_workers_and_wall_clock() {
+        for e in sample_events() {
+            let c = e.canonical();
+            match (&c, &e) {
+                (TraceEvent::RunStarted { workers, .. }, _) => assert_eq!(*workers, 0),
+                (TraceEvent::RoundCompleted { elapsed_ms, .. }, _)
+                | (TraceEvent::RunCompleted { elapsed_ms, .. }, _) => assert_eq!(*elapsed_ms, 0.0),
+                _ => assert_eq!(&c, &e),
+            }
+        }
+        // Same events at different worker counts hash identically.
+        let at = |workers: usize| {
+            let mut events = sample_events();
+            if let TraceEvent::RunStarted { workers: w, .. } = &mut events[0] {
+                *w = workers;
+            }
+            hash_canonical_events(&events)
+        };
+        assert_eq!(at(1), at(8));
+        assert_ne!(hash_events(&sample_events()), (EventHasher::new().state, 0));
     }
 
     #[test]

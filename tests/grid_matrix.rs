@@ -1,0 +1,211 @@
+//! Grid conformance harness (tier-1).
+//!
+//! Runs the committed CI smoke grid (`scenarios/smoke.toml` — 2 attacks ×
+//! 2 robust aggregators × {plain, faulted, sim}) end to end and pins every
+//! cell's canonical trace-event hash against the committed fixture
+//! `tests/fixtures/golden_grid_smoke.txt`. The grid is executed at two
+//! worker counts and the JSONL reports must be byte-identical — the
+//! determinism contract the scenario matrix inherits from the runtime
+//! engine.
+//!
+//! If a change *intentionally* alters training behavior, regenerate the
+//! fixture by running this test and copying the `actual fixture block`
+//! from the failure message into the fixture file, and call the change
+//! out in the PR description.
+
+use collapois_grid::report::{extract_raw_field, extract_str_field, top_level_keys};
+use collapois_grid::runner::{run_grid, CellStatus, GridRunOptions};
+use collapois_grid::schema::GridSpec;
+use std::path::PathBuf;
+
+fn repo_file(rel: &str) -> String {
+    let path = format!("{}/{rel}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("collapois-grid-matrix-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn run_to(spec: &GridSpec, name: &str, opts: &GridRunOptions) -> String {
+    let out = tmp(name);
+    let _ = std::fs::remove_file(&out);
+    let outcome = run_grid(spec, &out, opts, |_, _| {}).unwrap();
+    assert!(outcome.complete(), "grid did not finish: {outcome:?}");
+    std::fs::read_to_string(&out).unwrap()
+}
+
+#[test]
+fn smoke_grid_matches_golden_fixture_and_is_worker_count_invariant() {
+    let spec = GridSpec::parse(&repo_file("scenarios/smoke.toml")).unwrap();
+    let cells = spec.cells().unwrap();
+    assert_eq!(cells.len(), 12, "the CI smoke matrix is 2x2x3");
+
+    let w1 = run_to(
+        &spec,
+        "smoke_w1.jsonl",
+        &GridRunOptions {
+            workers: 1,
+            ..GridRunOptions::default()
+        },
+    );
+    let w2 = run_to(
+        &spec,
+        "smoke_w2.jsonl",
+        &GridRunOptions {
+            workers: 2,
+            ..GridRunOptions::default()
+        },
+    );
+    assert_eq!(
+        w1, w2,
+        "grid reports must be byte-identical across worker counts"
+    );
+
+    // Pin each cell's canonical event digest against the fixture.
+    let actual: String = w1
+        .lines()
+        .map(|line| {
+            format!(
+                "{} {} {}\n",
+                extract_str_field(line, "cell").expect("cell field"),
+                extract_str_field(line, "event_hash").expect("event_hash field"),
+                extract_raw_field(line, "event_count").expect("event_count field"),
+            )
+        })
+        .collect();
+    let expected = repo_file("tests/fixtures/golden_grid_smoke.txt");
+    assert_eq!(
+        actual, expected,
+        "smoke-grid event hashes diverged from the golden fixture; if the \
+         behavior change is intentional, replace the fixture with this \
+         actual fixture block:\n{actual}"
+    );
+}
+
+const TINY: &str = r#"
+schema_version = 1
+name = "kill-test"
+
+[base]
+clients = 8
+samples_per_client = 12
+alpha = 1.0
+compromised_frac = 0.5
+attack = "dpois"
+rounds = 2
+eval_every = 2
+local_steps = 2
+batch_size = 8
+sample_rate = 0.5
+
+[axes]
+defense = ["none", "median"]
+seed = [7, 8]
+"#;
+
+#[test]
+fn killed_and_resumed_grid_concatenates_byte_identically() {
+    let spec = GridSpec::parse(TINY).unwrap();
+    assert_eq!(spec.cells().unwrap().len(), 4);
+
+    // Reference: one uninterrupted run.
+    let reference = run_to(&spec, "kill_ref.jsonl", &GridRunOptions::default());
+
+    // Interrupted run: two cells, then a kill mid-write (torn third line),
+    // then two resumes.
+    let out = tmp("kill_resumed.jsonl");
+    let _ = std::fs::remove_file(&out);
+    let o1 = run_grid(
+        &spec,
+        &out,
+        &GridRunOptions {
+            limit: 2,
+            ..GridRunOptions::default()
+        },
+        |_, _| {},
+    )
+    .unwrap();
+    assert_eq!((o1.executed, o1.remaining), (2, 2));
+
+    let partial = std::fs::read_to_string(&out).unwrap();
+    std::fs::write(&out, format!("{partial}{{\"cell\":\"torn")).unwrap();
+
+    let mut statuses = Vec::new();
+    let o2 = run_grid(
+        &spec,
+        &out,
+        &GridRunOptions {
+            limit: 1,
+            ..GridRunOptions::default()
+        },
+        |_, s| statuses.push(s),
+    )
+    .unwrap();
+    assert_eq!((o2.skipped, o2.executed, o2.remaining), (2, 1, 1));
+    assert_eq!(
+        statuses,
+        vec![
+            CellStatus::Skipped,
+            CellStatus::Skipped,
+            CellStatus::Executed
+        ]
+    );
+    let o3 = run_grid(&spec, &out, &GridRunOptions::default(), |_, _| {}).unwrap();
+    assert_eq!((o3.skipped, o3.executed, o3.remaining), (3, 1, 0));
+
+    assert_eq!(
+        std::fs::read_to_string(&out).unwrap(),
+        reference,
+        "kill + resume must concatenate to the uninterrupted bytes"
+    );
+}
+
+#[test]
+fn cell_reports_expose_one_schema_regardless_of_configuration() {
+    // Two cells differing only in the aggregator; a faulted collapois sim
+    // sweep would exercise the same contract, but the aggregator is the
+    // axis the paper's Table I compares, so it is the one pinned here.
+    let spec = GridSpec::parse(
+        r#"
+schema_version = 1
+name = "comparability"
+
+[base]
+clients = 8
+samples_per_client = 12
+alpha = 1.0
+compromised_frac = 0.5
+attack = "label-flip"
+rounds = 2
+eval_every = 2
+local_steps = 2
+batch_size = 8
+sample_rate = 0.5
+
+[axes]
+defense = ["none", "krum"]
+"#,
+    )
+    .unwrap();
+    let text = run_to(&spec, "comparability.jsonl", &GridRunOptions::default());
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 2);
+    let keys0 = top_level_keys(lines[0]);
+    let keys1 = top_level_keys(lines[1]);
+    assert_eq!(
+        keys0, keys1,
+        "cells differing only in aggregator must emit identical report schemas"
+    );
+    assert!(!keys0.is_empty());
+    assert_eq!(extract_str_field(lines[0], "defense").unwrap(), "none");
+    assert_eq!(extract_str_field(lines[1], "defense").unwrap(), "krum");
+    // Hash fields survive as full-precision hex strings.
+    for line in &lines {
+        let h = extract_str_field(line, "event_hash").unwrap();
+        assert!(h.starts_with("0x") && h.len() == 18, "{h}");
+        u64::from_str_radix(&h[2..], 16).unwrap();
+    }
+}

@@ -1,0 +1,197 @@
+//! Property-based and negative tests over the scenario-matrix schema
+//! (satellite of the grid conformance harness in `tests/grid_matrix.rs`).
+//!
+//! The round-trip property: any scenario file the schema accepts can be
+//! canonicalized with [`GridSpec::to_toml`] and reparsed into the *same*
+//! grid — same cell ids, same expansion order, same config hashes. The
+//! negative half: malformed documents (unknown keys, out-of-range α,
+//! fractions above 1, type confusion) surface as *typed* [`SchemaError`]s
+//! naming the offending key, never as silently-defaulted cells.
+
+use collapois_grid::schema::{GridSpec, SchemaError, SCHEMA_VERSION};
+use collapois_grid::toml::fmt_float;
+use proptest::prelude::*;
+
+/// Builds a scenario document from generated knobs.
+fn doc(
+    alpha: f64,
+    frac: f64,
+    clients: usize,
+    rounds: usize,
+    seed: u64,
+    dropout: f64,
+    workers: usize,
+) -> String {
+    format!(
+        "schema_version = {SCHEMA_VERSION}\n\
+         name = \"prop\"\n\
+         [run]\n\
+         workers = {workers}\n\
+         [base]\n\
+         alpha = {}\n\
+         compromised_frac = {}\n\
+         clients = {clients}\n\
+         samples_per_client = 10\n\
+         rounds = {rounds}\n\
+         eval_every = 1\n\
+         seed = {seed}\n\
+         [axes]\n\
+         attack = [\"collapois\", \"label-flip\", \"dpois\"]\n\
+         defense = [\"none\", \"krum\"]\n\
+         [variants.plain]\n\
+         [variants.faulted]\n\
+         fault.dropout = {}\n",
+        fmt_float(alpha),
+        fmt_float(frac),
+        fmt_float(dropout),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// parse -> to_toml -> parse is the identity on the grid: same spec,
+    /// same cells, same config hashes, and the canonical form is a fixed
+    /// point.
+    #[test]
+    fn accepted_documents_round_trip_canonically(
+        alpha_m in 1u32..2000,
+        frac_m in 0u32..=100,
+        clients in 4usize..40,
+        rounds in 1usize..30,
+        seed in 0u64..1_000_000,
+        dropout_m in 0u32..=100,
+        workers in 0usize..8,
+    ) {
+        let text = doc(
+            alpha_m as f64 / 100.0,
+            frac_m as f64 / 100.0,
+            clients,
+            rounds,
+            seed,
+            dropout_m as f64 / 100.0,
+            workers,
+        );
+        let spec = GridSpec::parse(&text).expect("generated document is in-schema");
+        let canon = spec.to_toml();
+        let reparsed = GridSpec::parse(&canon).expect("canonical form reparses");
+        prop_assert_eq!(&spec, &reparsed);
+        prop_assert_eq!(&canon, &reparsed.to_toml());
+        let a = spec.cells().unwrap();
+        let b = reparsed.cells().unwrap();
+        prop_assert_eq!(a.len(), 3 * 2 * 2);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(&x.id, &y.id);
+            prop_assert_eq!(x.index, y.index);
+            prop_assert_eq!(x.config_hash, y.config_hash);
+            prop_assert_eq!(&x.spec, &y.spec);
+        }
+    }
+
+    /// The config hash is a function of the resolved settings: insensitive
+    /// to canonicalization, sensitive to any changed value.
+    #[test]
+    fn config_hash_tracks_resolved_settings(
+        alpha_m in 1u32..2000,
+        seed in 0u64..1_000_000,
+    ) {
+        let text = doc(alpha_m as f64 / 100.0, 0.5, 12, 3, seed, 0.1, 0);
+        let spec = GridSpec::parse(&text).unwrap();
+        let canon = GridSpec::parse(&spec.to_toml()).unwrap();
+        let a = spec.cells().unwrap();
+        let b = canon.cells().unwrap();
+        prop_assert_eq!(a[0].config_hash, b[0].config_hash);
+        let other = doc(alpha_m as f64 / 100.0, 0.5, 12, 3, seed ^ 1, 0.1, 0);
+        let c = GridSpec::parse(&other).unwrap().cells().unwrap();
+        prop_assert_ne!(a[0].config_hash, c[0].config_hash);
+    }
+
+    /// Out-of-range α is always a typed OutOfRange naming `alpha`.
+    #[test]
+    fn nonpositive_alpha_is_a_typed_error(alpha_m in 0i64..1000) {
+        let text = doc(-(alpha_m as f64) / 100.0, 0.1, 12, 3, 1, 0.0, 0);
+        match GridSpec::parse(&text) {
+            Err(SchemaError::OutOfRange { path, .. }) => prop_assert_eq!(path, "alpha"),
+            other => prop_assert!(false, "expected OutOfRange(alpha), got {:?}", other),
+        }
+    }
+
+    /// A compromised fraction above 1 is always a typed OutOfRange.
+    #[test]
+    fn fraction_above_one_is_a_typed_error(excess_m in 1u32..1000) {
+        let text = doc(1.0, 1.0 + excess_m as f64 / 100.0, 12, 3, 1, 0.0, 0);
+        match GridSpec::parse(&text) {
+            Err(SchemaError::OutOfRange { path, .. }) => {
+                prop_assert_eq!(path, "compromised_frac")
+            }
+            other => prop_assert!(
+                false,
+                "expected OutOfRange(compromised_frac), got {:?}",
+                other
+            ),
+        }
+    }
+}
+
+#[test]
+fn unknown_keys_are_typed_errors_at_every_level() {
+    let base = doc(1.0, 0.1, 12, 3, 1, 0.1, 0);
+    for (needle, replacement, expected_path) in [
+        ("alpha = 1.0", "aplha = 1.0", "aplha"),
+        ("[axes]\nattack", "[axes]\nattacc", "axes.attacc"),
+        (
+            "fault.dropout = 0.1",
+            "fault.dropoutt = 0.1",
+            "variants.faulted.fault.dropoutt",
+        ),
+        ("workers = 0", "werkers = 0", "run.werkers"),
+    ] {
+        let text = base.replace(needle, replacement);
+        match GridSpec::parse(&text) {
+            Err(SchemaError::UnknownKey { path }) => assert_eq!(path, expected_path),
+            other => panic!("{replacement}: expected UnknownKey, got {other:?}"),
+        }
+    }
+    // A whole unknown top-level table is rejected too.
+    let text = format!("{base}[extras]\nx = 1\n");
+    assert!(matches!(
+        GridSpec::parse(&text),
+        Err(SchemaError::UnknownKey { .. })
+    ));
+}
+
+#[test]
+fn type_confusion_is_a_typed_error() {
+    let base = doc(1.0, 0.1, 12, 3, 1, 0.1, 0);
+    // Float where an integer is required (no silent truncation).
+    let text = base.replace("rounds = 3", "rounds = 3.5");
+    assert!(matches!(
+        GridSpec::parse(&text),
+        Err(SchemaError::WrongType { .. })
+    ));
+    // String where a number is required.
+    let text = base.replace("alpha = 1.0", "alpha = \"high\"");
+    assert!(matches!(
+        GridSpec::parse(&text),
+        Err(SchemaError::WrongType { .. })
+    ));
+    // Scalar where the axes table expects arrays.
+    let text = base.replace(
+        "attack = [\"collapois\", \"label-flip\", \"dpois\"]",
+        "attack = \"collapois\"",
+    );
+    assert!(matches!(
+        GridSpec::parse(&text),
+        Err(SchemaError::WrongType { .. })
+    ));
+}
+
+#[test]
+fn version_gate_rejects_future_files() {
+    let future =
+        doc(1.0, 0.1, 12, 3, 1, 0.1, 0).replace("schema_version = 1", "schema_version = 2");
+    assert!(matches!(
+        GridSpec::parse(&future),
+        Err(SchemaError::UnsupportedVersion { found: Some(2) })
+    ));
+}
