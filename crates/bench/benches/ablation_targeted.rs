@@ -55,6 +55,7 @@ fn main() {
             sample_rate: base.sample_rate,
             seed: base.seed,
             eval_every: base.eval_every,
+            quantization: base.quantization,
         };
         let mut server = FlServer::new(
             fl_cfg,

@@ -1,11 +1,17 @@
 //! Micro-benchmarks of the blocked kernels against the naive reference
-//! oracle (`collapois_nn::kernels::{blocked, reference}`).
+//! oracle (`collapois_nn::kernels::{blocked, reference}`) and of the
+//! explicit-SIMD tier against blocked (`kernels::simd`; on hosts without
+//! AVX2 the simd rows delegate to blocked, so they read as parity).
 //!
-//! These back the kernel-layer PR's acceptance numbers: the blocked matmul
+//! These back the kernel-layer PRs' acceptance numbers: the blocked matmul
 //! must beat the reference by ≥2× at 256×256×256 and the Krum pairwise
-//! squared-distance matrix by ≥1.5× at 20 clients × 10k parameters.
+//! squared-distance matrix by ≥1.5× at 20 clients × 10k parameters; the
+//! SIMD tier must beat blocked by ≥2× on at least one of matmul, axpy or
+//! krum_pairwise on an AVX2 host. The quant group measures the f16/int8
+//! client-update codec round-trip bandwidth.
 
-use collapois_nn::kernels::{blocked, reference};
+use collapois_fl::quant::Quantization;
+use collapois_nn::kernels::{blocked, reference, simd};
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -30,6 +36,13 @@ fn bench_matmul(c: &mut Criterion) {
             black_box(&out);
         });
     });
+    group.bench_function("simd", |bch| {
+        bch.iter(|| {
+            out.fill(0.0);
+            simd::matmul(black_box(&a), black_box(&b), &mut out, m, k, n);
+            black_box(&out);
+        });
+    });
     group.bench_function("reference", |bch| {
         bch.iter(|| {
             out.fill(0.0);
@@ -51,9 +64,59 @@ fn bench_krum_pairwise(c: &mut Criterion) {
     group.bench_function("blocked", |bch| {
         bch.iter(|| black_box(blocked::pairwise_sq_distances(black_box(&refs))));
     });
+    group.bench_function("simd", |bch| {
+        bch.iter(|| black_box(simd::pairwise_sq_distances(black_box(&refs))));
+    });
     group.bench_function("reference", |bch| {
         bch.iter(|| black_box(reference::pairwise_sq_distances(black_box(&refs))));
     });
+    group.finish();
+}
+
+fn bench_axpy(c: &mut Criterion) {
+    // The element-wise update applied once per client per merge in the
+    // pooled tree-reduction aggregators: y += alpha * x over a
+    // full-model-sized vector.
+    let dim = 100_000;
+    let mut rng = StdRng::seed_from_u64(4);
+    let x = randvec(&mut rng, dim);
+    let mut y = randvec(&mut rng, dim);
+
+    let mut group = c.benchmark_group("axpy_100k");
+    group.bench_function("blocked", |bch| {
+        bch.iter(|| {
+            blocked::axpy(&mut y, black_box(1.000001f32), black_box(&x));
+            black_box(&y);
+        });
+    });
+    group.bench_function("simd", |bch| {
+        bch.iter(|| {
+            simd::axpy(&mut y, black_box(1.000001f32), black_box(&x));
+            black_box(&y);
+        });
+    });
+    group.finish();
+}
+
+fn bench_quant_roundtrip(c: &mut Criterion) {
+    // Transport-codec bandwidth: one encode/decode round-trip of a
+    // full-model-sized client delta, as the server applies it per
+    // accepted update.
+    let dim = 100_000;
+    let mut rng = StdRng::seed_from_u64(5);
+    let delta = randvec(&mut rng, dim);
+    let mut buf = delta.clone();
+
+    let mut group = c.benchmark_group("quant_roundtrip_100k");
+    for codec in [Quantization::F16, Quantization::Int8] {
+        group.bench_function(codec.name(), |bch| {
+            bch.iter(|| {
+                buf.copy_from_slice(&delta);
+                codec.roundtrip_inplace(black_box(&mut buf));
+                black_box(&buf);
+            });
+        });
+    }
     group.finish();
 }
 
@@ -97,6 +160,8 @@ criterion_group!(
     benches,
     bench_matmul,
     bench_krum_pairwise,
+    bench_axpy,
+    bench_quant_roundtrip,
     bench_trimmed_mean
 );
 criterion_main!(benches);

@@ -40,6 +40,7 @@
 //! to noise). Pass `--force` to overwrite anyway.
 
 use collapois_core::scenario::{AttackKind, DefenseKind, RunOptions, Scenario, ScenarioConfig};
+use collapois_nn::kernels;
 use collapois_runtime::fault::FaultPlan;
 use collapois_runtime::trace::{read_trace, TraceEvent};
 use std::path::PathBuf;
@@ -198,6 +199,14 @@ fn emit_json(rounds: usize, scenarios: &[ScenarioResult], out: &PathBuf) {
     body.push_str(&format!(
         "  \"host_parallelism\": {},\n",
         host_parallelism()
+    ));
+    body.push_str(&format!(
+        "  \"cpu_features\": \"{}\",\n",
+        kernels::cpu_features()
+    ));
+    body.push_str(&format!(
+        "  \"kernel_tier\": \"{}\",\n",
+        kernels::active_tier().name()
     ));
     body.push_str("  \"scenarios\": [\n");
     for (si, sc) in scenarios.iter().enumerate() {

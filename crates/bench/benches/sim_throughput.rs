@@ -27,6 +27,7 @@
 //! ```
 
 use collapois_fl::sim::SyntheticSim;
+use collapois_nn::kernels;
 use collapois_runtime::fault::FaultPlan;
 use collapois_runtime::sim::{ArrivalProcess, ChurnPlan, SimDriver, SimPlan};
 use collapois_runtime::trace::TraceLog;
@@ -182,6 +183,14 @@ fn main() {
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
+    ));
+    body.push_str(&format!(
+        "  \"cpu_features\": \"{}\",\n",
+        kernels::cpu_features()
+    ));
+    body.push_str(&format!(
+        "  \"kernel_tier\": \"{}\",\n",
+        kernels::active_tier().name()
     ));
     body.push_str(&format!(
         "  \"virtual_clients\": {clients},\n  \"flushes\": {flushes},\n  \"dim\": {dim},\n"

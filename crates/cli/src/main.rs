@@ -25,8 +25,8 @@ mod args;
 
 use args::{ArgError, Args};
 use collapois_core::scenario::{
-    AttackKind, DatasetKind, DefenseKind, FlAlgo, RunOptions, Scenario, ScenarioConfig,
-    ScenarioModel, SimKnobs,
+    AttackKind, DatasetKind, DefenseKind, FlAlgo, Quantization, RunOptions, Scenario,
+    ScenarioConfig, ScenarioModel, SimKnobs,
 };
 use collapois_core::theory::theorem1_bound;
 use collapois_fl::server::round_records_from_events;
@@ -94,7 +94,9 @@ fn print_help() {
          \u{20}            flare|crfl|stat-filter|user-dp\n\
          \u{20}  --algo fedavg|feddc|metafed|ditto|clustered\n\
          \u{20}  --model mlp|cnn   --repeats R\n\
-         \u{20}  --rounds T   --clients N   --topk K\n\n\
+         \u{20}  --rounds T   --clients N   --topk K\n\
+         \u{20}  --quant f32|f16|int8   client-update transport codec (deterministic\n\
+         \u{20}                         RNE encode/decode round-trip; default f32)\n\n\
          execution (bit-identical for any worker count):\n\
          \u{20}  --workers W            fan benign training over W threads\n\
          \u{20}  --trace FILE           write a JSONL run trace\n\
@@ -137,6 +139,7 @@ const RUN_KEYS: &[&str] = &[
     "topk",
     "model",
     "repeats",
+    "quant",
     "workers",
     "trace",
     "checkpoint-dir",
@@ -232,6 +235,9 @@ fn build_config(args: &Args) -> Result<ScenarioConfig, String> {
         "cnn" | "lenet" => ScenarioModel::Cnn,
         other => return Err(format!("unknown model '{other}'")),
     };
+    let quant = args.get("quant").unwrap_or("f32");
+    cfg.quantization =
+        Quantization::parse(quant).ok_or_else(|| format!("unknown quant '{quant}'"))?;
     Ok(cfg)
 }
 
@@ -707,6 +713,8 @@ mod tests {
             "30",
             "--seed",
             "9",
+            "--quant",
+            "int8",
         ])
         .unwrap();
         let cfg = build_config(&args).unwrap();
@@ -718,6 +726,7 @@ mod tests {
         assert_eq!(cfg.rounds, 7);
         assert_eq!(cfg.num_clients, 30);
         assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.quantization, Quantization::Int8);
     }
 
     #[test]
@@ -728,6 +737,8 @@ mod tests {
         assert!(build_config(&args).is_err());
         let args = Args::parse(["run", "--alfa", "1"]).unwrap();
         assert!(build_config(&args).unwrap_err().contains("--alfa"));
+        let args = Args::parse(["run", "--quant", "int4"]).unwrap();
+        assert!(build_config(&args).unwrap_err().contains("int4"));
     }
 
     #[test]

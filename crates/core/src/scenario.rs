@@ -30,6 +30,7 @@ use collapois_fl::personalize::{
     Clustered, Ditto, FedDc, MetaFed, NoPersonalization, Personalization,
 };
 use collapois_fl::profile::PhaseProfile;
+pub use collapois_fl::quant::Quantization;
 use collapois_fl::server::round_records_from_events;
 use collapois_fl::server::{Adversary, FlServer, RoundRecord};
 use collapois_nn::zoo::ModelSpec;
@@ -276,6 +277,9 @@ pub struct ScenarioConfig {
     pub sample_rate: f64,
     /// Evaluate every this many rounds.
     pub eval_every: usize,
+    /// Transport codec for client update deltas (simulated encode/decode
+    /// round-trip before the finite-norm gate; `F32` is the exact no-op).
+    pub quantization: Quantization,
     /// Keep raw updates for gradient-angle analysis.
     pub collect_updates: bool,
     /// Master seed.
@@ -311,6 +315,7 @@ impl ScenarioConfig {
             server_lr: 1.0,
             sample_rate: 0.25,
             eval_every: 10,
+            quantization: Quantization::F32,
             collect_updates: false,
             seed: 42,
             trojan: TrojanConfig::default(),
@@ -708,6 +713,7 @@ impl Scenario {
             sample_rate: cfg.sample_rate,
             seed: cfg.seed,
             eval_every: cfg.eval_every,
+            quantization: cfg.quantization,
         };
         let aggregator = self.build_aggregator(&compromised);
         let personalization = self.build_personalization();

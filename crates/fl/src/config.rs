@@ -1,9 +1,10 @@
 //! Simulation hyper-parameters.
 
+use crate::quant::Quantization;
 use collapois_nn::zoo::ModelSpec;
 
 /// Federated-training configuration (paper defaults in §V / Appendix E).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Clone, PartialEq)]
 pub struct FlConfig {
     /// Model architecture every client instantiates.
     pub model: ModelSpec,
@@ -25,6 +26,35 @@ pub struct FlConfig {
     pub seed: u64,
     /// Evaluate client metrics every this many rounds (1 = every round).
     pub eval_every: usize,
+    /// Transport codec for client deltas: every accepted update is
+    /// encode/decode round-tripped through this format before the
+    /// finite-norm gate and aggregation (see [`crate::quant`]).
+    /// [`Quantization::F32`] is the exact no-op default.
+    pub quantization: Quantization,
+}
+
+/// Manual `Debug`: the `quantization` field is printed only when it is not
+/// the exact [`Quantization::F32`] no-op. The Debug string is the config
+/// fingerprint (checkpoint compatibility, the trace `config_hash`), so
+/// omitting the default keeps every pre-codec checkpoint and golden trace
+/// identity valid while still separating quantized configurations.
+impl std::fmt::Debug for FlConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut d = f.debug_struct("FlConfig");
+        d.field("model", &self.model)
+            .field("rounds", &self.rounds)
+            .field("local_steps", &self.local_steps)
+            .field("batch_size", &self.batch_size)
+            .field("client_lr", &self.client_lr)
+            .field("server_lr", &self.server_lr)
+            .field("sample_rate", &self.sample_rate)
+            .field("seed", &self.seed)
+            .field("eval_every", &self.eval_every);
+        if self.quantization != Quantization::F32 {
+            d.field("quantization", &self.quantization);
+        }
+        d.finish()
+    }
 }
 
 impl FlConfig {
@@ -40,6 +70,7 @@ impl FlConfig {
             sample_rate: 0.2,
             seed: 42,
             eval_every: 10,
+            quantization: Quantization::F32,
         }
     }
 

@@ -22,6 +22,9 @@
 //!   clusters and the Eq. 9 cumulative-label cosine.
 //! * [`monitor`] — the round-to-round shift detector (§II-B: MRepl's abrupt
 //!   performance shifts are detectable; CollaPois avoids them).
+//! * [`quant`] — deterministic (RNE) f16/int8 transport codecs for client
+//!   deltas, applied as a decode-before-aggregate round-trip so every
+//!   aggregator sees exactly what a real receiver would.
 //! * [`sim`] — buffered-async (FedBuff) execution on the discrete-event
 //!   simulator: refcounted model-version snapshots and a dataset-free
 //!   synthetic executor for 100k+-virtual-client scale runs.
@@ -36,6 +39,7 @@ pub mod metrics;
 pub mod monitor;
 pub mod personalize;
 pub mod profile;
+pub mod quant;
 pub mod scratch;
 pub mod server;
 pub mod sim;
@@ -45,6 +49,7 @@ pub use aggregate::Aggregator;
 pub use config::FlConfig;
 pub use personalize::{LocalOutcome, Personalization, StateCommit};
 pub use profile::PhaseProfile;
+pub use quant::Quantization;
 pub use scratch::ClientScratch;
 pub use server::{round_records_from_events, Adversary, FlServer, RoundRecord};
 pub use update::ClientUpdate;

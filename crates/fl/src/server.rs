@@ -688,6 +688,10 @@ impl FlServer {
                 if corrupt.contains(&cid) {
                     poison_delta(&mut delta);
                 }
+                // Simulated transport: encode/decode through the scenario's
+                // codec before the finite-norm gate, so the gate and every
+                // aggregator see exactly what a real receiver would.
+                self.cfg.quantization.roundtrip_inplace(&mut delta);
                 let update = ClientUpdate::new(cid, delta, self.fed.client(cid).train.len());
                 let norm = update.norm();
                 if norm.is_finite() {
@@ -708,6 +712,8 @@ impl FlServer {
                 if corrupt.contains(&cid) {
                     poison_delta(&mut delta);
                 }
+                // Same simulated transport round-trip as the malicious arm.
+                self.cfg.quantization.roundtrip_inplace(&mut delta);
                 let update = ClientUpdate::new(cid, delta, self.fed.client(cid).train.len());
                 let norm = update.norm();
                 if norm.is_finite() {
@@ -1138,6 +1144,9 @@ impl SimHandler for ServerSimHandler<'_, '_> {
             if c.corrupt {
                 poison_delta(&mut delta);
             }
+            // Simulated transport round-trip, identical to the synchronous
+            // loop: before the finite-norm gate, after any corruption.
+            self.cfg.quantization.roundtrip_inplace(&mut delta);
             let update = ClientUpdate::new(cid, delta, fed.client(cid).train.len());
             let norm = update.norm();
             if norm.is_finite() {

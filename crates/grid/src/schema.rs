@@ -40,7 +40,8 @@
 
 use crate::toml::{self, fmt_float, TomlError, TomlTable, TomlValue};
 use collapois_core::scenario::{
-    AttackKind, DatasetKind, DefenseKind, FlAlgo, ScenarioConfig, ScenarioModel, SimKnobs,
+    AttackKind, DatasetKind, DefenseKind, FlAlgo, Quantization, ScenarioConfig, ScenarioModel,
+    SimKnobs,
 };
 use collapois_runtime::fault::FaultPlan;
 
@@ -177,6 +178,7 @@ pub const CELL_KEYS: &[&str] = &[
     "seed",
     "poison_fraction",
     "trojan_epochs",
+    "quantization",
     "fault.dropout",
     "fault.straggler",
     "fault.straggler_mean_ms",
@@ -334,6 +336,16 @@ pub fn parse_algo(path: &str, name: &str) -> Result<FlAlgo, SchemaError> {
     })
 }
 
+/// Parses a client-update transport codec name.
+pub fn parse_quantization(path: &str, name: &str) -> Result<Quantization, SchemaError> {
+    Quantization::parse(name).ok_or_else(|| {
+        out_of_range(
+            path,
+            format!("unknown quantization '{name}' (f32|f16|int8)"),
+        )
+    })
+}
+
 impl CellSpec {
     /// Applies one `key = value` assignment.
     ///
@@ -386,6 +398,7 @@ impl CellSpec {
             "seed" => c.seed = as_u64(path, value)?,
             "poison_fraction" => c.poison_fraction = float_in(path, value, 0.0, 1.0, false)?,
             "trojan_epochs" => c.trojan.epochs = as_count(path, value, 1)?,
+            "quantization" => c.quantization = parse_quantization(path, as_str(path, value)?)?,
             "fault.dropout" => self.fault.dropout = float_in(path, value, 0.0, 1.0, false)?,
             "fault.straggler" => self.fault.straggler = float_in(path, value, 0.0, 1.0, false)?,
             "fault.straggler_mean_ms" => {
@@ -478,6 +491,7 @@ impl CellSpec {
                 "seed" => c.seed.to_string(),
                 "poison_fraction" => fmt_float(c.poison_fraction),
                 "trojan_epochs" => c.trojan.epochs.to_string(),
+                "quantization" => format!("\"{}\"", c.quantization.name()),
                 "fault.dropout" => fmt_float(self.fault.dropout),
                 "fault.straggler" => fmt_float(self.fault.straggler),
                 "fault.straggler_mean_ms" => fmt_float(self.fault.straggler_mean_ms),

@@ -12,122 +12,237 @@
 //! * [`reference`] — the naive textbook formulations, kept alive forever as
 //!   the differential-testing oracle (`tests/kernel_equivalence.rs` in the
 //!   workspace root pins one to the other).
+//! * [`simd`] — the explicit-SIMD tier (AVX2 on x86_64): the blocked
+//!   kernels' operation order reproduced with `core::arch` intrinsics, so
+//!   it is bitwise identical to [`blocked`] on every function. On hosts
+//!   without AVX2 every entry point transparently delegates to [`blocked`].
 //!
-//! The free functions at this level are thin dispatchers: they call
-//! [`blocked`] by default and [`reference`] when the crate is built with
-//! the `reference` cargo feature, so the entire stack — tensors, layers,
-//! losses, aggregation rules — can be swapped onto the oracle with
-//! `cargo test --features reference` (CI runs both).
+//! The free functions at this level are thin dispatchers. When the crate is
+//! built with the `reference` cargo feature they always call [`reference`]
+//! (the whole stack swaps onto the oracle with `cargo test --features
+//! reference`; CI runs both). Otherwise the tier is chosen **once per
+//! process**: [`simd`] when the host supports it, [`blocked`] when it does
+//! not, overridable either way with the environment variable
+//! `COLLAPOIS_KERNEL_TIER=scalar|simd` (read at first kernel call and
+//! cached — the CI `kernel-tier` job runs the tier-1 suite under both
+//! values). [`active_tier`] and [`cpu_features`] expose the decision and
+//! the detected ISA extensions for bench metadata.
 //!
 //! # Numerical contract
 //!
 //! * Matmul family, element-wise ops (`axpy`, `scale`, the `acc_*`
 //!   accumulators), partial-select reductions (`trimmed_mean_inplace`,
 //!   `median_inplace`), `softmax_rows` and `softmax_xent`: **bitwise
-//!   identical** between the two implementations — the blocked kernels
-//!   preserve the reference's per-element floating-point operation order
-//!   (see the module docs of [`blocked`] for why blocking does not change
-//!   it).
+//!   identical** across implementations — the blocked kernels preserve the
+//!   reference's per-element floating-point operation order (see the
+//!   module docs of [`blocked`] for why blocking does not change it).
 //! * `dot`, `sq_l2_norm`, `sq_l2_distance`, `pairwise_sq_distances`:
 //!   reassociated `f64` reductions, deterministic but up to a few `f64`
 //!   ulps from the reference.
+//! * [`simd`] vs [`blocked`]: bitwise identical on **every** function,
+//!   including the reassociated reductions (the SIMD lanes map exactly onto
+//!   the blocked tier's four accumulator chains) — so switching tiers never
+//!   changes golden fixtures.
 
 pub mod blocked;
 pub mod reference;
+pub mod simd;
 
-#[cfg(not(feature = "reference"))]
-use blocked as imp;
-#[cfg(feature = "reference")]
-use reference as imp;
+use std::sync::OnceLock;
 
 /// Whether the dispatchers below route to the naive reference oracle
-/// (`reference` cargo feature) instead of the blocked kernels.
+/// (`reference` cargo feature) instead of the optimized tiers.
 pub const USING_REFERENCE: bool = cfg!(feature = "reference");
+
+/// The optimized kernel implementation the process-wide dispatchers route
+/// to (ignored when the `reference` cargo feature forces the oracle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelTier {
+    /// The portable cache-blocked scalar kernels ([`blocked`]).
+    Scalar,
+    /// The explicit-SIMD kernels ([`simd`]; bitwise identical to
+    /// [`blocked`], AVX2 on x86_64).
+    Simd,
+}
+
+impl KernelTier {
+    /// Stable lowercase name (`"scalar"` / `"simd"`), matching the values
+    /// `COLLAPOIS_KERNEL_TIER` accepts.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelTier::Scalar => "scalar",
+            KernelTier::Simd => "simd",
+        }
+    }
+}
+
+static TIER: OnceLock<KernelTier> = OnceLock::new();
+
+/// The tier the dispatchers route to, decided once per process: the value
+/// of `COLLAPOIS_KERNEL_TIER` (`"scalar"` or `"simd"`) if set, otherwise
+/// [`KernelTier::Simd`] when [`simd::supported`] detects host support and
+/// [`KernelTier::Scalar`] when it does not. Forcing `simd` on a host
+/// without SIMD support is harmless — the [`simd`] module then delegates to
+/// [`blocked`] internally.
+///
+/// # Panics
+///
+/// Panics if `COLLAPOIS_KERNEL_TIER` is set to anything other than
+/// `scalar` or `simd` (a misspelled tier must never silently run the
+/// wrong kernels).
+pub fn active_tier() -> KernelTier {
+    *TIER.get_or_init(|| match std::env::var("COLLAPOIS_KERNEL_TIER") {
+        Ok(v) if v == "scalar" => KernelTier::Scalar,
+        Ok(v) if v == "simd" => KernelTier::Simd,
+        Ok(v) => panic!("COLLAPOIS_KERNEL_TIER must be \"scalar\" or \"simd\", got {v:?}"),
+        Err(_) => {
+            if simd::supported() {
+                KernelTier::Simd
+            } else {
+                KernelTier::Scalar
+            }
+        }
+    })
+}
+
+/// Comma-separated list of the SIMD ISA extensions detected on the running
+/// host (the ones this crate cares about), e.g. `"avx2,fma,avx512f"` —
+/// recorded in bench JSON metadata so rows from different machines are
+/// comparable. `"none"` when nothing relevant is detected (including every
+/// non-x86_64 target).
+pub fn cpu_features() -> String {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let mut feats: Vec<&str> = Vec::new();
+        if std::arch::is_x86_feature_detected!("sse4.2") {
+            feats.push("sse4.2");
+        }
+        if std::arch::is_x86_feature_detected!("avx") {
+            feats.push("avx");
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            feats.push("avx2");
+        }
+        if std::arch::is_x86_feature_detected!("fma") {
+            feats.push("fma");
+        }
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            feats.push("avx512f");
+        }
+        if feats.is_empty() {
+            "none".to_string()
+        } else {
+            feats.join(",")
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        "none".to_string()
+    }
+}
+
+/// Routes one kernel call: reference oracle under the `reference` feature,
+/// otherwise the process-wide [`active_tier`].
+macro_rules! dispatch {
+    ($f:ident ( $($arg:expr),* $(,)? )) => {{
+        #[cfg(feature = "reference")]
+        {
+            reference::$f($($arg),*)
+        }
+        #[cfg(not(feature = "reference"))]
+        {
+            match active_tier() {
+                KernelTier::Scalar => blocked::$f($($arg),*),
+                KernelTier::Simd => simd::$f($($arg),*),
+            }
+        }
+    }};
+}
 
 /// `C = A · B` (`A: [m, k]`, `B: [k, n]`, `C: [m, n]`, row-major).
 pub fn matmul(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    imp::matmul(a, b, c, m, k, n)
+    dispatch!(matmul(a, b, c, m, k, n))
 }
 
 /// `C = A · Bᵀ` with `bt: [n, k]` row-major (dense-layer forward layout).
 pub fn matmul_transb(a: &[f32], bt: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
-    imp::matmul_transb(a, bt, c, m, k, n)
+    dispatch!(matmul_transb(a, bt, c, m, k, n))
 }
 
 /// `C += Aᵀ · B` (`A: [m, p]`, `B: [m, q]`, `C: [p, q]`) — weight-gradient
 /// accumulation.
 pub fn matmul_transa_acc(a: &[f32], b: &[f32], c: &mut [f32], m: usize, p: usize, q: usize) {
-    imp::matmul_transa_acc(a, b, c, m, p, q)
+    dispatch!(matmul_transa_acc(a, b, c, m, p, q))
 }
 
 /// `y += alpha · x`.
 pub fn axpy(y: &mut [f32], alpha: f32, x: &[f32]) {
-    imp::axpy(y, alpha, x)
+    dispatch!(axpy(y, alpha, x))
 }
 
 /// `x *= alpha`.
 pub fn scale(x: &mut [f32], alpha: f32) {
-    imp::scale(x, alpha)
+    dispatch!(scale(x, alpha))
 }
 
 /// `acc += x` (`f64` accumulator vector).
 pub fn acc_add(acc: &mut [f64], x: &[f32]) {
-    imp::acc_add(acc, x)
+    dispatch!(acc_add(acc, x))
 }
 
 /// `acc += w · x` with the product in `f64`.
 pub fn acc_scaled(acc: &mut [f64], x: &[f32], w: f64) {
-    imp::acc_scaled(acc, x, w)
+    dispatch!(acc_scaled(acc, x, w))
 }
 
 /// `acc += (x · s)` with the product rounded to `f32` first (clip-then-
 /// average without materializing the clipped copy).
 pub fn acc_scaled_f32(acc: &mut [f64], x: &[f32], s: f32) {
-    imp::acc_scaled_f32(acc, x, s)
+    dispatch!(acc_scaled_f32(acc, x, s))
 }
 
 /// Dot product in `f64`.
 pub fn dot(a: &[f32], b: &[f32]) -> f64 {
-    imp::dot(a, b)
+    dispatch!(dot(a, b))
 }
 
 /// Squared l2 norm in `f64`.
 pub fn sq_l2_norm(a: &[f32]) -> f64 {
-    imp::sq_l2_norm(a)
+    dispatch!(sq_l2_norm(a))
 }
 
 /// Squared l2 distance in `f64`.
 pub fn sq_l2_distance(a: &[f32], b: &[f32]) -> f64 {
-    imp::sq_l2_distance(a, b)
+    dispatch!(sq_l2_distance(a, b))
 }
 
 /// `n × n` matrix (row-major) of pairwise squared l2 distances.
 pub fn pairwise_sq_distances(vectors: &[&[f32]]) -> Vec<f64> {
-    imp::pairwise_sq_distances(vectors)
+    dispatch!(pairwise_sq_distances(vectors))
 }
 
 /// One row of [`pairwise_sq_distances`] written into a borrowed buffer —
 /// the shard-friendly entry point (each row is independent and bitwise
 /// identical to the full matrix's row).
 pub fn pairwise_sq_distances_row_into(vectors: &[&[f32]], i: usize, row: &mut [f64]) {
-    imp::pairwise_sq_distances_row_into(vectors, i, row)
+    dispatch!(pairwise_sq_distances_row_into(vectors, i, row))
 }
 
 /// α-trimmed mean of a scratch buffer (reordered in place): drop the
 /// `trim` lowest and highest values, average the rest.
 pub fn trimmed_mean_inplace(buf: &mut [f32], trim: usize) -> f32 {
-    imp::trimmed_mean_inplace(buf, trim)
+    dispatch!(trimmed_mean_inplace(buf, trim))
 }
 
 /// Median of a scratch buffer (reordered in place); even lengths
 /// interpolate the two middle order statistics in `f64`.
 pub fn median_inplace(buf: &mut [f32]) -> f32 {
-    imp::median_inplace(buf)
+    dispatch!(median_inplace(buf))
 }
 
 /// In-place numerically-stable softmax over `n` rows of length `k`.
 pub fn softmax_rows(data: &mut [f32], n: usize, k: usize) {
-    imp::softmax_rows(data, n, k)
+    dispatch!(softmax_rows(data, n, k))
 }
 
 /// Fused softmax + cross-entropy: writes the batch-mean gradient into
@@ -139,7 +254,7 @@ pub fn softmax_xent(
     k: usize,
     grad: &mut [f32],
 ) -> (f64, usize) {
-    imp::softmax_xent(logits, labels, n, k, grad)
+    dispatch!(softmax_xent(logits, labels, n, k, grad))
 }
 
 #[cfg(test)]

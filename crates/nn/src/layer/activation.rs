@@ -174,7 +174,7 @@ mod tests {
         let mut out = Tensor::default();
         let mut gin = Tensor::default();
         for scale in [1.0f32, -2.0, 0.5] {
-            let x = Tensor::from_vec(vec![-1.0 * scale, 0.0, 2.0 * scale], &[1, 3]);
+            let x = Tensor::from_vec(vec![-scale, 0.0, 2.0 * scale], &[1, 3]);
             a.forward_into(&x, &mut out, true);
             let expect = b.forward(&x, true);
             assert_eq!(out, expect);

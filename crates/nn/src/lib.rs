@@ -41,7 +41,11 @@
 //! assert!(stats.loss > 0.0);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the explicit-SIMD kernel tier
+// (`kernels::simd`) is the single module allowed to opt back in — its
+// `core::arch` intrinsics are unsafe by signature even though every call
+// site is guarded by runtime feature detection.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod init;

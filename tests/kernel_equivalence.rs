@@ -1,10 +1,15 @@
 //! Differential tests pinning the blocked kernels to the naive reference
-//! oracle (`collapois::nn::kernels::{blocked, reference}`).
+//! oracle (`collapois::nn::kernels::{blocked, reference}`), and the
+//! explicit-SIMD tier to the blocked kernels.
 //!
-//! Both implementations are always compiled, so this suite compares them
-//! directly regardless of which one the `reference` cargo feature routes
-//! the dispatchers to. CI runs it in debug and `--release` to catch
-//! optimization-level-dependent floating-point differences.
+//! All implementations are always compiled, so this suite compares them
+//! directly regardless of which one the `reference` cargo feature or the
+//! process-wide `COLLAPOIS_KERNEL_TIER` choice routes the dispatchers to.
+//! CI runs it in debug and `--release` to catch optimization-level-
+//! dependent floating-point differences, and the `kernel-tier` CI job runs
+//! the whole tier-1 suite under both `COLLAPOIS_KERNEL_TIER` values so the
+//! env-override path itself cannot rot (the override is read once per
+//! process, so it cannot be toggled from inside a single test binary).
 //!
 //! # Tolerance policy
 //!
@@ -23,8 +28,13 @@
 //!   single-chain reference by a few `f64` ulps. 1e-12 relative is ~4
 //!   orders of magnitude above f64 epsilon yet far below anything the
 //!   `f32` inputs can resolve.
+//! * **Exact (bitwise), simd vs blocked** — every function, including the
+//!   reassociated `f64` reductions: the SIMD tier's 4 `f64` lanes are the
+//!   blocked tier's 4 accumulator chains (same elements, same order, same
+//!   fixed combine tree), and no FMA is used, so the tiers agree bit for
+//!   bit and golden fixtures are tier-invariant.
 
-use collapois::nn::kernels::{blocked, reference};
+use collapois::nn::kernels::{blocked, reference, simd};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -39,6 +49,61 @@ fn assert_rel_close(a: f64, b: f64, what: &str) {
         ((a - b) / denom).abs() <= 1e-12,
         "{what}: blocked={a} reference={b}"
     );
+}
+
+/// SIMD vs blocked at the same tile-boundary shapes (covers the 8-lane
+/// remainder paths at every `ncb % 8` residue), plus the dispatcher-level
+/// tier checks: whatever the process-wide tier is, the public dispatchers
+/// must agree bitwise with the module that tier names — so golden fixtures
+/// cannot depend on which tier a host selects.
+#[test]
+fn simd_tier_bitwise_at_tile_boundaries_and_dispatch_agrees() {
+    use collapois::nn::kernels::{self, active_tier, KernelTier};
+
+    // The env override is read once per process: when CI pins it, the
+    // decision must match; unset, detection must have picked *something*.
+    match std::env::var("COLLAPOIS_KERNEL_TIER").ok().as_deref() {
+        Some("scalar") => assert_eq!(active_tier(), KernelTier::Scalar),
+        Some("simd") => assert_eq!(active_tier(), KernelTier::Simd),
+        _ => {
+            let t = active_tier();
+            assert!(t == KernelTier::Scalar || t == KernelTier::Simd);
+        }
+    }
+
+    let mut rng = StdRng::seed_from_u64(11);
+    for &(m, k, n) in &[(1, 1, 1), (3, 127, 255), (3, 129, 257), (8, 300, 513)] {
+        let a = fill(&mut rng, m * k);
+        let b = fill(&mut rng, k * n);
+        let mut c_simd = vec![0.0f32; m * n];
+        let mut c_blk = vec![0.0f32; m * n];
+        let mut c_disp = vec![0.0f32; m * n];
+        simd::matmul(&a, &b, &mut c_simd, m, k, n);
+        blocked::matmul(&a, &b, &mut c_blk, m, k, n);
+        kernels::matmul(&a, &b, &mut c_disp, m, k, n);
+        assert_eq!(c_simd, c_blk, "simd matmul {m}x{k}x{n}");
+        if !kernels::USING_REFERENCE {
+            // Either tier must produce the identical C.
+            assert_eq!(c_disp, c_blk, "dispatched matmul {m}x{k}x{n}");
+        }
+
+        let bt = fill(&mut rng, n * k);
+        c_simd.fill(0.0);
+        c_blk.fill(0.0);
+        simd::matmul_transb(&a, &bt, &mut c_simd, m, k, n);
+        blocked::matmul_transb(&a, &bt, &mut c_blk, m, k, n);
+        assert_eq!(c_simd, c_blk, "simd matmul_transb {m}x{k}x{n}");
+
+        let (p, q) = (k, n);
+        let a2 = fill(&mut rng, m * p);
+        let b2 = fill(&mut rng, m * q);
+        let init = fill(&mut rng, p * q);
+        let mut acc_simd = init.clone();
+        let mut acc_blk = init;
+        simd::matmul_transa_acc(&a2, &b2, &mut acc_simd, m, p, q);
+        blocked::matmul_transa_acc(&a2, &b2, &mut acc_blk, m, p, q);
+        assert_eq!(acc_simd, acc_blk, "simd matmul_transa_acc {m}x{p}x{q}");
+    }
 }
 
 /// Dimensions straddling the KC=128 / NC=256 tile boundaries exercise every
@@ -246,6 +311,142 @@ proptest! {
                 assert_rel_close(d_blk[i * n + j], d_ref[i * n + j], "pairwise");
             }
         }
+    }
+
+    /// The SIMD tier is bitwise identical to the blocked tier on the whole
+    /// matmul family (8-lane microkernels preserve the per-element `k`
+    /// order; no FMA).
+    #[test]
+    fn simd_matmul_family_bitwise_vs_blocked(seed in 0u64..10_000, m in 1usize..12, k in 1usize..48, n in 1usize..48) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = fill(&mut rng, m * k);
+        let b = fill(&mut rng, k * n);
+        let mut c_simd = vec![0.0f32; m * n];
+        let mut c_blk = vec![0.0f32; m * n];
+        simd::matmul(&a, &b, &mut c_simd, m, k, n);
+        blocked::matmul(&a, &b, &mut c_blk, m, k, n);
+        prop_assert_eq!(c_simd, c_blk);
+
+        let bt = fill(&mut rng, n * k);
+        let mut c_simd = vec![0.0f32; m * n];
+        let mut c_blk = vec![0.0f32; m * n];
+        simd::matmul_transb(&a, &bt, &mut c_simd, m, k, n);
+        blocked::matmul_transb(&a, &bt, &mut c_blk, m, k, n);
+        prop_assert_eq!(c_simd, c_blk);
+
+        let (p, q) = (k, n);
+        let a2 = fill(&mut rng, m * p);
+        let b2 = fill(&mut rng, m * q);
+        let init = fill(&mut rng, p * q);
+        let mut acc_simd = init.clone();
+        let mut acc_blk = init;
+        simd::matmul_transa_acc(&a2, &b2, &mut acc_simd, m, p, q);
+        blocked::matmul_transa_acc(&a2, &b2, &mut acc_blk, m, p, q);
+        prop_assert_eq!(acc_simd, acc_blk);
+    }
+
+    /// SIMD element-wise ops: each lane is an independent per-element
+    /// chain, so exact equality with the blocked tier is required.
+    #[test]
+    fn simd_elementwise_ops_bitwise_vs_blocked(seed in 0u64..10_000, len in 1usize..400, alpha in -3.0f32..3.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = fill(&mut rng, len);
+        let y0 = fill(&mut rng, len);
+
+        let mut y_simd = y0.clone();
+        let mut y_blk = y0.clone();
+        simd::axpy(&mut y_simd, alpha, &x);
+        blocked::axpy(&mut y_blk, alpha, &x);
+        prop_assert_eq!(&y_simd, &y_blk);
+
+        simd::scale(&mut y_simd, alpha);
+        blocked::scale(&mut y_blk, alpha);
+        prop_assert_eq!(&y_simd, &y_blk);
+
+        let acc0: Vec<f64> = y0.iter().map(|&v| v as f64).collect();
+        let mut a_simd = acc0.clone();
+        let mut a_blk = acc0;
+        simd::acc_add(&mut a_simd, &x);
+        blocked::acc_add(&mut a_blk, &x);
+        prop_assert_eq!(&a_simd, &a_blk);
+        simd::acc_scaled(&mut a_simd, &x, alpha as f64);
+        blocked::acc_scaled(&mut a_blk, &x, alpha as f64);
+        prop_assert_eq!(&a_simd, &a_blk);
+        simd::acc_scaled_f32(&mut a_simd, &x, alpha);
+        blocked::acc_scaled_f32(&mut a_blk, &x, alpha);
+        prop_assert_eq!(a_simd, a_blk);
+    }
+
+    /// SIMD `f64` reductions are bitwise identical to the blocked tier
+    /// (lane `i` *is* chain `i`; same fixed combine tree) — a stronger
+    /// statement than the 1e-12 policy against the reference.
+    #[test]
+    fn simd_f64_reductions_bitwise_vs_blocked(seed in 0u64..10_000, len in 1usize..600) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = fill(&mut rng, len);
+        let b = fill(&mut rng, len);
+        prop_assert_eq!(simd::dot(&a, &b).to_bits(), blocked::dot(&a, &b).to_bits());
+        prop_assert_eq!(simd::sq_l2_norm(&a).to_bits(), blocked::sq_l2_norm(&a).to_bits());
+        prop_assert_eq!(
+            simd::sq_l2_distance(&a, &b).to_bits(),
+            blocked::sq_l2_distance(&a, &b).to_bits()
+        );
+    }
+
+    /// SIMD pairwise distances (full matrix and the row-sharded Krum entry
+    /// point) are bitwise identical to the blocked tier.
+    #[test]
+    fn simd_pairwise_bitwise_vs_blocked(seed in 0u64..10_000, n in 1usize..8, dim in 1usize..80) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let vs: Vec<Vec<f32>> = (0..n).map(|_| fill(&mut rng, dim)).collect();
+        let refs: Vec<&[f32]> = vs.iter().map(|v| v.as_slice()).collect();
+        let d_simd = simd::pairwise_sq_distances(&refs);
+        let d_blk = blocked::pairwise_sq_distances(&refs);
+        for (x, y) in d_simd.iter().zip(&d_blk) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+        let mut row = vec![0.0f64; n];
+        for i in 0..n {
+            simd::pairwise_sq_distances_row_into(&refs, i, &mut row);
+            for j in 0..n {
+                prop_assert_eq!(row[j].to_bits(), d_blk[i * n + j].to_bits());
+            }
+        }
+    }
+
+    /// SIMD softmax paths (vectorized normalizing divide and 1/n scale,
+    /// scalar max/exp/sum) are bitwise identical to the blocked tier, and
+    /// the delegated order statistics trivially so.
+    #[test]
+    fn simd_softmax_and_order_stats_bitwise_vs_blocked(seed in 0u64..10_000, n in 1usize..16, k in 2usize..12) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let logits = fill(&mut rng, n * k);
+        let labels: Vec<usize> = (0..n).map(|_| rng.gen_range(0usize..k)).collect();
+
+        let mut s_simd = logits.clone();
+        let mut s_blk = logits.clone();
+        simd::softmax_rows(&mut s_simd, n, k);
+        blocked::softmax_rows(&mut s_blk, n, k);
+        prop_assert_eq!(s_simd, s_blk);
+
+        let mut g_simd = vec![0.0f32; n * k];
+        let mut g_blk = vec![0.0f32; n * k];
+        let (l_simd, c_simd) = simd::softmax_xent(&logits, &labels, n, k, &mut g_simd);
+        let (l_blk, c_blk) = blocked::softmax_xent(&logits, &labels, n, k, &mut g_blk);
+        prop_assert_eq!(g_simd, g_blk);
+        prop_assert_eq!(l_simd.to_bits(), l_blk.to_bits());
+        prop_assert_eq!(c_simd, c_blk);
+
+        let vals = fill(&mut rng, n * k);
+        let mut b_simd = vals.clone();
+        let mut b_blk = vals.clone();
+        prop_assert_eq!(
+            simd::trimmed_mean_inplace(&mut b_simd, (n * k - 1) / 4),
+            blocked::trimmed_mean_inplace(&mut b_blk, (n * k - 1) / 4)
+        );
+        let mut b_simd = vals.clone();
+        let mut b_blk = vals;
+        prop_assert_eq!(simd::median_inplace(&mut b_simd), blocked::median_inplace(&mut b_blk));
     }
 
     /// Single-row distance kernel (the row-sharded Krum path): each row

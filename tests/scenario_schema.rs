@@ -35,6 +35,7 @@ fn doc(
          rounds = {rounds}\n\
          eval_every = 1\n\
          seed = {seed}\n\
+         quantization = \"f16\"\n\
          [axes]\n\
          attack = [\"collapois\", \"label-flip\", \"dpois\"]\n\
          defense = [\"none\", \"krum\"]\n\
@@ -184,6 +185,49 @@ fn type_confusion_is_a_typed_error() {
         GridSpec::parse(&text),
         Err(SchemaError::WrongType { .. })
     ));
+}
+
+#[test]
+fn quantization_axis_is_typed_and_hashed() {
+    use collapois_core::scenario::Quantization;
+    let base = doc(1.0, 0.1, 12, 3, 1, 0.1, 0);
+
+    // Each accepted codec resolves into the cell config; distinct codecs
+    // hash as distinct configurations.
+    let mut hashes = Vec::new();
+    for (name, expected) in [
+        ("f32", Quantization::F32),
+        ("f16", Quantization::F16),
+        ("int8", Quantization::Int8),
+    ] {
+        let text = base.replace(
+            "quantization = \"f16\"",
+            &format!("quantization = \"{name}\""),
+        );
+        let cells = GridSpec::parse(&text).unwrap().cells().unwrap();
+        assert_eq!(cells[0].spec.config.quantization, expected);
+        hashes.push(cells[0].config_hash);
+    }
+    assert_ne!(hashes[0], hashes[1]);
+    assert_ne!(hashes[1], hashes[2]);
+    assert_ne!(hashes[0], hashes[2]);
+
+    // An unknown codec is a typed OutOfRange naming the key.
+    let text = base.replace("quantization = \"f16\"", "quantization = \"int4\"");
+    match GridSpec::parse(&text) {
+        Err(SchemaError::OutOfRange { path, message }) => {
+            assert_eq!(path, "quantization");
+            assert!(message.contains("int4"), "{message}");
+        }
+        other => panic!("expected OutOfRange(quantization), got {other:?}"),
+    }
+
+    // A non-string value is a typed WrongType.
+    let text = base.replace("quantization = \"f16\"", "quantization = 8");
+    match GridSpec::parse(&text) {
+        Err(SchemaError::WrongType { path, .. }) => assert_eq!(path, "quantization"),
+        other => panic!("expected WrongType(quantization), got {other:?}"),
+    }
 }
 
 #[test]
