@@ -1,11 +1,13 @@
 //! End-to-end round-loop throughput benchmark (`harness = false`).
 //!
-//! Runs the CollaPois round loop at worker counts 1/2/4/8 over three
+//! Runs the CollaPois round loop at worker counts 1/2/4/8 over four
 //! scenarios — 64 clients (the paper's client-level sweep size), 256
 //! clients (enough sampled clients per round that the parallel fan-out has
-//! real work), and a faulted 64-client cohort (20% dropout plus straggler
+//! real work), a faulted 64-client cohort (20% dropout plus straggler
 //! shedding and in-flight corruption, exercising the degradation paths the
-//! fault plan adds to the round loop) — measures steady-state rounds/sec
+//! fault plan adds to the round loop), and 4096 clients at a 64-client
+//! per-round fan-out (paper-scale cohort: binomial sampling and lazy
+//! shard residency on the hot path) — measures steady-state rounds/sec
 //! from the per-round
 //! `elapsed_ms` of the structured run trace (setup — data generation,
 //! Trojan training — is excluded by construction), and emits
@@ -178,6 +180,8 @@ struct WorkerResult {
 struct ScenarioResult {
     name: &'static str,
     clients: usize,
+    /// Per-round client sampling rate (the 4096-client scenario thins it).
+    sample_rate: f64,
     /// Human-readable fault-plan summary (`"none"` for clean scenarios).
     faults: &'static str,
     results: Vec<WorkerResult>,
@@ -211,8 +215,8 @@ fn emit_json(rounds: usize, scenarios: &[ScenarioResult], out: &PathBuf) {
     body.push_str("  \"scenarios\": [\n");
     for (si, sc) in scenarios.iter().enumerate() {
         body.push_str(&format!(
-            "    {{\"name\": \"{}\", \"clients\": {}, \"compromised_frac\": 0.05, \"attack\": \"collapois\", \"defense\": \"none\", \"faults\": \"{}\", \"rounds\": {rounds}, \"sample_rate\": 0.25, \"results\": [\n",
-            sc.name, sc.clients, sc.faults
+            "    {{\"name\": \"{}\", \"clients\": {}, \"compromised_frac\": 0.05, \"attack\": \"collapois\", \"defense\": \"none\", \"faults\": \"{}\", \"rounds\": {rounds}, \"sample_rate\": {}, \"results\": [\n",
+            sc.name, sc.clients, sc.faults, sc.sample_rate
         ));
         for (i, r) in sc.results.iter().enumerate() {
             let bytes = match r.bytes_alloc_per_round {
@@ -327,6 +331,13 @@ fn main() {
     let (c64, cfg64) = bench_cfg("clients64", 64, rounds);
     let (c256, cfg256) = bench_cfg("clients256", 256, rounds);
     let (c64f, cfg64f) = bench_cfg("clients64-faulted", 64, rounds);
+    // Paper-scale cohort: 4096 clients crosses the lazy-materialization
+    // threshold, so shards render on first touch under the LRU budget and
+    // per-round sampling goes through the binomial fast path. The sample
+    // rate is thinned to a 64-client per-round fan-out so the row measures
+    // cohort-scale bookkeeping, not 16x more batch arithmetic.
+    let (c4096, mut cfg4096) = bench_cfg("clients4096", 4096, rounds);
+    cfg4096.sample_rate = 64.0 / 4096.0;
     for (name, cfg, fault, faults) in [
         (c64, cfg64, FaultPlan::none(), "none"),
         (c256, cfg256, FaultPlan::none(), "none"),
@@ -336,6 +347,7 @@ fn main() {
             faulted_plan(),
             "dropout=0.2 straggler=0.1@5ms/10ms corrupt=0.05",
         ),
+        (c4096, cfg4096, FaultPlan::none(), "none"),
     ] {
         println!(
             "scenario {name}: {} clients (faults: {faults})",
@@ -375,6 +387,7 @@ fn main() {
         scenarios.push(ScenarioResult {
             name,
             clients: cfg.num_clients,
+            sample_rate: cfg.sample_rate,
             faults,
             results,
         });

@@ -25,7 +25,7 @@ mod args;
 
 use args::{ArgError, Args};
 use collapois_core::scenario::{
-    AttackKind, DatasetKind, DefenseKind, FlAlgo, Quantization, RunOptions, Scenario,
+    AttackKind, CohortMode, DatasetKind, DefenseKind, FlAlgo, Quantization, RunOptions, Scenario,
     ScenarioConfig, ScenarioModel, SimKnobs,
 };
 use collapois_core::theory::theorem1_bound;
@@ -96,7 +96,11 @@ fn print_help() {
          \u{20}  --model mlp|cnn   --repeats R\n\
          \u{20}  --rounds T   --clients N   --topk K\n\
          \u{20}  --quant f32|f16|int8   client-update transport codec (deterministic\n\
-         \u{20}                         RNE encode/decode round-trip; default f32)\n\n\
+         \u{20}                         RNE encode/decode round-trip; default f32)\n\
+         \u{20}  --cohort auto|eager|lazy   client-shard materialization; auto goes\n\
+         \u{20}                             lazy at >= 1024 clients\n\
+         \u{20}  --shard-budget-mb MB   resident-shard LRU byte budget for lazy\n\
+         \u{20}                         cohorts (0 = default 256 MB)\n\n\
          execution (bit-identical for any worker count):\n\
          \u{20}  --workers W            fan benign training over W threads\n\
          \u{20}  --trace FILE           write a JSONL run trace\n\
@@ -140,6 +144,8 @@ const RUN_KEYS: &[&str] = &[
     "model",
     "repeats",
     "quant",
+    "cohort",
+    "shard-budget-mb",
     "workers",
     "trace",
     "checkpoint-dir",
@@ -238,6 +244,15 @@ fn build_config(args: &Args) -> Result<ScenarioConfig, String> {
     let quant = args.get("quant").unwrap_or("f32");
     cfg.quantization =
         Quantization::parse(quant).ok_or_else(|| format!("unknown quant '{quant}'"))?;
+    cfg.cohort = match args.get("cohort").unwrap_or("auto") {
+        "auto" => CohortMode::Auto,
+        "eager" => CohortMode::Eager,
+        "lazy" => CohortMode::Lazy,
+        other => return Err(format!("unknown cohort mode '{other}'")),
+    };
+    cfg.shard_budget_mb = args
+        .get_or("shard-budget-mb", cfg.shard_budget_mb)
+        .map_err(err)?;
     Ok(cfg)
 }
 
@@ -727,6 +742,18 @@ mod tests {
         assert_eq!(cfg.num_clients, 30);
         assert_eq!(cfg.seed, 9);
         assert_eq!(cfg.quantization, Quantization::Int8);
+    }
+
+    #[test]
+    fn config_builder_applies_cohort_options() {
+        let args = Args::parse(["run", "--cohort", "lazy", "--shard-budget-mb", "64"]).unwrap();
+        let cfg = build_config(&args).unwrap();
+        assert_eq!(cfg.cohort, CohortMode::Lazy);
+        assert_eq!(cfg.shard_budget_mb, 64);
+        let cfg = build_config(&Args::parse(["run"]).unwrap()).unwrap();
+        assert_eq!(cfg.cohort, CohortMode::Auto);
+        let args = Args::parse(["run", "--cohort", "maybe"]).unwrap();
+        assert!(build_config(&args).unwrap_err().contains("maybe"));
     }
 
     #[test]

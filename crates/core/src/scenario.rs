@@ -13,6 +13,7 @@ use crate::collapois::{CollaPois, CollaPoisConfig};
 use crate::trojan::{train_trojan, TrojanConfig, TrojanedModel};
 use collapois_data::federated::FederatedDataset;
 use collapois_data::sample::Dataset;
+use collapois_data::shard::{ShardSource, ShardSpec, ShardStats};
 use collapois_data::synthetic::{
     SyntheticImage, SyntheticImageConfig, SyntheticText, SyntheticTextConfig,
 };
@@ -200,6 +201,39 @@ impl ScenarioModel {
     }
 }
 
+/// How client data is materialized for a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CohortMode {
+    /// Lazy at and above [`LAZY_COHORT_THRESHOLD`] clients, eager below.
+    #[default]
+    Auto,
+    /// Always pool, partition and split every client up front.
+    Eager,
+    /// Always generate per-client shards on first touch and keep them
+    /// resident under the shard byte budget (the paper-scale cohort
+    /// engine).
+    Lazy,
+}
+
+impl CohortMode {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Auto => "auto",
+            Self::Eager => "eager",
+            Self::Lazy => "lazy",
+        }
+    }
+}
+
+/// Client count at which [`CohortMode::Auto`] switches to lazy shards.
+/// Below this the eager pooled-then-partitioned path (whose draw sequence
+/// the quick-scale golden hashes pin) always runs.
+pub const LAZY_COHORT_THRESHOLD: usize = 1024;
+
+/// Default resident-shard byte budget when `shard_budget_mb` is 0.
+pub const DEFAULT_SHARD_BUDGET_MB: usize = 256;
+
 /// Defense hyper-parameters (sensible defaults for the synthetic scale).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DefenseParams {
@@ -292,6 +326,11 @@ pub struct ScenarioConfig {
     pub defense_params: DefenseParams,
     /// DPois/MRepl/DBA poisoned-data fraction.
     pub poison_fraction: f64,
+    /// Client-data materialization strategy (see [`CohortMode`]).
+    pub cohort: CohortMode,
+    /// Resident-shard byte budget in MiB for the lazy backing
+    /// (`0` = [`DEFAULT_SHARD_BUDGET_MB`]).
+    pub shard_budget_mb: usize,
 }
 
 impl ScenarioConfig {
@@ -322,6 +361,8 @@ impl ScenarioConfig {
             collapois: CollaPoisConfig::paper(),
             defense_params: DefenseParams::default(),
             poison_fraction: 0.5,
+            cohort: CohortMode::Auto,
+            shard_budget_mb: 0,
         }
     }
 
@@ -348,17 +389,71 @@ impl ScenarioConfig {
         }
     }
 
-    /// Number of compromised clients: `max(4, round(frac·N))`, 0 when the
-    /// fraction is 0 or the attack is `None`. (The floor of 4 mirrors the
-    /// paper's smallest cohorts — 4–28 clients; below that the attacker's
-    /// auxiliary data covers too few classes for any attack to train a
-    /// meaningful Trojan at this simulation scale.)
+    /// Number of compromised clients: `round(frac·N)` floored at 4 below
+    /// [`LAZY_COHORT_THRESHOLD`] clients and at 1 above it, 0 when the
+    /// fraction is 0 or the attack is `None`. (The quick-scale floor of 4
+    /// mirrors the paper's smallest cohorts — 4–28 clients — where fewer
+    /// compromised validation splits cover too few classes to train a
+    /// meaningful Trojan. At paper scale each client is one of thousands,
+    /// so even a handful of compromised clients pools enough auxiliary
+    /// data and the floor is no longer needed.)
     pub fn num_compromised(&self) -> usize {
         if self.compromised_frac <= 0.0 || self.attack == AttackKind::None {
             return 0;
         }
+        let floor = if self.num_clients >= LAZY_COHORT_THRESHOLD {
+            1
+        } else {
+            4
+        };
         ((self.num_clients as f64 * self.compromised_frac).round() as usize)
-            .clamp(4, (self.num_clients / 2).max(4))
+            .clamp(floor, (self.num_clients / 2).max(floor))
+    }
+
+    /// Whether this configuration serves client data through lazy resident
+    /// shards.
+    pub fn uses_lazy_cohort(&self) -> bool {
+        match self.cohort {
+            CohortMode::Eager => false,
+            CohortMode::Lazy => true,
+            CohortMode::Auto => self.num_clients >= LAZY_COHORT_THRESHOLD,
+        }
+    }
+
+    /// Resident-shard byte budget for the lazy backing.
+    pub fn shard_budget_bytes(&self) -> usize {
+        let mb = if self.shard_budget_mb == 0 {
+            DEFAULT_SHARD_BUDGET_MB
+        } else {
+            self.shard_budget_mb
+        };
+        mb << 20
+    }
+
+    /// The per-client shard generator for the lazy backing: the same
+    /// synthetic source as [`Scenario::generate_dataset`] (identical
+    /// prototypes/centers for a given seed — the `samples` field does not
+    /// shape them), rendered per client from the derived shard RNG stream.
+    pub fn shard_spec(&self) -> ShardSpec {
+        let source = match self.dataset {
+            DatasetKind::Image => ShardSource::Image(SyntheticImage::new(SyntheticImageConfig {
+                side: IMAGE_SIDE,
+                classes: IMAGE_CLASSES,
+                samples: self.samples_per_client,
+                noise: 0.05,
+                max_shift: 1,
+                seed: self.seed,
+            })),
+            DatasetKind::Text => ShardSource::Text(SyntheticText::new(SyntheticTextConfig {
+                dim: TEXT_DIM,
+                classes: TEXT_CLASSES,
+                clusters_per_class: 3,
+                samples: self.samples_per_client,
+                noise: 0.6,
+                seed: self.seed,
+            })),
+        };
+        ShardSpec::new(source, self.samples_per_client, self.alpha, self.seed)
     }
 
     /// The trigger for this dataset family.
@@ -539,6 +634,11 @@ pub struct ScenarioReport {
     pub event_hash: u64,
     /// Number of trace events folded into `event_hash`.
     pub event_count: u64,
+    /// Residency counters of the lazy cohort backing (`None` on eager
+    /// runs). Hit/miss/eviction tallies depend on access order only, so
+    /// they are as deterministic as the run itself; `resident_bytes` is
+    /// what the cohort-scale budget test asserts against.
+    pub shard_stats: Option<ShardStats>,
 }
 
 impl ScenarioReport {
@@ -677,9 +777,19 @@ impl Scenario {
         let spec = cfg.model_spec();
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5CE0);
 
-        // 1. Data.
-        let dataset = self.generate_dataset();
-        let fed = FederatedDataset::build(&mut rng, &dataset, cfg.num_clients, cfg.alpha);
+        // 1. Data. The lazy path never pools a global dataset: shards are
+        // a pure function of (seed, client_id), so the cohort engine
+        // materializes clients on first touch under the byte budget. It
+        // consumes no draws from `rng` here, which puts the compromised
+        // shuffle below on a different stream position than the eager
+        // path — lazy cohorts are a new scenario family at new scales,
+        // not a re-expression of a pinned eager one.
+        let fed = if cfg.uses_lazy_cohort() {
+            FederatedDataset::lazy(cfg.shard_spec(), cfg.num_clients, cfg.shard_budget_bytes())
+        } else {
+            let dataset = self.generate_dataset();
+            FederatedDataset::build(&mut rng, &dataset, cfg.num_clients, cfg.alpha)
+        };
 
         // 2. Compromised clients (uniformly random, per the paper).
         let n_comp = cfg.num_compromised();
@@ -803,6 +913,7 @@ impl Scenario {
         };
 
         let (event_hash, event_count) = hash_canonical_events(server.trace_events());
+        let shard_stats = server.dataset().shard_stats();
         ScenarioReport {
             config: cfg.clone(),
             compromised,
@@ -815,6 +926,7 @@ impl Scenario {
             profile: server.take_profile(),
             event_hash,
             event_count,
+            shard_stats,
         }
     }
 

@@ -4,10 +4,19 @@
 //! and 15 % validation; the combined validation sets of the compromised
 //! clients form the attacker's auxiliary data `D_a` used to train the
 //! Trojaned model X.
+//!
+//! Client data is served through one of two backings: *eager* (every
+//! client materialized up front — the original pooled-then-partitioned
+//! path) or *lazy* (per-client shards generated on first touch and kept
+//! resident under an LRU byte budget — the paper-scale cohort engine, see
+//! [`crate::shard`]). Callers see a single [`FederatedDataset::client`]
+//! accessor either way.
 
 use crate::partition::dirichlet_partition;
 use crate::sample::Dataset;
+use crate::shard::{ResidentShards, ShardSpec, ShardStats};
 use rand::Rng;
+use std::sync::Arc;
 
 /// One client's local data splits.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,15 +48,50 @@ impl ClientData {
         out.extend_from(&self.val);
         out
     }
+
+    /// Heap bytes held by the three splits (what the resident-shard byte
+    /// budget accounts against).
+    pub fn heap_bytes(&self) -> usize {
+        self.train.heap_bytes() + self.test.heap_bytes() + self.val.heap_bytes()
+    }
+}
+
+/// How client data is stored and served.
+#[derive(Debug, Clone)]
+enum Backing {
+    /// Every client resident from construction.
+    Eager(Vec<Arc<ClientData>>),
+    /// Shards generated on first touch, LRU-resident under a byte budget.
+    Lazy(Arc<ResidentShards>),
 }
 
 /// A dataset partitioned across clients with per-client splits.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct FederatedDataset {
-    clients: Vec<ClientData>,
+    backing: Backing,
     sample_shape: Vec<usize>,
     num_classes: usize,
     alpha: f64,
+}
+
+impl PartialEq for FederatedDataset {
+    fn eq(&self, other: &Self) -> bool {
+        if (self.sample_shape != other.sample_shape)
+            || self.num_classes != other.num_classes
+            || self.alpha != other.alpha
+        {
+            return false;
+        }
+        match (&self.backing, &other.backing) {
+            (Backing::Eager(a), Backing::Eager(b)) => a == b,
+            // Equal specs generate bit-identical shards for every client,
+            // so spec equality is data equality.
+            (Backing::Lazy(a), Backing::Lazy(b)) => {
+                a.spec() == b.spec() && a.num_clients() == b.num_clients()
+            }
+            _ => false,
+        }
+    }
 }
 
 impl FederatedDataset {
@@ -87,20 +131,57 @@ impl FederatedDataset {
             .map(|indices| {
                 let local = dataset.subset(indices);
                 let (train, test, val) = local.split(rng, train_frac, test_frac);
-                ClientData { train, test, val }
+                Arc::new(ClientData { train, test, val })
             })
             .collect();
         Self {
-            clients,
+            backing: Backing::Eager(clients),
             sample_shape: dataset.sample_shape().to_vec(),
             num_classes: dataset.num_classes(),
             alpha,
         }
     }
 
+    /// A lazily materialized cohort: `n_clients` shards generated on first
+    /// touch per `spec` and kept resident under `budget_bytes` (see
+    /// [`ResidentShards`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_clients == 0` or `budget_bytes == 0`.
+    pub fn lazy(spec: ShardSpec, n_clients: usize, budget_bytes: usize) -> Self {
+        let sample_shape = spec.source().sample_shape();
+        let num_classes = spec.source().num_classes();
+        let alpha = spec.alpha();
+        Self {
+            backing: Backing::Lazy(Arc::new(ResidentShards::new(spec, n_clients, budget_bytes))),
+            sample_shape,
+            num_classes,
+            alpha,
+        }
+    }
+
+    /// Every client of `spec` materialized up front — the eager reference
+    /// the lazy backing must be bitwise-indistinguishable from (pinned by
+    /// the cohort-engine golden fixture).
+    pub fn eager_from_shards(spec: &ShardSpec, n_clients: usize) -> Self {
+        let clients = (0..n_clients)
+            .map(|id| Arc::new(spec.generate_client(id)))
+            .collect();
+        Self {
+            backing: Backing::Eager(clients),
+            sample_shape: spec.source().sample_shape(),
+            num_classes: spec.source().num_classes(),
+            alpha: spec.alpha(),
+        }
+    }
+
     /// Number of clients.
     pub fn num_clients(&self) -> usize {
-        self.clients.len()
+        match &self.backing {
+            Backing::Eager(clients) => clients.len(),
+            Backing::Lazy(store) => store.num_clients(),
+        }
     }
 
     /// The Dirichlet concentration this dataset was partitioned with.
@@ -118,18 +199,26 @@ impl FederatedDataset {
         self.num_classes
     }
 
-    /// Data of client `id`.
+    /// Data of client `id`. Cheap on the eager backing (an `Arc` clone);
+    /// on the lazy backing a first touch generates the shard and repeat
+    /// touches are resident-cache hits.
     ///
     /// # Panics
     ///
     /// Panics if `id` is out of bounds.
-    pub fn client(&self, id: usize) -> &ClientData {
-        &self.clients[id]
+    pub fn client(&self, id: usize) -> Arc<ClientData> {
+        match &self.backing {
+            Backing::Eager(clients) => Arc::clone(&clients[id]),
+            Backing::Lazy(store) => store.get(id),
+        }
     }
 
-    /// Iterator over all clients' data.
-    pub fn clients(&self) -> impl Iterator<Item = &ClientData> {
-        self.clients.iter()
+    /// Residency counters of the lazy backing (`None` when eager).
+    pub fn shard_stats(&self) -> Option<ShardStats> {
+        match &self.backing {
+            Backing::Eager(_) => None,
+            Backing::Lazy(store) => Some(store.stats()),
+        }
     }
 
     /// The attacker's auxiliary dataset `D_a = ∪_{c∈C} val_c` — the pooled
@@ -141,7 +230,7 @@ impl FederatedDataset {
     pub fn auxiliary(&self, compromised: &[usize]) -> Dataset {
         let mut out = Dataset::empty(&self.sample_shape, self.num_classes);
         for &c in compromised {
-            out.extend_from(&self.clients[c].val);
+            out.extend_from(&self.client(c).val);
             // Compromised clients contribute everything they hold; the paper
             // pools their validation sets for X but the attacker also trains
             // DPois on their full local data. We keep D_a = validation only,
@@ -154,6 +243,7 @@ impl FederatedDataset {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::shard::ShardSource;
     use crate::synthetic::{SyntheticImage, SyntheticImageConfig};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -168,6 +258,16 @@ mod tests {
         let ds = SyntheticImage::new(cfg).generate();
         let mut rng = StdRng::seed_from_u64(9);
         FederatedDataset::build(&mut rng, &ds, clients, alpha)
+    }
+
+    fn shard_spec(seed: u64) -> ShardSpec {
+        let gen = SyntheticImage::new(SyntheticImageConfig {
+            samples: 1,
+            side: 8,
+            classes: 5,
+            ..Default::default()
+        });
+        ShardSpec::new(ShardSource::Image(gen), 40, 1.0, seed)
     }
 
     #[test]
@@ -207,5 +307,32 @@ mod tests {
         let f = fed(1.0, 4);
         let c = f.client(2);
         assert_eq!(c.all().len(), c.len());
+    }
+
+    #[test]
+    fn lazy_and_eager_shard_backings_agree() {
+        let lazy = FederatedDataset::lazy(shard_spec(11), 12, 1 << 22);
+        let eager = FederatedDataset::eager_from_shards(&shard_spec(11), 12);
+        assert_eq!(lazy.num_clients(), eager.num_clients());
+        assert_eq!(lazy.sample_shape(), eager.sample_shape());
+        // Scrambled lazy access order must not matter.
+        for id in [7, 0, 11, 3, 7, 0] {
+            assert_eq!(lazy.client(id), eager.client(id));
+        }
+        assert_eq!(lazy.auxiliary(&[2, 9]), eager.auxiliary(&[2, 9]));
+        assert!(lazy.shard_stats().is_some());
+        assert!(eager.shard_stats().is_none());
+    }
+
+    #[test]
+    fn equality_follows_the_backing() {
+        let a = FederatedDataset::lazy(shard_spec(11), 12, 1 << 22);
+        let b = FederatedDataset::lazy(shard_spec(11), 12, 1 << 22);
+        let c = FederatedDataset::lazy(shard_spec(12), 12, 1 << 22);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        // Lazy never equals eager, even over the same spec: the comparison
+        // would otherwise force full materialization.
+        assert_ne!(a, FederatedDataset::eager_from_shards(&shard_spec(11), 12));
     }
 }

@@ -22,6 +22,9 @@
 //!   `D^Troj` sets.
 //! * [`federated`] — per-client 70/15/15 train/test/validation splits and
 //!   the attacker's auxiliary dataset (union of compromised clients' data).
+//! * [`shard`] — the paper-scale cohort engine's lazy resident client
+//!   shards: per-client data generated on first touch from a derived RNG
+//!   stream, kept resident under an LRU byte budget.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,10 +34,12 @@ pub mod labels;
 pub mod partition;
 pub mod poison;
 pub mod sample;
+pub mod shard;
 pub mod synthetic;
 pub mod trigger;
 
 pub use federated::{ClientData, FederatedDataset};
 pub use partition::dirichlet_partition;
 pub use sample::Dataset;
+pub use shard::{ResidentShards, ShardSource, ShardSpec, ShardStats};
 pub use trigger::Trigger;

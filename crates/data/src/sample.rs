@@ -243,6 +243,15 @@ impl Dataset {
         }
     }
 
+    /// Heap bytes held by this dataset's feature and label buffers
+    /// (capacity, not length — the number the resident-shard byte budget
+    /// accounts against).
+    pub fn heap_bytes(&self) -> usize {
+        self.features.capacity() * std::mem::size_of::<f32>()
+            + self.labels.capacity() * std::mem::size_of::<usize>()
+            + self.sample_shape.capacity() * std::mem::size_of::<usize>()
+    }
+
     /// Splits into `(train, test, val)` datasets by the given fractions
     /// after a seeded shuffle (the paper uses 70/15/15).
     ///

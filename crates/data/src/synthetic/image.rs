@@ -95,8 +95,14 @@ impl SyntheticImage {
         ds
     }
 
-    /// Renders one sample of `class` into `out` (length `side²`).
-    fn render_sample<R: Rng + ?Sized>(&self, rng: &mut R, class: usize, out: &mut [f32]) {
+    /// Renders one sample of `class` into `out` (length `side²`). Shared by
+    /// [`SyntheticImage::generate`] and the per-client shard generator.
+    pub(crate) fn render_sample<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        class: usize,
+        out: &mut [f32],
+    ) {
         let s = self.config.side as isize;
         let max = self.config.max_shift as isize;
         let dx = if max > 0 {

@@ -97,14 +97,28 @@ impl SyntheticText {
         let mut buf = vec![0.0f32; cfg.dim];
         for i in 0..cfg.samples {
             let class = i % cfg.classes;
-            let cluster = rng.gen_range(0..cfg.clusters_per_class);
-            let center = self.center(class, cluster);
-            for (b, &c) in buf.iter_mut().zip(center) {
-                *b = c + (cfg.noise * standard_normal(&mut rng)) as f32;
-            }
+            self.render_sample(&mut rng, class, &mut buf);
             ds.push(&buf, class);
         }
         ds
+    }
+
+    /// Renders one sample of `class` into `out` (length `dim`): a random
+    /// sub-topic center plus isotropic noise. Shared by
+    /// [`SyntheticText::generate`] and the per-client shard generator; draws
+    /// from `rng` in exactly the sequence the inlined `generate` loop did.
+    pub(crate) fn render_sample<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        class: usize,
+        out: &mut [f32],
+    ) {
+        let cfg = &self.config;
+        let cluster = rng.gen_range(0..cfg.clusters_per_class);
+        let center = self.center(class, cluster);
+        for (b, &c) in out.iter_mut().zip(center) {
+            *b = c + (cfg.noise * standard_normal(rng)) as f32;
+        }
     }
 }
 

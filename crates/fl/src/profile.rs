@@ -34,6 +34,11 @@ pub struct PhaseProfile {
     /// Dispatcher time spent waiting on helper lanes after finishing its
     /// own lane (the barrier cost), all dispatches.
     pub barrier_ms: f64,
+    /// Successful work-steal claims across all pool dispatches. Timing
+    /// dependent — diagnostic only, never part of deterministic output.
+    pub steals: u64,
+    /// Items rerouted by work-steal claims across all pool dispatches.
+    pub stolen_items: u64,
     /// Sampled clients removed by the fault plan before training (injected
     /// dropout).
     pub dropped_clients: usize,
@@ -56,6 +61,8 @@ impl PhaseProfile {
         self.eval_ms += other.eval_ms;
         self.dispatch_ms += other.dispatch_ms;
         self.barrier_ms += other.barrier_ms;
+        self.steals += other.steals;
+        self.stolen_items += other.stolen_items;
         self.dropped_clients += other.dropped_clients;
         self.shed_stragglers += other.shed_stragglers;
         self.rejected_updates += other.rejected_updates;
@@ -86,6 +93,12 @@ impl PhaseProfile {
             self.barrier_ms / n,
             self.rounds,
         );
+        if self.steals > 0 {
+            s.push_str(&format!(
+                "  [steals: {} claims, {} items]",
+                self.steals, self.stolen_items,
+            ));
+        }
         if self.has_faults() {
             s.push_str(&format!(
                 "  [faults: dropped {} | shed {} | rejected {} | ckpt-fail {}]",
@@ -113,6 +126,8 @@ mod tests {
             eval_ms: 4.0,
             dispatch_ms: 0.01,
             barrier_ms: 0.02,
+            steals: 5,
+            stolen_items: 9,
             dropped_clients: 3,
             shed_stragglers: 1,
             rejected_updates: 2,
@@ -123,6 +138,8 @@ mod tests {
         assert_eq!(a.rounds, 4);
         assert_eq!(a.train_ms, 2.0);
         assert_eq!(a.barrier_ms, 0.04);
+        assert_eq!(a.steals, 10);
+        assert_eq!(a.stolen_items, 18);
         assert_eq!(a.dropped_clients, 6);
         assert_eq!(a.shed_stragglers, 2);
         assert_eq!(a.rejected_updates, 4);

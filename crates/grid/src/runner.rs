@@ -87,10 +87,55 @@ fn valid_prefix(existing: &str, cells: &[GridCell]) -> (usize, usize) {
     (offset, kept)
 }
 
+/// Where the wall-clock profile sidecar for a report lives.
+///
+/// `smoke.jsonl` → `smoke.profile.jsonl`. The sidecar is rewritten from
+/// scratch on every invocation and never read back: it carries timing
+/// counters (dispatch/barrier milliseconds, steal tallies, shard
+/// residency), which are machine-dependent and must stay out of the
+/// resume-matched, byte-identity-checked main report.
+pub fn profile_sidecar_path(out_path: &Path) -> PathBuf {
+    out_path.with_extension("profile.jsonl")
+}
+
+/// One sidecar line: the timing-dependent counters for an executed cell.
+fn profile_row(cell: &GridCell, report: &collapois_core::scenario::ScenarioReport) -> String {
+    let p = &report.profile;
+    let mut row = format!(
+        concat!(
+            "{{\"cell\":\"{}\",\"train_ms\":{:.3},\"commit_ms\":{:.3},",
+            "\"aggregate_ms\":{:.3},\"eval_ms\":{:.3},\"dispatch_ms\":{:.3},",
+            "\"barrier_ms\":{:.3},\"steals\":{},\"stolen_items\":{}"
+        ),
+        cell.id,
+        p.train_ms,
+        p.commit_ms,
+        p.aggregate_ms,
+        p.eval_ms,
+        p.dispatch_ms,
+        p.barrier_ms,
+        p.steals,
+        p.stolen_items,
+    );
+    if let Some(s) = &report.shard_stats {
+        row.push_str(&format!(
+            concat!(
+                ",\"shard_resident_bytes\":{},\"shard_budget_bytes\":{},",
+                "\"shard_hits\":{},\"shard_misses\":{},\"shard_evictions\":{}"
+            ),
+            s.resident_bytes, s.budget_bytes, s.hits, s.misses, s.evictions,
+        ));
+    }
+    row.push('}');
+    row
+}
+
 /// Runs (or resumes) a grid, appending one report row per executed cell.
 ///
 /// `progress` fires once per cell in order, after the cell is skipped or
-/// its row is durably written.
+/// its row is durably written. A profile sidecar (see
+/// [`profile_sidecar_path`]) is truncated at the start of each invocation
+/// and receives one timing row per *executed* cell.
 ///
 /// # Errors
 ///
@@ -136,6 +181,9 @@ pub fn run_grid(
     file.set_len(keep_bytes as u64)?;
     file.seek(SeekFrom::Start(keep_bytes as u64))?;
 
+    // Timing sidecar: truncated every invocation, never resume-matched.
+    let mut profile_file = File::create(profile_sidecar_path(out_path))?;
+
     let mut executed = 0usize;
     let mut position = 0usize; // cells with a row so far
     for cell in &cells {
@@ -160,6 +208,9 @@ pub fn run_grid(
         // Flush per cell: a kill loses at most the in-flight cell.
         file.flush()?;
         file.sync_data()?;
+        profile_file.write_all(profile_row(cell, &report).as_bytes())?;
+        profile_file.write_all(b"\n")?;
+        profile_file.flush()?;
         executed += 1;
         position += 1;
         progress(cell, CellStatus::Executed);
@@ -230,6 +281,27 @@ defense = ["none", "median"]
         assert_eq!((o2.executed, o2.skipped), (0, 2));
         assert_eq!(statuses, vec![CellStatus::Skipped; 2]);
         assert_eq!(std::fs::read_to_string(&out).unwrap(), text1);
+    }
+
+    #[test]
+    fn profile_sidecar_tracks_executed_cells_only() {
+        let spec = fast_spec();
+        let out = tmp("sidecar.jsonl");
+        let _ = std::fs::remove_file(&out);
+        run_grid(&spec, &out, &GridRunOptions::default(), |_, _| {}).unwrap();
+        let side = profile_sidecar_path(&out);
+        assert_eq!(side, tmp("sidecar.profile.jsonl"));
+        let text = std::fs::read_to_string(&side).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        for (line, cell) in text.lines().zip(spec.cells().unwrap()) {
+            assert_eq!(extract_str_field(line, "cell").unwrap(), cell.id);
+            assert!(line.contains("\"dispatch_ms\":"));
+            assert!(line.contains("\"steals\":"));
+        }
+        // A resume that skips everything leaves an empty sidecar: the
+        // file reflects only what this invocation measured.
+        run_grid(&spec, &out, &GridRunOptions::default(), |_, _| {}).unwrap();
+        assert_eq!(std::fs::read_to_string(&side).unwrap(), "");
     }
 
     #[test]

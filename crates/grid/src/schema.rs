@@ -40,8 +40,8 @@
 
 use crate::toml::{self, fmt_float, TomlError, TomlTable, TomlValue};
 use collapois_core::scenario::{
-    AttackKind, DatasetKind, DefenseKind, FlAlgo, Quantization, ScenarioConfig, ScenarioModel,
-    SimKnobs,
+    AttackKind, CohortMode, DatasetKind, DefenseKind, FlAlgo, Quantization, ScenarioConfig,
+    ScenarioModel, SimKnobs,
 };
 use collapois_runtime::fault::FaultPlan;
 
@@ -179,6 +179,8 @@ pub const CELL_KEYS: &[&str] = &[
     "poison_fraction",
     "trojan_epochs",
     "quantization",
+    "cohort",
+    "shard_budget_mb",
     "fault.dropout",
     "fault.straggler",
     "fault.straggler_mean_ms",
@@ -336,6 +338,21 @@ pub fn parse_algo(path: &str, name: &str) -> Result<FlAlgo, SchemaError> {
     })
 }
 
+/// Parses a cohort-materialization mode name.
+pub fn parse_cohort(path: &str, name: &str) -> Result<CohortMode, SchemaError> {
+    Ok(match name {
+        "auto" => CohortMode::Auto,
+        "eager" => CohortMode::Eager,
+        "lazy" => CohortMode::Lazy,
+        other => {
+            return Err(out_of_range(
+                path,
+                format!("unknown cohort mode '{other}' (auto|eager|lazy)"),
+            ))
+        }
+    })
+}
+
 /// Parses a client-update transport codec name.
 pub fn parse_quantization(path: &str, name: &str) -> Result<Quantization, SchemaError> {
     Quantization::parse(name).ok_or_else(|| {
@@ -399,6 +416,8 @@ impl CellSpec {
             "poison_fraction" => c.poison_fraction = float_in(path, value, 0.0, 1.0, false)?,
             "trojan_epochs" => c.trojan.epochs = as_count(path, value, 1)?,
             "quantization" => c.quantization = parse_quantization(path, as_str(path, value)?)?,
+            "cohort" => c.cohort = parse_cohort(path, as_str(path, value)?)?,
+            "shard_budget_mb" => c.shard_budget_mb = as_count(path, value, 0)?,
             "fault.dropout" => self.fault.dropout = float_in(path, value, 0.0, 1.0, false)?,
             "fault.straggler" => self.fault.straggler = float_in(path, value, 0.0, 1.0, false)?,
             "fault.straggler_mean_ms" => {
@@ -492,6 +511,8 @@ impl CellSpec {
                 "poison_fraction" => fmt_float(c.poison_fraction),
                 "trojan_epochs" => c.trojan.epochs.to_string(),
                 "quantization" => format!("\"{}\"", c.quantization.name()),
+                "cohort" => format!("\"{}\"", c.cohort.name()),
+                "shard_budget_mb" => c.shard_budget_mb.to_string(),
                 "fault.dropout" => fmt_float(self.fault.dropout),
                 "fault.straggler" => fmt_float(self.fault.straggler),
                 "fault.straggler_mean_ms" => fmt_float(self.fault.straggler_mean_ms),
@@ -1038,6 +1059,22 @@ fault.dropout = 0.2
             GridSpec::parse(&doc).unwrap_err(),
             SchemaError::InvalidCell { .. }
         ));
+    }
+
+    #[test]
+    fn cohort_keys_parse_and_hash() {
+        let doc = SMOKE.replace("[axes]", "cohort = \"lazy\"\nshard_budget_mb = 64\n[axes]");
+        let cells = GridSpec::parse(&doc).unwrap().cells().unwrap();
+        assert_eq!(cells[0].spec.config.cohort, CohortMode::Lazy);
+        assert_eq!(cells[0].spec.config.shard_budget_mb, 64);
+        let base = GridSpec::parse(SMOKE).unwrap().cells().unwrap();
+        assert_eq!(base[0].spec.config.cohort, CohortMode::Auto);
+        assert_ne!(cells[0].config_hash, base[0].config_hash);
+        let bad = SMOKE.replace("[axes]", "cohort = \"sometimes\"\n[axes]");
+        match GridSpec::parse(&bad).unwrap_err() {
+            SchemaError::OutOfRange { path, .. } => assert_eq!(path, "cohort"),
+            other => panic!("expected OutOfRange, got {other}"),
+        }
     }
 
     #[test]

@@ -21,9 +21,23 @@
 //! (more workers than hardware threads) the spin phase is skipped entirely
 //! — spinning would only steal cycles from the lanes doing real work.
 //!
-//! Lane assignment is **strided**: lane `l` of `W` processes item indices
-//! `l, l+W, l+2W, …`. Outputs land in the slot of their input index, so the
-//! result is independent of scheduling, worker count, and lane assignment.
+//! # Work-stealing lane assignment
+//!
+//! Items are assigned through per-lane **index queues**: lane `l` of `W`
+//! starts on the contiguous range `[l·n/W, (l+1)·n/W)` and claims it from
+//! the front in chunks; once its own queue drains it *steals* chunks from
+//! the back of other lanes' queues. A slow item therefore cannot strand the
+//! rest of its lane's range — idle lanes pick it up. Chunk size adapts to
+//! the measured barrier wait (long waits shrink chunks so stealing gets
+//! finer; negligible waits grow them to amortize the claim CAS). Because
+//! every output lands in the slot of its input index and jobs are
+//! independent, stealing moves only *where* work runs, never what it
+//! produces: results are bitwise identical at any worker count, chunk size,
+//! and steal schedule.
+//!
+//! Dispatches of [`TINY_INLINE`] or fewer items run inline on the calling
+//! thread — a tiny round is cheaper to run sequentially than to pay the
+//! epoch handoff.
 //!
 //! The dispatching thread itself runs lane 0, so a `workers = W` pool holds
 //! `W − 1` helper threads and `workers = 1` never synchronizes at all.
@@ -111,6 +125,18 @@ struct Shared {
     wait_ns: AtomicU64,
     /// Nanoseconds spent publishing jobs (handoff cost), accumulated.
     dispatch_ns: AtomicU64,
+    /// Barrier wait of the most recent dispatch only (autotune feedback).
+    last_wait_ns: AtomicU64,
+    /// Per-lane index ranges for the queued dispatch, packed
+    /// `head << 32 | tail`; rewritten before every queued epoch.
+    queues: Vec<AtomicU64>,
+    /// Adaptive chunk-size hint for queue claims, bounded to
+    /// `[CHUNK_HINT_MIN, CHUNK_HINT_MAX]`.
+    chunk_hint: AtomicU64,
+    /// Successful steal claims since the last drain.
+    steals: AtomicU64,
+    /// Items moved by steal claims since the last drain.
+    stolen_items: AtomicU64,
     /// Spin iterations before a helper parks; 0 when oversubscribed.
     spin_limit: u32,
 }
@@ -125,6 +151,67 @@ unsafe impl Send for Shared {}
 const DISPATCH_SPIN: u32 = 1 << 10;
 /// Spin iterations before an idle *helper* parks on the condvar.
 const HELPER_SPIN: u32 = 1 << 14;
+/// Dispatches of this many items or fewer run inline on the calling thread:
+/// the epoch handoff costs more than the work it would distribute.
+const TINY_INLINE: usize = 2;
+/// Smallest chunk a queue claim may take.
+const CHUNK_HINT_MIN: u64 = 1;
+/// Largest chunk a queue claim may take.
+const CHUNK_HINT_MAX: u64 = 256;
+/// Initial chunk-size hint before any barrier feedback arrives.
+const CHUNK_HINT_INIT: u64 = 8;
+
+/// Packs a queue range `[head, tail)` into one atomic word.
+fn pack_range(head: usize, tail: usize) -> u64 {
+    ((head as u64) << 32) | tail as u64
+}
+
+/// Claims up to `chunk` indices from the *front* of `q` (the owner side).
+/// Returns the claimed `[begin, end)` range, or `None` when empty.
+fn claim_front(q: &AtomicU64, chunk: usize) -> Option<(usize, usize)> {
+    let mut cur = q.load(Ordering::Acquire);
+    loop {
+        let head = (cur >> 32) as usize;
+        let tail = (cur & 0xFFFF_FFFF) as usize;
+        if head >= tail {
+            return None;
+        }
+        let take = chunk.min(tail - head);
+        match q.compare_exchange_weak(
+            cur,
+            pack_range(head + take, tail),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => return Some((head, head + take)),
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// Claims up to `chunk` indices from the *back* of `q` (the thief side).
+/// Front and back claims race on the same word, so owner and thieves can
+/// never hand out overlapping ranges.
+fn claim_back(q: &AtomicU64, chunk: usize) -> Option<(usize, usize)> {
+    let mut cur = q.load(Ordering::Acquire);
+    loop {
+        let head = (cur >> 32) as usize;
+        let tail = (cur & 0xFFFF_FFFF) as usize;
+        if head >= tail {
+            return None;
+        }
+        let take = chunk.min(tail - head);
+        match q.compare_exchange_weak(
+            cur,
+            pack_range(head, tail - take),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => return Some((tail - take, tail)),
+            Err(seen) => cur = seen,
+        }
+    }
+}
 
 fn helper_loop(shared: Arc<Shared>, lane: usize) {
     // The baseline is the epoch at spawn time (0), NOT a fresh load: a
@@ -198,6 +285,11 @@ impl PoolCore {
             cvar: Condvar::new(),
             wait_ns: AtomicU64::new(0),
             dispatch_ns: AtomicU64::new(0),
+            last_wait_ns: AtomicU64::new(0),
+            queues: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            chunk_hint: AtomicU64::new(CHUNK_HINT_INIT),
+            steals: AtomicU64::new(0),
+            stolen_items: AtomicU64::new(0),
             // Oversubscribed helpers park immediately: spinning on a lane
             // that shares a hardware thread with working lanes only delays
             // the barrier.
@@ -267,9 +359,9 @@ impl PoolCore {
                 std::thread::yield_now();
             }
         }
-        self.shared
-            .wait_ns
-            .fetch_add(wait_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let waited = wait_start.elapsed().as_nanos() as u64;
+        self.shared.wait_ns.fetch_add(waited, Ordering::Relaxed);
+        self.shared.last_wait_ns.store(waited, Ordering::Relaxed);
         unsafe { *self.shared.job.get() = None };
         self.dispatching.store(false, Ordering::Release);
 
@@ -284,6 +376,66 @@ impl PoolCore {
             .take();
         if let Some(payload) = helper_panic {
             resume_unwind(payload);
+        }
+    }
+
+    /// Queued dispatch: runs `work(lane, begin, end)` over disjoint
+    /// subranges that exactly cover `0..n`. Lanes drain their own
+    /// contiguous range from the front, then steal chunks from the back of
+    /// other lanes' queues until every queue is empty. The chunk size comes
+    /// from the adaptive hint, clamped so each lane's initial range holds
+    /// at least a few chunks; after the barrier the hint is steered by the
+    /// dispatch's measured wait fraction.
+    fn run_queued(&self, workers: usize, n: usize, work: &(dyn Fn(usize, usize, usize) + Sync)) {
+        debug_assert!(n <= u32::MAX as usize, "queued dispatch holds u32 indices");
+        debug_assert_eq!(self.shared.queues.len(), workers);
+        for (lane, q) in self.shared.queues.iter().enumerate() {
+            q.store(
+                pack_range(lane * n / workers, (lane + 1) * n / workers),
+                Ordering::Relaxed,
+            );
+        }
+        let hint = self.shared.chunk_hint.load(Ordering::Relaxed);
+        // Keep at least ~4 claims per lane so there is something to steal.
+        let chunk = (hint as usize).min((n / (workers * 4)).max(1));
+        let start = Instant::now();
+        let shared = &self.shared;
+        self.run(&|lane| {
+            while let Some((begin, end)) = claim_front(&shared.queues[lane], chunk) {
+                work(lane, begin, end);
+            }
+            // Queues only ever shrink within a dispatch, so one pass over
+            // the victims (draining each) observes every item claimed.
+            let mut steals = 0u64;
+            let mut stolen = 0u64;
+            for offset in 1..workers {
+                let victim = (lane + offset) % workers;
+                while let Some((begin, end)) = claim_back(&shared.queues[victim], chunk) {
+                    steals += 1;
+                    stolen += (end - begin) as u64;
+                    work(lane, begin, end);
+                }
+            }
+            if steals > 0 {
+                shared.steals.fetch_add(steals, Ordering::Relaxed);
+                shared.stolen_items.fetch_add(stolen, Ordering::Relaxed);
+            }
+        });
+        // Autotune: a dispatch that spent >25 % of its wall clock waiting on
+        // the barrier was imbalanced — halve the chunk so stealing divides
+        // finer. Under 5 % the lanes were level — double it to amortize the
+        // claim CAS. Dispatches are serialized, so the plain store is safe.
+        let total_ns = (start.elapsed().as_nanos() as u64).max(1);
+        let waited = self.shared.last_wait_ns.load(Ordering::Relaxed);
+        let steered = if waited.saturating_mul(4) > total_ns {
+            (hint / 2).max(CHUNK_HINT_MIN)
+        } else if waited.saturating_mul(20) < total_ns {
+            (hint * 2).min(CHUNK_HINT_MAX)
+        } else {
+            hint
+        };
+        if steered != hint {
+            self.shared.chunk_hint.store(steered, Ordering::Relaxed);
         }
     }
 }
@@ -375,22 +527,83 @@ impl WorkerPool {
         }
     }
 
-    /// Runs `f(lane)` for every lane `0..workers`, lane 0 on the calling
-    /// thread. Inline (no synchronization) for sequential pools.
-    fn run_lanes(&self, f: &(dyn Fn(usize) + Sync)) {
+    /// Drains the work-stealing counters since the last drain: `(steal
+    /// claims, items moved by steals)`. Always `(0, 0)` for a sequential
+    /// pool — there is nobody to steal from.
+    pub fn take_steal_stats(&self) -> (u64, u64) {
         match &self.core {
-            Some(core) => core.run(f),
-            None => f(0),
+            Some(core) => (
+                core.shared.steals.swap(0, Ordering::Relaxed),
+                core.shared.stolen_items.swap(0, Ordering::Relaxed),
+            ),
+            None => (0, 0),
+        }
+    }
+
+    /// Runs `work(lane, &mut arena)` once on every lane's own thread — a
+    /// pinned dispatch that bypasses the stealing queues — growing
+    /// `arenas` to one per lane first.
+    ///
+    /// Work-stealing makes lane participation schedule-dependent: an
+    /// ordinary dispatch gives no guarantee that any particular helper
+    /// thread runs anything, so state that grows on first use — lazily
+    /// sized arena buffers, thread-local kernel scratch — can pay its
+    /// one-off allocations arbitrarily late. Callers that need
+    /// allocation-free steady state (the zero-alloc round-loop tests)
+    /// warm every lane with this before they start counting.
+    pub fn warm_lanes<A, I, F>(&self, arenas: &mut WorkerArenas<A>, init: I, work: F)
+    where
+        A: Send,
+        I: FnMut() -> A,
+        F: Fn(usize, &mut A) + Sync,
+    {
+        arenas.ensure_with(self.workers, init);
+        match &self.core {
+            Some(core) => {
+                let arenas_ptr = SyncPtr(arenas.arenas.as_mut_ptr());
+                core.run(&|lane| {
+                    // SAFETY: `lane` is unique to the executing thread for
+                    // the whole dispatch, so this is the only live
+                    // reference to its arena slot.
+                    work(lane, unsafe { &mut *arenas_ptr.get().add(lane) });
+                });
+            }
+            None => work(0, &mut arenas.arenas[0]),
+        }
+    }
+
+    /// Runs `work(lane, begin, end)` over disjoint subranges covering
+    /// `0..n`, each index handed to exactly one lane. Sequential pools and
+    /// tiny dispatches (`n <= TINY_INLINE`) run inline as lane 0 with no
+    /// synchronization; otherwise the queued work-stealing dispatch runs.
+    fn run_ranges(&self, n: usize, work: &(dyn Fn(usize, usize, usize) + Sync)) {
+        if n == 0 {
+            return;
+        }
+        match &self.core {
+            Some(core) if n > TINY_INLINE => core.run_queued(self.workers, n, work),
+            _ => work(0, 0, n),
+        }
+    }
+
+    /// Number of lanes a dispatch over `n` items can touch (and therefore
+    /// how many arenas it needs): 1 on the inline paths, all of them on the
+    /// queued path — stealing can route any index to any lane.
+    fn lanes_for(&self, n: usize) -> usize {
+        if self.workers == 1 || n <= TINY_INLINE {
+            1
+        } else {
+            self.workers
         }
     }
 
     /// Applies `f` to every item, returning outputs in input order.
     ///
-    /// `f` receives `(input_index, item)`. With one worker (or one item)
-    /// this runs inline on the caller's thread; otherwise lane `l`
-    /// processes indices `l, l+W, l+2W, …`. Because each output lands in
+    /// `f` receives `(input_index, item)`. With one worker (or a tiny
+    /// input) this runs inline on the caller's thread; otherwise items flow
+    /// through the work-stealing index queues. Because each output lands in
     /// the slot of its input index, the result is independent of
-    /// scheduling.
+    /// scheduling, worker count, and steal order.
     ///
     /// # Panics
     ///
@@ -403,30 +616,20 @@ impl WorkerPool {
         F: Fn(usize, T) -> U + Sync,
     {
         let n = items.len();
-        if self.workers == 1 || n <= 1 {
-            return items
-                .into_iter()
-                .enumerate()
-                .map(|(i, item)| f(i, item))
-                .collect();
-        }
         let mut items = items;
         let mut out: Vec<U> = Vec::with_capacity(n);
         let items_ptr = SyncPtr(items.as_mut_ptr());
         let out_ptr = SyncPtr(out.as_mut_ptr());
-        let workers = self.workers;
         // Elements are moved out through raw reads below; drop the vec's
         // claim on them first so a panicking lane cannot double-drop.
         unsafe { items.set_len(0) };
-        self.run_lanes(&|lane| {
-            let mut i = lane;
-            while i < n {
-                // SAFETY: each index is read/written by exactly one lane
-                // (strided partition) and both buffers hold >= n slots.
+        self.run_ranges(n, &|_lane, begin, end| {
+            for i in begin..end {
+                // SAFETY: the queue protocol hands each index to exactly
+                // one lane and both buffers hold >= n slots.
                 let item = unsafe { std::ptr::read(items_ptr.get().add(i)) };
                 let value = f(i, item);
                 unsafe { std::ptr::write(out_ptr.get().add(i), value) };
-                i += workers;
             }
         });
         // SAFETY: every slot 0..n was written by exactly one lane.
@@ -495,32 +698,23 @@ impl WorkerPool {
         if n == 0 {
             return;
         }
-        if self.workers == 1 || n == 1 {
-            arenas.ensure_with(1, init);
-            let arena = &mut arenas.arenas[0];
-            out.reserve(n);
-            for (i, item) in items.drain(..).enumerate() {
-                out.push(f(i, item, arena));
-            }
-            return;
-        }
-        arenas.ensure_with(self.workers, init);
+        arenas.ensure_with(self.lanes_for(n), init);
         out.reserve(n);
         let items_ptr = SyncPtr(items.as_mut_ptr());
         let out_ptr = SyncPtr(out.as_mut_ptr());
         let arenas_ptr = SyncPtr(arenas.arenas.as_mut_ptr());
-        let workers = self.workers;
         unsafe { items.set_len(0) };
-        self.run_lanes(&|lane| {
-            // SAFETY: each lane touches only its own arena slot.
+        self.run_ranges(n, &|lane, begin, end| {
+            // SAFETY: `lane` is unique to the executing thread for the
+            // whole dispatch, so this is the only live reference to its
+            // arena slot — stealing reroutes indices, never arenas.
             let arena = unsafe { &mut *arenas_ptr.get().add(lane) };
-            let mut i = lane;
-            while i < n {
-                // SAFETY: strided partition — exactly one lane per index.
+            for i in begin..end {
+                // SAFETY: the queue protocol hands each index to exactly
+                // one lane and both buffers hold >= n slots.
                 let item = unsafe { std::ptr::read(items_ptr.get().add(i)) };
                 let value = f(i, item, arena);
                 unsafe { std::ptr::write(out_ptr.get().add(i), value) };
-                i += workers;
             }
         });
         // SAFETY: every slot 0..n was written by exactly one lane.
@@ -550,25 +744,16 @@ impl WorkerPool {
             return;
         }
         let nchunks = n.div_ceil(chunk_len);
-        if self.workers == 1 || nchunks == 1 {
-            for (c, chunk) in data.chunks_mut(chunk_len).enumerate() {
-                f(c, chunk);
-            }
-            return;
-        }
         let base = SyncPtr(data.as_mut_ptr());
-        let workers = self.workers;
-        self.run_lanes(&|lane| {
-            let mut c = lane;
-            while c < nchunks {
+        self.run_ranges(nchunks, &|_lane, cbegin, cend| {
+            for c in cbegin..cend {
                 let start = c * chunk_len;
                 let end = (start + chunk_len).min(n);
-                // SAFETY: chunks are disjoint and within bounds; exactly
-                // one lane owns each chunk (strided partition).
+                // SAFETY: chunks are disjoint and within bounds; the queue
+                // protocol hands each chunk index to exactly one lane.
                 let chunk =
                     unsafe { std::slice::from_raw_parts_mut(base.get().add(start), end - start) };
                 f(c, chunk);
-                c += workers;
             }
         });
     }
@@ -599,31 +784,22 @@ impl WorkerPool {
             return;
         }
         let nchunks = n.div_ceil(chunk_len);
-        if self.workers == 1 || nchunks == 1 {
-            arenas.ensure_with(1, init);
-            let arena = &mut arenas.arenas[0];
-            for (c, chunk) in data.chunks_mut(chunk_len).enumerate() {
-                f(c, chunk, arena);
-            }
-            return;
-        }
-        arenas.ensure_with(self.workers, init);
+        arenas.ensure_with(self.lanes_for(nchunks), init);
         let base = SyncPtr(data.as_mut_ptr());
         let arenas_ptr = SyncPtr(arenas.arenas.as_mut_ptr());
-        let workers = self.workers;
-        self.run_lanes(&|lane| {
-            // SAFETY: each lane touches only its own arena slot.
+        self.run_ranges(nchunks, &|lane, cbegin, cend| {
+            // SAFETY: `lane` is unique to the executing thread for the
+            // whole dispatch, so this is the only live reference to its
+            // arena slot.
             let arena = unsafe { &mut *arenas_ptr.get().add(lane) };
-            let mut c = lane;
-            while c < nchunks {
+            for c in cbegin..cend {
                 let start = c * chunk_len;
                 let end = (start + chunk_len).min(n);
-                // SAFETY: chunks are disjoint and within bounds; exactly
-                // one lane owns each chunk (strided partition).
+                // SAFETY: chunks are disjoint and within bounds; the queue
+                // protocol hands each chunk index to exactly one lane.
                 let chunk =
                     unsafe { std::slice::from_raw_parts_mut(base.get().add(start), end - start) };
                 f(c, chunk, arena);
-                c += workers;
             }
         });
     }
@@ -744,6 +920,43 @@ mod tests {
     }
 
     #[test]
+    fn warm_lanes_runs_once_per_lane_on_distinct_threads() {
+        let pool = WorkerPool::new(4);
+        let mut arenas: WorkerArenas<usize> = WorkerArenas::new();
+        let seen = Mutex::new(Vec::new());
+        pool.warm_lanes(
+            &mut arenas,
+            || 0usize,
+            |lane, hits| {
+                *hits += 1;
+                seen.lock()
+                    .unwrap()
+                    .push((lane, std::thread::current().id()));
+            },
+        );
+        assert_eq!(arenas.len(), 4);
+        // Every lane ran exactly once — stealing cannot skip a lane here.
+        assert_eq!(arenas.arenas, vec![1usize; 4]);
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort_by_key(|&(lane, _)| lane);
+        assert_eq!(
+            seen.iter().map(|&(lane, _)| lane).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        // ...and on four distinct threads (lane 0 is the caller).
+        let mut tids: Vec<_> = seen.iter().map(|&(_, tid)| tid).collect();
+        tids.dedup();
+        assert_eq!(tids.len(), 4);
+        assert_eq!(seen[0].1, std::thread::current().id());
+
+        // The sequential pool warms its single lane inline.
+        let seq = WorkerPool::new(1);
+        let mut arenas: WorkerArenas<usize> = WorkerArenas::new();
+        seq.warm_lanes(&mut arenas, || 0usize, |_, hits| *hits += 1);
+        assert_eq!(arenas.arenas, vec![1usize]);
+    }
+
+    #[test]
     fn map_with_arena_matches_map_for_pure_jobs() {
         let items: Vec<usize> = (0..23).collect();
         let plain = WorkerPool::new(4).map(items.clone(), |i, x| i as u64 + x as u64);
@@ -824,6 +1037,94 @@ mod tests {
         let mut all: Vec<usize> = arenas.arenas.iter().flatten().copied().collect();
         all.sort_unstable();
         assert_eq!(all, (0..6).collect::<Vec<_>>(), "chunks 0..6 each ran once");
+    }
+
+    #[test]
+    fn stealing_is_worker_count_invariant_under_skew() {
+        // Heavily skewed per-item cost: the first indices are expensive, so
+        // multi-worker runs steal aggressively. Any steal schedule must
+        // produce the same output vector as the sequential run.
+        fn cost(i: usize) -> u64 {
+            let mut acc = i as u64 + 1;
+            let iters = if i < 8 { 20_000 } else { 10 };
+            for k in 0..iters {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+            }
+            acc
+        }
+        let reference: Vec<u64> = (0..64).map(cost).collect();
+        for workers in [1, 2, 4, 8] {
+            let out = WorkerPool::new(workers).map((0..64usize).collect(), |i, x| {
+                assert_eq!(i, x);
+                cost(i)
+            });
+            assert_eq!(out, reference, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn an_idle_lane_steals_a_stuck_lanes_queue() {
+        let pool = WorkerPool::new(2);
+        let done = AtomicUsize::new(0);
+        // n = 8, W = 2: lane 0 owns [0, 4), lane 1 owns [4, 8), and the
+        // first dispatch claims single items (the hint is clamped to
+        // n / (W * 4) = 1). Item 0 parks lane 0 until five items are done —
+        // lane 1 holds only four, so the fifth must be stolen from lane 0's
+        // queue. Termination is guaranteed by the steal pass.
+        let out = pool.map((0..8usize).collect(), |i, x| {
+            if i == 0 {
+                while done.load(Ordering::SeqCst) < 5 {
+                    std::thread::yield_now();
+                }
+            }
+            done.fetch_add(1, Ordering::SeqCst);
+            x * 2
+        });
+        assert_eq!(out, (0..8).map(|x| x * 2).collect::<Vec<_>>());
+        let (steals, stolen) = pool.take_steal_stats();
+        assert!(steals >= 1, "lane 1 must have stolen from lane 0");
+        assert!((1..=8).contains(&stolen));
+        assert_eq!(pool.take_steal_stats(), (0, 0), "drained");
+    }
+
+    #[test]
+    fn tiny_dispatches_run_inline_on_the_caller() {
+        let pool = WorkerPool::new(4);
+        let caller = std::thread::current().id();
+        let out = pool.map(vec![1u32, 2], |_, x| {
+            assert_eq!(
+                std::thread::current().id(),
+                caller,
+                "tiny dispatch must not hand off"
+            );
+            x + 1
+        });
+        assert_eq!(out, vec![2, 3]);
+        assert_eq!(pool.take_sync_ns(), (0, 0), "no epoch was published");
+        assert_eq!(WorkerPool::new(1).take_steal_stats(), (0, 0));
+    }
+
+    #[test]
+    fn queue_claims_are_disjoint_and_exhaustive() {
+        // Hammer the claim protocol directly: every index must be handed
+        // out exactly once regardless of chunk size or claim side.
+        for chunk in [1, 3, 7, 64] {
+            let q = AtomicU64::new(pack_range(0, 100));
+            let mut seen = vec![0u8; 100];
+            loop {
+                let front = claim_front(&q, chunk);
+                let back = claim_back(&q, chunk);
+                for (begin, end) in front.into_iter().chain(back) {
+                    for slot in &mut seen[begin..end] {
+                        *slot += 1;
+                    }
+                }
+                if front.is_none() && back.is_none() {
+                    break;
+                }
+            }
+            assert!(seen.iter().all(|&c| c == 1), "chunk={chunk}: {seen:?}");
+        }
     }
 
     #[test]

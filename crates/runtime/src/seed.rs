@@ -45,6 +45,14 @@ pub enum Domain {
     /// worker count. Appended after `Fault` so enabling simulation never
     /// shifts any previously derived stream.
     Sim = 8,
+    /// Per-client data-shard generation for the lazy cohort engine. `round`
+    /// is always 0 and `unit` is the client id, so a client's shard is a
+    /// pure function of `(run_seed, client_id)` — which is what makes lazy
+    /// materialization bitwise-invisible: generating a shard on first touch,
+    /// evicting it, and regenerating it later always reproduces the same
+    /// bytes. Appended after `Sim` so enabling lazy shards never shifts any
+    /// previously derived stream.
+    Shard = 9,
 }
 
 const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
@@ -122,6 +130,15 @@ pub fn sim_rng(run_seed: u64, stream: u64, unit: u64) -> StdRng {
     StdRng::seed_from_u64(mix(run_seed, Domain::Sim, stream, unit))
 }
 
+/// RNG stream generating client `client_id`'s data shard.
+///
+/// The stream depends only on `(run_seed, client_id)` — never on when (or
+/// whether) the shard was previously materialized — so a lazily generated,
+/// evicted and regenerated shard is bit-identical to an eagerly built one.
+pub fn shard_rng(run_seed: u64, client_id: usize) -> StdRng {
+    StdRng::seed_from_u64(mix(run_seed, Domain::Shard, 0, client_id as u64))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,6 +170,14 @@ mod tests {
         let _ = sim_rng(9, 4, 2);
         assert_eq!(before, mix(9, Domain::Fault, 4, 2));
         assert_ne!(mix(9, Domain::Sim, 4, 2), mix(9, Domain::Fault, 4, 2));
+    }
+
+    #[test]
+    fn shard_streams_do_not_shift_existing_domains() {
+        let before = mix(9, Domain::Sim, 4, 2);
+        let _ = shard_rng(9, 2);
+        assert_eq!(before, mix(9, Domain::Sim, 4, 2));
+        assert_ne!(mix(9, Domain::Shard, 0, 2), mix(9, Domain::Sim, 0, 2));
     }
 
     #[test]

@@ -218,6 +218,111 @@ impl Dirichlet {
     }
 }
 
+/// Natural log of `n!`, exact summation for small `n` and a Stirling series
+/// for the rest (relative error far below f64 epsilon at the switch point).
+fn ln_factorial(n: u64) -> f64 {
+    if n < 256 {
+        (2..=n).map(|i| (i as f64).ln()).sum()
+    } else {
+        // ln Γ(x) for x = n + 1, Stirling with three correction terms.
+        let x = n as f64 + 1.0;
+        (x - 0.5) * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI).ln() + 1.0 / (12.0 * x)
+            - 1.0 / (360.0 * x.powi(3))
+            + 1.0 / (1260.0 * x.powi(5))
+    }
+}
+
+/// Binomial distribution `B(n, p)`: the number of successes in `n`
+/// independent trials of probability `p`.
+///
+/// Sampled by inverse-CDF chop-down starting at the mode and walking
+/// outward with the pmf recurrence — one uniform draw per sample and
+/// `O(√(np(1−p)))` expected steps, so counting a paper-scale cohort's
+/// sampled clients costs a single draw instead of one Bernoulli per client.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+}
+
+impl Binomial {
+    /// Creates a binomial distribution over `n` trials of probability `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistributionError::InvalidParameter`] unless `p ∈ [0, 1]`.
+    pub fn new(n: u64, p: f64) -> Result<Self, DistributionError> {
+        if !(p.is_finite() && (0.0..=1.0).contains(&p)) {
+            return Err(DistributionError::InvalidParameter {
+                what: "binomial probability must lie in [0, 1]",
+            });
+        }
+        Ok(Self { n, p })
+    }
+
+    /// The number of trials `n`.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The success probability `p`.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let (n, p) = (self.n, self.p);
+        if n == 0 || p <= 0.0 {
+            return 0;
+        }
+        if p >= 1.0 {
+            return n;
+        }
+        let nf = n as f64;
+        let mode = (((nf + 1.0) * p) as u64).min(n);
+        let pm = (ln_factorial(n) - ln_factorial(mode) - ln_factorial(n - mode)
+            + mode as f64 * p.ln()
+            + (nf - mode as f64) * (1.0 - p).ln())
+        .exp();
+        let odds = p / (1.0 - p);
+        let mut u = rng.gen_range(0.0..1.0) - pm;
+        if u < 0.0 {
+            return mode;
+        }
+        // Alternate below/above the mode, consuming each pmf value once;
+        // the visit order is immaterial to the sampled distribution.
+        let (mut lo, mut hi) = (mode, mode);
+        let (mut p_lo, mut p_hi) = (pm, pm);
+        loop {
+            let mut advanced = false;
+            if lo > 0 {
+                p_lo *= lo as f64 / ((nf - lo as f64 + 1.0) * odds);
+                lo -= 1;
+                u -= p_lo;
+                if u < 0.0 {
+                    return lo;
+                }
+                advanced = true;
+            }
+            if hi < n {
+                p_hi *= (nf - hi as f64) / (hi as f64 + 1.0) * odds;
+                hi += 1;
+                u -= p_hi;
+                if u < 0.0 {
+                    return hi;
+                }
+                advanced = true;
+            }
+            if !advanced {
+                // Residual rounding mass: the support is exhausted, so the
+                // mode is as good a tiebreak as any.
+                return mode;
+            }
+        }
+    }
+}
+
 /// Error produced when constructing a distribution with invalid parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DistributionError {
@@ -328,6 +433,71 @@ mod tests {
     fn dirichlet_rejects_degenerate() {
         assert!(Dirichlet::symmetric(1.0, 1).is_err());
         assert!(Dirichlet::new(vec![1.0, -0.5]).is_err());
+    }
+
+    #[test]
+    fn binomial_moments_at_cohort_scale() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let b = Binomial::new(5000, 0.25).unwrap();
+        let xs: Vec<f64> = (0..20_000).map(|_| b.sample(&mut rng) as f64).collect();
+        // mean = np = 1250, var = np(1-p) = 937.5
+        assert!((mean(&xs) - 1250.0).abs() < 1.0, "mean {}", mean(&xs));
+        assert!(
+            (variance(&xs) - 937.5).abs() < 30.0,
+            "var {}",
+            variance(&xs)
+        );
+        assert!(xs.iter().all(|&x| (0.0..=5000.0).contains(&x)));
+    }
+
+    #[test]
+    fn binomial_small_n_matches_exact_pmf() {
+        // n=4, p=0.5: P(k) = {1,4,6,4,1}/16. A chi-square-ish sanity bound.
+        let mut rng = StdRng::seed_from_u64(7);
+        let b = Binomial::new(4, 0.5).unwrap();
+        let mut counts = [0u32; 5];
+        for _ in 0..16_000 {
+            counts[b.sample(&mut rng) as usize] += 1;
+        }
+        let expected = [1000.0, 4000.0, 6000.0, 4000.0, 1000.0];
+        for (k, (&c, &e)) in counts.iter().zip(&expected).enumerate() {
+            assert!(
+                (c as f64 - e).abs() < 5.0 * e.sqrt(),
+                "k={k}: got {c}, expected {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn binomial_edges_and_determinism() {
+        let mut rng = StdRng::seed_from_u64(8);
+        assert_eq!(Binomial::new(100, 0.0).unwrap().sample(&mut rng), 0);
+        assert_eq!(Binomial::new(100, 1.0).unwrap().sample(&mut rng), 100);
+        assert_eq!(Binomial::new(0, 0.5).unwrap().sample(&mut rng), 0);
+        let b = Binomial::new(3000, 0.1).unwrap();
+        let a: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(9);
+            (0..32).map(|_| b.sample(&mut r)).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(9);
+            (0..32).map(|_| b.sample(&mut r)).collect()
+        };
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn binomial_rejects_bad_probability() {
+        assert!(Binomial::new(10, -0.1).is_err());
+        assert!(Binomial::new(10, 1.1).is_err());
+        assert!(Binomial::new(10, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn ln_factorial_is_continuous_across_the_stirling_switch() {
+        // ln(256!) = ln(255!) + ln 256 must hold across the branch change.
+        let exact = ln_factorial(255) + 256f64.ln();
+        assert!((ln_factorial(256) - exact).abs() < 1e-9);
     }
 
     #[test]

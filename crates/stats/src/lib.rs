@@ -40,6 +40,6 @@ pub mod hypothesis;
 pub mod special;
 
 pub use descriptive::{mean, median, quantile, std_dev, variance};
-pub use distribution::{Dirichlet, Gamma, Normal};
+pub use distribution::{Binomial, Dirichlet, Gamma, Normal};
 pub use geometry::{angle_between, cosine_similarity, l2_norm};
 pub use hypothesis::{ks_two_sample, levene_test, t_test_welch, three_sigma_outliers, TestResult};

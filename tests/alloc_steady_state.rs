@@ -131,9 +131,11 @@ fn pooled_fanout_at_four_workers() {
     let mut jobs: Vec<(usize, Vec<f32>)> = (0..CLIENTS).map(|cid| (cid, Vec::new())).collect();
     let mut out: Vec<(usize, Vec<f32>)> = Vec::new();
 
-    let mut pass = |jobs: &mut Vec<(usize, Vec<f32>)>, out: &mut Vec<(usize, Vec<f32>)>| {
+    let pass = |arenas: &mut WorkerArenas<ClientScratch>,
+                jobs: &mut Vec<(usize, Vec<f32>)>,
+                out: &mut Vec<(usize, Vec<f32>)>| {
         pool.map_with_arena_into(
-            &mut arenas,
+            arenas,
             jobs,
             out,
             || ClientScratch::for_model(&model),
@@ -152,12 +154,27 @@ fn pooled_fanout_at_four_workers() {
     // Warm-up: lane arenas are built on first dispatch, delta buffers grow
     // to model size, and the outcome vector reaches its high-water mark.
     // A second pass settles any lazily-grown per-lane state.
-    pass(&mut jobs, &mut out);
-    pass(&mut jobs, &mut out);
+    pass(&mut arenas, &mut jobs, &mut out);
+    pass(&mut arenas, &mut jobs, &mut out);
+
+    // Work-stealing makes lane participation schedule-dependent: on a
+    // loaded host the dispatcher can steal every job, leaving a helper
+    // thread's scratch — and its 128 KiB thread-local kernel pack buffer —
+    // cold until some later (counted) pass. The pinned warm-up dispatch
+    // trains once on every lane's own thread, so steady state is
+    // schedule-independent.
+    pool.warm_lanes(
+        &mut arenas,
+        || ClientScratch::for_model(&model),
+        |_, scratch| {
+            let mut train_rng = StdRng::seed_from_u64(300);
+            local_sgd_delta_prox_into(&mut train_rng, scratch, &global, &data, &cfg, 0.01);
+        },
+    );
 
     let counts = counting(|| {
         for _ in 0..8 {
-            pass(&mut jobs, &mut out);
+            pass(&mut arenas, &mut jobs, &mut out);
         }
     });
     assert_zero("workers=4 fan-out", counts);
