@@ -77,7 +77,7 @@ fn main() {
             server.dataset(),
             &spec,
             |_| global.clone(),
-            trigger.as_ref(),
+            &collapois_data::poison::TriggerBackdoor(trigger.as_ref()),
             base.trojan.target_class,
             &compromised,
         );

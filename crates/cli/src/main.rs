@@ -89,10 +89,10 @@ fn print_help() {
          \u{20}  --list true          print the expanded cells without running\n\n\
          common options:\n\
          \u{20}  --dataset image|text   --alpha A      --frac F       --seed S\n\
-         \u{20}  --attack collapois|dpois|mrepl|dba|label-flip|none\n\
+         \u{20}  --attack collapois|dpois|mrepl|dba|label-flip|semantic|none\n\
          \u{20}  --defense none|dp|norm-bound|krum|rlr|median|trimmed-mean|signsgd|\n\
-         \u{20}            flare|crfl|stat-filter|user-dp\n\
-         \u{20}  --algo fedavg|feddc|metafed|ditto|clustered\n\
+         \u{20}            flare|crfl|stat-filter|user-dp|fine-prune\n\
+         \u{20}  --algo fedavg|feddc|metafed|ditto|clustered|scaffold\n\
          \u{20}  --model mlp|cnn   --repeats R\n\
          \u{20}  --rounds T   --clients N   --topk K\n\
          \u{20}  --quant f32|f16|int8   client-update transport codec (deterministic\n\
@@ -189,12 +189,14 @@ fn parse_attack(s: &str) -> Result<AttackKind, String> {
         "mrepl" => AttackKind::MRepl,
         "dba" => AttackKind::Dba,
         "label-flip" | "lflip" => AttackKind::LabelFlip,
+        "semantic" => AttackKind::Semantic,
         "none" | "clean" => AttackKind::None,
         other => return Err(format!("unknown attack '{other}'")),
     })
 }
 
 fn parse_defense(s: &str) -> Result<DefenseKind, String> {
+    let s = if s == "fine_prune" { "fine-prune" } else { s };
     DefenseKind::all()
         .iter()
         .copied()
@@ -209,6 +211,7 @@ fn parse_algo(s: &str) -> Result<FlAlgo, String> {
         "metafed" => FlAlgo::MetaFed,
         "ditto" => FlAlgo::Ditto,
         "clustered" => FlAlgo::Clustered,
+        "scaffold" => FlAlgo::Scaffold,
         other => return Err(format!("unknown algorithm '{other}'")),
     })
 }

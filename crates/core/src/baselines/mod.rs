@@ -4,11 +4,13 @@ mod dba;
 mod dpois;
 mod lflip;
 mod mrepl;
+mod semantic;
 
 pub use dba::DbaAttack;
 pub use dpois::DPois;
 pub use lflip::LabelFlip;
 pub use mrepl::MRepl;
+pub use semantic::SemanticAttack;
 
 use collapois_data::sample::Dataset;
 use collapois_nn::model::Sequential;

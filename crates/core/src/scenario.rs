@@ -8,11 +8,13 @@
 //! chosen defense/personalization, and reports population-, cluster- and
 //! client-level metrics.
 
-use crate::baselines::{DPois, DbaAttack, LabelFlip, LocalTrainConfig, MRepl};
+use crate::baselines::{DPois, DbaAttack, LabelFlip, LocalTrainConfig, MRepl, SemanticAttack};
 use crate::collapois::{CollaPois, CollaPoisConfig};
 use crate::trojan::{train_trojan, TrojanConfig, TrojanedModel};
 use collapois_data::federated::FederatedDataset;
+use collapois_data::poison::{BackdoorEval, TriggerBackdoor};
 use collapois_data::sample::Dataset;
+use collapois_data::semantic::SemanticRegion;
 use collapois_data::shard::{ShardSource, ShardSpec, ShardStats};
 use collapois_data::synthetic::{
     SyntheticImage, SyntheticImageConfig, SyntheticText, SyntheticTextConfig,
@@ -28,7 +30,7 @@ use collapois_fl::metrics::{
 };
 use collapois_fl::monitor::ShiftDetector;
 use collapois_fl::personalize::{
-    Clustered, Ditto, FedDc, MetaFed, NoPersonalization, Personalization,
+    Clustered, Ditto, FedDc, MetaFed, NoPersonalization, Personalization, Scaffold,
 };
 use collapois_fl::profile::PhaseProfile;
 pub use collapois_fl::quant::Quantization;
@@ -68,6 +70,11 @@ pub enum AttackKind {
     /// Untargeted label flipping (classic Byzantine baseline; no trigger,
     /// so Attack SR stays at chance — the signal is Benign AC damage).
     LabelFlip,
+    /// Semantic backdoor: a natural feature-space region of the source
+    /// class is relabelled to the target class — no trigger stamping, so
+    /// inference-phase trigger detectors have nothing to find. Attack SR is
+    /// measured on clean in-region test samples.
+    Semantic,
 }
 
 impl AttackKind {
@@ -80,6 +87,7 @@ impl AttackKind {
             Self::MRepl => "mrepl",
             Self::Dba => "dba",
             Self::LabelFlip => "label-flip",
+            Self::Semantic => "semantic",
         }
     }
 }
@@ -111,6 +119,11 @@ pub enum DefenseKind {
     StatFilter,
     /// User-level DP with zCDP accounting.
     UserDp,
+    /// In-training Fine-Pruning: every `fp_every` rounds the server prunes
+    /// the `fp_fraction` least-activated hidden units of the global model
+    /// against its held-out clean split (aggregation itself is plain
+    /// FedAvg). Single-hidden-layer MLP models only.
+    FinePrune,
 }
 
 impl DefenseKind {
@@ -129,6 +142,7 @@ impl DefenseKind {
             Self::Crfl => "crfl",
             Self::StatFilter => "stat-filter",
             Self::UserDp => "user-dp",
+            Self::FinePrune => "fine-prune",
         }
     }
 
@@ -147,6 +161,7 @@ impl DefenseKind {
             Self::Crfl,
             Self::StatFilter,
             Self::UserDp,
+            Self::FinePrune,
         ]
     }
 }
@@ -164,6 +179,8 @@ pub enum FlAlgo {
     Ditto,
     /// IFCA-style clustered FL.
     Clustered,
+    /// SCAFFOLD variance-reduced aggregation (control variates).
+    Scaffold,
 }
 
 impl FlAlgo {
@@ -175,6 +192,7 @@ impl FlAlgo {
             Self::MetaFed => "metafed",
             Self::Ditto => "ditto",
             Self::Clustered => "clustered",
+            Self::Scaffold => "scaffold",
         }
     }
 }
@@ -257,6 +275,10 @@ pub struct DefenseParams {
     pub crfl_bound: f64,
     /// CRFL noise std.
     pub crfl_noise: f64,
+    /// Fine-Pruning: fraction of hidden units pruned per pass.
+    pub fp_fraction: f64,
+    /// Fine-Pruning: pruning cadence in completed rounds.
+    pub fp_every: usize,
 }
 
 impl Default for DefenseParams {
@@ -272,6 +294,8 @@ impl Default for DefenseParams {
             flare_sharpness: 4.0,
             crfl_bound: 30.0,
             crfl_noise: 0.002,
+            fp_fraction: 0.25,
+            fp_every: 2,
         }
     }
 }
@@ -807,10 +831,36 @@ impl Scenario {
             }
             _ => None,
         };
+        // The semantic backdoor's region is fit once on the attacker's
+        // auxiliary data; it doubles as the Attack-SR evaluator (clean
+        // in-region samples). Every other attack evaluates through the
+        // trigger. With no compromised clients `aux` is empty, there is
+        // nothing to fit, and the trigger evaluator is used unchanged.
+        let semantic = match cfg.attack {
+            AttackKind::Semantic if !aux.is_empty() => Some(SemanticRegion::fit(
+                &aux,
+                semantic_source_class(cfg.trojan.target_class, aux.num_classes()),
+                cfg.trojan.target_class,
+                0.5,
+                cfg.seed ^ 0x5E3A,
+            )),
+            _ => None,
+        };
+        let trigger_eval = TriggerBackdoor(trigger.as_ref());
+        let backdoor: &dyn BackdoorEval = match &semantic {
+            Some(region) => region,
+            None => &trigger_eval,
+        };
 
         // 4. Adversary.
-        let mut adversary: Option<Box<dyn Adversary>> =
-            self.build_adversary(&fed, &compromised, trigger.as_ref(), trojan.as_ref(), &spec);
+        let mut adversary: Option<Box<dyn Adversary>> = self.build_adversary(
+            &fed,
+            &compromised,
+            trigger.as_ref(),
+            trojan.as_ref(),
+            semantic.as_ref(),
+            &spec,
+        );
 
         // 5. Server with defense + personalization.
         let fl_cfg = FlConfig {
@@ -829,6 +879,14 @@ impl Scenario {
         let personalization = self.build_personalization();
         let mut server = FlServer::new(fl_cfg, fed, aggregator, personalization);
         server.collect_updates(cfg.collect_updates);
+        // Fine-Pruning runs inside the synchronous round loop; the
+        // buffered-async simulator has no post-aggregation hook, so the
+        // defense is inert there (documented limitation shared by the
+        // monitor and checkpointing).
+        if cfg.defense == DefenseKind::FinePrune && opts.sim.is_none() {
+            let p = &cfg.defense_params;
+            server.enable_fine_pruning(p.fp_fraction, p.fp_every);
+        }
         if opts.workers > 1 {
             server.set_workers(opts.workers);
         }
@@ -865,7 +923,7 @@ impl Scenario {
             let adv = adversary.as_deref_mut();
             server.run_sim(&plan, cfg.rounds, adv);
             records = round_records_from_events(server.trace_events());
-            let metrics = self.evaluate(&mut server, trigger.as_ref(), &compromised);
+            let metrics = self.evaluate(&mut server, backdoor, &compromised);
             let pop = population(&metrics);
             round_metrics.push(RoundMetrics {
                 round: server.rounds_done(),
@@ -878,7 +936,7 @@ impl Scenario {
                 records.push(server.run_round(adv));
                 let at_eval = (t + 1) % cfg.eval_every == 0 || t + 1 == cfg.rounds;
                 if at_eval {
-                    let metrics = self.evaluate(&mut server, trigger.as_ref(), &compromised);
+                    let metrics = self.evaluate(&mut server, backdoor, &compromised);
                     let pop = population(&metrics);
                     round_metrics.push(RoundMetrics {
                         round: t + 1,
@@ -895,7 +953,7 @@ impl Scenario {
         // still report one evaluation point so downstream consumers see
         // final metrics.
         if round_metrics.is_empty() {
-            let metrics = self.evaluate(&mut server, trigger.as_ref(), &compromised);
+            let metrics = self.evaluate(&mut server, backdoor, &compromised);
             let pop = population(&metrics);
             round_metrics.push(RoundMetrics {
                 round: server.rounds_done(),
@@ -905,7 +963,7 @@ impl Scenario {
         }
 
         // 7. Final client-level metrics and cluster analysis.
-        let clients = self.evaluate(&mut server, trigger.as_ref(), &compromised);
+        let clients = self.evaluate(&mut server, backdoor, &compromised);
         let clusters = if compromised.is_empty() {
             Vec::new()
         } else {
@@ -933,11 +991,11 @@ impl Scenario {
     fn evaluate(
         &self,
         server: &mut FlServer,
-        trigger: &dyn Trigger,
+        backdoor: &dyn BackdoorEval,
         compromised: &[usize],
     ) -> Vec<ClientMetrics> {
         let spec = self.cfg.model_spec();
-        server.evaluate_clients(&spec, trigger, self.cfg.trojan.target_class, compromised)
+        server.evaluate_clients(&spec, backdoor, self.cfg.trojan.target_class, compromised)
     }
 
     fn build_personalization(&self) -> Box<dyn Personalization> {
@@ -947,6 +1005,7 @@ impl Scenario {
             FlAlgo::MetaFed => Box::new(MetaFed::new(2.0, 2)),
             FlAlgo::Ditto => Box::new(Ditto::new(0.5)),
             FlAlgo::Clustered => Box::new(Clustered::new(3)),
+            FlAlgo::Scaffold => Box::new(Scaffold::new()),
         }
     }
 
@@ -969,6 +1028,9 @@ impl Scenario {
             DefenseKind::Crfl => Box::new(Crfl::new(p.crfl_bound, p.crfl_noise)),
             DefenseKind::StatFilter => Box::new(StatFilter::new()),
             DefenseKind::UserDp => Box::new(UserLevelDp::new(p.dp_clip, 0.05)),
+            // Fine-Pruning aggregates like FedAvg; the pruning itself is an
+            // in-training server hook (see `FlServer::enable_fine_pruning`).
+            DefenseKind::FinePrune => Box::new(FedAvg::new()),
         }
     }
 
@@ -978,6 +1040,7 @@ impl Scenario {
         compromised: &[usize],
         trigger: &dyn Trigger,
         trojan: Option<&TrojanedModel>,
+        semantic: Option<&SemanticRegion>,
         spec: &ModelSpec,
     ) -> Option<Box<dyn Adversary>> {
         if compromised.is_empty() {
@@ -1022,6 +1085,14 @@ impl Scenario {
                 spec,
                 local_cfg,
                 cfg.seed ^ 0x1F11,
+            ))),
+            AttackKind::Semantic => Some(Box::new(SemanticAttack::new(
+                compromised.to_vec(),
+                &local_data,
+                semantic.expect("semantic attack requires a fitted region"),
+                spec,
+                local_cfg,
+                cfg.seed ^ 0x5E3A,
             ))),
             AttackKind::MRepl => {
                 let expected_cohort = (cfg.num_clients as f64 * cfg.sample_rate).round().max(1.0);
@@ -1077,6 +1148,14 @@ impl Scenario {
             }
         }
     }
+}
+
+/// Source class the semantic backdoor hijacks: the class after the attack's
+/// target, wrapping — the two must differ and both must exist in the
+/// scenario's label space.
+pub fn semantic_source_class(target_class: usize, num_classes: usize) -> usize {
+    assert!(num_classes >= 2, "semantic backdoor needs two classes");
+    (target_class + 1) % num_classes
 }
 
 /// The attacker's auxiliary data at this simulation scale: the compromised
@@ -1193,6 +1272,40 @@ mod tests {
             let report = Scenario::new(tiny(AttackKind::CollaPois, DefenseKind::None, algo)).run();
             assert_eq!(report.rounds.len(), 2, "{:?}", algo);
         }
+    }
+
+    #[test]
+    fn semantic_fine_prune_and_scaffold_arms_run() {
+        // Semantic backdoor: no Trojan, no trigger; Attack SR is measured
+        // on clean in-region samples and must stay a valid rate.
+        let report = Scenario::new(tiny(
+            AttackKind::Semantic,
+            DefenseKind::None,
+            FlAlgo::FedAvg,
+        ))
+        .run();
+        assert!(!report.compromised.is_empty());
+        assert!(report.trojan.is_none());
+        let sr = report.final_round().attack_success_rate;
+        assert!((0.0..=1.0).contains(&sr), "semantic SR {sr}");
+        // In-training fine-pruning: FedAvg aggregation + the pruning hook
+        // (fp_every = 2 fires at rounds 2, 4 and 6 here).
+        let report = Scenario::new(tiny(
+            AttackKind::Semantic,
+            DefenseKind::FinePrune,
+            FlAlgo::FedAvg,
+        ))
+        .run();
+        assert_eq!(report.rounds.len(), 2);
+        assert!(report.final_global.iter().all(|v| v.is_finite()));
+        // SCAFFOLD trains through the corrected local step.
+        let report = Scenario::new(tiny(
+            AttackKind::CollaPois,
+            DefenseKind::None,
+            FlAlgo::Scaffold,
+        ))
+        .run();
+        assert_eq!(report.rounds.len(), 2);
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod labels;
 pub mod partition;
 pub mod poison;
 pub mod sample;
+pub mod semantic;
 pub mod shard;
 pub mod synthetic;
 pub mod trigger;

@@ -46,7 +46,14 @@ pub fn with_poisoned_fraction<R: Rng + ?Sized>(
     assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
     assert!(target_class < ds.num_classes(), "target class out of range");
     let mut out = ds.clone();
-    let n_poison = (ds.len() as f64 * fraction).round() as usize;
+    // A compromised client must stay compromised: on tiny non-IID shards
+    // `round(len * fraction)` can hit 0 even for `fraction > 0`, silently
+    // turning the client benign and corrupting its per-client ASR.
+    let n_poison = if fraction > 0.0 && !ds.is_empty() {
+        ((ds.len() as f64 * fraction).round() as usize).max(1)
+    } else {
+        0
+    };
     let mut idx: Vec<usize> = (0..ds.len()).collect();
     idx.shuffle(rng);
     for &i in idx.iter().take(n_poison) {
@@ -80,6 +87,40 @@ pub fn stamp_only(ds: &Dataset, trigger: &dyn Trigger) -> Dataset {
         trigger.apply(out.features_of_mut(i));
     }
     out
+}
+
+/// How a backdoor is *measured*: the transformation from a clean evaluation
+/// set to the set of samples whose prediction is checked against the target
+/// class.
+///
+/// Trigger-stamped backdoors implement this by stamping the trigger onto
+/// every sample ([`stamp_only`]); semantic backdoors select the natural
+/// feature-space region they relabelled, with features untouched. Attack SR
+/// is then uniformly "fraction of the eval set predicted as the target
+/// class", and an empty eval set reads as SR 0.
+pub trait BackdoorEval: std::fmt::Debug + Send + Sync {
+    /// Builds the backdoored evaluation set from `ds`. May be empty (e.g. a
+    /// semantic region that no sample of `ds` falls into).
+    fn eval_set(&self, ds: &Dataset) -> Dataset;
+}
+
+/// Every sized trigger measures its backdoor by stamping itself onto the
+/// whole eval set.
+impl<T: Trigger> BackdoorEval for T {
+    fn eval_set(&self, ds: &Dataset) -> Dataset {
+        stamp_only(ds, self)
+    }
+}
+
+/// Adapter lending `&dyn Trigger` as a [`BackdoorEval`] (the blanket impl
+/// needs a sized type, so trait objects wrap themselves in this).
+#[derive(Debug, Clone, Copy)]
+pub struct TriggerBackdoor<'a>(pub &'a dyn Trigger);
+
+impl BackdoorEval for TriggerBackdoor<'_> {
+    fn eval_set(&self, ds: &Dataset) -> Dataset {
+        stamp_only(ds, self.0)
+    }
 }
 
 #[cfg(test)]
@@ -122,6 +163,43 @@ mod tests {
             .filter(|&i| mixed.features_of(i).contains(&1.0))
             .count();
         assert_eq!(poisoned, 6);
+    }
+
+    #[test]
+    fn tiny_shard_still_poisons_at_least_one_sample() {
+        // round(3 * 0.1) == 0 — the pre-fix code left the shard clean.
+        let mut ds = Dataset::empty(&[1, 4, 4], 3);
+        for i in 0..3 {
+            ds.push(&[0.5; 16], i);
+        }
+        let trigger = PatchTrigger::badnets(4);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mixed = with_poisoned_fraction(&mut rng, &ds, &trigger, 0, 0.1);
+        assert_eq!(mixed.len(), 4, "one poisoned duplicate appended");
+        // fraction == 0 still poisons nothing.
+        let mut rng = StdRng::seed_from_u64(7);
+        let clean = with_poisoned_fraction(&mut rng, &ds, &trigger, 0, 0.0);
+        assert_eq!(clean.len(), 3);
+        // …and an empty dataset stays empty.
+        let empty = Dataset::empty(&[1, 4, 4], 3);
+        let mut rng = StdRng::seed_from_u64(7);
+        let still_empty = with_poisoned_fraction(&mut rng, &empty, &trigger, 0, 0.9);
+        assert!(still_empty.is_empty());
+    }
+
+    #[test]
+    fn trigger_backdoor_eval_matches_stamp_only() {
+        let ds = toy();
+        let trigger = PatchTrigger::badnets(4);
+        let direct = stamp_only(&ds, &trigger);
+        let via_sized: Dataset = BackdoorEval::eval_set(&trigger, &ds);
+        let dyn_trigger: &dyn Trigger = &trigger;
+        let via_wrapper = TriggerBackdoor(dyn_trigger).eval_set(&ds);
+        for i in 0..ds.len() {
+            assert_eq!(direct.features_of(i), via_sized.features_of(i));
+            assert_eq!(direct.features_of(i), via_wrapper.features_of(i));
+            assert_eq!(direct.label_of(i), via_wrapper.label_of(i));
+        }
     }
 
     #[test]

@@ -1,0 +1,249 @@
+//! Semantic backdoor: relabel a *natural* feature-space region.
+//!
+//! Unlike trigger-stamped backdoors, a semantic backdoor poisons samples
+//! that already carry the backdoor feature — the attacker relabels a
+//! region of the source class's natural distribution to the target class
+//! and never perturbs any pixel (the "green cars → bird" family). The SoK
+//! benchmark (PAPERS.md) shows defense rankings flip between the two
+//! families, which is exactly the client-level distinction this
+//! reproduction measures.
+//!
+//! The region is a half-space in feature space: a seeded random unit
+//! projection `w` with a threshold `t` fit once on the attacker's
+//! auxiliary data so that roughly `member_fraction` of the source-class
+//! samples satisfy `w·x ≥ t`. Membership is a pure per-sample predicate —
+//! independent of which dataset a sample sits in and of sample order — so
+//! the ASR metric built from it is permutation-invariant by construction.
+
+use crate::poison::BackdoorEval;
+use crate::sample::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A fitted semantic backdoor region: source-class samples inside the
+/// half-space are relabelled to the target class at training time and form
+/// the ASR evaluation set at inference time.
+#[derive(Debug, Clone)]
+pub struct SemanticRegion {
+    /// Unit-norm projection direction.
+    direction: Vec<f32>,
+    /// Half-space threshold on `w·x`.
+    threshold: f32,
+    /// Class whose natural region is hijacked.
+    source_class: usize,
+    /// Class the region is relabelled to.
+    target_class: usize,
+}
+
+impl SemanticRegion {
+    /// Fits the region on the attacker's auxiliary data: draws a seeded
+    /// random unit direction, projects the source-class samples, and sets
+    /// the threshold at the `1 − member_fraction` quantile so that roughly
+    /// `member_fraction` of them fall inside.
+    ///
+    /// With no source-class sample in `aux` the threshold is 0, which on
+    /// the standardized synthetic features still selects roughly half the
+    /// class — the attacker degrades, it does not disappear.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `aux` is empty, if the classes are out of range or equal,
+    /// or if `member_fraction` is outside `(0, 1]`.
+    pub fn fit(
+        aux: &Dataset,
+        source_class: usize,
+        target_class: usize,
+        member_fraction: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(!aux.is_empty(), "cannot fit a region on empty data");
+        assert!(
+            source_class < aux.num_classes(),
+            "source class out of range"
+        );
+        assert!(
+            target_class < aux.num_classes(),
+            "target class out of range"
+        );
+        assert_ne!(source_class, target_class, "source must differ from target");
+        assert!(
+            member_fraction > 0.0 && member_fraction <= 1.0,
+            "member fraction must be in (0,1]"
+        );
+        let dim = aux.feature_len();
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Deterministic pseudo-Gaussian direction (sum of 4 uniforms per
+        // coordinate), normalized to unit length.
+        let mut direction: Vec<f32> = (0..dim)
+            .map(|_| (0..4).map(|_| rng.gen_range(-1.0f32..1.0)).sum::<f32>())
+            .collect();
+        let norm = direction
+            .iter()
+            .map(|v| v * v)
+            .sum::<f32>()
+            .sqrt()
+            .max(1e-12);
+        for v in &mut direction {
+            *v /= norm;
+        }
+        let mut projections: Vec<f32> = (0..aux.len())
+            .filter(|&i| aux.label_of(i) == source_class)
+            .map(|i| dot(&direction, aux.features_of(i)))
+            .collect();
+        projections.sort_by(f32::total_cmp);
+        let threshold = if projections.is_empty() {
+            0.0
+        } else {
+            // Index of the first member when the top member_fraction of the
+            // sorted projections are in the region.
+            let cut = ((projections.len() as f64) * (1.0 - member_fraction)).floor() as usize;
+            projections[cut.min(projections.len() - 1)]
+        };
+        Self {
+            direction,
+            threshold,
+            source_class,
+            target_class,
+        }
+    }
+
+    /// Whether a single sample's features fall inside the region. Pure in
+    /// the features: no dataset-level state enters the decision.
+    pub fn contains(&self, features: &[f32]) -> bool {
+        dot(&self.direction, features) >= self.threshold
+    }
+
+    /// The class whose region is hijacked.
+    pub fn source_class(&self) -> usize {
+        self.source_class
+    }
+
+    /// The class in-region samples are steered to.
+    pub fn target_class(&self) -> usize {
+        self.target_class
+    }
+
+    /// Returns a copy of `ds` with every in-region source-class sample
+    /// relabelled to the target class — the attacker's training shard.
+    /// Features are never touched; the count of relabelled samples rides
+    /// along for reporting.
+    pub fn relabel(&self, ds: &Dataset) -> (Dataset, usize) {
+        let mut out = ds.clone();
+        let mut flipped = 0;
+        for i in 0..out.len() {
+            if out.label_of(i) == self.source_class && self.contains(out.features_of(i)) {
+                out.set_label(i, self.target_class);
+                flipped += 1;
+            }
+        }
+        (out, flipped)
+    }
+}
+
+impl BackdoorEval for SemanticRegion {
+    /// The ASR eval set: clean in-region source-class samples, features
+    /// untouched. A backdoored model predicts these as the target class.
+    fn eval_set(&self, ds: &Dataset) -> Dataset {
+        let mut out = Dataset::empty(ds.sample_shape(), ds.num_classes());
+        for i in 0..ds.len() {
+            if ds.label_of(i) == self.source_class && self.contains(ds.features_of(i)) {
+                out.push(ds.features_of(i), ds.label_of(i));
+            }
+        }
+        out
+    }
+}
+
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize, classes: usize) -> Dataset {
+        let mut ds = Dataset::empty(&[4], classes);
+        let mut rng = StdRng::seed_from_u64(99);
+        for i in 0..n {
+            let f: Vec<f32> = (0..4).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            ds.push(&f, i % classes);
+        }
+        ds
+    }
+
+    #[test]
+    fn fit_selects_roughly_the_member_fraction() {
+        let aux = toy(400, 4);
+        let region = SemanticRegion::fit(&aux, 1, 0, 0.5, 42);
+        let members = (0..aux.len())
+            .filter(|&i| aux.label_of(i) == 1 && region.contains(aux.features_of(i)))
+            .count();
+        let source = aux.labels().iter().filter(|&&y| y == 1).count();
+        let frac = members as f64 / source as f64;
+        assert!((0.3..=0.7).contains(&frac), "got member fraction {frac}");
+    }
+
+    #[test]
+    fn relabel_flips_only_in_region_source_samples() {
+        let aux = toy(200, 4);
+        let region = SemanticRegion::fit(&aux, 1, 0, 0.5, 42);
+        let (poisoned, flipped) = region.relabel(&aux);
+        assert!(flipped > 0, "region must capture some samples");
+        let mut seen = 0;
+        for i in 0..aux.len() {
+            assert_eq!(poisoned.features_of(i), aux.features_of(i));
+            if aux.label_of(i) == 1 && region.contains(aux.features_of(i)) {
+                assert_eq!(poisoned.label_of(i), 0);
+                seen += 1;
+            } else {
+                assert_eq!(poisoned.label_of(i), aux.label_of(i));
+            }
+        }
+        assert_eq!(seen, flipped);
+    }
+
+    #[test]
+    fn eval_set_is_clean_in_region_source_samples() {
+        let aux = toy(200, 4);
+        let region = SemanticRegion::fit(&aux, 1, 0, 0.5, 42);
+        let eval = region.eval_set(&aux);
+        assert!(!eval.is_empty());
+        for i in 0..eval.len() {
+            assert_eq!(eval.label_of(i), 1, "labels stay truthful");
+            assert!(region.contains(eval.features_of(i)));
+        }
+    }
+
+    #[test]
+    fn membership_is_permutation_invariant() {
+        let aux = toy(100, 2);
+        let region = SemanticRegion::fit(&aux, 1, 0, 0.4, 7);
+        let forward: Vec<bool> = (0..aux.len())
+            .map(|i| region.contains(aux.features_of(i)))
+            .collect();
+        let reversed: Vec<usize> = (0..aux.len()).rev().collect();
+        let shuffled = aux.subset(&reversed);
+        for (k, &i) in reversed.iter().enumerate() {
+            assert_eq!(region.contains(shuffled.features_of(k)), forward[i]);
+        }
+    }
+
+    #[test]
+    fn no_source_samples_degrades_to_zero_threshold() {
+        let mut ds = Dataset::empty(&[4], 3);
+        for _ in 0..10 {
+            ds.push(&[0.1, 0.2, 0.3, 0.4], 0); // no class-1 samples
+        }
+        let region = SemanticRegion::fit(&ds, 1, 0, 0.5, 3);
+        assert_eq!(region.threshold, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "source must differ")]
+    fn rejects_equal_source_and_target() {
+        let aux = toy(10, 2);
+        let _ = SemanticRegion::fit(&aux, 0, 0, 0.5, 1);
+    }
+}

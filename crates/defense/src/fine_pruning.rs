@@ -66,27 +66,40 @@ pub fn fine_prune(
         "unexpected MLP parameter layout"
     );
 
-    // Mean ReLU activation per hidden unit on the clean data.
+    // Mean ReLU activation per hidden unit on the clean data, averaged over
+    // a strided sample of at most 256 points. The stride spans the whole
+    // dataset: taking the *first* 256 samples instead would bias unit
+    // rankings on class-ordered shards (e.g. all class-0 first), and class
+    // composition is exactly what drives which units look dormant.
     let mut activations = vec![0.0f64; hidden];
     let n = clean.len().min(256);
     for s in 0..n {
-        let x = clean.features_of(s);
+        let x = clean.features_of(s * clean.len() / n);
         for j in 0..hidden {
             let row = &params[j * input..(j + 1) * input];
             let mut acc = params[b1_off + j];
             for (w, &xv) in row.iter().zip(x) {
                 acc += w * xv;
             }
-            activations[j] += acc.max(0.0) as f64;
+            // f32::max(NaN, 0.0) returns 0.0, which would disguise a unit
+            // corrupted by the fault layer as a dormant one; keep the NaN
+            // so the ranking below can place it deterministically.
+            activations[j] += if acc.is_nan() {
+                f64::NAN
+            } else {
+                f64::from(acc.max(0.0))
+            };
         }
     }
     for a in &mut activations {
         *a /= n as f64;
     }
 
-    // Rank ascending and prune the bottom fraction.
+    // Rank ascending and prune the bottom fraction. total_cmp: the fault
+    // layer can deliver non-finite params, and a NaN activation must rank
+    // (above every finite value, so NaN units are pruned last), not panic.
     let mut order: Vec<usize> = (0..hidden).collect();
-    order.sort_by(|&a, &b| activations[a].partial_cmp(&activations[b]).expect("finite"));
+    order.sort_by(|&a, &b| activations[a].total_cmp(&activations[b]));
     let n_prune = ((hidden as f64) * fraction).floor() as usize;
     let pruned_units: Vec<usize> = order.into_iter().take(n_prune).collect();
     for &j in &pruned_units {
@@ -183,6 +196,74 @@ mod tests {
             }
             assert_eq!(params[8 * 16 + j], 0.0); // bias
         }
+    }
+
+    /// 384 samples, two constant per-class feature vectors. The 256-sample
+    /// stride picks indices `i` with `i mod 3 != 2`, which is 128 samples
+    /// of each class under BOTH a class-sorted and an interleaved layout —
+    /// so the ranking must agree. The pre-fix "first 256" selection saw
+    /// 192/64 vs 128/128 and ranked differently.
+    fn two_class_arrangements() -> (Dataset, Dataset) {
+        let class_features = |c: usize| -> Vec<f32> {
+            (0..16)
+                .map(|i| {
+                    if c == 0 {
+                        0.1 + 0.05 * i as f32
+                    } else {
+                        0.9 - 0.04 * i as f32
+                    }
+                })
+                .collect()
+        };
+        let mut sorted = Dataset::empty(&[1, 4, 4], 2);
+        for c in 0..2 {
+            for _ in 0..192 {
+                sorted.push(&class_features(c), c);
+            }
+        }
+        let mut interleaved = Dataset::empty(&[1, 4, 4], 2);
+        for i in 0..384 {
+            interleaved.push(&class_features(i % 2), i % 2);
+        }
+        (sorted, interleaved)
+    }
+
+    #[test]
+    fn ranking_is_invariant_to_class_ordering() {
+        let (sorted, interleaved) = two_class_arrangements();
+        let spec = ModelSpec::mlp(16, &[32], 2);
+        let mut rng = StdRng::seed_from_u64(5);
+        let reference = spec.build(&mut rng);
+        let mut a = reference.clone();
+        let mut b = reference.clone();
+        let out_sorted = fine_prune(&mut a, &spec, &sorted, 0.25);
+        let out_interleaved = fine_prune(&mut b, &spec, &interleaved, 0.25);
+        assert_eq!(
+            out_sorted.pruned_units, out_interleaved.pruned_units,
+            "unit ranking must not depend on sample order"
+        );
+        assert_eq!(out_sorted.pruned_params, out_interleaved.pruned_params);
+    }
+
+    #[test]
+    fn nan_params_degrade_gracefully() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let clean = clean_dataset(&mut rng);
+        let spec = ModelSpec::mlp(16, &[8], 2);
+        let mut model = spec.build(&mut rng);
+        // Corrupt unit 0's incoming weights the way the fault layer can.
+        let mut params = model.params();
+        for i in 0..16 {
+            params[i] = f32::NAN;
+        }
+        model.set_params(&params);
+        let outcome = fine_prune(&mut model, &spec, &clean, 0.25);
+        assert_eq!(outcome.pruned_units.len(), 2, "still prunes the quota");
+        assert!(
+            !outcome.pruned_units.contains(&0),
+            "NaN activations rank above finite ones and survive"
+        );
+        assert!(outcome.activations[0].is_nan());
     }
 
     #[test]

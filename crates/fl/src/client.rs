@@ -122,6 +122,61 @@ pub fn local_sgd_delta_prox_into<R: Rng + ?Sized>(
         .extend(scratch.params.iter().zip(global).map(|(l, g)| l - g));
 }
 
+/// SCAFFOLD's corrected local SGD [Karimireddy et al., ICML 2020]: each
+/// minibatch step is followed by the variance-reduction correction
+/// `θ ← θ − η(c − c_i)` (server minus client control variate), so the local
+/// update drifts toward the *global* gradient direction instead of the
+/// client's non-IID one. `correction` is the precomputed `c − c_i` vector;
+/// an all-zero correction reproduces [`local_sgd_delta_into`] bitwise (the
+/// extra params round-trip is skipped, matching the prox path's `μ = 0`
+/// contract).
+///
+/// Leaves the delta `θ_local − θ_global` in `scratch.delta` and the trained
+/// parameters in `scratch.params`, like the other `_into` paths.
+///
+/// # Panics
+///
+/// Panics if `data` is empty or `correction` has the wrong dimension.
+pub fn local_sgd_delta_corrected_into<R: Rng + ?Sized>(
+    rng: &mut R,
+    scratch: &mut ClientScratch,
+    global: &[f32],
+    data: &Dataset,
+    cfg: &FlConfig,
+    correction: &[f32],
+) {
+    assert!(!data.is_empty(), "client has no training data");
+    assert_eq!(correction.len(), global.len(), "correction dimension");
+    let apply = correction.iter().any(|&v| v != 0.0);
+    scratch.model.load_params_into(global);
+    let mut opt = Sgd::new(cfg.client_lr);
+    let lr = cfg.client_lr as f32;
+    for _ in 0..cfg.local_steps {
+        data.minibatch_into(
+            rng,
+            cfg.batch_size,
+            &mut scratch.idx,
+            &mut scratch.x,
+            &mut scratch.y,
+        );
+        scratch
+            .model
+            .train_batch_ws(&scratch.x, &scratch.y, &mut opt, &mut scratch.ws);
+        if apply {
+            scratch.model.store_params_into(&mut scratch.params);
+            for (p, &cv) in scratch.params.iter_mut().zip(correction) {
+                *p -= lr * cv;
+            }
+            scratch.model.load_params_into(&scratch.params);
+        }
+    }
+    scratch.model.store_params_into(&mut scratch.params);
+    scratch.delta.clear();
+    scratch
+        .delta
+        .extend(scratch.params.iter().zip(global).map(|(l, g)| l - g));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,6 +245,26 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         local_sgd_delta_prox_into(&mut rng, &mut fresh, &global, &data, &cfg, 0.5);
         assert_eq!(first, fresh.delta);
+    }
+
+    #[test]
+    fn zero_correction_matches_plain_sgd_bitwise() {
+        let (cfg, model, global) = setup();
+        let data = toy_data();
+        let mut scratch = ClientScratch::for_model(&model);
+        let mut rng = StdRng::seed_from_u64(5);
+        local_sgd_delta_into(&mut rng, &mut scratch, &global, &data, &cfg);
+        let plain = scratch.delta.clone();
+        let zeros = vec![0.0f32; global.len()];
+        let mut rng = StdRng::seed_from_u64(5);
+        local_sgd_delta_corrected_into(&mut rng, &mut scratch, &global, &data, &cfg, &zeros);
+        assert_eq!(plain, scratch.delta);
+        // A non-zero correction must steer the iterate elsewhere.
+        let mut corr = zeros;
+        corr[0] = 0.5;
+        let mut rng = StdRng::seed_from_u64(5);
+        local_sgd_delta_corrected_into(&mut rng, &mut scratch, &global, &data, &cfg, &corr);
+        assert_ne!(plain, scratch.delta);
     }
 
     #[test]

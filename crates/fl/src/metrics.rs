@@ -12,9 +12,8 @@
 
 use collapois_data::federated::FederatedDataset;
 use collapois_data::labels::cumulative_label_cosine;
-use collapois_data::poison::stamp_only;
+use collapois_data::poison::BackdoorEval;
 use collapois_data::sample::Dataset;
-use collapois_data::trigger::Trigger;
 use collapois_nn::model::Sequential;
 use collapois_nn::zoo::ModelSpec;
 use collapois_runtime::pool::{WorkerArenas, WorkerPool};
@@ -62,7 +61,9 @@ pub fn population(metrics: &[ClientMetrics]) -> PopulationMetrics {
 }
 
 /// Evaluates every benign client: Benign AC on its clean test split and
-/// Attack SR on the trigger-stamped copy, using the parameters produced by
+/// Attack SR on the backdoored eval set the [`BackdoorEval`] derives from it
+/// (trigger-stamped copy for trigger attacks, the clean in-region samples
+/// for semantic attacks), using the parameters produced by
 /// `eval_params(client_id)` (the personalized model). Clients in
 /// `excluded` (the compromised set) are skipped.
 ///
@@ -73,7 +74,7 @@ pub fn evaluate_clients<F>(
     fed: &FederatedDataset,
     model_spec: &ModelSpec,
     eval_params: F,
-    trigger: &dyn Trigger,
+    backdoor: &dyn BackdoorEval,
     target_class: usize,
     excluded: &[usize],
 ) -> Vec<ClientMetrics>
@@ -86,7 +87,7 @@ where
         fed,
         model_spec,
         eval_params,
-        trigger,
+        backdoor,
         target_class,
         excluded,
         &pool,
@@ -104,7 +105,7 @@ pub fn evaluate_clients_pooled<F>(
     fed: &FederatedDataset,
     model_spec: &ModelSpec,
     eval_params: F,
-    trigger: &dyn Trigger,
+    backdoor: &dyn BackdoorEval,
     target_class: usize,
     excluded: &[usize],
     pool: &WorkerPool,
@@ -136,11 +137,13 @@ where
                 let (x, y) = test.as_batch();
                 model.evaluate(&x, &y)
             };
-            let attack_sr = if test.is_empty() {
+            // An empty eval set (no test data, or no test sample inside a
+            // semantic region) reads as SR 0: nothing to attack.
+            let backdoored = backdoor.eval_set(test);
+            let attack_sr = if backdoored.is_empty() {
                 0.0
             } else {
-                let stamped = stamp_only(test, trigger);
-                let (x, _) = stamped.as_batch();
+                let (x, _) = backdoored.as_batch();
                 let preds = model.predict(&x);
                 preds.iter().filter(|&&p| p == target_class).count() as f64 / preds.len() as f64
             };

@@ -29,11 +29,13 @@ mod clustered;
 mod ditto;
 mod feddc;
 mod metafed;
+mod scaffold;
 
 pub use clustered::Clustered;
 pub use ditto::Ditto;
 pub use feddc::FedDc;
 pub use metafed::MetaFed;
+pub use scaffold::Scaffold;
 
 use crate::client::local_sgd_delta_into;
 use crate::config::FlConfig;
@@ -51,6 +53,8 @@ pub struct StateCommit {
     pub drift: Option<Vec<f32>>,
     /// Cluster selection + trained cluster parameters (clustered FL).
     pub cluster: Option<(usize, Vec<f32>)>,
+    /// New client control variate `c_i⁺` (SCAFFOLD).
+    pub ctrl: Option<Vec<f32>>,
 }
 
 impl StateCommit {

@@ -30,7 +30,9 @@ use crate::scratch::ClientScratch;
 use crate::sim::VersionStore;
 use crate::update::ClientUpdate;
 use collapois_data::federated::FederatedDataset;
-use collapois_data::trigger::Trigger;
+use collapois_data::poison::BackdoorEval;
+use collapois_data::sample::Dataset;
+use collapois_defense::fine_pruning::fine_prune;
 use collapois_nn::model::Sequential;
 use collapois_nn::zoo::ModelSpec;
 use collapois_runtime::checkpoint::{self, CheckpointError, Snapshot};
@@ -175,6 +177,19 @@ fn poison_delta(delta: &mut [f32]) {
     }
 }
 
+/// In-training Fine-Pruning [Liu et al., RAID 2018] schedule: every
+/// `every` completed rounds the server ranks the global model's hidden
+/// units by mean activation on its held-out clean split and zeroes the
+/// least-activated `fraction`. Deterministic and worker-count-invariant:
+/// the clean split is a fixed pool of client test splits in id order, and
+/// the pruning pass itself is sequential.
+#[derive(Debug, Clone)]
+struct FinePruneSchedule {
+    fraction: f64,
+    every: usize,
+    clean: Dataset,
+}
+
 /// The federated server simulation.
 #[derive(Debug)]
 pub struct FlServer {
@@ -212,6 +227,8 @@ pub struct FlServer {
     /// Deterministic fault-injection plan applied to every round (the
     /// default [`FaultPlan::none`] plan leaves the round loop untouched).
     fault_plan: FaultPlan,
+    /// In-training Fine-Pruning schedule (None = defense off).
+    fine_prune: Option<FinePruneSchedule>,
     checkpoint_dir: Option<PathBuf>,
     checkpoint_every: usize,
     run_started: bool,
@@ -259,6 +276,7 @@ impl FlServer {
             trace: TraceLog::in_memory(),
             monitor: None,
             fault_plan: FaultPlan::none(),
+            fine_prune: None,
             checkpoint_dir: None,
             checkpoint_every: 0,
             run_started: false,
@@ -272,6 +290,39 @@ impl FlServer {
     /// gradient-angle analyses of Figs. 3 and 6).
     pub fn collect_updates(&mut self, enable: bool) {
         self.collect_updates = enable;
+    }
+
+    /// Enables in-training Fine-Pruning: every `every` completed rounds,
+    /// prune the `fraction` least-activated hidden units of the global model
+    /// against the server's held-out clean split (the pooled test splits of
+    /// the first clients, which poisoning never touches — adversaries
+    /// poison their local *training* copies). Applies only to the
+    /// synchronous round loop; the buffered-async simulator ignores the
+    /// configured defense (documented limitation shared by all defenses).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `[0, 1)`, `every` is 0, the model is
+    /// not a single-hidden-layer MLP, or no client has test data.
+    pub fn enable_fine_pruning(&mut self, fraction: f64, every: usize) {
+        assert!((0.0..1.0).contains(&fraction), "fraction must be in [0, 1)");
+        assert!(every > 0, "pruning cadence must be positive");
+        assert!(
+            matches!(&self.cfg.model, ModelSpec::Mlp { hidden, .. } if hidden.len() == 1),
+            "fine-pruning supports single-hidden-layer MLPs"
+        );
+        // Fixed clean pool: test splits of the first clients in id order,
+        // capped so paper-scale cohorts do not materialize every shard.
+        let mut clean = Dataset::empty(self.fed.sample_shape(), self.fed.num_classes());
+        for id in 0..self.fed.num_clients().min(64) {
+            clean.extend_from(&self.fed.client(id).test);
+        }
+        assert!(!clean.is_empty(), "no held-out clean data to prune against");
+        self.fine_prune = Some(FinePruneSchedule {
+            fraction,
+            every,
+            clean,
+        });
     }
 
     /// Sets the worker-thread count for benign-client fan-out. Any count
@@ -292,7 +343,7 @@ impl FlServer {
     pub fn evaluate_clients(
         &mut self,
         model_spec: &ModelSpec,
-        trigger: &dyn Trigger,
+        backdoor: &dyn BackdoorEval,
         target_class: usize,
         excluded: &[usize],
     ) -> Vec<ClientMetrics> {
@@ -303,7 +354,7 @@ impl FlServer {
             &self.fed,
             model_spec,
             |id| pers.eval_params(id, global),
-            trigger,
+            backdoor,
             target_class,
             excluded,
             &self.workers,
@@ -794,6 +845,19 @@ impl FlServer {
         };
         self.agg_buf = agg;
         self.profile.aggregate_ms += agg_start.elapsed().as_secs_f64() * 1e3;
+
+        // In-training Fine-Pruning, keyed on the absolute completed-round
+        // number so a resumed run prunes on exactly the same schedule. The
+        // pruned model is what the adversary observes, the monitor sees,
+        // and the checkpoint below records.
+        if let Some(fp) = &self.fine_prune {
+            if (round + 1).is_multiple_of(fp.every) {
+                self.scratch.set_params(&self.global);
+                let outcome =
+                    fine_prune(&mut self.scratch, &self.cfg.model, &fp.clean, fp.fraction);
+                self.global.copy_from_slice(&outcome.pruned_params);
+            }
+        }
 
         if let Some(adv) = adversary.as_mut() {
             adv.observe_global(&self.global, round);

@@ -297,17 +297,27 @@ pub fn parse_attack(path: &str, name: &str) -> Result<AttackKind, SchemaError> {
         "mrepl" => AttackKind::MRepl,
         "dba" => AttackKind::Dba,
         "label-flip" | "lflip" => AttackKind::LabelFlip,
+        "semantic" => AttackKind::Semantic,
         other => {
             return Err(out_of_range(
                 path,
-                format!("unknown attack '{other}' (clean|collapois|dpois|mrepl|dba|label-flip)"),
+                format!(
+                    "unknown attack '{other}' \
+                     (clean|collapois|dpois|mrepl|dba|label-flip|semantic)"
+                ),
             ))
         }
     })
 }
 
-/// Parses a defense name.
+/// Parses a defense name (accepts the `fine_prune` underscore spelling for
+/// `fine-prune`).
 pub fn parse_defense(path: &str, name: &str) -> Result<DefenseKind, SchemaError> {
+    let name = if name == "fine_prune" {
+        "fine-prune"
+    } else {
+        name
+    };
     DefenseKind::all()
         .iter()
         .copied()
@@ -329,10 +339,11 @@ pub fn parse_algo(path: &str, name: &str) -> Result<FlAlgo, SchemaError> {
         "metafed" => FlAlgo::MetaFed,
         "ditto" => FlAlgo::Ditto,
         "clustered" => FlAlgo::Clustered,
+        "scaffold" => FlAlgo::Scaffold,
         other => {
             return Err(out_of_range(
                 path,
-                format!("unknown algo '{other}' (fedavg|feddc|metafed|ditto|clustered)"),
+                format!("unknown algo '{other}' (fedavg|feddc|metafed|ditto|clustered|scaffold)"),
             ))
         }
     })
@@ -473,6 +484,13 @@ impl CellSpec {
             return Err(invalid(
                 "sim mode and an active fault plan are mutually exclusive \
                  (the simulator models its own availability churn)"
+                    .to_string(),
+            ));
+        }
+        if c.defense == DefenseKind::FinePrune && c.model_kind == ScenarioModel::Cnn {
+            return Err(invalid(
+                "fine-prune targets the hidden layer of the MLP model; \
+                 the cnn model has no single prunable hidden layer"
                     .to_string(),
             ));
         }

@@ -548,6 +548,42 @@ list = [1, 2, 3]
         }
     }
 
+    /// Every way of defining the same name twice must surface a typed
+    /// [`TomlError`] — never silently last-wins (a grid cell whose axis
+    /// value was quietly overwritten would run the wrong scenario).
+    #[test]
+    fn duplicate_definitions_are_typed_errors_not_last_wins() {
+        for (doc, needle) in [
+            // Scalar redefined in the same table.
+            ("k = 1\nk = 2", "duplicate key 'k'"),
+            // Scalar redefined inside a named table.
+            ("[t]\na = 1\na = 2", "duplicate key 'a'"),
+            // Table header repeated verbatim.
+            ("[t]\nx = 1\n[t]\ny = 2", "duplicate table header [t]"),
+            // Header opened over an existing scalar.
+            ("x = 1\n[x]\ny = 2", "key 'x' is not a table"),
+            // Dotted key extending through an existing scalar.
+            ("a.b = 1\na.b.c = 2", "key 'b' is not a table"),
+            // Dotted header descending through an existing scalar.
+            ("[t]\nk = 1\n[t.k]\nv = 2", "key 'k' is not a table"),
+            // Key colliding with an earlier-declared subtable.
+            ("[a.b]\nv = 1\n[a]\nb = 2", "duplicate key 'b'"),
+            // Dotted key colliding with an explicit header's table entry.
+            ("[a]\nb.c = 1\n[a.b]\nc = 2", "duplicate key 'c'"),
+        ] {
+            let e = parse(doc).unwrap_err();
+            assert!(e.line > 0, "doc {doc:?}: error must carry a line number");
+            assert!(
+                e.to_string().contains(needle),
+                "doc {doc:?}: expected {needle:?} in {e}"
+            );
+        }
+        // The accepted near-misses parse to distinct entries, not overwrites.
+        let t = parse("[a]\nb = 1\n[c]\nb = 2\n").unwrap();
+        assert_eq!(t.get_path("a.b"), Some(&TomlValue::Int(1)));
+        assert_eq!(t.get_path("c.b"), Some(&TomlValue::Int(2)));
+    }
+
     #[test]
     fn floats_and_ints_stay_distinct() {
         let t = parse("a = 1\nb = 1.0\nc = 1e3\n").unwrap();

@@ -20,7 +20,9 @@
 //! `actual` hash from the failure message into the fixture file, and call
 //! the change out in the PR description.
 
-use collapois::core::scenario::{AttackKind, DefenseKind, RunOptions, Scenario, ScenarioConfig};
+use collapois::core::scenario::{
+    AttackKind, DefenseKind, FlAlgo, RunOptions, Scenario, ScenarioConfig,
+};
 
 /// FNV-1a over the little-endian `f32` bit patterns.
 fn fnv1a_params(params: &[f32]) -> u64 {
@@ -52,13 +54,16 @@ fn golden_cfg(defense: DefenseKind) -> ScenarioConfig {
 /// crosses every parallel path: the training fan-out, the sharded defense
 /// kernels, the tree-reduced average and the pooled evaluation.
 fn assert_matches_fixture(defense: DefenseKind, fixture: &str) {
+    assert_cfg_matches_fixture(golden_cfg(defense), fixture);
+}
+
+fn assert_cfg_matches_fixture(cfg: ScenarioConfig, fixture: &str) {
     let fixture_path = format!("{}/tests/fixtures/{fixture}", env!("CARGO_MANIFEST_DIR"));
     let expected = std::fs::read_to_string(&fixture_path)
         .unwrap_or_else(|_| panic!("fixture missing: {fixture_path}"))
         .trim()
         .to_string();
 
-    let cfg = golden_cfg(defense);
     for workers in [1usize, 2, 4, 8] {
         let report = Scenario::new(cfg.clone()).run_with(&RunOptions {
             workers,
@@ -68,9 +73,10 @@ fn assert_matches_fixture(defense: DefenseKind, fixture: &str) {
         assert_eq!(
             actual, expected,
             "final global params diverged from the golden fixture at \
-             workers={workers} defense={defense:?} (actual {actual}, \
+             workers={workers} defense={:?} (actual {actual}, \
              expected {expected}); see the module docs for when/how to \
-             regenerate"
+             regenerate",
+            cfg.defense
         );
     }
 }
@@ -81,6 +87,19 @@ fn five_round_krum_scenario_matches_committed_fixture_at_every_worker_count() {
     // kernels on top of the dense/loss kernels every client step already
     // exercises.
     assert_matches_fixture(DefenseKind::Krum, "golden_final_params.hash");
+}
+
+#[test]
+fn five_round_scaffold_semantic_fine_prune_scenario_matches_committed_fixture() {
+    // The three arms landed together, pinned together: the semantic
+    // backdoor's relabelled shards, SCAFFOLD's sequentially-committed
+    // control variates, and the in-training fine-pruning hook all sit on
+    // the same compute/commit split — one fixture proves the whole stack
+    // is worker-count-invariant.
+    let mut cfg = golden_cfg(DefenseKind::FinePrune);
+    cfg.attack = AttackKind::Semantic;
+    cfg.algo = FlAlgo::Scaffold;
+    assert_cfg_matches_fixture(cfg, "golden_final_params_scaffold_semantic.hash");
 }
 
 #[test]

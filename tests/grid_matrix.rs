@@ -1,7 +1,7 @@
 //! Grid conformance harness (tier-1).
 //!
-//! Runs the committed CI smoke grid (`scenarios/smoke.toml` — 2 attacks ×
-//! 2 robust aggregators × {plain, faulted, sim, quant-f16, quant-int8})
+//! Runs the committed CI smoke grid (`scenarios/smoke.toml` — 3 attacks ×
+//! 3 defenses × {plain, faulted, sim, quant-f16, quant-int8, scaffold})
 //! end to end and pins every
 //! cell's canonical trace-event hash against the committed fixture
 //! `tests/fixtures/golden_grid_smoke.txt`. The grid is executed at two
@@ -42,7 +42,7 @@ fn run_to(spec: &GridSpec, name: &str, opts: &GridRunOptions) -> String {
 fn smoke_grid_matches_golden_fixture_and_is_worker_count_invariant() {
     let spec = GridSpec::parse(&repo_file("scenarios/smoke.toml")).unwrap();
     let cells = spec.cells().unwrap();
-    assert_eq!(cells.len(), 20, "the CI smoke matrix is 2x2x5");
+    assert_eq!(cells.len(), 54, "the CI smoke matrix is 3x3x6");
 
     let w1 = run_to(
         &spec,

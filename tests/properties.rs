@@ -187,3 +187,101 @@ proptest! {
         prop_assert!(tighter <= b + 1e-12);
     }
 }
+
+/// Strategies landed with the semantic-backdoor / SCAFFOLD / fine-pruning
+/// grid arms: the control-variate bookkeeping and the region-membership
+/// ASR metric each carry an exact invariant worth fuzzing.
+mod backdoor_arms {
+    use super::*;
+    use collapois::data::poison::BackdoorEval;
+    use collapois::data::semantic::SemanticRegion;
+    use collapois::fl::config::FlConfig;
+    use collapois::fl::personalize::{Personalization, Scaffold};
+    use collapois::fl::scratch::ClientScratch;
+    use rand::seq::SliceRandom;
+    use rand::Rng;
+
+    fn client_data(rng: &mut StdRng, n: usize, classes: usize) -> Dataset {
+        let mut ds = Dataset::empty(&[4], classes);
+        for i in 0..n {
+            let f: Vec<f32> = (0..4).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            ds.push(&f, i % classes);
+        }
+        ds
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// SCAFFOLD's bookkeeping invariant: after any number of full
+        /// participation rounds, the server control variate equals the mean
+        /// of the client variates — equivalently Σ_i (c_i − c) ≈ 0.
+        #[test]
+        fn scaffold_control_variates_sum_to_zero(
+            seed in 0u64..500,
+            n_clients in 2usize..5,
+            rounds in 1usize..4,
+        ) {
+            let spec = ModelSpec::mlp(4, &[6], 2);
+            let cfg = FlConfig::quick(spec.clone());
+            let mut rng = StdRng::seed_from_u64(seed);
+            let model = spec.build(&mut rng);
+            let global = model.params();
+            let mut scratch = ClientScratch::for_model(&model);
+            let data: Vec<Dataset> = (0..n_clients)
+                .map(|_| client_data(&mut rng, 24, 2))
+                .collect();
+            let mut s = Scaffold::new();
+            s.init(n_clients, global.len());
+            for _ in 0..rounds {
+                for cid in 0..n_clients {
+                    let out = s.local_train(cid, &global, &data[cid], &cfg, &mut scratch, &mut rng);
+                    s.commit(cid, out.commit);
+                }
+            }
+            for k in 0..global.len() {
+                let residual: f32 = (0..n_clients)
+                    .map(|cid| s.client_control(cid).map_or(0.0, |v| v[k]) - s.server_control()[k])
+                    .sum();
+                prop_assert!(
+                    residual.abs() < 1e-3,
+                    "coordinate {k}: sum of (c_i - c) = {residual}"
+                );
+            }
+        }
+
+        /// The semantic backdoor's Attack SR is permutation-invariant: the
+        /// region predicate is pure in each sample's features, so shuffling
+        /// the eval dataset changes neither the eval-set size nor the
+        /// success ratio computed from it.
+        #[test]
+        fn semantic_asr_is_permutation_invariant(
+            seed in 0u64..500,
+            n in 20usize..80,
+            member_fraction in 0.2f64..0.9,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let ds = client_data(&mut rng, n, 3);
+            let region = SemanticRegion::fit(&ds, 1, 0, member_fraction, seed ^ 0xABCD);
+            let spec = ModelSpec::mlp(4, &[6], 3);
+            let mut model = spec.build(&mut rng);
+            let mut asr = |d: &Dataset| -> (usize, f64) {
+                let eval = region.eval_set(d);
+                if eval.is_empty() {
+                    return (0, 0.0);
+                }
+                let (x, _) = eval.as_batch();
+                let preds = model.predict(&x);
+                let hits = preds.iter().filter(|&&p| p == region.target_class()).count();
+                (eval.len(), hits as f64 / preds.len() as f64)
+            };
+            let mut perm: Vec<usize> = (0..ds.len()).collect();
+            perm.shuffle(&mut rng);
+            let shuffled = ds.subset(&perm);
+            let (len_a, sr_a) = asr(&ds);
+            let (len_b, sr_b) = asr(&shuffled);
+            prop_assert_eq!(len_a, len_b, "eval-set size must not depend on order");
+            prop_assert_eq!(sr_a.to_bits(), sr_b.to_bits(), "ASR must be bitwise order-free");
+        }
+    }
+}
